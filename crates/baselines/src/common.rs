@@ -1,0 +1,128 @@
+//! Shared baseline configuration and workload construction.
+
+use escalate_models::{LayerShape, ModelProfile};
+
+/// Common resources all baseline accelerators are normalized to
+/// (Table 2: "1024 8-bit multipliers, proportional scaling of on-chip
+/// SRAM buffer").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BaselineConfig {
+    /// Number of 8-bit multipliers.
+    pub multipliers: usize,
+    /// Global on-chip buffer capacity in bytes (proportional scaling of
+    /// the ~15 KB ESCALATE keeps per-block times 32 blocks ≈ 64 KB of
+    /// activation-facing SRAM plus coefficient storage).
+    pub glb_bytes: usize,
+    /// Clock frequency in MHz (all designs compared at the same clock).
+    pub frequency_mhz: f64,
+    /// DRAM bandwidth in bytes per cycle (identical across designs).
+    pub dram_bytes_per_cycle: f64,
+}
+
+impl Default for BaselineConfig {
+    fn default() -> Self {
+        BaselineConfig { multipliers: 1024, glb_bytes: 64 * 1024, frequency_mhz: 800.0, dram_bytes_per_cycle: 64.0 }
+    }
+}
+
+/// One layer's workload as the baselines see it: the *pruned checkpoint's*
+/// weight sparsity plus the same synthetic activation sparsity ESCALATE
+/// receives.
+#[derive(Debug, Clone)]
+pub struct BaselineWorkload {
+    /// Layer shape.
+    pub layer: LayerShape,
+    /// Weight sparsity of the pruned baseline checkpoint for this layer.
+    pub weight_sparsity: f64,
+    /// Input activation sparsity.
+    pub act_sparsity: f64,
+    /// Output (post-ReLU) sparsity, for compressed OFM write-back.
+    pub out_sparsity: f64,
+}
+
+impl BaselineWorkload {
+    /// Builds the per-layer workloads for a model profile.
+    ///
+    /// The first convolutional layer keeps the low pruning ratio the paper
+    /// cites for first layers (1.2–1.6×, i.e. ~20% sparsity); other layers
+    /// use the checkpoint-level sparsity from Table 1.
+    pub fn for_profile(profile: &ModelProfile) -> Vec<BaselineWorkload> {
+        let model = profile.model();
+        let conv: Vec<&LayerShape> = model.conv_layers().collect();
+        let n = conv.len();
+        conv.iter()
+            .enumerate()
+            .map(|(i, l)| BaselineWorkload {
+                layer: (*l).clone(),
+                weight_sparsity: if i == 0 { 0.2 } else { profile.baseline_weight_sparsity },
+                act_sparsity: profile.activation_sparsity(i, n),
+                out_sparsity: profile.activation_sparsity((i + 1).min(n - 1), n),
+            })
+            .collect()
+    }
+
+    /// Dense MAC count of the layer.
+    pub fn dense_macs(&self) -> u64 {
+        self.layer.macs() as u64
+    }
+
+    /// Effectual products: pairs where both weight and activation are
+    /// nonzero (the work two-sided sparse accelerators perform).
+    pub fn effectual_products(&self) -> u64 {
+        (self.dense_macs() as f64 * (1.0 - self.weight_sparsity) * (1.0 - self.act_sparsity))
+            .ceil() as u64
+    }
+
+    /// Nonzero weights of the pruned checkpoint.
+    pub fn weight_nnz(&self) -> u64 {
+        (self.layer.weight_params() as f64 * (1.0 - self.weight_sparsity)).ceil() as u64
+    }
+
+    /// Nonzero input activations.
+    pub fn act_nnz(&self) -> u64 {
+        (self.layer.input_size() as f64 * (1.0 - self.act_sparsity)).ceil() as u64
+    }
+
+    /// Dense output size in elements.
+    pub fn output_elems(&self) -> u64 {
+        self.layer.output_size() as u64
+    }
+
+    /// Compressed OFM bytes (post-ReLU nonzeros plus a bit mask), used by
+    /// the accelerators that store activations compressed.
+    pub fn output_bytes_compressed(&self) -> u64 {
+        (self.output_elems() as f64 * (1.0 - self.out_sparsity)).ceil() as u64
+            + self.output_elems().div_ceil(8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_cover_all_conv_layers() {
+        let p = ModelProfile::for_model("ResNet18").unwrap();
+        let w = BaselineWorkload::for_profile(&p);
+        assert_eq!(w.len(), p.model().conv_layers().count());
+        assert!((w[0].weight_sparsity - 0.2).abs() < 1e-12, "first layer stays nearly dense");
+        assert!((w[3].weight_sparsity - p.baseline_weight_sparsity).abs() < 1e-12);
+    }
+
+    #[test]
+    fn effectual_products_shrink_with_sparsity() {
+        let p = ModelProfile::for_model("VGG16").unwrap();
+        let w = &BaselineWorkload::for_profile(&p)[5];
+        assert!(w.effectual_products() < w.dense_macs() / 10);
+        assert!(w.effectual_products() > 0);
+    }
+
+    #[test]
+    fn nnz_counts_are_consistent() {
+        let p = ModelProfile::for_model("MobileNet").unwrap();
+        for w in BaselineWorkload::for_profile(&p) {
+            assert!(w.weight_nnz() <= w.layer.weight_params() as u64);
+            assert!(w.act_nnz() <= w.layer.input_size() as u64);
+        }
+    }
+}

@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! Baseline accelerator simulators: Eyeriss, SCNN, and SparTen.
+//!
+//! The paper compares ESCALATE against one dense accelerator (Eyeriss,
+//! simulated with TimeLoop) and two two-sided sparse accelerators (SCNN
+//! via DNNsim, SparTen via the authors' own simulator). Here all three are
+//! re-implemented from their papers' dataflows as cycle-level analytical
+//! models with the configuration discipline of Table 2: every design gets
+//! the same 1024 8-bit multipliers and proportionally scaled buffers, and
+//! all consume the *pruned baseline checkpoints'* sparsity (Table 1's
+//! baseline rows), not ESCALATE's decomposed model.
+//!
+//! All three emit the same [`escalate_sim::LayerStats`] records, so the
+//! energy model and the figure harnesses treat every accelerator
+//! uniformly.
+
+pub mod common;
+pub mod eyeriss;
+pub mod rs_mapper;
+pub mod scnn;
+pub mod sparten;
+
+pub use common::{BaselineConfig, BaselineWorkload};
+pub use eyeriss::Eyeriss;
+pub use scnn::Scnn;
+pub use sparten::SparTen;
+
+use escalate_sim::ModelStats;
+
+/// A baseline accelerator that can simulate a whole model.
+///
+/// The trait is object-safe so harnesses can iterate over a heterogeneous
+/// accelerator list.
+pub trait Accelerator {
+    /// Accelerator display name.
+    fn name(&self) -> &'static str;
+
+    /// Simulates all layers of a model workload.
+    fn simulate(&self, workload: &[BaselineWorkload], seed: u64) -> ModelStats;
+}

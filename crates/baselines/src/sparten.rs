@@ -1,0 +1,185 @@
+//! SparTen: the bitmask inner-join sparse baseline.
+//!
+//! SparTen (Gondimalla et al., MICRO 2019) stores both operands as
+//! SparseMap-style bitmasks and computes the inner join of a filter
+//! vector and an activation vector per compute unit: AND the masks,
+//! prefix-sum to locate operand offsets, and multiply only the matches.
+//! It walks input channels innermost, which gives it the channel-parallel
+//! advantage on late (deep, narrow) layers that Figure 11 shows, at the
+//! cost of load imbalance between greedily-dispatched chunks and a
+//! synchronization barrier per output tile that forces IFM re-fetches.
+
+use crate::common::{BaselineConfig, BaselineWorkload};
+use crate::Accelerator;
+use escalate_sim::stats::{DramTraffic, LayerStats, SramTraffic};
+use escalate_sim::ModelStats;
+
+/// The SparTen sparse accelerator model.
+#[derive(Debug, Clone)]
+pub struct SparTen {
+    /// Shared baseline resources.
+    pub cfg: BaselineConfig,
+    /// Compute units: each joins one 32-wide chunk pair per cycle and
+    /// feeds a small multiplier backend.
+    pub n_units: usize,
+    /// Multipliers behind each unit's prefix-sum front end; matches
+    /// serialize over them.
+    pub mults_per_unit: usize,
+    /// Mean slowdown from load imbalance across greedily dispatched
+    /// chunks: at pruned-checkpoint sparsity the per-chunk match counts
+    /// have high variance, so the greedy balancer's residual grows past
+    /// the SparTen paper's dense-ish 1.15 estimate.
+    pub imbalance_factor: f64,
+}
+
+impl Default for SparTen {
+    fn default() -> Self {
+        // 1024 multipliers as 256 units × 4 multipliers: the 32-wide mask
+        // AND + prefix-sum + priority-encode front end of one unit is
+        // area-equivalent to several multipliers, so the equal-multiplier
+        // normalization of Table 2 cannot afford one front end per
+        // multiplier.
+        SparTen { cfg: BaselineConfig::default(), n_units: 256, mults_per_unit: 4, imbalance_factor: 1.3 }
+    }
+}
+
+impl SparTen {
+    /// Cycle count from the chunk-join structure.
+    ///
+    /// Each output element joins its `C·R·S` reduction positions in
+    /// 32-wide mask chunks: one cycle ANDs the masks and prefix-sums the
+    /// offsets, then the unit's multiplier serializes over the matches.
+    /// A chunk therefore costs `max(1, matched)` cycles — the granularity
+    /// floor that caps SparTen's gain at extreme sparsity, and the
+    /// channel-first structure that starves it on shallow early layers
+    /// (a 27-position join still burns a full chunk cycle).
+    fn structural_cycles(&self, w: &BaselineWorkload) -> f64 {
+        // The join vectors run along the channel dimension, one per kernel
+        // offset: shallow layers leave the 32-wide chunks mostly empty
+        // (the early-layer weakness of Figure 11), deep layers fill them.
+        // Depthwise layers reduce over R·S only (no channel reduction).
+        let depthwise = w.layer.kind == escalate_models::LayerKind::DwConv;
+        let (join, chunks_per_out) = if depthwise {
+            let join = w.layer.r * w.layer.s;
+            (join, join.div_ceil(32) as f64)
+        } else {
+            (
+                w.layer.c * w.layer.r * w.layer.s,
+                (w.layer.r * w.layer.s * w.layer.c.div_ceil(32)) as f64,
+            )
+        };
+        let products_per_out = join as f64 * (1.0 - w.weight_sparsity) * (1.0 - w.act_sparsity);
+        // One cycle ANDs a chunk; its matches serialize over the unit's
+        // multiplier backend.
+        let matched_per_chunk = products_per_out / chunks_per_out;
+        let cyc_per_out = chunks_per_out * (matched_per_chunk / self.mults_per_unit as f64).max(1.0);
+        let outputs = if depthwise {
+            (w.layer.c * w.layer.out_x() * w.layer.out_y()) as f64
+        } else {
+            (w.layer.k * w.layer.out_x() * w.layer.out_y()) as f64
+        };
+        outputs * cyc_per_out / self.n_units as f64
+    }
+
+    fn simulate_layer(&self, w: &BaselineWorkload) -> LayerStats {
+        let products = w.effectual_products();
+        let cycles = (self.structural_cycles(w) * self.imbalance_factor).ceil() as u64;
+
+        // Both operands as bitmask + 8-bit nonzeros.
+        let weight_bytes = w.weight_nnz() + (w.layer.weight_params() as u64).div_ceil(8);
+        let ifm_once = w.act_nnz() + (w.layer.input_size() as u64).div_ceil(8);
+        // Output-tile barrier: the IFM is re-fetched for every group of
+        // filters whose partial sums fit the accumulator array.
+        let filter_rounds = (w.layer.k as u64).div_ceil(64);
+        let ifm_bytes = ifm_once * filter_rounds.max(1);
+        let ofm_bytes = w.output_bytes_compressed();
+
+        let dram_cycles = ((weight_bytes + ifm_bytes + ofm_bytes) as f64
+            / self.cfg.dram_bytes_per_cycle)
+            .ceil() as u64;
+        let cycles = cycles.max(dram_cycles);
+        LayerStats {
+            name: w.layer.name.clone(),
+            cycles: cycles.max(1),
+            mac_ops: products,
+            ca_adds: 0,
+            // One AND + prefix-sum pass per 32-wide chunk join.
+            gather_passes: ((w.layer.k * w.layer.out_x() * w.layer.out_y()) as u64)
+                * ((w.layer.r * w.layer.s * w.layer.c.div_ceil(32)) as u64),
+            mac_idle_cycles: 0,
+            mac_cycle_slots: cycles.max(1) * self.cfg.multipliers as u64,
+            dram: DramTraffic { weights: weight_bytes, ifm: ifm_bytes, ofm: ofm_bytes },
+            sram: SramTraffic {
+                input_buf: ifm_bytes,
+                coef_buf: weight_bytes * 2,
+                psum_buf: 4 * products,
+                output_buf: ofm_bytes,
+                act_buf: products,
+            },
+            fallback: false,
+        }
+    }
+}
+
+impl Accelerator for SparTen {
+    fn name(&self) -> &'static str {
+        "SparTen"
+    }
+
+    fn simulate(&self, workload: &[BaselineWorkload], _seed: u64) -> ModelStats {
+        ModelStats {
+            model_name: "sparten".into(),
+            layers: workload.iter().map(|w| self.simulate_layer(w)).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eyeriss::Eyeriss;
+    use crate::scnn::Scnn;
+    use escalate_models::{LayerShape, ModelProfile};
+
+    fn wl(layer: LayerShape, ws: f64, as_: f64) -> BaselineWorkload {
+        BaselineWorkload { layer, weight_sparsity: ws, act_sparsity: as_, out_sparsity: as_ }
+    }
+
+    #[test]
+    fn late_layers_favor_sparten_over_scnn() {
+        // Deep channels, tiny spatial map: SparTen's channel-first join
+        // stays busy; SCNN's spatial tiling starves.
+        let w = wl(LayerShape::conv("late", 512, 512, 2, 2, 3, 1, 1), 0.98, 0.5);
+        let sp = SparTen::default().simulate(std::slice::from_ref(&w), 0).total_cycles();
+        let sc = Scnn::default().simulate(std::slice::from_ref(&w), 0).total_cycles();
+        assert!(sp < sc, "SparTen {sp} should beat SCNN {sc} on late layers");
+    }
+
+    #[test]
+    fn early_layers_favor_scnn_over_sparten() {
+        // Shallow channels, big map, heavily pruned checkpoint: SCNN's
+        // spatial tiles stay full while SparTen's channel chunks starve.
+        let w = wl(LayerShape::conv("early", 64, 64, 32, 32, 3, 1, 1), 0.986, 0.35);
+        let sp = SparTen::default().simulate(std::slice::from_ref(&w), 0).total_cycles();
+        let sc = Scnn::default().simulate(std::slice::from_ref(&w), 0).total_cycles();
+        assert!(sc < sp, "SCNN {sc} should beat SparTen {sp} on early layers");
+    }
+
+    #[test]
+    fn sparten_beats_eyeriss_on_sparse_models() {
+        let p = ModelProfile::for_model("ResNet18").unwrap();
+        let w = BaselineWorkload::for_profile(&p);
+        let sp = SparTen::default().simulate(&w, 0).total_cycles();
+        let ey = Eyeriss::default().simulate(&w, 0).total_cycles();
+        assert!(sp < ey);
+    }
+
+    #[test]
+    fn filter_rounds_multiply_ifm_traffic() {
+        let narrow = wl(LayerShape::conv("n", 64, 32, 16, 16, 3, 1, 1), 0.8, 0.5);
+        let wide = wl(LayerShape::conv("w", 64, 512, 16, 16, 3, 1, 1), 0.8, 0.5);
+        let sn = SparTen::default().simulate(&[narrow], 0).total_dram().ifm;
+        let sw = SparTen::default().simulate(&[wide], 0).total_dram().ifm;
+        assert!(sw >= 8 * sn, "16 filter rounds should refetch the IFM: {sw} vs {sn}");
+    }
+}

@@ -1,0 +1,100 @@
+//! Cross-baseline coverage: behaviors every accelerator model must share
+//! under the Table 2 normalization, plus the bandwidth-bound regime.
+
+use escalate_baselines::{Accelerator, BaselineConfig, BaselineWorkload, Eyeriss, Scnn, SparTen};
+use escalate_models::{LayerShape, ModelProfile};
+
+fn wl(layer: LayerShape, ws: f64, sa: f64) -> BaselineWorkload {
+    BaselineWorkload { layer, weight_sparsity: ws, act_sparsity: sa, out_sparsity: sa }
+}
+
+fn accels() -> Vec<Box<dyn Accelerator>> {
+    vec![Box::new(Eyeriss::default()), Box::new(Scnn::default()), Box::new(SparTen::default())]
+}
+
+#[test]
+fn every_baseline_is_deterministic() {
+    let p = ModelProfile::for_model("VGG16").unwrap();
+    let w = BaselineWorkload::for_profile(&p);
+    for acc in accels() {
+        let a = acc.simulate(&w, 0).total_cycles();
+        let b = acc.simulate(&w, 0).total_cycles();
+        assert_eq!(a, b, "{}", acc.name());
+    }
+}
+
+#[test]
+fn every_baseline_respects_the_dram_bandwidth_bound() {
+    // A layer with huge traffic but trivial compute (1×1 kernel, extreme
+    // sparsity) must pace at the DRAM bound on every design.
+    let layer = LayerShape::conv("io", 512, 8, 64, 64, 1, 1, 0);
+    let w = wl(layer, 0.999, 0.0);
+    let bw = BaselineConfig::default().dram_bytes_per_cycle;
+    for acc in accels() {
+        let s = acc.simulate(std::slice::from_ref(&w), 0);
+        let dram_cycles = (s.total_dram().total() as f64 / bw).floor() as u64;
+        assert!(
+            s.total_cycles() >= dram_cycles,
+            "{}: {} cycles < DRAM bound {}",
+            acc.name(),
+            s.total_cycles(),
+            dram_cycles
+        );
+    }
+}
+
+#[test]
+fn sparse_baselines_collapse_to_dense_speed_at_zero_sparsity() {
+    // With nothing to skip, SCNN and SparTen must not be dramatically
+    // faster than Eyeriss (their skipping hardware buys nothing).
+    let layer = LayerShape::conv("dense", 128, 128, 28, 28, 3, 1, 1);
+    let w = wl(layer, 0.0, 0.0);
+    let eye = Eyeriss::default().simulate(std::slice::from_ref(&w), 0).total_cycles() as f64;
+    for acc in [&Scnn::default() as &dyn Accelerator, &SparTen::default()] {
+        let c = acc.simulate(std::slice::from_ref(&w), 0).total_cycles() as f64;
+        let speedup = eye / c;
+        assert!(
+            (0.2..2.0).contains(&speedup),
+            "{} at zero sparsity: {speedup:.2}x vs Eyeriss",
+            acc.name()
+        );
+    }
+}
+
+#[test]
+fn depthwise_layers_run_on_every_baseline() {
+    let layer = LayerShape::dwconv("dw", 256, 28, 28, 3, 1, 1);
+    let w = wl(layer, 0.7, 0.4);
+    for acc in accels() {
+        let s = acc.simulate(std::slice::from_ref(&w), 0);
+        assert!(s.total_cycles() > 0, "{}", acc.name());
+        assert!(s.total_dram().total() > 0, "{}", acc.name());
+    }
+}
+
+#[test]
+fn cycles_scale_with_model_size_on_every_baseline() {
+    let small = ModelProfile::for_model("MobileNet").unwrap();
+    let large = ModelProfile::for_model("ResNet50").unwrap();
+    let ws = BaselineWorkload::for_profile(&small);
+    let wlg = BaselineWorkload::for_profile(&large);
+    for acc in accels() {
+        let cs = acc.simulate(&ws, 0).total_cycles();
+        let cl = acc.simulate(&wlg, 0).total_cycles();
+        assert!(cl > cs, "{}: ResNet50 should outweigh MobileNet", acc.name());
+    }
+}
+
+#[test]
+fn weight_traffic_orders_by_encoding() {
+    // Same pruned model: Eyeriss stores dense 8-bit, SparTen mask+values,
+    // SCNN run-length nonzeros — traffic must order accordingly at high
+    // sparsity.
+    let p = ModelProfile::for_model("ResNet18").unwrap();
+    let w = BaselineWorkload::for_profile(&p);
+    let eye = Eyeriss::default().simulate(&w, 0).total_dram().weights;
+    let sp = SparTen::default().simulate(&w, 0).total_dram().weights;
+    let sc = Scnn::default().simulate(&w, 0).total_dram().weights;
+    assert!(eye > sp, "dense ({eye}) > bitmask ({sp})");
+    assert!(sp > sc, "bitmask ({sp}) > RLE ({sc}) at 98.6% sparsity");
+}

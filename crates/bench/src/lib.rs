@@ -1,0 +1,216 @@
+#![warn(missing_docs)]
+
+//! Shared experiment harness for regenerating the paper's tables and
+//! figures.
+//!
+//! Each table/figure has a dedicated binary in `src/bin/` (`table1`,
+//! `fig7`–`fig13`, `table4`, plus the ablation studies); this library
+//! holds the common plumbing: compressing a model, building the
+//! accelerator workloads, running all four simulators over multiple input
+//! seeds, and attaching energy breakdowns.
+
+use escalate_baselines::{Accelerator, BaselineWorkload, Eyeriss, Scnn, SparTen};
+use escalate_core::pipeline::CompressionConfig;
+use escalate_core::{compress_model_artifacts, CompressedLayer, EscalateError};
+use escalate_energy::{layer_energy, model_energy, BufferCaps, EnergyBreakdown, UnitEnergy};
+use escalate_models::ModelProfile;
+use escalate_sim::{simulate_model, ModelStats, SimConfig, Workload};
+
+/// Number of random input samples averaged per experiment (the paper uses
+/// 10; see §5.2.1).
+pub const INPUT_SEEDS: u64 = 10;
+
+/// One accelerator's averaged result on one model.
+#[derive(Debug, Clone)]
+pub struct AccelRun {
+    /// Accelerator name.
+    pub name: String,
+    /// Mean cycles over the input seeds.
+    pub cycles: f64,
+    /// Mean total DRAM bytes.
+    pub dram_bytes: f64,
+    /// Mean total energy (pJ).
+    pub energy_pj: f64,
+    /// Full stats of the first seed (for layer-wise figures).
+    pub stats: ModelStats,
+    /// Energy breakdown of the first seed.
+    pub energy: EnergyBreakdown,
+}
+
+/// All four accelerators' results on one model.
+#[derive(Debug, Clone)]
+pub struct ModelRun {
+    /// Model name.
+    pub model: String,
+    /// ESCALATE.
+    pub escalate: AccelRun,
+    /// Eyeriss (the normalization baseline).
+    pub eyeriss: AccelRun,
+    /// SCNN.
+    pub scnn: AccelRun,
+    /// SparTen.
+    pub sparten: AccelRun,
+}
+
+impl ModelRun {
+    /// Speedup of an accelerator over Eyeriss.
+    pub fn speedup_over_eyeriss(&self, run: &AccelRun) -> f64 {
+        self.eyeriss.cycles / run.cycles.max(1.0)
+    }
+
+    /// Energy efficiency (inverse energy) normalized to Eyeriss.
+    pub fn efficiency_over_eyeriss(&self, run: &AccelRun) -> f64 {
+        self.eyeriss.energy_pj / run.energy_pj.max(1.0)
+    }
+
+    /// DRAM accesses normalized to ESCALATE (Figure 9's axis).
+    pub fn dram_vs_escalate(&self, run: &AccelRun) -> f64 {
+        run.dram_bytes / self.escalate.dram_bytes.max(1.0)
+    }
+}
+
+/// Compresses a model once (the expensive step shared by all harnesses).
+///
+/// # Errors
+///
+/// Propagates compression failures.
+pub fn compress(profile: &ModelProfile, cfg: &CompressionConfig) -> Result<Vec<CompressedLayer>, EscalateError> {
+    compress_model_artifacts(profile, cfg)
+}
+
+/// Runs ESCALATE on a compressed model, averaged over input seeds.
+pub fn run_escalate(
+    profile: &ModelProfile,
+    artifacts: &[CompressedLayer],
+    sim_cfg: &SimConfig,
+    seeds: u64,
+) -> AccelRun {
+    let workload = Workload::from_artifacts(profile.name, artifacts, profile);
+    let caps = BufferCaps::from_config(sim_cfg);
+    let units = UnitEnergy::table3();
+    let mut cycles = 0.0;
+    let mut dram = 0.0;
+    let mut energy = 0.0;
+    let mut first: Option<(ModelStats, EnergyBreakdown)> = None;
+    for seed in 0..seeds.max(1) {
+        let stats = simulate_model(&workload, sim_cfg, seed);
+        let e = model_energy(&stats, &caps, &units);
+        cycles += stats.total_cycles() as f64;
+        dram += stats.total_dram().total() as f64;
+        energy += e.total_pj();
+        if first.is_none() {
+            first = Some((stats, e));
+        }
+    }
+    let n = seeds.max(1) as f64;
+    let (stats, energy_bd) = first.expect("at least one seed ran");
+    AccelRun {
+        name: "ESCALATE".into(),
+        cycles: cycles / n,
+        dram_bytes: dram / n,
+        energy_pj: energy / n,
+        stats,
+        energy: energy_bd,
+    }
+}
+
+/// Runs one baseline accelerator, averaged over input seeds.
+pub fn run_baseline(acc: &dyn Accelerator, workload: &[BaselineWorkload], glb_bytes: usize, seeds: u64) -> AccelRun {
+    let caps = BufferCaps::baseline(glb_bytes);
+    let units = UnitEnergy::table3();
+    let mut cycles = 0.0;
+    let mut dram = 0.0;
+    let mut energy = 0.0;
+    let mut first: Option<(ModelStats, EnergyBreakdown)> = None;
+    for seed in 0..seeds.max(1) {
+        let stats = acc.simulate(workload, seed);
+        let e = model_energy(&stats, &caps, &units);
+        cycles += stats.total_cycles() as f64;
+        dram += stats.total_dram().total() as f64;
+        energy += e.total_pj();
+        if first.is_none() {
+            first = Some((stats, e));
+        }
+    }
+    let n = seeds.max(1) as f64;
+    let (stats, energy_bd) = first.expect("at least one seed ran");
+    AccelRun {
+        name: acc.name().into(),
+        cycles: cycles / n,
+        dram_bytes: dram / n,
+        energy_pj: energy / n,
+        stats,
+        energy: energy_bd,
+    }
+}
+
+/// Runs all four accelerators on one model.
+///
+/// # Errors
+///
+/// Propagates compression failures.
+pub fn run_model(profile: &ModelProfile, sim_cfg: &SimConfig, seeds: u64) -> Result<ModelRun, EscalateError> {
+    let artifacts = compress(profile, &CompressionConfig { m: sim_cfg.m, ..CompressionConfig::default() })?;
+    let escalate = run_escalate(profile, &artifacts, sim_cfg, seeds);
+    let bw = BaselineWorkload::for_profile(profile);
+    let glb = 64 * 1024;
+    Ok(ModelRun {
+        model: profile.name.to_string(),
+        escalate,
+        eyeriss: run_baseline(&Eyeriss::default(), &bw, glb, seeds),
+        scnn: run_baseline(&Scnn::default(), &bw, glb, seeds),
+        sparten: run_baseline(&SparTen::default(), &bw, glb, seeds),
+    })
+}
+
+/// Per-layer energy of one accelerator run (ESCALATE buffer pricing).
+pub fn escalate_layer_energies(run: &AccelRun, sim_cfg: &SimConfig) -> Vec<(String, EnergyBreakdown)> {
+    let caps = BufferCaps::from_config(sim_cfg);
+    let units = UnitEnergy::table3();
+    run.stats
+        .layers
+        .iter()
+        .map(|l| (l.name.clone(), layer_energy(l, &caps, &units)))
+        .collect()
+}
+
+/// Renders a simple ASCII bar of `value` scaled so `max` fills `width`.
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    if max <= 0.0 {
+        return String::new();
+    }
+    let n = ((value / max) * width as f64).round().clamp(0.0, width as f64) as usize;
+    "#".repeat(n)
+}
+
+/// Formats a ratio like `12.3x`.
+pub fn ratio(v: f64) -> String {
+    format!("{v:.2}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_scales_and_clamps() {
+        assert_eq!(bar(5.0, 10.0, 10), "#####");
+        assert_eq!(bar(20.0, 10.0, 10).len(), 10);
+        assert_eq!(bar(1.0, 0.0, 10), "");
+    }
+
+    #[test]
+    fn mobilenet_end_to_end_smoke() {
+        // The smallest model: full four-accelerator comparison with one seed.
+        let profile = ModelProfile::for_model("MobileNet").unwrap();
+        let run = run_model(&profile, &SimConfig::default(), 1).unwrap();
+        assert!(run.escalate.cycles > 0.0);
+        // ESCALATE must beat the dense baseline on a sparse model.
+        assert!(
+            run.speedup_over_eyeriss(&run.escalate) > 1.0,
+            "speedup {}",
+            run.speedup_over_eyeriss(&run.escalate)
+        );
+        assert!(run.escalate.energy_pj > 0.0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Minimal argument parsing for the `escalate` CLI (no external parser
+//! dependency; see DESIGN.md's dependency policy).
+
+use std::collections::HashMap;
+
+/// A parsed command line: the subcommand, its positional arguments, and
+/// `--key value` / `--flag` options.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ParsedArgs {
+    /// Subcommand name (first non-flag argument).
+    pub command: String,
+    /// Positional arguments after the subcommand.
+    pub positional: Vec<String>,
+    /// Options: `--key value` pairs; bare `--flag` maps to `"true"`.
+    pub options: HashMap<String, String>,
+}
+
+/// Parsing errors with user-facing messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// No subcommand given.
+    MissingCommand,
+    /// An option value failed to parse.
+    BadValue {
+        /// Option name.
+        option: String,
+        /// Offending value.
+        value: String,
+        /// What was expected.
+        expected: &'static str,
+    },
+    /// An unknown option was passed.
+    UnknownOption(String),
+}
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArgError::MissingCommand => write!(f, "no command given (try `escalate help`)"),
+            ArgError::BadValue { option, value, expected } => {
+                write!(f, "--{option}: expected {expected}, got {value:?}")
+            }
+            ArgError::UnknownOption(o) => write!(f, "unknown option --{o}"),
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl ParsedArgs {
+    /// Parses raw arguments (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError::MissingCommand`] for an empty line.
+    pub fn parse<I, S>(args: I) -> Result<ParsedArgs, ArgError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut out = ParsedArgs::default();
+        let mut iter = args.into_iter().map(Into::into).peekable();
+        while let Some(a) = iter.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                let value = match iter.peek() {
+                    Some(v) if !v.starts_with("--") => iter.next().expect("peeked value exists"),
+                    _ => "true".to_string(),
+                };
+                out.options.insert(key.to_string(), value);
+            } else if out.command.is_empty() {
+                out.command = a;
+            } else {
+                out.positional.push(a);
+            }
+        }
+        if out.command.is_empty() {
+            return Err(ArgError::MissingCommand);
+        }
+        Ok(out)
+    }
+
+    /// Reads an option parsed as `T`, with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError::BadValue`] when the value does not parse.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgError::BadValue {
+                option: key.to_string(),
+                value: v.clone(),
+                expected: std::any::type_name::<T>(),
+            }),
+        }
+    }
+
+    /// Whether a bare flag was passed.
+    pub fn flag(&self, key: &str) -> bool {
+        self.options.get(key).is_some_and(|v| v == "true")
+    }
+
+    /// Rejects options outside the allowed set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError::UnknownOption`] for the first unknown option.
+    pub fn ensure_known(&self, allowed: &[&str]) -> Result<(), ArgError> {
+        for k in self.options.keys() {
+            if !allowed.contains(&k.as_str()) {
+                return Err(ArgError::UnknownOption(k.clone()));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_command_positionals_and_options() {
+        let a = ParsedArgs::parse(["simulate", "ResNet18", "--m", "7", "--verbose"]).unwrap();
+        assert_eq!(a.command, "simulate");
+        assert_eq!(a.positional, vec!["ResNet18"]);
+        assert_eq!(a.get_or("m", 6usize).unwrap(), 7);
+        assert!(a.flag("verbose"));
+    }
+
+    #[test]
+    fn defaults_apply_when_missing() {
+        let a = ParsedArgs::parse(["compress", "VGG16"]).unwrap();
+        assert_eq!(a.get_or("m", 6usize).unwrap(), 6);
+        assert_eq!(a.get_or("seeds", 10u64).unwrap(), 10);
+        assert!(!a.flag("verbose"));
+    }
+
+    #[test]
+    fn empty_line_is_an_error() {
+        assert_eq!(ParsedArgs::parse(Vec::<String>::new()), Err(ArgError::MissingCommand));
+    }
+
+    #[test]
+    fn bad_values_are_reported() {
+        let a = ParsedArgs::parse(["x", "--m", "six"]).unwrap();
+        let e = a.get_or("m", 6usize).unwrap_err();
+        assert!(matches!(e, ArgError::BadValue { .. }));
+        assert!(e.to_string().contains("six"));
+    }
+
+    #[test]
+    fn unknown_options_are_rejected() {
+        let a = ParsedArgs::parse(["x", "--bogus", "1"]).unwrap();
+        assert!(a.ensure_known(&["m", "seeds"]).is_err());
+        assert!(a.ensure_known(&["bogus"]).is_ok());
+    }
+
+    #[test]
+    fn flag_followed_by_flag_keeps_both() {
+        let a = ParsedArgs::parse(["x", "--fast", "--m", "5"]).unwrap();
+        assert!(a.flag("fast"));
+        assert_eq!(a.get_or("m", 0usize).unwrap(), 5);
+    }
+}

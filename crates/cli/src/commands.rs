@@ -1,0 +1,441 @@
+//! Command handlers for the `escalate` CLI.
+
+use crate::args::{ArgError, ParsedArgs};
+use escalate_bench::{compress, run_model, INPUT_SEEDS};
+use escalate_core::pipeline::{accuracy_proxy, CompressionConfig};
+use escalate_core::artifact::{read_artifacts, write_artifacts, LayerArtifact};
+use escalate_core::ModelCompression;
+use escalate_models::ModelProfile;
+use escalate_sim::SimConfig;
+
+/// CLI-level error: argument problems or pipeline failures.
+#[derive(Debug)]
+pub enum CliError {
+    /// Argument parsing/validation failed.
+    Args(ArgError),
+    /// An unknown model name was given.
+    UnknownModel(String),
+    /// The compression/simulation pipeline failed.
+    Pipeline(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Args(e) => write!(f, "{e}"),
+            CliError::UnknownModel(m) => {
+                write!(f, "unknown model {m:?} (run `escalate models` for the list)")
+            }
+            CliError::Pipeline(e) => write!(f, "pipeline failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        CliError::Args(e)
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+escalate — reproduction of the ESCALATE sparse-CNN accelerator (MICRO 2021)
+
+USAGE:
+    escalate <COMMAND> [ARGS] [OPTIONS]
+
+COMMANDS:
+    models                         list the evaluated models and their profiles
+    compress <MODEL>               run the compression pipeline (Table 1 row)
+        --m <N>        basis kernels (default 6)
+        --qat <N>      QAT epochs per layer (default 0)
+        --seed <N>     RNG seed (default 42)
+        --layers       print per-layer detail
+        --out <FILE>   save the compressed artifacts (.esca)
+    simulate <MODEL>               compare all four accelerators
+        --m <N>        basis kernels (default 6)
+        --seeds <N>    input samples to average (default 10)
+    sweep <MODEL>                  sweep M at a fixed MAC budget (Figure 12)
+        --from <N> --to <N>        M range (default 4..8)
+    characterize <MODEL>           compute/traffic structure per layer
+        --m <N>        basis kernels for the C/M bound (default 6)
+    inspect <FILE>                 summarize a saved .esca artifact
+    validate <MODEL>               cross-check the three simulator
+                                   fidelities on one layer
+        --layer <NAME> layer to validate (default: widest layer)
+    help                           show this text
+
+MODELS: VGG16, ResNet18, ResNet152, MobileNetV2 (CIFAR-10);
+        ResNet50, MobileNet (ImageNet)";
+
+fn profile(name: &str) -> Result<ModelProfile, CliError> {
+    ModelProfile::for_model(name).ok_or_else(|| CliError::UnknownModel(name.to_string()))
+}
+
+fn model_arg(args: &ParsedArgs) -> Result<ModelProfile, CliError> {
+    let name = args
+        .positional
+        .first()
+        .ok_or(CliError::Args(ArgError::BadValue {
+            option: "MODEL".into(),
+            value: "<missing>".into(),
+            expected: "a model name",
+        }))?;
+    profile(name)
+}
+
+/// Dispatches a parsed command line; returns the text to print.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] with a user-facing message on any failure.
+pub fn dispatch(args: &ParsedArgs) -> Result<String, CliError> {
+    match args.command.as_str() {
+        "help" | "--help" => Ok(USAGE.to_string()),
+        "models" => cmd_models(args),
+        "compress" => cmd_compress(args),
+        "simulate" => cmd_simulate(args),
+        "sweep" => cmd_sweep(args),
+        "characterize" => cmd_characterize(args),
+        "inspect" => cmd_inspect(args),
+        "validate" => cmd_validate(args),
+        other => Err(CliError::Args(ArgError::BadValue {
+            option: "COMMAND".into(),
+            value: other.into(),
+            expected: "one of models|compress|simulate|sweep|help",
+        })),
+    }
+}
+
+fn cmd_models(args: &ParsedArgs) -> Result<String, CliError> {
+    args.ensure_known(&[])?;
+    let mut out = format!(
+        "{:<12} {:<10} {:>8} {:>8} {:>9} {:>10}\n",
+        "model", "dataset", "conv(MB)", "layers", "top-1(%)", "target spar"
+    );
+    for p in ModelProfile::all() {
+        let m = p.model();
+        out.push_str(&format!(
+            "{:<12} {:<10} {:>8.2} {:>8} {:>9.2} {:>9.1}%\n",
+            p.name,
+            p.dataset.to_string(),
+            m.conv_size_mb_fp32(),
+            m.conv_layers().count(),
+            p.baseline_top1,
+            p.coeff_sparsity * 100.0,
+        ));
+    }
+    Ok(out)
+}
+
+fn cmd_compress(args: &ParsedArgs) -> Result<String, CliError> {
+    args.ensure_known(&["m", "qat", "seed", "layers", "out"])?;
+    let p = model_arg(args)?;
+    let cfg = CompressionConfig {
+        m: args.get_or("m", 6usize)?,
+        qat_epochs: args.get_or("qat", 0usize)?,
+        seed: args.get_or("seed", 42u64)?,
+        ..CompressionConfig::default()
+    };
+    let artifacts = compress(&p, &cfg).map_err(|e| CliError::Pipeline(e.to_string()))?;
+    let result = ModelCompression {
+        model_name: p.name.to_string(),
+        layers: artifacts.iter().map(|a| a.stats.clone()).collect(),
+    };
+    if let Some(path) = args.options.get("out") {
+        let file = std::fs::File::create(path)
+            .map_err(|e| CliError::Pipeline(format!("cannot create {path}: {e}")))?;
+        let arts: Vec<LayerArtifact> = artifacts
+            .iter()
+            .map(|a| LayerArtifact { stats: a.stats.clone(), quantized: a.quantized.clone() })
+            .collect();
+        write_artifacts(std::io::BufWriter::new(file), &arts)
+            .map_err(|e| CliError::Pipeline(e.to_string()))?;
+    }
+    let mut out = String::new();
+    if args.flag("layers") {
+        out.push_str(&format!(
+            "{:<24} {:>10} {:>10} {:>8} {:>8}\n",
+            "layer", "params", "bits", "spar%", "ratio"
+        ));
+        for l in &result.layers {
+            out.push_str(&format!(
+                "{:<24} {:>10} {:>10} {:>7.1}% {:>7.1}x\n",
+                l.name,
+                l.original_params,
+                l.compressed_bits,
+                l.coeff_sparsity() * 100.0,
+                l.compression_ratio()
+            ));
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "{} (M={}): {:.2}x compression, {:.3} MB, {:.2}% sparsity, {:.2}% pruned, proxy top-1 {:.2}%\n",
+        p.name,
+        cfg.m,
+        result.compression_ratio(),
+        result.compressed_size_mb(),
+        result.coeff_sparsity() * 100.0,
+        result.pruning_ratio() * 100.0,
+        accuracy_proxy(p.baseline_top1, result.mean_weight_error()),
+    ));
+    Ok(out)
+}
+
+fn cmd_simulate(args: &ParsedArgs) -> Result<String, CliError> {
+    args.ensure_known(&["m", "seeds"])?;
+    let p = model_arg(args)?;
+    let m = args.get_or("m", 6usize)?;
+    let seeds = args.get_or("seeds", INPUT_SEEDS)?;
+    let cfg = if m == 6 { SimConfig::default() } else { SimConfig::default().with_m(m) };
+    let run = run_model(&p, &cfg, seeds).map_err(|e| CliError::Pipeline(e.to_string()))?;
+    let mut out = format!(
+        "{:<10} {:>12} {:>12} {:>12} {:>10} {:>10}\n",
+        "design", "cycles", "latency(ms)", "energy(mJ)", "DRAM(MB)", "vs Eyeriss"
+    );
+    for r in [&run.eyeriss, &run.scnn, &run.sparten, &run.escalate] {
+        out.push_str(&format!(
+            "{:<10} {:>12.0} {:>12.4} {:>12.4} {:>10.2} {:>9.2}x\n",
+            r.name,
+            r.cycles,
+            r.cycles / (cfg.frequency_mhz * 1e3),
+            r.energy_pj * 1e-9,
+            r.dram_bytes / 1e6,
+            run.speedup_over_eyeriss(r),
+        ));
+    }
+    Ok(out)
+}
+
+fn cmd_sweep(args: &ParsedArgs) -> Result<String, CliError> {
+    args.ensure_known(&["from", "to", "seeds"])?;
+    let p = model_arg(args)?;
+    let from = args.get_or("from", 4usize)?;
+    let to = args.get_or("to", 8usize)?;
+    let seeds = args.get_or("seeds", 3u64)?;
+    if from == 0 || to < from {
+        return Err(CliError::Args(ArgError::BadValue {
+            option: "from/to".into(),
+            value: format!("{from}..{to}"),
+            expected: "a nonempty ascending range",
+        }));
+    }
+    let mut out = format!(
+        "{:<3} {:<3} {:>12} {:>12} {:>11} {:>12}\n",
+        "M", "l", "latency(ms)", "energy(mJ)", "comp(x)", "proxy top-1"
+    );
+    for m in from..=to {
+        let sim_cfg = SimConfig::default().with_m(m);
+        let cfg = CompressionConfig { m, ..CompressionConfig::default() };
+        let artifacts = compress(&p, &cfg).map_err(|e| CliError::Pipeline(e.to_string()))?;
+        let stats = ModelCompression {
+            model_name: p.name.to_string(),
+            layers: artifacts.iter().map(|a| a.stats.clone()).collect(),
+        };
+        let run = escalate_bench::run_escalate(&p, &artifacts, &sim_cfg, seeds);
+        out.push_str(&format!(
+            "{:<3} {:<3} {:>12.4} {:>12.4} {:>11.1} {:>12.2}\n",
+            m,
+            sim_cfg.l,
+            run.cycles / (sim_cfg.frequency_mhz * 1e3),
+            run.energy_pj * 1e-9,
+            stats.compression_ratio(),
+            accuracy_proxy(p.baseline_top1, stats.mean_weight_error()),
+        ));
+    }
+    Ok(out)
+}
+
+fn cmd_inspect(args: &ParsedArgs) -> Result<String, CliError> {
+    args.ensure_known(&[])?;
+    let path = args.positional.first().ok_or(CliError::Args(ArgError::BadValue {
+        option: "FILE".into(),
+        value: "<missing>".into(),
+        expected: "an artifact path",
+    }))?;
+    let file = std::fs::File::open(path)
+        .map_err(|e| CliError::Pipeline(format!("cannot open {path}: {e}")))?;
+    let arts = read_artifacts(std::io::BufReader::new(file))
+        .map_err(|e| CliError::Pipeline(e.to_string()))?;
+    let mut out = format!("{path}: {} layers\n", arts.len());
+    out.push_str(&format!(
+        "{:<24} {:>10} {:>10} {:>8} {:>6}\n",
+        "layer", "origbits", "compbits", "spar%", "M"
+    ));
+    let mut orig = 0usize;
+    let mut comp = 0usize;
+    for a in &arts {
+        orig += a.stats.original_bits;
+        comp += a.stats.compressed_bits;
+        let m = a.quantized.as_ref().map_or(0, |q| q.basis.shape()[0]);
+        out.push_str(&format!(
+            "{:<24} {:>10} {:>10} {:>7.1}% {:>6}\n",
+            a.stats.name,
+            a.stats.original_bits,
+            a.stats.compressed_bits,
+            a.stats.coeff_sparsity() * 100.0,
+            m
+        ));
+    }
+    out.push_str(&format!("\ntotal: {:.2}x compression\n", orig as f64 / comp.max(1) as f64));
+    Ok(out)
+}
+
+fn cmd_validate(args: &ParsedArgs) -> Result<String, CliError> {
+    use escalate_core::pipeline::CompressionConfig;
+    use escalate_sim::detailed::simulate_layer_detailed;
+    use escalate_sim::trace::simulate_layer_traced;
+    use escalate_sim::{simulate_layer, Workload, WorkloadMode};
+
+    args.ensure_known(&["layer"])?;
+    let p = model_arg(args)?;
+    let artifacts = compress(&p, &CompressionConfig::default())
+        .map_err(|e| CliError::Pipeline(e.to_string()))?;
+    let workload = Workload::from_artifacts(p.name, &artifacts, &p);
+
+    // Pick the requested layer, or the widest decomposed layer small
+    // enough for the detailed mode.
+    let lw = match args.options.get("layer") {
+        Some(name) => workload
+            .layers
+            .iter()
+            .find(|l| &l.name == name)
+            .ok_or_else(|| CliError::Pipeline(format!("no layer named {name:?}")))?,
+        None => workload
+            .layers
+            .iter()
+            .filter(|l| matches!(l.mode, WorkloadMode::Decomposed(_)))
+            .filter(|l| l.positions() <= 1024 && l.out_channels <= 256)
+            .max_by_key(|l| l.shape.c)
+            .ok_or_else(|| CliError::Pipeline("no detailed-mode-sized layer found".into()))?,
+    };
+    if matches!(lw.mode, WorkloadMode::Dense) {
+        return Err(CliError::Pipeline(format!("{} uses the dense fallback; pick a compressed layer", lw.name)));
+    }
+    let cfg = SimConfig::default();
+    let ifm = escalate_models::synth::activations(&lw.shape, lw.act_sparsity, 7);
+
+    let engine = simulate_layer(lw, &cfg, 0);
+    let traced = simulate_layer_traced(lw, &cfg, &ifm);
+    let detailed = simulate_layer_detailed(lw, &cfg, &ifm);
+    let mut out = format!("layer {} of {} ({}):\n\n", lw.name, p.name, lw.shape);
+    out.push_str(&format!("{:<22} {:>12} {:>14}\n", "mode", "cycles", "CA matches"));
+    out.push_str(&format!("{:<22} {:>12} {:>14}\n", "sampling engine", engine.cycles, engine.ca_adds));
+    out.push_str(&format!("{:<22} {:>12} {:>14}\n", "trace-driven", traced.cycles, traced.ca_adds));
+    out.push_str(&format!("{:<22} {:>12} {:>14}\n", "detailed (stepped)", detailed.cycles, detailed.matched));
+    out.push_str(&format!(
+        "\ntrace/engine = {:.2}, detailed/engine = {:.2}\n",
+        traced.cycles as f64 / engine.cycles.max(1) as f64,
+        detailed.cycles as f64 / engine.cycles.max(1) as f64,
+    ));
+    Ok(out)
+}
+
+fn cmd_characterize(args: &ParsedArgs) -> Result<String, CliError> {
+    args.ensure_known(&["m"])?;
+    let p = model_arg(args)?;
+    let m = args.get_or("m", 6usize)?;
+    let ch = escalate_models::analysis::ModelCharacter::of(&p, m);
+    let mut out = format!(
+        "{:<24} {:>12} {:>10} {:>10} {:>9} {:>9}\n",
+        "layer", "MACs", "bytes", "intensity", "C/M", "positions"
+    );
+    for l in &ch.layers {
+        out.push_str(&format!(
+            "{:<24} {:>12} {:>10} {:>10.1} {:>9.1} {:>9}\n",
+            l.name, l.macs, l.bytes, l.intensity, l.cm_bound, l.positions
+        ));
+    }
+    out.push_str(&format!(
+        "\nmodel: intensity {:.1} MAC/B, mean C/M bound {:.1}x, DSC MAC share {:.1}%\n",
+        ch.mean_intensity(),
+        ch.mean_cm_bound(),
+        ch.dsc_mac_fraction() * 100.0
+    ));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(line: &[&str]) -> Result<String, CliError> {
+        dispatch(&ParsedArgs::parse(line.iter().copied()).unwrap())
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run(&["help"]).unwrap();
+        assert!(out.contains("COMMANDS"));
+        assert!(out.contains("simulate"));
+    }
+
+    #[test]
+    fn models_lists_all_six() {
+        let out = run(&["models"]).unwrap();
+        for name in ["VGG16", "ResNet18", "ResNet152", "MobileNetV2", "ResNet50", "MobileNet"] {
+            assert!(out.contains(name), "{name} missing:\n{out}");
+        }
+    }
+
+    #[test]
+    fn unknown_model_is_reported() {
+        let e = run(&["compress", "LeNet"]).unwrap_err();
+        assert!(e.to_string().contains("LeNet"));
+    }
+
+    #[test]
+    fn unknown_command_is_reported() {
+        let e = run(&["frobnicate"]).unwrap_err();
+        assert!(e.to_string().contains("frobnicate"));
+    }
+
+    #[test]
+    fn unknown_option_is_reported() {
+        let e = run(&["compress", "VGG16", "--bogus", "1"]).unwrap_err();
+        assert!(e.to_string().contains("bogus"));
+    }
+
+    #[test]
+    fn compress_mobilenet_end_to_end() {
+        let out = run(&["compress", "MobileNet", "--layers"]).unwrap();
+        assert!(out.contains("compression"));
+        assert!(out.contains("dw1+pw1"), "per-layer output expected:\n{out}");
+    }
+
+    #[test]
+    fn compress_saves_and_inspect_loads() {
+        let dir = std::env::temp_dir().join("escalate_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mobilenet.esca");
+        let p = path.to_str().unwrap();
+        run(&["compress", "MobileNet", "--out", p]).unwrap();
+        let out = run(&["inspect", p]).unwrap();
+        assert!(out.contains("compression"), "{out}");
+        assert!(out.contains("dw1+pw1"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn validate_compares_fidelities() {
+        let out = run(&["validate", "MobileNet"]).unwrap();
+        assert!(out.contains("sampling engine"), "{out}");
+        assert!(out.contains("detailed"), "{out}");
+    }
+
+    #[test]
+    fn characterize_reports_structure() {
+        let out = run(&["characterize", "MobileNet"]).unwrap();
+        assert!(out.contains("DSC MAC share"));
+        assert!(out.contains("dw1"));
+    }
+
+    #[test]
+    fn sweep_rejects_bad_range() {
+        let e = run(&["sweep", "MobileNet", "--from", "8", "--to", "4"]).unwrap_err();
+        assert!(e.to_string().contains("ascending"));
+    }
+}

@@ -1,0 +1,235 @@
+//! Quantization-aware retraining of the ternary coefficients (paper §3.2).
+//!
+//! Following the trained-ternary-quantization scheme the paper adopts from
+//! Zhu et al., a full-precision shadow copy of the coefficients is kept
+//! during training. Each step ternarizes the shadow copy (Eq. (4)),
+//! measures the error of the quantized coefficients against the target,
+//! and backpropagates with a straight-through estimator: the gradient of
+//! the quantized value updates both the shadow copy and the per-filter
+//! scaling factors.
+//!
+//! The training loss here is the coefficient-space L2 error. For an
+//! orthonormal basis (which [`crate::decompose()`] produces) and
+//! uncorrelated inputs this equals the expected layer-output L2 error, so
+//! it is the honest stand-in for the paper's task loss given that no DNN
+//! training stack exists offline (see DESIGN.md).
+
+use crate::error::EscalateError;
+use crate::quant::{encode_quotient, TernaryCoeffs};
+use escalate_tensor::Tensor;
+
+/// Configuration for the retraining loop.
+#[derive(Debug, Clone, Copy)]
+pub struct QatConfig {
+    /// Number of full passes over the coefficients.
+    pub epochs: usize,
+    /// Learning rate for the shadow copy.
+    pub lr: f32,
+    /// Learning rate for the scaling factors (typically smaller).
+    pub scale_lr: f32,
+    /// Ternarization threshold factor `t` of Eq. (4).
+    pub threshold: f32,
+}
+
+impl Default for QatConfig {
+    fn default() -> Self {
+        // t = 0.05 is the paper's setting (§5.1.1).
+        QatConfig { epochs: 50, lr: 0.1, scale_lr: 0.05, threshold: 0.05 }
+    }
+}
+
+/// Result of quantization-aware retraining.
+#[derive(Debug, Clone)]
+pub struct QatResult {
+    /// The retrained ternary coefficients.
+    pub coeffs: TernaryCoeffs,
+    /// Coefficient-space relative error before retraining.
+    pub initial_error: f32,
+    /// Coefficient-space relative error after retraining.
+    pub final_error: f32,
+    /// Per-epoch mean-squared-error curve.
+    pub loss_curve: Vec<f32>,
+}
+
+/// Retrains ternary coefficients against the full-precision target
+/// coefficients.
+///
+/// # Errors
+///
+/// Returns [`EscalateError::InvalidQuantization`] for an out-of-range
+/// threshold.
+///
+/// # Examples
+///
+/// ```
+/// use escalate_core::qat::{retrain_coeffs, QatConfig};
+/// use escalate_tensor::Tensor;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let target = Tensor::from_fn(&[4, 8, 6], |i| ((i[0] * 3 + i[1] + i[2] * 5) % 7) as f32 - 3.0);
+/// let result = retrain_coeffs(&target, &QatConfig::default())?;
+/// assert!(result.final_error <= result.initial_error);
+/// # Ok(())
+/// # }
+/// ```
+pub fn retrain_coeffs(target: &Tensor, cfg: &QatConfig) -> Result<QatResult, EscalateError> {
+    let initial = TernaryCoeffs::ternarize(target, cfg.threshold)?;
+    let initial_error = target.relative_error(&initial.dequantize());
+
+    let [k, c, m]: [usize; 3] = target.shape().try_into().expect("coeffs must be K*C*M");
+    let slice_len = c * m;
+    let n = target.len().max(1);
+
+    // Trainable state: shadow copy + per-filter scales.
+    let mut shadow: Vec<f32> = target.as_slice().to_vec();
+    let mut w_pos: Vec<f32> = initial.w_pos.clone();
+    let mut w_neg: Vec<f32> = (0..k).map(|ki| initial.w_neg(ki)).collect();
+
+    let mut loss_curve = Vec::with_capacity(cfg.epochs);
+    let mut ternary = vec![0i8; n];
+    // Track the best epoch: epoch 0 reproduces plain ternarization, so the
+    // returned result can never be worse than post-training quantization.
+    type Snapshot = (f32, Vec<i8>, Vec<f32>, Vec<f32>);
+    let mut best: Option<Snapshot> = None;
+
+    for _ in 0..cfg.epochs.max(1) {
+        // Scales as used by this epoch's forward pass (each slice's scale
+        // is updated only after that slice has been evaluated).
+        let epoch_w_pos = w_pos.clone();
+        let epoch_w_neg = w_neg.clone();
+        // Forward: ternarize the shadow copy with the current threshold.
+        let mut mse = 0.0f32;
+        for ki in 0..k {
+            let range = ki * slice_len..(ki + 1) * slice_len;
+            let max = shadow[range.clone()].iter().fold(0.0f32, |a, &v| a.max(v.abs()));
+            let thr = cfg.threshold * max;
+            let mut g_pos = 0.0f32;
+            let mut g_neg = 0.0f32;
+            for i in range {
+                let t = if shadow[i] > thr {
+                    1i8
+                } else if shadow[i] < -thr {
+                    -1
+                } else {
+                    0
+                };
+                ternary[i] = t;
+                let q = match t {
+                    1 => w_pos[ki],
+                    -1 => -w_neg[ki],
+                    _ => 0.0,
+                };
+                let e = q - target.as_slice()[i];
+                mse += e * e;
+                let g = 2.0 * e / n as f32;
+                // Straight-through estimator: the quantized gradient flows
+                // unchanged to the shadow copy...
+                shadow[i] -= cfg.lr * g;
+                // ...and, scaled by the quantizer's partial derivative, to
+                // the per-filter scales.
+                match t {
+                    1 => g_pos += g,
+                    -1 => g_neg -= g,
+                    _ => {}
+                }
+            }
+            w_pos[ki] = (w_pos[ki] - cfg.scale_lr * g_pos).max(f32::MIN_POSITIVE);
+            w_neg[ki] = (w_neg[ki] - cfg.scale_lr * g_neg).max(f32::MIN_POSITIVE);
+        }
+        let epoch_mse = mse / n as f32;
+        loss_curve.push(epoch_mse);
+        if best.as_ref().is_none_or(|(b, _, _, _)| epoch_mse < *b) {
+            best = Some((epoch_mse, ternary.clone(), epoch_w_pos, epoch_w_neg));
+        }
+    }
+
+    let (_, best_ternary, best_w_pos, best_w_neg) = best.expect("at least one epoch ran");
+    // Re-encode the 2-bit quotient from the trained scales.
+    let quotient_code: Vec<u8> =
+        (0..k).map(|ki| encode_quotient(best_w_neg[ki] / best_w_pos[ki])).collect();
+
+    let result = TernaryCoeffs {
+        ternary: best_ternary,
+        w_pos: best_w_pos,
+        quotient_code,
+        shape: [k, c, m],
+    };
+    let final_error = target.relative_error(&result.dequantize());
+    // The in-loop MSE ignores the 2-bit quotient rounding; guard against
+    // the rare case where that rounding makes the "best" epoch worse than
+    // plain post-training ternarization.
+    if final_error > initial_error {
+        return Ok(QatResult {
+            coeffs: initial,
+            initial_error,
+            final_error: initial_error,
+            loss_curve,
+        });
+    }
+    Ok(QatResult { coeffs: result, initial_error, final_error, loss_curve })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn target(k: usize, c: usize, m: usize) -> Tensor {
+        Tensor::from_fn(&[k, c, m], |i| {
+            let h = i[0] * 131 + i[1] * 31 + i[2] * 7;
+            (((h % 19) as f32) - 9.0) * 0.07 + (((h % 5) as f32) - 2.0) * 0.2
+        })
+    }
+
+    #[test]
+    fn retraining_never_hurts() {
+        let t = target(6, 12, 6);
+        let r = retrain_coeffs(&t, &QatConfig::default()).unwrap();
+        assert!(
+            r.final_error <= r.initial_error + 1e-6,
+            "final {} vs initial {}",
+            r.final_error,
+            r.initial_error
+        );
+    }
+
+    #[test]
+    fn loss_curve_trends_down() {
+        let t = target(4, 8, 6);
+        let r = retrain_coeffs(&t, &QatConfig { epochs: 80, ..QatConfig::default() }).unwrap();
+        let first = r.loss_curve[0];
+        let last = *r.loss_curve.last().unwrap();
+        assert!(last < first, "loss should decrease: {first} → {last}");
+    }
+
+    #[test]
+    fn already_ternary_targets_reach_zero_error() {
+        // A target that is exactly representable: ±0.5 and 0.
+        let t = Tensor::from_fn(&[2, 4, 4], |i| match (i[0] + i[1] + i[2]) % 3 {
+            0 => 0.5,
+            1 => -0.5,
+            _ => 0.0,
+        });
+        let r = retrain_coeffs(
+            &t,
+            &QatConfig { epochs: 200, lr: 0.05, scale_lr: 0.02, threshold: 0.05 },
+        )
+        .unwrap();
+        assert!(r.final_error < 0.05, "got {}", r.final_error);
+    }
+
+    #[test]
+    fn bad_threshold_is_rejected() {
+        let t = target(2, 2, 2);
+        assert!(retrain_coeffs(&t, &QatConfig { threshold: 1.5, ..QatConfig::default() }).is_err());
+    }
+
+    #[test]
+    fn scales_stay_positive() {
+        let t = target(5, 6, 4);
+        let r = retrain_coeffs(&t, &QatConfig { epochs: 100, lr: 0.3, scale_lr: 0.2, threshold: 0.05 }).unwrap();
+        for k in 0..5 {
+            assert!(r.coeffs.w_pos[k] > 0.0);
+            assert!(r.coeffs.w_neg(k) > 0.0);
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! The two computation orders of decomposed convolution (paper §3.1).
+//!
+//! Eq. (2) — the original PENNI order — performs the shared-kernel
+//! convolutions first, producing `C·M` intermediate feature maps, then
+//! accumulates them per output channel. Eq. (3) — the ESCALATE
+//! reorganization — exploits distributivity to accumulate the `C` input
+//! maps into `M` mixed maps *first* and convolve each with its basis
+//! kernel once per output channel, shrinking the intermediate state and
+//! raising reuse (each input map is used `C·M`→`K·M` times).
+
+use crate::decompose::Decomposed;
+use escalate_tensor::{conv, Tensor};
+
+/// Forward pass in the Eq. (2) order: basis convolutions first, then
+/// weighted accumulation.
+///
+/// `input` is `C×X×Y`; the result is `K×X'×Y'`. Also returns the number of
+/// intermediate feature-map elements materialized, which is the
+/// computational-bottleneck metric motivating the reorganization.
+pub fn forward_eq2(d: &Decomposed, input: &Tensor, stride: usize, pad: usize) -> (Tensor, usize) {
+    let [c, x, y]: [usize; 3] = input.shape().try_into().expect("input must be C*X*Y");
+    assert_eq!(c, d.c(), "input channels must match decomposition");
+    let ox = conv::conv_out_size(x, d.r(), stride, pad);
+    let oy = conv::conv_out_size(y, d.s(), stride, pad);
+
+    // Stage 1: depthwise-style basis convolutions → C*M intermediate maps.
+    let mut inter = Vec::with_capacity(c * d.m());
+    for ci in 0..c {
+        let plane = Tensor::from_vec(
+            &[x, y],
+            input.as_slice()[ci * x * y..(ci + 1) * x * y].to_vec(),
+        );
+        for mi in 0..d.m() {
+            inter.push(conv::conv2d_single(&plane, &d.basis_kernel(mi), stride, pad));
+        }
+    }
+    let inter_elems = inter.iter().map(Tensor::len).sum();
+
+    // Stage 2: weighted accumulation across C*M maps per output channel.
+    let mut out = Tensor::zeros(&[d.k(), ox, oy]);
+    for k in 0..d.k() {
+        let mut acc = Tensor::zeros(&[ox, oy]);
+        for ci in 0..c {
+            for mi in 0..d.m() {
+                let w = d.coeff(k, ci, mi);
+                if w != 0.0 {
+                    acc.axpy(w, &inter[ci * d.m() + mi]);
+                }
+            }
+        }
+        out.as_mut_slice()[k * ox * oy..(k + 1) * ox * oy].copy_from_slice(acc.as_slice());
+    }
+    (out, inter_elems)
+}
+
+/// Forward pass in the Eq. (3) order: per-output-channel weighted
+/// accumulation of the *input* maps first, then `M` basis convolutions.
+///
+/// `input` is `C×X×Y`; the result is `K×X'×Y'`. Also returns the number of
+/// intermediate feature-map elements materialized (now only `M` maps of
+/// input size per output channel, and only `M` live at a time).
+pub fn forward_eq3(d: &Decomposed, input: &Tensor, stride: usize, pad: usize) -> (Tensor, usize) {
+    let [c, x, y]: [usize; 3] = input.shape().try_into().expect("input must be C*X*Y");
+    assert_eq!(c, d.c(), "input channels must match decomposition");
+    let ox = conv::conv_out_size(x, d.r(), stride, pad);
+    let oy = conv::conv_out_size(y, d.s(), stride, pad);
+    let plane = x * y;
+
+    let mut out = Tensor::zeros(&[d.k(), ox, oy]);
+    // Only M maps are ever live: the per-k mixed maps.
+    let inter_elems = d.m() * plane;
+    for k in 0..d.k() {
+        for mi in 0..d.m() {
+            // Stage 1: weighted accumulation of input maps.
+            let mut mixed = Tensor::zeros(&[x, y]);
+            for ci in 0..c {
+                let w = d.coeff(k, ci, mi);
+                if w == 0.0 {
+                    continue;
+                }
+                let src = &input.as_slice()[ci * plane..(ci + 1) * plane];
+                for (dst, &s) in mixed.as_mut_slice().iter_mut().zip(src) {
+                    *dst += w * s;
+                }
+            }
+            // Stage 2: one basis convolution, accumulated into the output.
+            let contrib = conv::conv2d_single(&mixed, &d.basis_kernel(mi), stride, pad);
+            let dst = &mut out.as_mut_slice()[k * ox * oy..(k + 1) * ox * oy];
+            for (d_, &s) in dst.iter_mut().zip(contrib.as_slice()) {
+                *d_ += s;
+            }
+        }
+    }
+    (out, inter_elems)
+}
+
+/// Count of intermediate feature-map elements under each order, for the
+/// ablation bench: Eq. (2) materializes `C·M` output-sized maps, Eq. (3)
+/// only `M` input-sized maps at a time.
+pub fn intermediate_footprint(d: &Decomposed, x: usize, y: usize, stride: usize, pad: usize) -> (usize, usize) {
+    let ox = conv::conv_out_size(x, d.r(), stride, pad);
+    let oy = conv::conv_out_size(y, d.s(), stride, pad);
+    (d.c() * d.m() * ox * oy, d.m() * x * y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decompose::decompose;
+    use escalate_tensor::conv::conv2d;
+
+    fn setup(k: usize, c: usize, m: usize) -> (Decomposed, Tensor, Tensor) {
+        let w = Tensor::from_fn(&[k, c, 3, 3], |i| {
+            (((i[0] * 31 + i[1] * 17 + i[2] * 5 + i[3] * 3) % 13) as f32 - 6.0) * 0.1
+        });
+        let d = decompose(&w, m).unwrap();
+        let input = Tensor::from_fn(&[c, 8, 8], |i| (((i[0] * 7 + i[1] * 3 + i[2]) % 9) as f32 - 4.0) * 0.25);
+        (d, w, input)
+    }
+
+    #[test]
+    fn eq2_and_eq3_agree() {
+        let (d, _, input) = setup(6, 4, 3);
+        let (o2, _) = forward_eq2(&d, &input, 1, 1);
+        let (o3, _) = forward_eq3(&d, &input, 1, 1);
+        assert!(o2.all_close(&o3, 1e-3), "rel err {}", o2.relative_error(&o3));
+    }
+
+    #[test]
+    fn full_rank_matches_direct_convolution() {
+        let (d, w, input) = setup(5, 3, 9);
+        let direct = conv2d(&input, &w, 1, 1);
+        let (o3, _) = forward_eq3(&d, &input, 1, 1);
+        assert!(direct.all_close(&o3, 1e-2), "rel err {}", direct.relative_error(&o3));
+        let (o2, _) = forward_eq2(&d, &input, 1, 1);
+        assert!(direct.all_close(&o2, 1e-2));
+    }
+
+    #[test]
+    fn reconstructed_weights_match_either_order() {
+        let (d, _, input) = setup(4, 4, 4);
+        let direct = conv2d(&input, &d.reconstruct(), 1, 1);
+        let (o3, _) = forward_eq3(&d, &input, 1, 1);
+        assert!(direct.all_close(&o3, 1e-3));
+    }
+
+    #[test]
+    fn agreement_holds_with_stride_and_pad() {
+        let (d, _, input) = setup(4, 3, 3);
+        for (stride, pad) in [(1usize, 0usize), (2, 1), (1, 2)] {
+            let (o2, _) = forward_eq2(&d, &input, stride, pad);
+            let (o3, _) = forward_eq3(&d, &input, stride, pad);
+            assert!(o2.all_close(&o3, 1e-3), "stride={stride} pad={pad}");
+            let direct = conv2d(&input, &d.reconstruct(), stride, pad);
+            assert!(direct.all_close(&o3, 1e-3), "stride={stride} pad={pad}");
+        }
+    }
+
+    #[test]
+    fn eq3_materializes_fewer_intermediates() {
+        let (d, _, input) = setup(16, 8, 4);
+        let (_, i2) = forward_eq2(&d, &input, 1, 1);
+        let (_, i3) = forward_eq3(&d, &input, 1, 1);
+        assert!(i3 < i2, "eq3 ({i3}) should beat eq2 ({i2})");
+        // Footprint helper agrees with the actual execution.
+        let (f2, f3) = intermediate_footprint(&d, 8, 8, 1, 1);
+        assert_eq!(i2, f2);
+        assert_eq!(i3, f3);
+    }
+
+    #[test]
+    fn sparse_coefficients_are_skipped_consistently() {
+        let (mut d, _, input) = setup(6, 4, 3);
+        // Zero out most coefficients; both orders must still agree.
+        for (i, v) in d.coeffs.as_mut_slice().iter_mut().enumerate() {
+            if i % 3 != 0 {
+                *v = 0.0;
+            }
+        }
+        let (o2, _) = forward_eq2(&d, &input, 1, 1);
+        let (o3, _) = forward_eq3(&d, &input, 1, 1);
+        assert!(o2.all_close(&o3, 1e-3));
+    }
+}

@@ -1,0 +1,91 @@
+//! Power and area of one ESCALATE PE block (paper Table 4, TSMC 65 nm,
+//! typical corner, 1 V, 25 °C, 800 MHz).
+
+/// One synthesized component of a PE block.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Component {
+    /// Component name as in Table 4.
+    pub name: &'static str,
+    /// Area in mm².
+    pub area_mm2: f64,
+    /// Power in mW.
+    pub power_mw: f64,
+}
+
+/// The Table 4 component list.
+pub const COMPONENTS: [Component; 5] = [
+    Component { name: "Activation Buffer", area_mm2: 0.0098, power_mw: 5.44 },
+    Component { name: "MAC Row", area_mm2: 0.0159, power_mw: 7.79 },
+    Component { name: "Dilution", area_mm2: 0.0450, power_mw: 17.77 },
+    Component { name: "Concentration", area_mm2: 0.0906, power_mw: 46.74 },
+    Component { name: "Coef.&Psum Buffer", area_mm2: 0.0538, power_mw: 8.33 },
+];
+
+/// Totals reported in Table 4.
+pub const TOTAL_AREA_MM2: f64 = 0.2150;
+/// Total PE-block power reported in Table 4 (mW).
+pub const TOTAL_POWER_MW: f64 = 86.07;
+
+/// Aggregated PE-block estimates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PeBlockArea {
+    /// Total area of one block in mm².
+    pub area_mm2: f64,
+    /// Total power of one block in mW.
+    pub power_mw: f64,
+}
+
+impl PeBlockArea {
+    /// Sums the component table.
+    pub fn from_components() -> Self {
+        PeBlockArea {
+            area_mm2: COMPONENTS.iter().map(|c| c.area_mm2).sum(),
+            power_mw: COMPONENTS.iter().map(|c| c.power_mw).sum(),
+        }
+    }
+
+    /// Whole-accelerator estimates for `n_pe` blocks.
+    pub fn chip(n_pe: usize) -> PeBlockArea {
+        let b = PeBlockArea::from_components();
+        PeBlockArea { area_mm2: b.area_mm2 * n_pe as f64, power_mw: b.power_mw * n_pe as f64 }
+    }
+}
+
+/// Per-cycle energy of a component in pJ at the given frequency.
+pub fn component_pj_per_cycle(power_mw: f64, frequency_mhz: f64) -> f64 {
+    // mW / MHz = nJ per cycle = 1000 pJ per cycle.
+    power_mw / frequency_mhz * 1000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn component_sums_match_table4_totals() {
+        let b = PeBlockArea::from_components();
+        assert!((b.area_mm2 - TOTAL_AREA_MM2).abs() < 1e-3, "area {}", b.area_mm2);
+        assert!((b.power_mw - TOTAL_POWER_MW).abs() < 1e-2, "power {}", b.power_mw);
+    }
+
+    #[test]
+    fn concentration_is_the_largest_component() {
+        let max = COMPONENTS.iter().max_by(|a, b| a.area_mm2.total_cmp(&b.area_mm2)).unwrap();
+        assert_eq!(max.name, "Concentration");
+    }
+
+    #[test]
+    fn chip_scales_linearly() {
+        let one = PeBlockArea::from_components();
+        let chip = PeBlockArea::chip(32);
+        assert!((chip.area_mm2 - 32.0 * one.area_mm2).abs() < 1e-9);
+        assert!((chip.power_mw - 32.0 * one.power_mw).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_cycle_energy_at_800mhz() {
+        // 17.77 mW at 800 MHz ≈ 22.2 pJ per cycle.
+        let e = component_pj_per_cycle(17.77, 800.0);
+        assert!((e - 22.2125).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+
+//! Energy and area models (paper §5.2.1, Tables 3 and 4).
+//!
+//! The paper's energy methodology reduces synthesis output to per-operation
+//! constants: Table 3 gives the unit energy of 8-bit integer operations and
+//! DRAM accesses under TSMC 65 nm, CACTI supplies SRAM access energy, and
+//! Table 4 gives the per-PE-block component power/area from Design
+//! Compiler. This crate reproduces that bookkeeping:
+//!
+//! - [`units`] — the Table 3 constants,
+//! - [`sram`] — a CACTI-style capacity-scaling access-energy model,
+//! - [`dram`] — trace bytes → picojoules,
+//! - [`area`] — the Table 4 component table,
+//! - [`breakdown`] — per-layer/per-model energy breakdowns (Figure 10)
+//!   from the simulators' [`escalate_sim::LayerStats`] records.
+
+pub mod area;
+pub mod breakdown;
+pub mod dram;
+pub mod sram;
+pub mod units;
+
+pub use area::{PeBlockArea, COMPONENTS};
+pub use breakdown::{model_energy, layer_energy, BufferCaps, EnergyBreakdown};
+pub use units::UnitEnergy;

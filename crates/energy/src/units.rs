@@ -1,0 +1,58 @@
+//! Unit energy costs per 8-bit integer operation (paper Table 3).
+//!
+//! Extracted from commercial TSMC 65 nm technology in the paper; DRAM
+//! access energy follows the 100 pJ / 8 bits approximation of Yang et al.
+
+/// Unit energies in picojoules per 8-bit operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UnitEnergy {
+    /// DRAM access, pJ per byte (Table 3: 100 pJ per 8-bit).
+    pub dram_pj_per_byte: f64,
+    /// Multiply-accumulate, pJ per op.
+    pub mac_pj: f64,
+    /// Multiply, pJ per op.
+    pub multiply_pj: f64,
+    /// Add, pJ per op.
+    pub add_pj: f64,
+}
+
+impl Default for UnitEnergy {
+    fn default() -> Self {
+        UnitEnergy { dram_pj_per_byte: 100.0, mac_pj: 0.407, multiply_pj: 0.186, add_pj: 0.036 }
+    }
+}
+
+impl UnitEnergy {
+    /// The Table 3 values.
+    pub const fn table3() -> Self {
+        UnitEnergy { dram_pj_per_byte: 100.0, mac_pj: 0.407, multiply_pj: 0.186, add_pj: 0.036 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_values() {
+        let u = UnitEnergy::table3();
+        assert_eq!(u.dram_pj_per_byte, 100.0);
+        assert_eq!(u.mac_pj, 0.407);
+        assert_eq!(u.multiply_pj, 0.186);
+        assert_eq!(u.add_pj, 0.036);
+    }
+
+    #[test]
+    fn mac_costs_roughly_multiply_plus_add_plus_register() {
+        let u = UnitEnergy::table3();
+        // Consistency of the paper's numbers: a MAC is more than its
+        // multiply + add (register/update overhead).
+        assert!(u.mac_pj > u.multiply_pj + u.add_pj);
+    }
+
+    #[test]
+    fn dram_dwarfs_compute() {
+        let u = UnitEnergy::table3();
+        assert!(u.dram_pj_per_byte / u.mac_pj > 100.0);
+    }
+}

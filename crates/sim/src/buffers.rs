@@ -1,0 +1,241 @@
+//! The distributed input-buffer design (paper §4.3, Figure 2(c)).
+//!
+//! Instead of one unified input buffer, ESCALATE gives each slice
+//! position its own buffer shared by the slices at that position across
+//! all PE blocks. Chunks of compressed activations live in a circular
+//! queue; each chunk carries a reference count of the slices that still
+//! need it and is evicted when the count reaches zero. Requests are
+//! collected through an H-tree of arbitrators that merge identical
+//! requests (one broadcast serves every requesting slice) and prioritize
+//! earlier chunks so the queue drains in order.
+
+use std::collections::VecDeque;
+
+/// One chunk of compressed activations in the circular queue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Chunk {
+    id: u64,
+    bytes: u32,
+    /// Slices that have not consumed this chunk yet.
+    refs: u32,
+}
+
+/// A reference-counted circular input buffer.
+///
+/// # Examples
+///
+/// ```
+/// use escalate_sim::buffers::InputBuffer;
+///
+/// let mut buf = InputBuffer::new(1024);
+/// let id = buf.push(64, 4).expect("fits");
+/// // Four consumers read the chunk; it is evicted on the last read.
+/// for _ in 0..4 {
+///     assert!(buf.request(id));
+/// }
+/// assert_eq!(buf.occupancy_bytes(), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct InputBuffer {
+    capacity: u32,
+    used: u32,
+    next_id: u64,
+    queue: VecDeque<Chunk>,
+    stats: BufferStats,
+}
+
+/// Counters for one input buffer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BufferStats {
+    /// Chunks admitted.
+    pub pushes: u64,
+    /// Chunk broadcasts served (merged requests count once).
+    pub broadcasts: u64,
+    /// Individual slice reads satisfied.
+    pub reads: u64,
+    /// Chunks evicted after their last consumer.
+    pub evictions: u64,
+    /// Push attempts rejected for lack of space (DRAM stall pressure).
+    pub rejections: u64,
+    /// Bytes served to consumers (broadcast bytes × consumers).
+    pub bytes_read: u64,
+}
+
+impl InputBuffer {
+    /// Creates a buffer with the given byte capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: u32) -> Self {
+        assert!(capacity > 0, "buffer capacity must be positive");
+        InputBuffer { capacity, used: 0, next_id: 0, queue: VecDeque::new(), stats: BufferStats::default() }
+    }
+
+    /// Admits a chunk of `bytes` to be consumed by `consumers` slices.
+    /// Returns its ID, or `None` when the buffer is full (the producer
+    /// must stall).
+    pub fn push(&mut self, bytes: u32, consumers: u32) -> Option<u64> {
+        if bytes == 0 || consumers == 0 {
+            return None;
+        }
+        if self.used + bytes > self.capacity {
+            self.stats.rejections += 1;
+            return None;
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.used += bytes;
+        self.queue.push_back(Chunk { id, bytes, refs: consumers });
+        self.stats.pushes += 1;
+        Some(id)
+    }
+
+    /// One slice requests chunk `id`. Returns `true` when served; the
+    /// chunk is evicted when its last consumer has read it.
+    pub fn request(&mut self, id: u64) -> bool {
+        let Some(pos) = self.queue.iter().position(|c| c.id == id) else {
+            return false;
+        };
+        self.stats.reads += 1;
+        self.stats.broadcasts += 1;
+        self.stats.bytes_read += self.queue[pos].bytes as u64;
+        self.queue[pos].refs -= 1;
+        if self.queue[pos].refs == 0 {
+            self.used -= self.queue[pos].bytes;
+            self.queue.remove(pos);
+            self.stats.evictions += 1;
+        }
+        true
+    }
+
+    /// An H-tree-merged request: `count` slices ask for chunk `id` in the
+    /// same cycle and are served by a single broadcast.
+    pub fn request_merged(&mut self, id: u64, count: u32) -> bool {
+        let Some(pos) = self.queue.iter().position(|c| c.id == id) else {
+            return false;
+        };
+        let served = count.min(self.queue[pos].refs);
+        self.stats.reads += served as u64;
+        self.stats.broadcasts += 1;
+        self.stats.bytes_read += self.queue[pos].bytes as u64 * served as u64;
+        self.queue[pos].refs -= served;
+        if self.queue[pos].refs == 0 {
+            self.used -= self.queue[pos].bytes;
+            self.queue.remove(pos);
+            self.stats.evictions += 1;
+        }
+        true
+    }
+
+    /// Bytes currently held.
+    pub fn occupancy_bytes(&self) -> u32 {
+        self.used
+    }
+
+    /// Number of resident chunks.
+    pub fn resident_chunks(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> BufferStats {
+        self.stats
+    }
+}
+
+/// An arbitrator node of the H-tree: merges children's requests,
+/// prioritizing the *earliest* chunk ID (the paper's greedy policy, which
+/// drains the circular queue in order).
+///
+/// Returns the winning chunk ID and how many children requested it.
+pub fn arbitrate(requests: &[u64]) -> Option<(u64, u32)> {
+    let winner = *requests.iter().min()?;
+    let count = requests.iter().filter(|&&r| r == winner).count() as u32;
+    Some((winner, count))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_full_rejection() {
+        let mut buf = InputBuffer::new(100);
+        assert!(buf.push(60, 1).is_some());
+        assert!(buf.push(60, 1).is_none());
+        assert_eq!(buf.stats().rejections, 1);
+        assert_eq!(buf.occupancy_bytes(), 60);
+    }
+
+    #[test]
+    fn refcount_eviction() {
+        let mut buf = InputBuffer::new(100);
+        let id = buf.push(40, 3).unwrap();
+        assert!(buf.request(id));
+        assert!(buf.request(id));
+        assert_eq!(buf.resident_chunks(), 1);
+        assert!(buf.request(id));
+        assert_eq!(buf.resident_chunks(), 0);
+        assert_eq!(buf.stats().evictions, 1);
+        // A fourth request misses.
+        assert!(!buf.request(id));
+    }
+
+    #[test]
+    fn eviction_frees_space_for_new_chunks() {
+        let mut buf = InputBuffer::new(100);
+        let a = buf.push(80, 1).unwrap();
+        assert!(buf.push(30, 1).is_none());
+        buf.request(a);
+        assert!(buf.push(30, 1).is_some());
+    }
+
+    #[test]
+    fn merged_requests_count_one_broadcast() {
+        let mut buf = InputBuffer::new(100);
+        let id = buf.push(20, 5).unwrap();
+        assert!(buf.request_merged(id, 5));
+        let s = buf.stats();
+        assert_eq!(s.broadcasts, 1);
+        assert_eq!(s.reads, 5);
+        assert_eq!(s.bytes_read, 100);
+        assert_eq!(buf.resident_chunks(), 0);
+    }
+
+    #[test]
+    fn merged_request_clamps_to_remaining_refs() {
+        let mut buf = InputBuffer::new(100);
+        let id = buf.push(20, 2).unwrap();
+        assert!(buf.request_merged(id, 5));
+        assert_eq!(buf.stats().reads, 2);
+        assert_eq!(buf.resident_chunks(), 0);
+    }
+
+    #[test]
+    fn arbitration_prefers_earliest_chunk() {
+        assert_eq!(arbitrate(&[7, 3, 3, 9]), Some((3, 2)));
+        assert_eq!(arbitrate(&[]), None);
+        assert_eq!(arbitrate(&[5, 5, 5]), Some((5, 3)));
+    }
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let mut buf = InputBuffer::new(1000);
+        let ids: Vec<u64> = (0..5).map(|i| buf.push(10 + i, 1).unwrap()).collect();
+        assert!(ids.windows(2).all(|w| w[0] < w[1]));
+        // Serving in arbitrated (earliest-first) order drains front-first.
+        for id in ids {
+            let (win, n) = arbitrate(&[id]).unwrap();
+            assert!(buf.request_merged(win, n));
+        }
+        assert_eq!(buf.resident_chunks(), 0);
+    }
+
+    #[test]
+    fn zero_sized_pushes_rejected() {
+        let mut buf = InputBuffer::new(10);
+        assert!(buf.push(0, 1).is_none());
+        assert!(buf.push(5, 0).is_none());
+    }
+}

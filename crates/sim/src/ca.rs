@@ -1,0 +1,191 @@
+//! Channel-accumulator cycle model: one input position through
+//! Dilution-Concentration (paper §4.2, Figure 2(b)).
+//!
+//! For one output channel and one input position, the nonzero activations
+//! of all `C` input channels stream over the 16-byte bus in chunks. Each
+//! of the `M` CAs matches the stream against its own coefficient mask
+//! with the bit-exact dilution model, folds survivors into its
+//! concentration buffer, and reduces them through the adder tree. The CA
+//! time for the position is the maximum of the bus streaming time and the
+//! slowest CA's concentration drain.
+
+use crate::config::SimConfig;
+use escalate_sparse::{dilute, ConcentrationBuffer, DilutionInput};
+
+/// Per-position CA simulation result.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PositionCost {
+    /// Cycles the CA stage needs for this position.
+    pub ca_cycles: u64,
+    /// Matched (activation, coefficient) pairs accumulated.
+    pub matched: u64,
+    /// Dilution gather passes executed.
+    pub gather_passes: u64,
+    /// Bus cycles spent streaming the activation chunks.
+    pub stream_cycles: u64,
+}
+
+/// Simulates one input position for one output channel.
+///
+/// `act_mask` has one bit per input channel (set = nonzero activation);
+/// `coef_masks[m]` are the per-basis coefficient masks over the same
+/// channels; `c` is the channel count.
+///
+/// # Panics
+///
+/// Panics if the mask word counts disagree with `c`.
+pub fn position_cost(cfg: &SimConfig, c: usize, act_mask: &[u64], coef_masks: &[&[u64]]) -> PositionCost {
+    let words = c.div_ceil(64);
+    assert_eq!(act_mask.len(), words, "activation mask word count");
+    for cm in coef_masks {
+        assert_eq!(cm.len(), words, "coefficient mask word count");
+    }
+
+    // Chunk-skipping: the compressed activations are stored in bus-width
+    // chunks, and the sparse maps stream ahead of the values (§4.2.2), so
+    // a slice only requests the chunks whose positions intersect at least
+    // one of its coefficient masks. At high coefficient sparsity most
+    // chunks are skipped — this is where Dilution-Concentration converts
+    // sparsity into time.
+    let bus = cfg.bus_elems().max(1);
+    let mut fetched_chunks = 0u64;
+    {
+        let mut in_chunk = 0usize;
+        let mut chunk_needed = false;
+        for wi in 0..words {
+            let mut aw = act_mask[wi];
+            while aw != 0 {
+                let bit = aw.trailing_zeros() as usize;
+                aw &= aw - 1;
+                if !chunk_needed {
+                    for cm in coef_masks {
+                        if cm[wi] >> bit & 1 == 1 {
+                            chunk_needed = true;
+                            break;
+                        }
+                    }
+                }
+                in_chunk += 1;
+                if in_chunk == bus {
+                    if chunk_needed {
+                        fetched_chunks += 1;
+                    }
+                    in_chunk = 0;
+                    chunk_needed = false;
+                }
+            }
+        }
+        if in_chunk > 0 && chunk_needed {
+            fetched_chunks += 1;
+        }
+    }
+    let stream_cycles = fetched_chunks.max(1);
+
+    let mut matched = 0u64;
+    let mut gather_passes = 0u64;
+    let mut worst_conc = 0u64;
+
+    // One value per nonzero activation; the magnitudes are irrelevant to
+    // timing, so use unit values.
+    for cm in coef_masks {
+        let mut buf = ConcentrationBuffer::new(cfg.bus_elems().max(1), cfg.look_ahead, cfg.look_aside);
+        for (wi, (&aw, &cw)) in act_mask.iter().zip(cm.iter()).enumerate() {
+            let width = (c - wi * 64).min(64);
+            if aw == 0 {
+                continue;
+            }
+            let act_values = vec![1.0f32; aw.count_ones() as usize];
+            let coef_signs = vec![false; cw.count_ones() as usize];
+            let out = dilute(&DilutionInput {
+                act_values: &act_values,
+                act_map: aw,
+                coef_signs: &coef_signs,
+                coef_map: cw,
+                width,
+            });
+            gather_passes += 1;
+            matched += out.matched as u64;
+            buf.push_slots(&out.slots);
+        }
+        let (_, stats) = buf.drain_sum();
+        worst_conc = worst_conc.max(stats.rows_drained as u64);
+    }
+
+    PositionCost {
+        ca_cycles: stream_cycles.max(worst_conc).max(1),
+        matched,
+        gather_passes,
+        stream_cycles,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SimConfig {
+        SimConfig::default()
+    }
+
+    #[test]
+    fn dense_position_is_bus_bound() {
+        // All 64 channels nonzero, all coefficients nonzero: 64 activations
+        // over a 16-wide bus = 4 cycles, and the adder tree matches.
+        let act = [u64::MAX];
+        let coef = [u64::MAX];
+        let cost = position_cost(&cfg(), 64, &act, &[&coef, &coef]);
+        assert_eq!(cost.stream_cycles, 4);
+        assert_eq!(cost.ca_cycles, 4);
+        assert_eq!(cost.matched, 128); // 64 per CA × 2 CAs
+    }
+
+    #[test]
+    fn empty_activations_cost_one_cycle() {
+        let act = [0u64];
+        let coef = [u64::MAX];
+        let cost = position_cost(&cfg(), 64, &act, &[&coef]);
+        assert_eq!(cost.ca_cycles, 1);
+        assert_eq!(cost.matched, 0);
+        assert_eq!(cost.gather_passes, 0);
+    }
+
+    #[test]
+    fn sparse_coefficients_reduce_matches_not_stream() {
+        let act = [u64::MAX];
+        let sparse_coef = [0x0101_0101_0101_0101u64]; // 8 of 64
+        let dense_coef = [u64::MAX];
+        let s = position_cost(&cfg(), 64, &act, &[&sparse_coef]);
+        let d = position_cost(&cfg(), 64, &act, &[&dense_coef]);
+        assert_eq!(s.stream_cycles, d.stream_cycles);
+        assert!(s.matched < d.matched);
+        assert!(s.ca_cycles <= d.ca_cycles);
+    }
+
+    #[test]
+    fn multiword_channels_accumulate() {
+        // 128 channels, half nonzero activations.
+        let act = [0xAAAA_AAAA_AAAA_AAAAu64; 2];
+        let coef = [u64::MAX; 2];
+        let cost = position_cost(&cfg(), 128, &act, &[&coef]);
+        assert_eq!(cost.matched, 64);
+        assert_eq!(cost.stream_cycles, 4); // 64 nonzeros / 16 per cycle
+    }
+
+    #[test]
+    fn ca_time_covers_slowest_accumulator() {
+        let act = [u64::MAX];
+        let dense = [u64::MAX];
+        let empty = [0u64];
+        let mixed = position_cost(&cfg(), 64, &act, &[&dense, &empty]);
+        let only_dense = position_cost(&cfg(), 64, &act, &[&dense]);
+        assert_eq!(mixed.ca_cycles, only_dense.ca_cycles);
+    }
+
+    #[test]
+    #[should_panic(expected = "mask word count")]
+    fn word_count_mismatch_panics() {
+        let act = [0u64; 2];
+        let coef = [0u64];
+        let _ = position_cost(&cfg(), 64, &act, &[&coef]);
+    }
+}

@@ -1,0 +1,145 @@
+//! Accelerator configuration (paper Table 2).
+
+/// Configuration of the ESCALATE accelerator.
+///
+/// The default reproduces Table 2: `M = 6`, `N_PE = 32`, `l = 5`, a
+/// 16-byte input bus, 8-bit activations, and the listed buffer sizes, at
+/// 800 MHz (the synthesized frequency of §5.2.1). The total multiplier
+/// count is `N_PE × l × M = 960`.
+///
+/// # Examples
+///
+/// ```
+/// use escalate_sim::SimConfig;
+///
+/// let cfg = SimConfig::default();
+/// assert_eq!(cfg.total_macs(), 960);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Number of basis kernels / CA-MAC pairs per slice (`M`).
+    pub m: usize,
+    /// Number of PE blocks (`N_PE`).
+    pub n_pe: usize,
+    /// Number of PE slices per block (`l`).
+    pub l: usize,
+    /// Input bus width in bytes (activations per cycle at 8 bits).
+    pub input_bus_bytes: usize,
+    /// Activation/weight precision in bits.
+    pub precision_bits: usize,
+    /// Capacity of each distributed input buffer in bytes.
+    pub input_buf_bytes: usize,
+    /// Per-block coefficient buffer in bytes.
+    pub coef_buf_bytes: usize,
+    /// Output buffer in bytes.
+    pub output_buf_bytes: usize,
+    /// Per-slice partial-sum buffer in bytes.
+    pub psum_buf_bytes: usize,
+    /// Per-slice activation staging buffer in bytes (Table 2: 16 B × 4).
+    pub act_buf_bytes: usize,
+    /// Concentration look-ahead window (rows).
+    pub look_ahead: usize,
+    /// Concentration look-aside window (columns).
+    pub look_aside: usize,
+    /// Clock frequency in MHz.
+    pub frequency_mhz: f64,
+    /// DRAM bandwidth in bytes per cycle (64 B/cycle ≈ 51.2 GB/s at
+    /// 800 MHz — a dual-channel DDR4-3200 interface, the class of system
+    /// the paper's ramulator runs model). Layers whose traffic exceeds
+    /// compute become memory-bound.
+    pub dram_bytes_per_cycle: f64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            m: 6,
+            n_pe: 32,
+            l: 5,
+            input_bus_bytes: 16,
+            precision_bits: 8,
+            input_buf_bytes: 8 * 1024,
+            coef_buf_bytes: 512,
+            output_buf_bytes: 4 * 1024,
+            psum_buf_bytes: 2 * 1024,
+            act_buf_bytes: 16 * 4,
+            look_ahead: 4,
+            look_aside: 1,
+            frequency_mhz: 800.0,
+            dram_bytes_per_cycle: 64.0,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Total number of multipliers (`N_PE × l × M`).
+    pub fn total_macs(&self) -> usize {
+        self.n_pe * self.l * self.m
+    }
+
+    /// Activations delivered per cycle by the input bus.
+    pub fn bus_elems(&self) -> usize {
+        (self.input_bus_bytes * 8) / self.precision_bits.max(1)
+    }
+
+    /// Total input-buffer capacity across the `l` distributed buffers.
+    pub fn total_input_buf_bytes(&self) -> usize {
+        self.input_buf_bytes * self.l
+    }
+
+    /// A design-space variant with `m` basis kernels, shrinking `l` to keep
+    /// the multiplier budget constant (the Figure 12 trade-off).
+    pub fn with_m(&self, m: usize) -> SimConfig {
+        assert!(m > 0, "m must be positive");
+        let budget = self.total_macs();
+        let l = (budget / (self.n_pe * m)).max(1);
+        SimConfig { m, l, ..*self }
+    }
+
+    /// Cycle time in nanoseconds.
+    pub fn cycle_ns(&self) -> f64 {
+        1000.0 / self.frequency_mhz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table2() {
+        let c = SimConfig::default();
+        assert_eq!(c.m, 6);
+        assert_eq!(c.n_pe, 32);
+        assert_eq!(c.l, 5);
+        assert_eq!(c.input_bus_bytes, 16);
+        assert_eq!(c.input_buf_bytes, 8192);
+        assert_eq!(c.coef_buf_bytes, 512);
+        assert_eq!(c.psum_buf_bytes, 2048);
+        assert_eq!(c.total_macs(), 960);
+        assert_eq!(c.bus_elems(), 16);
+    }
+
+    #[test]
+    fn with_m_preserves_mac_budget_approximately() {
+        let base = SimConfig::default();
+        for m in [4usize, 5, 6, 7, 8] {
+            let v = base.with_m(m);
+            assert!(v.total_macs() <= base.total_macs());
+            assert!(v.l >= 1);
+            // Within one slice of the budget.
+            assert!(base.total_macs() - v.total_macs() < base.n_pe * m);
+        }
+    }
+
+    #[test]
+    fn larger_m_means_smaller_l() {
+        let base = SimConfig::default();
+        assert!(base.with_m(8).l <= base.with_m(4).l);
+    }
+
+    #[test]
+    fn cycle_time_at_800mhz() {
+        assert!((SimConfig::default().cycle_ns() - 1.25).abs() < 1e-9);
+    }
+}

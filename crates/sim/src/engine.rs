@@ -1,0 +1,306 @@
+//! The per-layer simulation engine.
+//!
+//! For decomposed layers the engine executes the bit-exact CA component
+//! models on a deterministic sample of (output channel, input position)
+//! pairs, then extrapolates by the Basis-First mapping's parallelism:
+//! output channels spread over `N_PE` blocks in rounds, rows over `l`
+//! slices, and the CA/MAC stages of a slice overlap via double buffering,
+//! so a slice advances at `max(CA time, R·S)` per position. Dense layers
+//! take the fallback path.
+
+use crate::ca::position_cost;
+use crate::config::SimConfig;
+use crate::dataflow::Mapping;
+use crate::fallback::simulate_dense;
+use crate::mac::MacRow;
+use crate::stats::{DramTraffic, LayerStats, ModelStats, SramTraffic};
+use crate::workload::{LayerWorkload, Workload, WorkloadMode};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Output channels sampled per layer.
+const SAMPLE_CHANNELS: usize = 8;
+/// Input positions sampled per channel.
+const SAMPLE_POSITIONS: usize = 48;
+
+/// Simulates one layer.
+///
+/// `seed` controls the synthetic activation draw (the paper averages over
+/// 10 random inputs; callers pass different seeds and average).
+pub fn simulate_layer(lw: &LayerWorkload, cfg: &SimConfig, seed: u64) -> LayerStats {
+    match &lw.mode {
+        WorkloadMode::Dense => simulate_dense(&lw.shape, cfg, lw.weight_bytes),
+        WorkloadMode::Decomposed(masks) => {
+            let mut rng = StdRng::seed_from_u64(seed ^ hash_name(&lw.name));
+            let k_total = masks.k();
+            let c = masks.c();
+            let m = masks.m();
+            // SCNN-style scatter with stride: only ~R·S/stride² of a basis
+            // kernel's products land on valid output positions, so the MAC
+            // service time per intermediate element shrinks accordingly.
+            let rs = (lw.shape.r * lw.shape.s).div_ceil(lw.shape.stride * lw.shape.stride).max(1);
+            let mac_row = MacRow::new(m, rs);
+            // Pointwise workloads (M = 1) leave M−1 CA-MAC pairs idle under
+            // the plain mapping; the Basis-First dataflow instead assigns
+            // each pair its own output channel (coefficients for several
+            // channels fit the per-block buffer at 1 bit/position), so a
+            // block retires `M` output channels per pass.
+            let parallel_k = if m == 1 { cfg.m.max(1) } else { 1 };
+            let mapping = Mapping::new(cfg, k_total.div_ceil(parallel_k), lw.shape.x);
+
+            let words = c.div_ceil(64);
+            let keep_prob = 1.0 - lw.act_sparsity;
+
+            // Stratified channel sampling: per-channel coefficient counts
+            // are heavy-tailed, so sample quantile representatives of the
+            // nnz distribution rather than a fixed stride (which can land
+            // on unrepresentative channels).
+            let sk = k_total.min(SAMPLE_CHANNELS);
+            let sampled_k = stratified_channels(masks, sk);
+            let sp = lw.positions().clamp(1, SAMPLE_POSITIONS);
+
+            let mut sum_pos_cycles = 0.0f64;
+            let mut sum_matched = 0.0f64;
+            let mut sum_gather = 0.0f64;
+            let mut sum_idle = 0.0f64;
+            let mut max_block_time = 0.0f64;
+
+            for &k in &sampled_k {
+                let coef_masks: Vec<&[u64]> = (0..m).map(|mi| masks.mask(k, mi)).collect();
+                let mut k_pos_cycles = 0.0f64;
+                for _ in 0..sp {
+                    let act = draw_act_mask(&mut rng, c, words, keep_prob);
+                    let cost = position_cost(cfg, c, &act, &coef_masks);
+                    let pos_cycles = mac_row.position_cycles(cost.ca_cycles);
+                    k_pos_cycles += pos_cycles as f64;
+                    sum_matched += cost.matched as f64;
+                    sum_gather += cost.gather_passes as f64;
+                    sum_idle += mac_row.idle_cycles(cost.ca_cycles) as f64;
+                }
+                let mean_pos = k_pos_cycles / sp as f64;
+                sum_pos_cycles += mean_pos;
+                let block_time = mean_pos * (mapping.rows_per_slice() * lw.shape.y) as f64;
+                max_block_time = max_block_time.max(block_time);
+            }
+
+            let samples = (sampled_k.len() * sp) as f64;
+            let mean_pos_cycles = sum_pos_cycles / sampled_k.len() as f64;
+            let mean_matched = sum_matched / samples;
+            let mean_gather = sum_gather / samples;
+            let mean_idle = sum_idle / samples;
+
+            let positions = lw.positions() as f64;
+            let positions_per_slice = (mapping.rows_per_slice() * lw.shape.y) as f64;
+
+            // Work-queue schedule: blocks pull the next output channel
+            // (group) as they finish; the layer ends when the slowest
+            // block drains.
+            let total_block_work =
+                (k_total as f64 / parallel_k as f64) * positions_per_slice * mean_pos_cycles;
+            let compute_cycles = (total_block_work / cfg.n_pe as f64).max(max_block_time).ceil() as u64;
+
+            let mac_ops = (k_total as f64 * positions * mac_row.ops_per_position() as f64) as u64;
+            let ca_adds = (k_total as f64 * positions * mean_matched) as u64;
+            let gather_passes = (k_total as f64 * positions * mean_gather) as u64;
+            let mac_idle = (k_total as f64 * positions * mean_idle) as u64;
+            let mac_slots =
+                (k_total as f64 * positions * m as f64 * mean_pos_cycles).max(1.0) as u64;
+
+            // DRAM traffic. Weights stream once (they fit on-chip after the
+            // first load thanks to coefficient compression); the compressed
+            // IFM re-streams once per output-channel round unless it fits
+            // in the distributed input buffers.
+            let nnz_act_bytes = (lw.shape.input_size() as f64 * keep_prob).ceil() as u64;
+            let ifm_bytes = nnz_act_bytes + (lw.shape.input_size() as u64).div_ceil(8);
+            let rounds = mapping.rounds() as u64;
+            let ifm_loads = if ifm_bytes <= cfg.total_input_buf_bytes() as u64 { 1 } else { rounds };
+            // The OFM is written back SparseMap-compressed (post-ReLU
+            // nonzeros plus the bit mask), like every activation tensor.
+            let ofm_dense = (lw.out_channels * lw.shape.out_x() * lw.shape.out_y()) as u64;
+            let ofm_bytes = (ofm_dense as f64 * (1.0 - lw.out_sparsity)).ceil() as u64 + ofm_dense.div_ceil(8);
+
+            // SRAM traffic.
+            let coef_bytes_per_pos = (c * m) as u64 / 8 + (masks.total_nnz() as u64 / k_total.max(1) as u64) / 8;
+            let sram = SramTraffic {
+                input_buf: nnz_act_bytes * rounds + ifm_bytes * ifm_loads,
+                coef_buf: (k_total as f64 * positions) as u64 * coef_bytes_per_pos.max(1),
+                psum_buf: (k_total as f64 * positions) as u64 * mac_row.psum_accesses_per_position() * 2,
+                output_buf: ofm_bytes,
+                act_buf: ca_adds,
+            };
+
+            // Memory-bound layers pace at the DRAM bandwidth.
+            let dram_total = lw.weight_bytes + ifm_bytes * ifm_loads + ofm_bytes;
+            let dram_cycles = (dram_total as f64 / cfg.dram_bytes_per_cycle).ceil() as u64;
+            let cycles = compute_cycles.max(dram_cycles);
+
+            LayerStats {
+                name: lw.name.clone(),
+                cycles: cycles.max(1),
+                mac_ops,
+                ca_adds,
+                gather_passes,
+                mac_idle_cycles: mac_idle,
+                mac_cycle_slots: mac_slots,
+                dram: DramTraffic {
+                    weights: lw.weight_bytes,
+                    ifm: ifm_bytes * ifm_loads,
+                    ofm: ofm_bytes,
+                },
+                sram,
+                fallback: false,
+            }
+        }
+    }
+}
+
+/// Simulates a whole model (layers execute sequentially).
+pub fn simulate_model(workload: &Workload, cfg: &SimConfig, seed: u64) -> ModelStats {
+    ModelStats {
+        model_name: workload.model_name.clone(),
+        layers: workload.layers.iter().map(|lw| simulate_layer(lw, cfg, seed)).collect(),
+    }
+}
+
+/// Quantile representatives of the per-channel coefficient-count
+/// distribution: channel `i` of the sample stands for the `i`-th stratum
+/// of equally many output channels.
+pub(crate) fn stratified_channels(masks: &crate::workload::CoefMasks, sk: usize) -> Vec<usize> {
+    let k_total = masks.k();
+    let mut order: Vec<usize> = (0..k_total).collect();
+    order.sort_by_key(|&k| masks.nnz_for_channel(k));
+    (0..sk)
+        .map(|i| order[((2 * i + 1) * k_total) / (2 * sk)])
+        .collect()
+}
+
+fn draw_act_mask(rng: &mut StdRng, c: usize, words: usize, keep_prob: f64) -> Vec<u64> {
+    let mut mask = vec![0u64; words];
+    for ci in 0..c {
+        if rng.gen_bool(keep_prob.clamp(0.0, 1.0)) {
+            mask[ci / 64] |= 1u64 << (ci % 64);
+        }
+    }
+    mask
+}
+
+fn hash_name(name: &str) -> u64 {
+    name.bytes().fold(0xcbf29ce484222325u64, |h, b| (h ^ b as u64).wrapping_mul(0x100000001b3))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::CoefMasks;
+    use escalate_core::quant::TernaryCoeffs;
+    use escalate_models::LayerShape;
+    use escalate_tensor::Tensor;
+
+    fn workload(c: usize, k: usize, x: usize, coef_sparsity: f64, act_sparsity: f64) -> LayerWorkload {
+        let m = 6;
+        let coeffs = Tensor::from_fn(&[k, c, m], |i| {
+            let h = (i[0] * 7919 + i[1] * 104729 + i[2] * 1299709) % 1000;
+            if (h as f64) < coef_sparsity * 1000.0 {
+                0.0
+            } else if h % 2 == 0 {
+                1.0
+            } else {
+                -1.0
+            }
+        });
+        let t = TernaryCoeffs::ternarize(&coeffs, 0.0).unwrap();
+        LayerWorkload {
+            name: format!("c{c}k{k}x{x}"),
+            shape: LayerShape::conv("t", c, k, x, x, 3, 1, 1),
+            out_channels: k,
+            mode: WorkloadMode::Decomposed(CoefMasks::from_ternary(&t)),
+            act_sparsity,
+            out_sparsity: act_sparsity,
+            weight_bytes: 1000,
+        }
+    }
+
+    #[test]
+    fn cycles_scale_with_feature_map_size() {
+        let cfg = SimConfig::default();
+        let a = simulate_layer(&workload(64, 64, 16, 0.9, 0.5), &cfg, 0);
+        let b = simulate_layer(&workload(64, 64, 32, 0.9, 0.5), &cfg, 0);
+        assert!(b.cycles > 2 * a.cycles, "4x positions should give ~4x cycles: {} vs {}", a.cycles, b.cycles);
+    }
+
+    #[test]
+    fn cycles_scale_with_output_channels() {
+        let cfg = SimConfig::default();
+        let a = simulate_layer(&workload(64, 64, 16, 0.9, 0.5), &cfg, 0);
+        let b = simulate_layer(&workload(64, 256, 16, 0.9, 0.5), &cfg, 0);
+        assert!(b.cycles > 3 * a.cycles);
+    }
+
+    #[test]
+    fn dense_activations_slow_the_ca() {
+        let cfg = SimConfig::default();
+        let sparse = simulate_layer(&workload(256, 64, 16, 0.9, 0.8), &cfg, 0);
+        let dense = simulate_layer(&workload(256, 64, 16, 0.9, 0.0), &cfg, 0);
+        assert!(dense.cycles > sparse.cycles);
+    }
+
+    #[test]
+    fn low_coef_sparsity_creates_mac_idle() {
+        // Wide layer, dense coefficients and activations: the CA cannot
+        // keep up with the 9-cycle MAC service time.
+        let cfg = SimConfig::default();
+        let busy = simulate_layer(&workload(512, 64, 16, 0.3, 0.3), &cfg, 0);
+        assert!(busy.mac_idle_cycles > 0, "expected idle MACs");
+        // High sparsity frees the CA.
+        let fast = simulate_layer(&workload(512, 64, 16, 0.98, 0.7), &cfg, 0);
+        assert!(fast.mac_idle_fraction() < busy.mac_idle_fraction());
+    }
+
+    #[test]
+    fn speedup_bounded_by_c_over_m() {
+        // With perfect sparsity the layer is MAC-bound: cycles ≈
+        // K·positions·RS / (N_PE·l) — the C/M compute bound of §5.2.2.
+        let cfg = SimConfig::default();
+        let lw = workload(512, 64, 20, 0.99, 0.9);
+        let s = simulate_layer(&lw, &cfg, 0);
+        let mac_bound = (64.0 * 400.0 * 9.0 / (32.0 * 5.0)) as u64;
+        assert!(s.cycles >= mac_bound, "{} < {mac_bound}", s.cycles);
+        assert!(s.cycles < mac_bound * 3, "{} should be near the MAC bound {mac_bound}", s.cycles);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = SimConfig::default();
+        let lw = workload(128, 32, 16, 0.8, 0.5);
+        let a = simulate_layer(&lw, &cfg, 7);
+        let b = simulate_layer(&lw, &cfg, 7);
+        assert_eq!(a, b);
+        let c = simulate_layer(&lw, &cfg, 8);
+        // Different input sample: cycle counts may differ slightly.
+        assert_eq!(a.mac_ops, c.mac_ops);
+    }
+
+    #[test]
+    fn small_ifm_avoids_dram_restreaming() {
+        let cfg = SimConfig::default();
+        // 16x16x64 compressed easily fits 40KB of input buffers.
+        let small = simulate_layer(&workload(64, 256, 16, 0.9, 0.5), &cfg, 0);
+        let one_load = small.dram.ifm;
+        // 64x64x256 exceeds the buffers: re-streamed per round (2 rounds).
+        let big = simulate_layer(&workload(256, 256, 64, 0.9, 0.5), &cfg, 0);
+        assert!(big.dram.ifm > one_load);
+        assert_eq!(small.dram.weights, 1000);
+    }
+
+    #[test]
+    fn model_stats_aggregate() {
+        let cfg = SimConfig::default();
+        let w = Workload {
+            model_name: "toy".into(),
+            layers: vec![workload(64, 64, 16, 0.9, 0.5), workload(64, 128, 16, 0.9, 0.5)],
+        };
+        let s = simulate_model(&w, &cfg, 0);
+        assert_eq!(s.layers.len(), 2);
+        assert_eq!(s.total_cycles(), s.layers[0].cycles + s.layers[1].cycles);
+    }
+}

@@ -1,0 +1,89 @@
+//! Dense fallback path for uncompressed layers (paper §4.1).
+//!
+//! The first convolutional layer (and FC layers converted to 1×1
+//! convolutions) bypass the channel accumulators and run an
+//! input-stationary dense schedule directly on the MAC rows. No sparsity
+//! is exploited — the paper shows this layer is *slower* than Eyeriss'
+//! row-stationary mapping but contributes little to total runtime
+//! (Figure 11's first bar).
+
+use crate::config::SimConfig;
+use crate::dataflow::Mapping;
+use crate::stats::{DramTraffic, LayerStats, SramTraffic};
+use escalate_models::LayerShape;
+
+/// Simulates a dense layer on the fallback input-stationary path.
+pub fn simulate_dense(layer: &LayerShape, cfg: &SimConfig, weight_bytes: u64) -> LayerStats {
+    let macs = layer.macs() as u64;
+    let mapping = Mapping::new(cfg, layer.k, layer.out_x());
+
+    // Input-stationary on the MAC rows only: utilization suffers from the
+    // block/slice mapping fit and from the lack of the weight-reuse
+    // pipelining a dataflow designed for dense layers would have. The 0.75
+    // issue efficiency reflects the paper's observation that the fallback
+    // is less efficient than Eyeriss' row-stationary schedule.
+    let util = (mapping.block_utilization() * mapping.slice_utilization()).max(1e-3) * 0.75;
+    let compute_cycles = ((macs as f64) / (cfg.total_macs() as f64 * util)).ceil() as u64;
+
+    let ifm_bytes = layer.input_size() as u64; // dense 8-bit activations
+    let ofm_bytes = layer.output_size() as u64;
+    // Input-stationary: weights re-stream once per input tile round.
+    let rounds = mapping.rounds() as u64;
+    let dram_cycles = ((weight_bytes + ifm_bytes + ofm_bytes) as f64 / cfg.dram_bytes_per_cycle).ceil() as u64;
+    let cycles = compute_cycles.max(dram_cycles);
+
+    LayerStats {
+        name: layer.name.clone(),
+        cycles: cycles.max(1),
+        mac_ops: macs,
+        ca_adds: 0,
+        gather_passes: 0,
+        mac_idle_cycles: 0,
+        mac_cycle_slots: cycles.max(1) * cfg.total_macs() as u64,
+        dram: DramTraffic { weights: weight_bytes, ifm: ifm_bytes, ofm: ofm_bytes },
+        sram: SramTraffic {
+            input_buf: ifm_bytes * rounds,
+            coef_buf: weight_bytes,
+            psum_buf: 2 * macs * 2, // 16-bit read-modify-write per MAC
+            output_buf: ofm_bytes,
+            act_buf: macs,
+        },
+        fallback: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_layer_cycles_scale_with_macs() {
+        let cfg = SimConfig::default();
+        let small = LayerShape::conv("s", 3, 64, 32, 32, 3, 1, 1);
+        let large = LayerShape::conv("l", 3, 64, 224, 224, 7, 2, 3);
+        let a = simulate_dense(&small, &cfg, 1000);
+        let b = simulate_dense(&large, &cfg, 1000);
+        assert!(b.cycles > a.cycles);
+        assert_eq!(a.mac_ops, small.macs() as u64);
+        assert!(a.fallback);
+    }
+
+    #[test]
+    fn dense_layer_never_beats_mac_bound() {
+        let cfg = SimConfig::default();
+        let layer = LayerShape::conv("s", 3, 64, 32, 32, 3, 1, 1);
+        let s = simulate_dense(&layer, &cfg, 0);
+        let bound = layer.macs() as u64 / cfg.total_macs() as u64;
+        assert!(s.cycles >= bound);
+    }
+
+    #[test]
+    fn traffic_is_dense_sized() {
+        let cfg = SimConfig::default();
+        let layer = LayerShape::conv("s", 3, 64, 32, 32, 3, 1, 1);
+        let s = simulate_dense(&layer, &cfg, 1728);
+        assert_eq!(s.dram.ifm, (3 * 32 * 32) as u64);
+        assert_eq!(s.dram.ofm, (64 * 32 * 32) as u64);
+        assert_eq!(s.dram.weights, 1728);
+    }
+}

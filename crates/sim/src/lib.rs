@@ -1,0 +1,58 @@
+#![warn(missing_docs)]
+
+//! Cycle-level simulator of the ESCALATE accelerator (paper Section 4).
+//!
+//! The accelerator is a grid of `N_PE` PE blocks, each with `l` PE slices;
+//! a slice pairs `M` channel accumulators (CAs, implementing the
+//! Dilution-Concentration sparse-skipping mechanism of §4.2) with a row of
+//! `M` MACs holding the basis kernels in local FIFOs. The *Basis-First*
+//! dataflow (§4.1) confines each output channel to one PE block and each
+//! feature-map row to one slice, so coefficients live in per-block buffers
+//! and input rows stream from distributed, reference-counted circular
+//! buffers (§4.3).
+//!
+//! The simulator executes the real component models (the bit-exact
+//! dilution and concentration structures from `escalate-sparse`) on
+//! sampled positions of each layer, then scales by the dataflow's
+//! parallelism to produce per-layer cycle counts, idle-cycle accounting,
+//! and SRAM/DRAM traffic — the quantities Figures 8–13 are built from.
+//! Sampling is the one deliberate abstraction over the paper's fully
+//! cycle-accurate simulator; it preserves throughput statistics while
+//! keeping whole-model runs fast (see DESIGN.md).
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use escalate_core::pipeline::CompressionConfig;
+//! use escalate_models::ModelProfile;
+//! use escalate_sim::{simulate_model, SimConfig, Workload};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let profile = ModelProfile::for_model("ResNet18").expect("known model");
+//! let artifacts = escalate_core::compress_model_artifacts(&profile, &CompressionConfig::default())?;
+//! let workload = Workload::from_artifacts("ResNet18", &artifacts, &profile);
+//! let stats = simulate_model(&workload, &SimConfig::default(), 0);
+//! println!("total cycles: {}", stats.total_cycles());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod buffers;
+pub mod ca;
+pub mod config;
+pub mod dataflow;
+pub mod detailed;
+pub mod engine;
+pub mod fallback;
+pub mod htree;
+pub mod mac;
+pub mod psum;
+pub mod slice;
+pub mod stats;
+pub mod trace;
+pub mod workload;
+
+pub use config::SimConfig;
+pub use engine::{simulate_layer, simulate_model};
+pub use stats::{LayerStats, ModelStats};
+pub use workload::{LayerWorkload, Workload, WorkloadMode};

@@ -1,0 +1,104 @@
+//! MAC-row model (paper §4, Figure 2(a)).
+//!
+//! Each PE slice ends in a row of `M` MAC units; each MAC holds one basis
+//! kernel in a small FIFO loaded before the layer starts. Following the
+//! SCNN-style scatter the paper adopts (§4.1), a MAC multiplies each
+//! intermediate element produced by its CA with all `R·S` weights of its
+//! basis kernel, read-modify-writing products into the partial-sum buffer
+//! — so consuming one element takes `R·S` cycles, and the `M` MACs of a
+//! slice run in parallel on the `M` intermediate channels of the same
+//! position.
+
+/// Timing/occupancy model of one slice's MAC row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MacRow {
+    /// Number of MAC units (`M`).
+    pub m: usize,
+    /// Basis kernel area (`R·S`), i.e. FIFO depth and per-element service
+    /// cycles.
+    pub kernel_area: usize,
+}
+
+impl MacRow {
+    /// Creates a MAC row for `m` basis kernels of `kernel_area` weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either argument is zero.
+    pub fn new(m: usize, kernel_area: usize) -> Self {
+        assert!(m > 0 && kernel_area > 0, "MAC row needs positive m and kernel area");
+        MacRow { m, kernel_area }
+    }
+
+    /// Cycles to consume one position's worth of intermediate elements
+    /// (one element per MAC, serviced in parallel).
+    pub fn cycles_per_position(&self) -> u64 {
+        self.kernel_area as u64
+    }
+
+    /// MAC operations issued per position (every MAC scatters `R·S`
+    /// products).
+    pub fn ops_per_position(&self) -> u64 {
+        (self.m * self.kernel_area) as u64
+    }
+
+    /// Partial-sum buffer accesses per position: one read-modify-write
+    /// (two accesses) per product.
+    pub fn psum_accesses_per_position(&self) -> u64 {
+        2 * self.ops_per_position()
+    }
+
+    /// Idle MAC cycles at a position where the CA stage took `ca_cycles`:
+    /// every MAC waits out the difference (§6.2).
+    pub fn idle_cycles(&self, ca_cycles: u64) -> u64 {
+        ca_cycles.saturating_sub(self.cycles_per_position()) * self.m as u64
+    }
+
+    /// The steady-state pipeline time of one position: CA and MAC stages
+    /// overlap via double buffering, so the slice advances at the pace of
+    /// the slower stage.
+    pub fn position_cycles(&self, ca_cycles: u64) -> u64 {
+        ca_cycles.max(self.cycles_per_position())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_by_three_kernel_takes_nine_cycles() {
+        let row = MacRow::new(6, 9);
+        assert_eq!(row.cycles_per_position(), 9);
+        assert_eq!(row.ops_per_position(), 54);
+        assert_eq!(row.psum_accesses_per_position(), 108);
+    }
+
+    #[test]
+    fn fast_ca_leaves_macs_busy() {
+        let row = MacRow::new(6, 9);
+        assert_eq!(row.idle_cycles(4), 0);
+        assert_eq!(row.position_cycles(4), 9);
+    }
+
+    #[test]
+    fn slow_ca_stalls_all_macs() {
+        let row = MacRow::new(6, 9);
+        assert_eq!(row.idle_cycles(15), 6 * 6);
+        assert_eq!(row.position_cycles(15), 15);
+    }
+
+    #[test]
+    fn pointwise_kernel_is_single_cycle() {
+        let row = MacRow::new(1, 1);
+        assert_eq!(row.cycles_per_position(), 1);
+        assert_eq!(row.position_cycles(3), 3);
+        assert_eq!(row.idle_cycles(3), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_m_rejected() {
+        let _ = MacRow::new(0, 9);
+    }
+}

@@ -1,0 +1,301 @@
+//! Cycle-stepped model of one PE slice (Figure 2(a), executed cycle by
+//! cycle).
+//!
+//! The throughput engine in [`crate::engine`] estimates a slice's time per
+//! position as `max(stream, concentration, R·S)`. This module implements
+//! the slice as an explicit cycle-by-cycle pipeline — chunk streaming into
+//! the `M` channel accumulators, per-cycle concentration drains, a small
+//! element FIFO between each CA and its MAC, and `R·S`-cycle MAC service —
+//! and is used by the test suite to validate the engine's abstraction the
+//! way the paper validates its simulator against the RTL.
+//!
+//! The model is exact about structural hazards (FIFO back-pressure, bus
+//! occupancy, drain/arrival overlap) but, like the rest of the simulator,
+//! does not model wire-level timing.
+
+use crate::config::SimConfig;
+use escalate_sparse::{dilute, ConcentrationBuffer, DilutionInput};
+
+/// The work of one input position for one output channel: the activation
+/// mask over `C` channels plus each accumulator's coefficient mask.
+#[derive(Debug, Clone)]
+pub struct PositionInput {
+    /// Activation nonzero mask, one bit per input channel.
+    pub act_mask: Vec<u64>,
+    /// Coefficient masks, one per CA (length `M`), same word count.
+    pub coef_masks: Vec<Vec<u64>>,
+    /// Number of input channels covered.
+    pub c: usize,
+}
+
+/// Result of running a slice trace cycle by cycle.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SliceTrace {
+    /// Total cycles until the last MAC finished.
+    pub cycles: u64,
+    /// Cycles each MAC spent idle waiting for its CA, summed over MACs.
+    pub mac_idle_cycles: u64,
+    /// Cycles the streaming front end stalled on full CA buffers.
+    pub stream_stall_cycles: u64,
+    /// Elements delivered to the MACs (positions × M).
+    pub elements: u64,
+    /// Matched (activation, coefficient) pairs accumulated.
+    pub matched: u64,
+}
+
+/// Per-CA pipeline state.
+struct CaState {
+    buf: ConcentrationBuffer,
+    /// Rows still to drain for the current position after stream end.
+    draining: bool,
+    /// Completed elements waiting for the MAC (FIFO depth 2).
+    fifo: usize,
+}
+
+/// Runs one slice over a sequence of positions, cycle-stepped.
+///
+/// The slice processes positions in order: the bus streams the current
+/// position's needed chunks (one per cycle, shared by all CAs); each CA
+/// dilutes the chunk into its concentration buffer and drains up to one
+/// row per cycle into its adder tree; when a position's stream has ended
+/// and a CA's buffer is empty, the accumulated element enters that CA's
+/// output FIFO; each MAC pops its FIFO and is busy `R·S` cycles per
+/// element. Streaming of position `p+1` may begin while MACs work on `p`
+/// (double buffering), but stalls when any CA FIFO is full.
+///
+/// # Panics
+///
+/// Panics if the positions' mask word counts are inconsistent with `c` or
+/// the number of coefficient masks differs from `m`.
+pub fn run_slice(cfg: &SimConfig, m: usize, rs: usize, positions: &[PositionInput]) -> SliceTrace {
+    assert!(m > 0 && rs > 0, "slice needs positive m and kernel area");
+    let bus = cfg.bus_elems().max(1);
+    let mut trace = SliceTrace::default();
+
+    // Pre-dilute every position into per-CA slot streams and the fetched
+    // chunk schedule (which chunks of the compressed stream the slice
+    // requests). This mirrors the mask pipeline running ahead of the
+    // datapath (§4.2.2): mask work never blocks the value stream.
+    struct Prepared {
+        /// Per chunk: per CA the diluted slots (empty when chunk skipped).
+        chunks: Vec<Vec<Vec<Option<f32>>>>,
+    }
+    let prepared: Vec<Prepared> = positions
+        .iter()
+        .map(|p| {
+            let words = p.c.div_ceil(64);
+            assert_eq!(p.act_mask.len(), words, "act mask word count");
+            assert_eq!(p.coef_masks.len(), m, "one coefficient mask per CA");
+            // Enumerate nonzero activation positions in order.
+            let mut nz: Vec<usize> = Vec::new();
+            for w in 0..words {
+                let mut word = p.act_mask[w];
+                while word != 0 {
+                    let b = word.trailing_zeros() as usize;
+                    word &= word - 1;
+                    nz.push(w * 64 + b);
+                }
+            }
+            let mut chunks = Vec::new();
+            for group in nz.chunks(bus) {
+                // Build a dilution input per CA restricted to this chunk.
+                let mut per_ca = Vec::with_capacity(m);
+                let mut needed = false;
+                for cm in &p.coef_masks {
+                    assert_eq!(cm.len(), words, "coef mask word count");
+                    let mut act_map = 0u64;
+                    let mut coef_map = 0u64;
+                    for (i, &pos) in group.iter().enumerate() {
+                        act_map |= 1u64 << i;
+                        if cm[pos / 64] >> (pos % 64) & 1 == 1 {
+                            coef_map |= 1u64 << i;
+                        }
+                    }
+                    let act_values = vec![1.0f32; group.len()];
+                    let coef_signs = vec![false; coef_map.count_ones() as usize];
+                    let out = dilute(&DilutionInput {
+                        act_values: &act_values,
+                        act_map,
+                        coef_signs: &coef_signs,
+                        coef_map,
+                        width: group.len(),
+                    });
+                    if out.matched > 0 {
+                        needed = true;
+                    }
+                    per_ca.push(out.slots);
+                }
+                if needed {
+                    chunks.push(per_ca);
+                } // fully-unmatched chunks are never requested (§4.2.1)
+            }
+            Prepared { chunks }
+        })
+        .collect();
+
+    // Cycle loop.
+    let mut cas: Vec<CaState> = (0..m)
+        .map(|_| CaState {
+            buf: ConcentrationBuffer::new(bus, cfg.look_ahead, cfg.look_aside),
+            draining: false,
+            fifo: 0,
+        })
+        .collect();
+    let mut mac_busy = vec![0u64; m];
+    let mut pos_idx = 0usize; // position currently streaming
+    let mut chunk_idx = 0usize;
+    let mut consumed = vec![0u64; m]; // elements fully processed per MAC
+    let total_positions = positions.len() as u64;
+    let mut cycle = 0u64;
+    let deadline = 1_000_000u64 + positions.len() as u64 * 10_000;
+
+    while consumed.iter().any(|&c| c < total_positions) {
+        cycle += 1;
+        assert!(cycle < deadline, "slice model did not converge");
+
+        // MACs: count down busy time, pop FIFOs.
+        for i in 0..m {
+            if mac_busy[i] > 0 {
+                mac_busy[i] -= 1;
+                if mac_busy[i] == 0 {
+                    consumed[i] += 1;
+                }
+            }
+            if mac_busy[i] == 0 && cas[i].fifo > 0 {
+                cas[i].fifo -= 1;
+                mac_busy[i] = rs as u64;
+            } else if mac_busy[i] == 0 && consumed[i] < total_positions {
+                trace.mac_idle_cycles += 1;
+            }
+        }
+
+        // CAs: drain one concentration row per cycle; finish elements.
+        for ca in cas.iter_mut() {
+            if ca.draining {
+                if ca.buf.pending_rows() > 0 {
+                    // One adder-tree row per cycle.
+                    let _ = ca.buf.drain_one();
+                }
+                if ca.buf.pending_rows() == 0 && ca.fifo < 2 {
+                    ca.fifo += 1;
+                    ca.draining = false;
+                    trace.elements += 1;
+                }
+            }
+        }
+
+        // Stream: deliver one chunk of the current position to all CAs,
+        // unless a CA is still finishing the previous position (its
+        // element has not yet entered the FIFO) — structural hazard.
+        if pos_idx < positions.len() {
+            let busy = cas.iter().any(|ca| ca.draining || ca.fifo >= 2);
+            if busy && chunk_idx == 0 {
+                trace.stream_stall_cycles += 1;
+            } else {
+                let p = &prepared[pos_idx];
+                if chunk_idx < p.chunks.len() {
+                    for (ca, slots) in cas.iter_mut().zip(&p.chunks[chunk_idx]) {
+                        trace.matched += slots.iter().flatten().count() as u64;
+                        ca.buf.push_slots(slots);
+                    }
+                    chunk_idx += 1;
+                }
+                if chunk_idx >= p.chunks.len() {
+                    // Position fully streamed: barrier; CAs drain and then
+                    // emit their elements.
+                    for ca in cas.iter_mut() {
+                        ca.draining = true;
+                    }
+                    pos_idx += 1;
+                    chunk_idx = 0;
+                }
+            }
+        }
+    }
+
+    trace.cycles = cycle;
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn position(c: usize, act_density: f64, coef_density: f64, m: usize, rng: &mut StdRng) -> PositionInput {
+        let words = c.div_ceil(64);
+        let mut act = vec![0u64; words];
+        for i in 0..c {
+            if rng.gen_bool(act_density) {
+                act[i / 64] |= 1 << (i % 64);
+            }
+        }
+        let coefs = (0..m)
+            .map(|_| {
+                let mut w = vec![0u64; words];
+                for i in 0..c {
+                    if rng.gen_bool(coef_density) {
+                        w[i / 64] |= 1 << (i % 64);
+                    }
+                }
+                w
+            })
+            .collect();
+        PositionInput { act_mask: act, coef_masks: coefs, c }
+    }
+
+    fn run(c: usize, ad: f64, cd: f64, m: usize, rs: usize, n: usize, seed: u64) -> SliceTrace {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let positions: Vec<PositionInput> = (0..n).map(|_| position(c, ad, cd, m, &mut rng)).collect();
+        run_slice(&SimConfig::default(), m, rs, &positions)
+    }
+
+    #[test]
+    fn mac_bound_workload_runs_at_rs_per_position() {
+        // Few activations, dense coefficients: stream and concentration
+        // are trivially fast, so the slice paces at R·S per position.
+        let t = run(32, 0.2, 0.9, 6, 9, 50, 1);
+        let per_pos = t.cycles as f64 / 50.0;
+        assert!((9.0..14.0).contains(&per_pos), "got {per_pos} cycles/position");
+        assert!(t.mac_idle_cycles < t.cycles * 2, "MACs should be mostly busy");
+    }
+
+    #[test]
+    fn stream_bound_workload_paces_at_chunk_rate() {
+        // 512 dense activations (32 chunks) and dense coefficients: the
+        // bus dominates the 9-cycle MAC service time.
+        let t = run(512, 0.9, 0.9, 6, 9, 20, 2);
+        let per_pos = t.cycles as f64 / 20.0;
+        assert!(per_pos > 25.0, "expected stream-bound pace, got {per_pos}");
+        assert!(t.mac_idle_cycles > 0, "MACs must idle on a stream-bound slice");
+    }
+
+    #[test]
+    fn chunk_skipping_accelerates_sparse_coefficients() {
+        let dense = run(512, 0.5, 0.6, 6, 9, 20, 3);
+        let sparse = run(512, 0.5, 0.005, 6, 9, 20, 3);
+        assert!(
+            sparse.cycles < dense.cycles,
+            "skipped chunks must save cycles: {} vs {}",
+            sparse.cycles,
+            dense.cycles
+        );
+        assert!(sparse.matched < dense.matched);
+    }
+
+    #[test]
+    fn elements_cover_every_position_and_ca() {
+        let t = run(64, 0.5, 0.5, 4, 9, 30, 4);
+        assert_eq!(t.elements, 30 * 4);
+    }
+
+    #[test]
+    fn empty_positions_still_produce_elements() {
+        // All-zero activations: every CA still emits its (zero) element so
+        // the MACs stay in lockstep with the position sequence.
+        let t = run(64, 0.0, 0.5, 3, 9, 10, 5);
+        assert_eq!(t.elements, 30);
+        assert!(t.cycles >= 9 * 10);
+    }
+}

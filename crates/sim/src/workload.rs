@@ -1,0 +1,208 @@
+//! Layer workloads: the sparse structure the accelerator executes.
+//!
+//! The simulator consumes only the *nonzero structure* of the compressed
+//! model — per-(output-channel, basis) coefficient bitmasks over the input
+//! channels — plus layer shapes and activation sparsity. Workloads are
+//! built from the compression pipeline's artifacts so the hardware
+//! evaluation runs the very model Table 1 accounts for.
+
+use escalate_core::quant::TernaryCoeffs;
+use escalate_core::CompressedLayer;
+use escalate_models::{LayerShape, ModelProfile};
+
+/// Per-layer coefficient bitmasks: for each output channel `k` and basis
+/// index `m`, one bit per input channel `c` (set when `Ce(k,c,m) ≠ 0`).
+#[derive(Debug, Clone)]
+pub struct CoefMasks {
+    k: usize,
+    c: usize,
+    m: usize,
+    words_per_mask: usize,
+    /// Masks laid out `[k][m][word]`.
+    words: Vec<u64>,
+}
+
+impl CoefMasks {
+    /// Builds masks from ternary coefficients (`K×C×M`).
+    pub fn from_ternary(t: &TernaryCoeffs) -> Self {
+        let [k, c, m] = t.shape();
+        let words_per_mask = c.div_ceil(64);
+        let mut words = vec![0u64; k * m * words_per_mask];
+        for ki in 0..k {
+            let slice = t.slice(ki); // C×M row-major
+            for ci in 0..c {
+                for mi in 0..m {
+                    if slice[ci * m + mi] != 0 {
+                        let base = (ki * m + mi) * words_per_mask;
+                        words[base + ci / 64] |= 1u64 << (ci % 64);
+                    }
+                }
+            }
+        }
+        CoefMasks { k, c, m, words_per_mask, words }
+    }
+
+    /// Number of output channels `K`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of input channels `C`.
+    pub fn c(&self) -> usize {
+        self.c
+    }
+
+    /// Number of basis kernels `M`.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// The mask words for `(k, m)` covering all `C` input channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` or `m` is out of range.
+    pub fn mask(&self, k: usize, m: usize) -> &[u64] {
+        assert!(k < self.k && m < self.m, "mask index out of range");
+        let base = (k * self.m + m) * self.words_per_mask;
+        &self.words[base..base + self.words_per_mask]
+    }
+
+    /// Nonzero coefficients for output channel `k` across all bases.
+    pub fn nnz_for_channel(&self, k: usize) -> usize {
+        (0..self.m).map(|m| self.mask(k, m).iter().map(|w| w.count_ones() as usize).sum::<usize>()).sum()
+    }
+
+    /// Total nonzero coefficients.
+    pub fn total_nnz(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+/// How a layer executes on the accelerator.
+#[derive(Debug, Clone)]
+pub enum WorkloadMode {
+    /// Decomposed convolution through the CA + MAC-row pipeline.
+    Decomposed(CoefMasks),
+    /// Dense fallback (first layer): input-stationary on the MAC rows,
+    /// CAs bypassed (§4.1).
+    Dense,
+}
+
+/// One layer's workload.
+#[derive(Debug, Clone)]
+pub struct LayerWorkload {
+    /// Name (fused DSC pairs use the combined name).
+    pub name: String,
+    /// Driving shape: input dims, kernel size, stride, padding.
+    pub shape: LayerShape,
+    /// Output channels produced (the pointwise `K` for fused DSC pairs).
+    pub out_channels: usize,
+    /// Execution mode.
+    pub mode: WorkloadMode,
+    /// Activation sparsity of this layer's input.
+    pub act_sparsity: f64,
+    /// ReLU sparsity of this layer's output (the next layer's input),
+    /// used to size the compressed OFM write-back.
+    pub out_sparsity: f64,
+    /// Compressed weight footprint in bytes (DRAM weight traffic).
+    pub weight_bytes: u64,
+}
+
+impl LayerWorkload {
+    /// Number of input positions (`X × Y`).
+    pub fn positions(&self) -> usize {
+        self.shape.x * self.shape.y
+    }
+
+    /// Basis count `M` of this workload (1 for dense).
+    pub fn m(&self) -> usize {
+        match &self.mode {
+            WorkloadMode::Decomposed(masks) => masks.m(),
+            WorkloadMode::Dense => 1,
+        }
+    }
+}
+
+/// A whole model's workload.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Model name.
+    pub model_name: String,
+    /// Layers in execution order.
+    pub layers: Vec<LayerWorkload>,
+}
+
+impl Workload {
+    /// Builds the workload from compression artifacts and the model
+    /// profile (which supplies per-layer activation sparsity).
+    pub fn from_artifacts(model_name: &str, artifacts: &[CompressedLayer], profile: &ModelProfile) -> Workload {
+        let n = artifacts.len();
+        let layers = artifacts
+            .iter()
+            .enumerate()
+            .map(|(i, a)| {
+                let mode = match &a.quantized {
+                    Some(h) => WorkloadMode::Decomposed(CoefMasks::from_ternary(&h.coeffs)),
+                    None => WorkloadMode::Dense,
+                };
+                LayerWorkload {
+                    name: a.stats.name.clone(),
+                    shape: a.shape.clone(),
+                    out_channels: a.out_channels(),
+                    mode,
+                    act_sparsity: profile.activation_sparsity(i, n),
+                    out_sparsity: profile.activation_sparsity((i + 1).min(n - 1), n),
+                    weight_bytes: (a.stats.compressed_bits as u64).div_ceil(8),
+                }
+            })
+            .collect();
+        Workload { model_name: model_name.to_string(), layers }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use escalate_tensor::Tensor;
+
+    fn ternary(k: usize, c: usize, m: usize) -> TernaryCoeffs {
+        let t = Tensor::from_fn(&[k, c, m], |i| match (i[0] + i[1] * 2 + i[2]) % 3 {
+            0 => 1.0,
+            1 => -1.0,
+            _ => 0.0,
+        });
+        TernaryCoeffs::ternarize(&t, 0.0).unwrap()
+    }
+
+    #[test]
+    fn masks_match_ternary_pattern() {
+        let t = ternary(3, 70, 4); // C > 64 exercises multi-word masks
+        let masks = CoefMasks::from_ternary(&t);
+        assert_eq!(masks.total_nnz(), t.nnz());
+        for k in 0..3 {
+            let slice = t.slice(k);
+            for c in 0..70 {
+                for m in 0..4 {
+                    let bit = masks.mask(k, m)[c / 64] >> (c % 64) & 1 == 1;
+                    assert_eq!(bit, slice[c * 4 + m] != 0, "k={k} c={c} m={m}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn per_channel_nnz_sums_to_total() {
+        let t = ternary(5, 33, 6);
+        let masks = CoefMasks::from_ternary(&t);
+        let sum: usize = (0..5).map(|k| masks.nnz_for_channel(k)).sum();
+        assert_eq!(sum, masks.total_nnz());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn mask_bounds_checked() {
+        let masks = CoefMasks::from_ternary(&ternary(2, 8, 2));
+        let _ = masks.mask(2, 0);
+    }
+}

@@ -1,0 +1,82 @@
+//! Layer-level cross-validation: the sampling engine against the detailed
+//! mode that runs the cycle-stepped slice pipeline for every (channel,
+//! slice) assignment of a small layer.
+
+use escalate_core::quant::TernaryCoeffs;
+use escalate_models::{synth, LayerShape};
+use escalate_sim::detailed::simulate_layer_detailed;
+use escalate_sim::workload::CoefMasks;
+use escalate_sim::{simulate_layer, LayerWorkload, SimConfig, WorkloadMode};
+use escalate_tensor::Tensor;
+
+fn workload(c: usize, k: usize, x: usize, coef_sparsity: f64, act_sparsity: f64) -> (LayerWorkload, Tensor) {
+    let coeffs = Tensor::from_fn(&[k, c, 6], |i| {
+        let h = (i[0] * 7919 + i[1] * 104729 + i[2] * 1299709) % 1000;
+        if (h as f64) < coef_sparsity * 1000.0 {
+            0.0
+        } else if h % 2 == 0 {
+            1.0
+        } else {
+            -1.0
+        }
+    });
+    let t = TernaryCoeffs::ternarize(&coeffs, 0.0).expect("valid threshold");
+    let shape = LayerShape::conv("v", c, k, x, x, 3, 1, 1);
+    let ifm = synth::activations(&shape, act_sparsity, 13);
+    (
+        LayerWorkload {
+            name: format!("v{c}x{k}"),
+            shape,
+            out_channels: k,
+            mode: WorkloadMode::Decomposed(CoefMasks::from_ternary(&t)),
+            act_sparsity,
+            out_sparsity: act_sparsity,
+            weight_bytes: 100,
+        },
+        ifm,
+    )
+}
+
+fn check(c: usize, k: usize, x: usize, cs: f64, as_: f64, envelope: (f64, f64)) {
+    let cfg = SimConfig::default();
+    let (lw, ifm) = workload(c, k, x, cs, as_);
+    let engine = simulate_layer(&lw, &cfg, 0).cycles as f64;
+    let detailed = simulate_layer_detailed(&lw, &cfg, &ifm).cycles as f64;
+    let ratio = detailed / engine;
+    assert!(
+        (envelope.0..envelope.1).contains(&ratio),
+        "c={c} k={k}: detailed {detailed} vs engine {engine} (ratio {ratio:.2})"
+    );
+}
+
+#[test]
+fn engine_tracks_detailed_mode_mac_bound() {
+    // MAC-bound: both models pace at R·S per position, pipeline fill aside.
+    check(32, 48, 10, 0.9, 0.6, (0.7, 2.2));
+}
+
+#[test]
+fn engine_tracks_detailed_mode_stream_bound() {
+    check(192, 48, 8, 0.5, 0.2, (0.7, 2.5));
+}
+
+#[test]
+fn engine_tracks_detailed_mode_high_sparsity() {
+    check(192, 48, 8, 0.98, 0.6, (0.7, 2.5));
+}
+
+#[test]
+fn detailed_idle_accounting_is_consistent() {
+    let cfg = SimConfig::default();
+    // Stream-bound: detailed idles; MAC-bound: detailed mostly busy.
+    let (bound, ifm_b) = workload(256, 16, 6, 0.3, 0.1);
+    let (fast, ifm_f) = workload(32, 16, 6, 0.95, 0.7);
+    let db = simulate_layer_detailed(&bound, &cfg, &ifm_b);
+    let df = simulate_layer_detailed(&fast, &cfg, &ifm_f);
+    let idle_rate_bound = db.mac_idle_cycles as f64 / db.cycles.max(1) as f64;
+    let idle_rate_fast = df.mac_idle_cycles as f64 / df.cycles.max(1) as f64;
+    assert!(
+        idle_rate_bound > idle_rate_fast,
+        "stream-bound layers must idle more: {idle_rate_bound} vs {idle_rate_fast}"
+    );
+}

@@ -1,0 +1,305 @@
+//! The Concentration step (paper §4.2.3, Figure 6).
+//!
+//! Diluted chunks contain holes where coefficients were zero. Before the
+//! survivors are fed to the reduction (adder) tree, the concentration
+//! buffer folds chunks into rows of the tree's width and fills holes with
+//! column-wise *look-ahead* (pull an element up from a later row of the
+//! same column) and *look-aside* (pull from an adjacent column). Because
+//! the sign has already been attached to each activation, elements may be
+//! permuted arbitrarily.
+//!
+//! The adder tree consumes one row per cycle, so the number of drained rows
+//! is the cycle cost of the weighted-accumulation stage; perfect
+//! concentration reaches `ceil(matched / width)` cycles.
+
+/// A concentration buffer folding diluted slots into adder-tree rows.
+///
+/// # Examples
+///
+/// ```
+/// use escalate_sparse::ConcentrationBuffer;
+///
+/// let mut buf = ConcentrationBuffer::new(4, 2, 1);
+/// buf.push_slots(&[Some(1.0), None, Some(2.0), None, None, Some(3.0)]);
+/// let (sum, stats) = buf.drain_sum();
+/// assert_eq!(sum, 6.0);
+/// // 3 elements fit one row of width 4 after concentration.
+/// assert_eq!(stats.rows_drained, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ConcentrationBuffer {
+    width: usize,
+    look_ahead: usize,
+    look_aside: usize,
+    rows: Vec<Vec<Option<f32>>>,
+    /// Column cursor for folding incoming slots.
+    cursor: usize,
+    stats: ConcentrationStats,
+}
+
+/// Counters describing the work done by a concentration buffer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConcentrationStats {
+    /// Rows fed to the adder tree (one per cycle).
+    pub rows_drained: usize,
+    /// Total elements delivered.
+    pub elements: usize,
+    /// Holes filled by look-ahead moves.
+    pub look_ahead_fills: usize,
+    /// Holes filled by look-aside moves.
+    pub look_aside_fills: usize,
+    /// Barrier flushes (forced drains at position boundaries).
+    pub barrier_flushes: usize,
+}
+
+impl ConcentrationStats {
+    /// Occupancy of the drained rows in `[0, 1]`; 1.0 means every adder-tree
+    /// input was used every cycle.
+    pub fn occupancy(&self, width: usize) -> f64 {
+        if self.rows_drained == 0 {
+            return 1.0;
+        }
+        self.elements as f64 / (self.rows_drained * width) as f64
+    }
+}
+
+impl ConcentrationBuffer {
+    /// Creates a buffer feeding an adder tree of the given `width`.
+    ///
+    /// `look_ahead` is how many rows below the head a column may pull from;
+    /// `look_aside` is how many neighbouring columns may donate an element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn new(width: usize, look_ahead: usize, look_aside: usize) -> Self {
+        assert!(width > 0, "adder tree width must be positive");
+        ConcentrationBuffer {
+            width,
+            look_ahead,
+            look_aside,
+            rows: Vec::new(),
+            cursor: 0,
+            stats: ConcentrationStats::default(),
+        }
+    }
+
+    /// Adder-tree width this buffer feeds.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Folds a diluted chunk's slots into the buffer, `width` per row.
+    pub fn push_slots(&mut self, slots: &[Option<f32>]) {
+        for &slot in slots {
+            if self.cursor == 0 {
+                self.rows.push(vec![None; self.width]);
+            }
+            let last = self.rows.last_mut().expect("row was just pushed");
+            last[self.cursor] = slot;
+            self.cursor = (self.cursor + 1) % self.width;
+        }
+    }
+
+    /// Number of buffered rows not yet drained.
+    pub fn pending_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Concentrates and drains every buffered row, returning the sum of all
+    /// delivered elements (the weighted accumulation this stage computes)
+    /// and the cumulative statistics.
+    pub fn drain_sum(&mut self) -> (f32, ConcentrationStats) {
+        let mut sum = 0.0f32;
+        while let Some(row) = self.drain_row() {
+            sum += row.iter().sum::<f32>();
+        }
+        (sum, self.stats)
+    }
+
+    /// Forces a barrier flush: everything buffered is drained (counted as a
+    /// flush) so elements of different output positions never mix.
+    pub fn barrier(&mut self) -> f32 {
+        if self.rows.is_empty() && self.cursor == 0 {
+            return 0.0;
+        }
+        self.stats.barrier_flushes += 1;
+        let (sum, _) = self.drain_sum();
+        self.cursor = 0;
+        sum
+    }
+
+    /// Cumulative statistics so far.
+    pub fn stats(&self) -> ConcentrationStats {
+        self.stats
+    }
+
+    /// Concentrates and drains exactly one adder-tree row, returning the
+    /// partial sum of its elements, or `None` when the buffer is empty.
+    /// This is the per-cycle operation of the hardware: one row enters the
+    /// reduction tree per clock.
+    pub fn drain_one(&mut self) -> Option<f32> {
+        self.drain_row().map(|row| row.iter().sum())
+    }
+
+    /// Concentrates the head row (fills holes via look-ahead/look-aside),
+    /// removes it, and returns its elements. Returns `None` when empty.
+    fn drain_row(&mut self) -> Option<Vec<f32>> {
+        if self.rows.is_empty() {
+            self.cursor = 0;
+            return None;
+        }
+        // Fill head-row holes.
+        for col in 0..self.width {
+            if self.rows[0][col].is_some() {
+                continue;
+            }
+            if let Some((r, c, ahead)) = self.find_donor(col) {
+                self.rows[0][col] = self.rows[r][c].take();
+                if ahead {
+                    self.stats.look_ahead_fills += 1;
+                } else {
+                    self.stats.look_aside_fills += 1;
+                }
+            }
+        }
+        let head = self.rows.remove(0);
+        // Drop rows that have become entirely empty after donations.
+        self.rows.retain(|r| r.iter().any(Option::is_some));
+        if self.rows.is_empty() {
+            self.cursor = 0;
+        }
+        let vals: Vec<f32> = head.into_iter().flatten().collect();
+        if vals.is_empty() {
+            // An all-hole row costs no adder-tree cycle; recurse to the next.
+            return self.drain_row();
+        }
+        self.stats.rows_drained += 1;
+        self.stats.elements += vals.len();
+        Some(vals)
+    }
+
+    /// Finds a donor element for a hole in the head row at `col`:
+    /// look-ahead first (same column, later rows), then look-aside
+    /// (adjacent columns within `look_aside`, later rows). Returns
+    /// `(row, col, was_look_ahead)`.
+    fn find_donor(&self, col: usize) -> Option<(usize, usize, bool)> {
+        let depth = self.rows.len().min(1 + self.look_ahead);
+        for r in 1..depth {
+            if self.rows[r][col].is_some() {
+                return Some((r, col, true));
+            }
+        }
+        for r in 1..depth {
+            for d in 1..=self.look_aside {
+                if col >= d && self.rows[r][col - d].is_some() {
+                    return Some((r, col - d, false));
+                }
+                if col + d < self.width && self.rows[r][col + d].is_some() {
+                    return Some((r, col + d, false));
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_slots_drain_at_full_occupancy() {
+        let mut buf = ConcentrationBuffer::new(4, 2, 1);
+        let slots: Vec<Option<f32>> = (0..8).map(|i| Some(i as f32)).collect();
+        buf.push_slots(&slots);
+        let (sum, stats) = buf.drain_sum();
+        assert_eq!(sum, 28.0);
+        assert_eq!(stats.rows_drained, 2);
+        assert_eq!(stats.occupancy(4), 1.0);
+    }
+
+    #[test]
+    fn holes_are_filled_by_look_ahead() {
+        let mut buf = ConcentrationBuffer::new(2, 4, 0);
+        // Column 0 has holes in row 0; row 1 donates.
+        buf.push_slots(&[None, Some(1.0), Some(2.0), Some(3.0)]);
+        let (sum, stats) = buf.drain_sum();
+        assert_eq!(sum, 6.0);
+        assert!(stats.look_ahead_fills > 0);
+        assert_eq!(stats.rows_drained, 2); // 3 elements, width 2 → 2 rows
+    }
+
+    #[test]
+    fn look_aside_fills_when_column_is_empty() {
+        let mut buf = ConcentrationBuffer::new(2, 4, 1);
+        // Column 1 never gets an element except via look-aside.
+        buf.push_slots(&[Some(1.0), None, Some(2.0), None, Some(3.0), None]);
+        let (sum, stats) = buf.drain_sum();
+        assert_eq!(sum, 6.0);
+        assert!(stats.look_aside_fills > 0, "expected look-aside moves: {stats:?}");
+        // Perfect concentration: ceil(3/2) = 2 rows.
+        assert_eq!(stats.rows_drained, 2);
+    }
+
+    #[test]
+    fn no_moves_without_windows() {
+        let mut buf = ConcentrationBuffer::new(2, 0, 0);
+        buf.push_slots(&[Some(1.0), None, None, Some(2.0)]);
+        let (sum, stats) = buf.drain_sum();
+        assert_eq!(sum, 3.0);
+        assert_eq!(stats.look_ahead_fills + stats.look_aside_fills, 0);
+        assert_eq!(stats.rows_drained, 2); // one element per row: no packing
+    }
+
+    #[test]
+    fn all_hole_rows_cost_nothing() {
+        let mut buf = ConcentrationBuffer::new(4, 2, 1);
+        buf.push_slots(&[None, None, None, None, Some(5.0)]);
+        let (sum, stats) = buf.drain_sum();
+        assert_eq!(sum, 5.0);
+        assert_eq!(stats.rows_drained, 1);
+    }
+
+    #[test]
+    fn barrier_flush_counts_and_resets() {
+        let mut buf = ConcentrationBuffer::new(4, 2, 1);
+        buf.push_slots(&[Some(1.0)]);
+        let s1 = buf.barrier();
+        assert_eq!(s1, 1.0);
+        assert_eq!(buf.stats().barrier_flushes, 1);
+        assert_eq!(buf.pending_rows(), 0);
+        // A barrier on an empty buffer is free.
+        assert_eq!(buf.barrier(), 0.0);
+        assert_eq!(buf.stats().barrier_flushes, 1);
+    }
+
+    #[test]
+    fn sum_is_preserved_regardless_of_windows() {
+        let slots: Vec<Option<f32>> = (0..40)
+            .map(|i| if i % 3 == 0 { Some((i as f32) * 0.5 - 3.0) } else { None })
+            .collect();
+        let expect: f32 = slots.iter().flatten().sum();
+        for (la, ls) in [(0, 0), (1, 0), (4, 1), (8, 2)] {
+            let mut buf = ConcentrationBuffer::new(8, la, ls);
+            buf.push_slots(&slots);
+            let (sum, _) = buf.drain_sum();
+            assert!((sum - expect).abs() < 1e-5, "la={la} ls={ls}");
+        }
+    }
+
+    #[test]
+    fn deeper_lookahead_never_hurts_cycles() {
+        let slots: Vec<Option<f32>> = (0..64)
+            .map(|i| if (i * 7) % 5 < 2 { Some(i as f32) } else { None })
+            .collect();
+        let mut last = usize::MAX;
+        for la in [0usize, 1, 2, 4, 8] {
+            let mut buf = ConcentrationBuffer::new(4, la, 1);
+            buf.push_slots(&slots);
+            let (_, stats) = buf.drain_sum();
+            assert!(stats.rows_drained <= last, "look-ahead {la} regressed");
+            last = stats.rows_drained;
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! The Dilution step (paper §4.2.2, Figure 4(c)).
+//!
+//! Dilution matches a chunk of compressed activations against the ternary
+//! coefficients of one accumulation, and filters out activations whose
+//! coefficient is zero. Filtering is done with two bit-gather operations:
+//! one producing the *filter mask* (which compressed activations survive)
+//! and one producing the *sign mask* (the sign of each surviving ternary
+//! coefficient). Because activations are wide (8/16 bits) and shuffling
+//! them is expensive, the survivors keep their "holes" — compacting them is
+//! deferred to the Concentration step.
+
+use crate::bitgather::{gather_bits_butterfly, gather_elements};
+
+/// One chunk of compressed activations and the coefficients they must be
+/// matched against.
+///
+/// Both sparse maps cover the same `width ≤ 64` dense positions of one
+/// (input-channel, m) stretch; values are stored compressed in position
+/// order, exactly as the SparseMap encoding delivers them.
+#[derive(Debug, Clone)]
+pub struct DilutionInput<'a> {
+    /// Nonzero activation values, in position order.
+    pub act_values: &'a [f32],
+    /// Activation sparse-map bits (bit `i` set ⇒ position `i` nonzero).
+    pub act_map: u64,
+    /// Signs of the nonzero ternary coefficients, in position order
+    /// (`true` = negative).
+    pub coef_signs: &'a [bool],
+    /// Coefficient sparse-map bits.
+    pub coef_map: u64,
+    /// Number of dense positions covered (≤ 64).
+    pub width: usize,
+}
+
+/// Result of diluting one chunk: the filtered activations with holes, plus
+/// the masks and the switching activity of the gather networks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DilutedChunk {
+    /// One slot per incoming nonzero activation: `Some(signed value)` when
+    /// the matching coefficient is nonzero, `None` (a hole) otherwise.
+    pub slots: Vec<Option<f32>>,
+    /// Number of surviving (matched) activations.
+    pub matched: usize,
+    /// Filter mask over compressed activations (bit `i` ⇒ `slots[i]` kept).
+    pub filter_mask: u64,
+    /// Sign mask over the surviving activations, in order.
+    pub sign_mask: u64,
+    /// Total gather-network switching activity (for the energy model).
+    pub gather_activity: u32,
+}
+
+/// Performs the dilution of one chunk.
+///
+/// # Panics
+///
+/// Panics if `width > 64`, if the popcount of a map disagrees with the
+/// number of provided values, or if map bits exist above `width`.
+///
+/// # Examples
+///
+/// ```
+/// use escalate_sparse::{dilute, DilutionInput};
+///
+/// // Positions:        0    1    2    3
+/// // Activations:     1.0   0   2.0  3.0   (map 0b1101)
+/// // Coefficients:    +1   -1    0   -1    (map 0b1011, signs of nonzeros)
+/// let out = dilute(&DilutionInput {
+///     act_values: &[1.0, 2.0, 3.0],
+///     act_map: 0b1101,
+///     coef_signs: &[false, true, true],
+///     coef_map: 0b1011,
+///     width: 4,
+/// });
+/// // Position 0 matches (+1.0), position 2 has no coefficient (hole),
+/// // position 3 matches with a negative coefficient (-3.0).
+/// assert_eq!(out.slots, vec![Some(1.0), None, Some(-3.0)]);
+/// ```
+pub fn dilute(input: &DilutionInput<'_>) -> DilutedChunk {
+    assert!(input.width <= 64, "dilution chunks are at most 64 positions");
+    let limit = if input.width == 64 { u64::MAX } else { (1u64 << input.width) - 1 };
+    assert_eq!(input.act_map & !limit, 0, "activation map has bits beyond width");
+    assert_eq!(input.coef_map & !limit, 0, "coefficient map has bits beyond width");
+    assert_eq!(
+        input.act_map.count_ones() as usize,
+        input.act_values.len(),
+        "activation map popcount must equal value count"
+    );
+    assert_eq!(
+        input.coef_map.count_ones() as usize,
+        input.coef_signs.len(),
+        "coefficient map popcount must equal sign count"
+    );
+
+    // Intersection of nonzero positions.
+    let inter = input.act_map & input.coef_map;
+
+    // Filter mask: for each compressed activation, does its coefficient
+    // survive? (gather the intersection with the activation map)
+    let filt = gather_bits_butterfly(inter, input.act_map);
+    // Coefficient mask: for each compressed coefficient, does its
+    // activation survive?
+    let coef = gather_bits_butterfly(inter, input.coef_map);
+
+    // Surviving coefficient signs, in order.
+    let surviving_signs = gather_elements(input.coef_signs, coef.gathered);
+    let mut sign_mask = 0u64;
+    for (i, &neg) in surviving_signs.iter().enumerate() {
+        if neg {
+            sign_mask |= 1u64 << i;
+        }
+    }
+
+    // Apply filter + sign to the activation chunk, keeping holes.
+    let mut slots = Vec::with_capacity(input.act_values.len());
+    let mut matched = 0usize;
+    for (i, &v) in input.act_values.iter().enumerate() {
+        if filt.gathered >> i & 1 == 1 {
+            let neg = sign_mask >> matched & 1 == 1;
+            slots.push(Some(if neg { -v } else { v }));
+            matched += 1;
+        } else {
+            slots.push(None);
+        }
+    }
+
+    DilutedChunk {
+        slots,
+        matched,
+        filter_mask: filt.gathered,
+        sign_mask,
+        gather_activity: filt.switch_activity() + coef.switch_activity(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn maps_from_dense(act: &[f32], coef: &[i8]) -> (Vec<f32>, u64, Vec<bool>, u64) {
+        let mut av = Vec::new();
+        let mut am = 0u64;
+        for (i, &a) in act.iter().enumerate() {
+            if a != 0.0 {
+                av.push(a);
+                am |= 1 << i;
+            }
+        }
+        let mut cs = Vec::new();
+        let mut cm = 0u64;
+        for (i, &c) in coef.iter().enumerate() {
+            if c != 0 {
+                cs.push(c < 0);
+                cm |= 1 << i;
+            }
+        }
+        (av, am, cs, cm)
+    }
+
+    /// Ground truth: the dense product act[i] * sign(coef[i]) restricted to
+    /// positions where both are nonzero.
+    fn dense_reference(act: &[f32], coef: &[i8]) -> Vec<f32> {
+        act.iter()
+            .zip(coef)
+            .filter(|&(&a, &c)| a != 0.0 && c != 0)
+            .map(|(&a, &c)| if c < 0 { -a } else { a })
+            .collect()
+    }
+
+    fn run(act: &[f32], coef: &[i8]) -> DilutedChunk {
+        let (av, am, cs, cm) = maps_from_dense(act, coef);
+        dilute(&DilutionInput {
+            act_values: &av,
+            act_map: am,
+            coef_signs: &cs,
+            coef_map: cm,
+            width: act.len(),
+        })
+    }
+
+    #[test]
+    fn matches_dense_reference_simple() {
+        let act = [1.0, 0.0, 2.0, 3.0, 0.0, 4.0];
+        let coef = [1i8, -1, 0, -1, 1, 1];
+        let out = run(&act, &coef);
+        let survivors: Vec<f32> = out.slots.iter().flatten().copied().collect();
+        assert_eq!(survivors, dense_reference(&act, &coef));
+    }
+
+    #[test]
+    fn empty_intersection_yields_all_holes() {
+        let act = [1.0, 0.0, 2.0, 0.0];
+        let coef = [0i8, 1, 0, -1];
+        let out = run(&act, &coef);
+        assert_eq!(out.matched, 0);
+        assert!(out.slots.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn full_overlap_keeps_everything() {
+        let act = [1.0, 2.0, 3.0];
+        let coef = [1i8, 1, -1];
+        let out = run(&act, &coef);
+        assert_eq!(out.matched, 3);
+        assert_eq!(out.slots, vec![Some(1.0), Some(2.0), Some(-3.0)]);
+    }
+
+    #[test]
+    fn signs_align_with_surviving_positions() {
+        // Coefficient at position 0 is negative but its activation is zero;
+        // the sign must NOT leak onto the survivor at position 2.
+        let act = [0.0, 0.0, 5.0];
+        let coef = [-1i8, 0, 1];
+        let out = run(&act, &coef);
+        assert_eq!(out.slots, vec![Some(5.0)]);
+    }
+
+    #[test]
+    fn holes_preserve_compressed_positions() {
+        let act = [1.0, 2.0, 3.0, 4.0];
+        let coef = [1i8, 0, 0, -1];
+        let out = run(&act, &coef);
+        assert_eq!(out.slots, vec![Some(1.0), None, None, Some(-4.0)]);
+        assert_eq!(out.filter_mask, 0b1001);
+    }
+
+    #[test]
+    fn exhaustive_small_widths() {
+        // Exhaustively check all activation/coefficient patterns at width 5.
+        for am_bits in 0u32..32 {
+            for cm_bits in 0u32..32 {
+                let act: Vec<f32> =
+                    (0..5).map(|i| if am_bits >> i & 1 == 1 { (i + 1) as f32 } else { 0.0 }).collect();
+                let coef: Vec<i8> =
+                    (0..5).map(|i| if cm_bits >> i & 1 == 1 { if i % 2 == 0 { 1 } else { -1 } } else { 0 }).collect();
+                let out = run(&act, &coef);
+                let survivors: Vec<f32> = out.slots.iter().flatten().copied().collect();
+                assert_eq!(survivors, dense_reference(&act, &coef), "am={am_bits:b} cm={cm_bits:b}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "popcount")]
+    fn mismatched_values_panic() {
+        let _ = dilute(&DilutionInput {
+            act_values: &[1.0],
+            act_map: 0b11,
+            coef_signs: &[],
+            coef_map: 0,
+            width: 2,
+        });
+    }
+}

@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! Sparse encodings and the bit-manipulation hardware primitives of the
+//! ESCALATE accelerator.
+//!
+//! This crate models Section 4.2 of the paper:
+//!
+//! - [`sparsemap`] — the SparseMap bitmask encoding (adopted from SparTen)
+//!   and the 2-level variant with 16-bit chunk presence bits, plus exact
+//!   storage-size accounting used for Table 1,
+//! - [`bitgather`] — the bit-gather operation, both as a functional
+//!   reference and as a stage-by-stage inverse-butterfly network model
+//!   (Figure 4(b)),
+//! - [`rolling`] — the rolling mask with implicit position barriers
+//!   (Figure 5),
+//! - [`dilution`] — the Dilution step matching activation chunks against
+//!   ternary coefficients with bit-wise AND + gather (Figure 4(c)),
+//! - [`concentration`] — the Concentration step filling holes via
+//!   column-wise look-ahead and look-aside (Figure 6),
+//! - [`csr`] — CSR/CSC encodings used as a storage-cost baseline.
+
+pub mod actcodec;
+pub mod bitgather;
+pub mod concentration;
+pub mod csr;
+pub mod dilution;
+pub mod maskpipe;
+pub mod rolling;
+pub mod sparsemap;
+
+pub use bitgather::{gather_bits, gather_bits_butterfly, GATHER_STAGES_64};
+pub use concentration::{ConcentrationBuffer, ConcentrationStats};
+pub use dilution::{dilute, DilutedChunk, DilutionInput};
+pub use maskpipe::{MaskPipeline, MaskWindow, PositionMaps};
+pub use rolling::RollingMask;
+pub use sparsemap::{SparseMap, TwoLevelSparseMap};

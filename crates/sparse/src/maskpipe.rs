@@ -1,0 +1,209 @@
+//! The mask-generation pipeline: rolling masks feeding the dilution
+//! datapath across chunk boundaries (paper §4.2.2, Figure 5).
+//!
+//! Mask generation (the bitwise ANDs and gathers over the sparse maps)
+//! runs ahead of the value stream, one 64-bit map word per pass. Because
+//! the nonzero distributions of activations and coefficients differ, the
+//! filter-mask bits produced by one pass rarely align with one bus-width
+//! value chunk — the rolling mask accumulates fragments and releases
+//! exactly chunk-sized windows, inserting an implicit barrier whenever a
+//! position's activations are exhausted so chunks of different positions
+//! are never filtered by each other's masks.
+
+use crate::bitgather::gather_bits;
+use crate::rolling::RollingMask;
+
+/// One position's sparse maps, as stored (64-bit words).
+#[derive(Debug, Clone)]
+pub struct PositionMaps {
+    /// Activation sparse map.
+    pub act_map: Vec<u64>,
+    /// Coefficient sparse map (same word count).
+    pub coef_map: Vec<u64>,
+    /// Dense positions covered.
+    pub width: usize,
+}
+
+/// A released window of filter-mask bits covering the next `len` nonzero
+/// activations of the current position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MaskWindow {
+    /// Filter bits (LSB = first activation in the window).
+    pub filter: u64,
+    /// Number of valid bits.
+    pub len: usize,
+    /// Whether this window ends its position (implicit barrier).
+    pub barrier: bool,
+}
+
+/// Streams positions' maps into chunk-aligned filter-mask windows.
+#[derive(Debug, Default)]
+pub struct MaskPipeline {
+    rolling: RollingMask,
+    /// Mask-generation passes performed (one per 64-bit map word).
+    passes: u64,
+}
+
+impl MaskPipeline {
+    /// Creates an empty pipeline.
+    pub fn new() -> Self {
+        MaskPipeline::default()
+    }
+
+    /// Mask-generation passes performed so far.
+    pub fn passes(&self) -> u64 {
+        self.passes
+    }
+
+    /// Processes one position: generates its filter mask word by word
+    /// (as the hardware does, ahead of the values) and releases
+    /// `chunk`-bit windows, with the final window flagged as a barrier.
+    ///
+    /// The filter mask is `gather(act ∧ coef, by act)`: one bit per
+    /// nonzero activation saying whether its coefficient survives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the maps' word counts disagree or `chunk` is 0 or > 64.
+    pub fn position_windows(&mut self, maps: &PositionMaps, chunk: usize) -> Vec<MaskWindow> {
+        assert!(chunk > 0 && chunk <= 64, "chunk width must be 1..=64");
+        assert_eq!(maps.act_map.len(), maps.coef_map.len(), "map word counts differ");
+        let total_nnz: usize = maps.act_map.iter().map(|w| w.count_ones() as usize).sum();
+        self.rolling.start_position(total_nnz);
+
+        let mut windows = Vec::new();
+        let mut emitted = 0usize;
+        for (aw, cw) in maps.act_map.iter().zip(&maps.coef_map) {
+            // One mask-generation pass per stored word.
+            self.passes += 1;
+            let inter = aw & cw;
+            let frag = gather_bits(inter, *aw);
+            let bits = aw.count_ones() as usize;
+            if bits > 0 {
+                self.rolling.push(frag, bits);
+            }
+            // Release as many full windows as the rolling mask can cover.
+            while self.rolling.remaining_in_position() > 0 {
+                let want = chunk.min(self.rolling.remaining_in_position());
+                if self.rolling.len() < want {
+                    break;
+                }
+                let (filter, len) = self
+                    .rolling
+                    .take_with_barrier(chunk)
+                    .expect("buffered bits cover the window");
+                emitted += len;
+                windows.push(MaskWindow {
+                    filter,
+                    len,
+                    barrier: emitted == total_nnz,
+                });
+            }
+        }
+        debug_assert_eq!(emitted, total_nnz, "every nonzero activation gets a mask bit");
+        windows
+    }
+}
+
+/// Reference: the position's whole filter mask computed in one shot.
+pub fn reference_filter_mask(maps: &PositionMaps) -> Vec<bool> {
+    let mut out = Vec::new();
+    for (aw, cw) in maps.act_map.iter().zip(&maps.coef_map) {
+        let mut word = *aw;
+        while word != 0 {
+            let b = word.trailing_zeros();
+            word &= word - 1;
+            out.push(cw >> b & 1 == 1);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn maps(act: &[u64], coef: &[u64], width: usize) -> PositionMaps {
+        PositionMaps { act_map: act.to_vec(), coef_map: coef.to_vec(), width }
+    }
+
+    fn windows_to_bits(windows: &[MaskWindow]) -> Vec<bool> {
+        let mut out = Vec::new();
+        for w in windows {
+            for i in 0..w.len {
+                out.push(w.filter >> i & 1 == 1);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn windows_reassemble_the_reference_mask() {
+        let m = maps(
+            &[0xF0F0_A5A5_0FF0_3C3C, 0x0000_FFFF_0000_1111],
+            &[0x1234_5678_9ABC_DEF0, 0xFFFF_0000_FFFF_FFFF],
+            128,
+        );
+        let mut pipe = MaskPipeline::new();
+        let windows = pipe.position_windows(&m, 16);
+        assert_eq!(windows_to_bits(&windows), reference_filter_mask(&m));
+        assert_eq!(pipe.passes(), 2);
+    }
+
+    #[test]
+    fn last_window_carries_the_barrier() {
+        let m = maps(&[0b1011_0110], &[0b1111_0000], 8);
+        let mut pipe = MaskPipeline::new();
+        let windows = pipe.position_windows(&m, 4);
+        assert!(!windows.is_empty());
+        assert!(windows.last().unwrap().barrier);
+        assert!(windows[..windows.len() - 1].iter().all(|w| !w.barrier));
+    }
+
+    #[test]
+    fn partial_final_window_when_nnz_not_chunk_aligned() {
+        // 5 nonzero activations, chunk width 4: windows of 4 and 1.
+        let m = maps(&[0b1011_0110], &[0b0000_1111], 8);
+        let mut pipe = MaskPipeline::new();
+        let windows = pipe.position_windows(&m, 4);
+        assert_eq!(windows.iter().map(|w| w.len).collect::<Vec<_>>(), vec![4, 1]);
+        assert_eq!(windows_to_bits(&windows), reference_filter_mask(&m));
+    }
+
+    #[test]
+    fn positions_never_mix_across_barriers() {
+        let a = maps(&[0b111], &[0b101], 3);
+        let b = maps(&[0b11_0000], &[0b10_0000], 6);
+        let mut pipe = MaskPipeline::new();
+        let wa = pipe.position_windows(&a, 4);
+        let wb = pipe.position_windows(&b, 4);
+        assert_eq!(windows_to_bits(&wa), reference_filter_mask(&a));
+        assert_eq!(windows_to_bits(&wb), reference_filter_mask(&b));
+        assert!(wa.last().unwrap().barrier && wb.last().unwrap().barrier);
+    }
+
+    #[test]
+    fn empty_position_produces_no_windows() {
+        let m = maps(&[0], &[0b1111], 4);
+        let mut pipe = MaskPipeline::new();
+        assert!(pipe.position_windows(&m, 4).is_empty());
+    }
+
+    #[test]
+    fn pseudorandom_streams_roundtrip() {
+        let mut state = 0xDEADBEEFu64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state
+        };
+        let mut pipe = MaskPipeline::new();
+        for _ in 0..200 {
+            let words = 1 + (next() % 3) as usize;
+            let act: Vec<u64> = (0..words).map(|_| next()).collect();
+            let coef: Vec<u64> = (0..words).map(|_| next()).collect();
+            let m = maps(&act, &coef, words * 64);
+            let windows = pipe.position_windows(&m, 16);
+            assert_eq!(windows_to_bits(&windows), reference_filter_mask(&m));
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! The rolling mask with implicit barriers (paper §4.2.2, Figure 5).
+//!
+//! The masks produced by one pass of the dilution gather networks may not
+//! cover the whole incoming activation chunk (the distribution of nonzeros
+//! differs between activations and coefficients). The rolling mask
+//! accumulates newly generated mask fragments — each left-shifted past the
+//! bits already held — and releases a window once enough bits exist to
+//! cover the current chunk. A per-position element counter inserts an
+//! *implicit barrier*: when all elements of the current input position have
+//! been covered, the window is split so activations of different positions
+//! are never filtered by one another's masks.
+
+/// Accumulates mask fragments and releases chunk-sized windows with
+/// position barriers.
+///
+/// # Examples
+///
+/// ```
+/// use escalate_sparse::RollingMask;
+///
+/// let mut rm = RollingMask::new();
+/// rm.push(0b101, 3);
+/// rm.push(0b11, 2);
+/// // 5 bits buffered; take a 4-bit window.
+/// assert_eq!(rm.take(4), Some(0b1101));
+/// assert_eq!(rm.len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RollingMask {
+    bits: u128,
+    len: usize,
+    /// Remaining elements of the current input position (for barriers).
+    remaining_in_position: usize,
+}
+
+impl RollingMask {
+    /// Creates an empty rolling mask.
+    pub fn new() -> Self {
+        RollingMask::default()
+    }
+
+    /// Number of buffered mask bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no bits are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends `count` freshly generated mask bits. The new fragment is
+    /// left-shifted past the existing bits and OR-ed in, exactly as the
+    /// hardware does.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 128 bits would be buffered or if `fragment` has
+    /// bits above `count`.
+    pub fn push(&mut self, fragment: u64, count: usize) {
+        assert!(self.len + count <= 128, "rolling mask overflow");
+        if count < 64 {
+            assert_eq!(fragment >> count, 0, "fragment has bits beyond its count");
+        }
+        self.bits |= (fragment as u128) << self.len;
+        self.len += count;
+    }
+
+    /// Takes a `width`-bit window from the front if enough bits are
+    /// buffered; returns `None` otherwise (the caller must push more
+    /// fragments first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 64`.
+    pub fn take(&mut self, width: usize) -> Option<u64> {
+        assert!(width <= 64, "windows are at most 64 bits");
+        if self.len < width {
+            return None;
+        }
+        let out = (self.bits & ((1u128 << width) - 1)) as u64;
+        self.bits >>= width;
+        self.len -= width;
+        Some(out)
+    }
+
+    /// Declares that the current input position still has `n` elements to
+    /// cover; used to detect barriers.
+    pub fn start_position(&mut self, n: usize) {
+        self.remaining_in_position = n;
+    }
+
+    /// Consumes a window of up to `width` bits, honouring the position
+    /// barrier: if fewer than `width` elements remain in the current
+    /// position, only that many bits are released (a partial window — the
+    /// paper's "two partially utilized cycles"). Returns the window and how
+    /// many bits it contains, or `None` if the buffer cannot cover it yet.
+    pub fn take_with_barrier(&mut self, width: usize) -> Option<(u64, usize)> {
+        let want = width.min(self.remaining_in_position.max(1));
+        let got = self.take(want)?;
+        self.remaining_in_position = self.remaining_in_position.saturating_sub(want);
+        Some((got, want))
+    }
+
+    /// Elements remaining before the current position's barrier.
+    pub fn remaining_in_position(&self) -> usize {
+        self.remaining_in_position
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_then_take_roundtrip() {
+        let mut rm = RollingMask::new();
+        rm.push(0b1011, 4);
+        assert_eq!(rm.take(4), Some(0b1011));
+        assert!(rm.is_empty());
+    }
+
+    #[test]
+    fn fragments_concatenate_in_order() {
+        let mut rm = RollingMask::new();
+        rm.push(0b01, 2);
+        rm.push(0b1, 1);
+        rm.push(0b10, 2);
+        // bits (LSB first): 1,0 | 1 | 0,1 → word 0b10101
+        assert_eq!(rm.take(5), Some(0b10101));
+    }
+
+    #[test]
+    fn take_requires_enough_bits() {
+        let mut rm = RollingMask::new();
+        rm.push(0b1, 1);
+        assert_eq!(rm.take(2), None);
+        rm.push(0b1, 1);
+        assert_eq!(rm.take(2), Some(0b11));
+    }
+
+    #[test]
+    fn window_consumes_front_only() {
+        let mut rm = RollingMask::new();
+        rm.push(0xFF, 8);
+        rm.push(0x00, 8);
+        assert_eq!(rm.take(8), Some(0xFF));
+        assert_eq!(rm.take(8), Some(0x00));
+    }
+
+    #[test]
+    fn barrier_splits_windows() {
+        let mut rm = RollingMask::new();
+        rm.start_position(3);
+        rm.push(0b111111, 6);
+        // Only 3 elements remain in the position, so a width-4 request
+        // returns a 3-bit partial window, then the barrier resets.
+        let (w, n) = rm.take_with_barrier(4).unwrap();
+        assert_eq!((w, n), (0b111, 3));
+        assert_eq!(rm.remaining_in_position(), 0);
+        // 3 bits remain buffered; the next position reuses them plus one more.
+        rm.start_position(10);
+        rm.push(0b0, 1);
+        let (w2, n2) = rm.take_with_barrier(4).unwrap();
+        assert_eq!(n2, 4);
+        assert_eq!(w2, 0b0111);
+    }
+
+    #[test]
+    fn full_windows_when_position_is_long() {
+        let mut rm = RollingMask::new();
+        rm.start_position(100);
+        rm.push(u64::MAX, 64);
+        let (w, n) = rm.take_with_barrier(16).unwrap();
+        assert_eq!(n, 16);
+        assert_eq!(w, 0xFFFF);
+        assert_eq!(rm.remaining_in_position(), 84);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn overflow_panics() {
+        let mut rm = RollingMask::new();
+        rm.push(0, 64);
+        rm.push(0, 64);
+        rm.push(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond its count")]
+    fn oversized_fragment_panics() {
+        let mut rm = RollingMask::new();
+        rm.push(0b100, 2);
+    }
+}

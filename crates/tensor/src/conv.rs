@@ -1,0 +1,280 @@
+//! Reference convolution operators.
+//!
+//! These are the ground-truth implementations of Eq. (1) of the paper (and
+//! its depthwise/pointwise variants) against which the decomposed and
+//! reorganized forms (Eqs. (2) and (3)) are validated. Inputs use `C×X×Y`
+//! layout; weights use `K×C×R×S`.
+
+use crate::Tensor;
+
+/// Output spatial size of a convolution along one axis.
+///
+/// `input` is the unpadded input size; the effective input is padded by
+/// `pad` on both sides.
+pub fn conv_out_size(input: usize, kernel: usize, stride: usize, pad: usize) -> usize {
+    assert!(stride > 0, "stride must be positive");
+    let padded = input + 2 * pad;
+    if padded < kernel {
+        0
+    } else {
+        (padded - kernel) / stride + 1
+    }
+}
+
+/// Direct 2-D convolution (cross-correlation, as in deep-learning practice).
+///
+/// `input` is `C×X×Y`, `weight` is `K×C×R×S`; the result is `K×X'×Y'` with
+/// `X' = conv_out_size(X, R, stride, pad)`.
+///
+/// # Panics
+///
+/// Panics if the channel counts of `input` and `weight` disagree or the
+/// tensors are not rank-3/rank-4 respectively.
+pub fn conv2d(input: &Tensor, weight: &Tensor, stride: usize, pad: usize) -> Tensor {
+    let [c, x, y]: [usize; 3] = input.shape().try_into().expect("input must be C*X*Y");
+    let [k, wc, r, s]: [usize; 4] = weight.shape().try_into().expect("weight must be K*C*R*S");
+    assert_eq!(c, wc, "input channels ({c}) != weight channels ({wc})");
+    let ox = conv_out_size(x, r, stride, pad);
+    let oy = conv_out_size(y, s, stride, pad);
+    let mut out = Tensor::zeros(&[k, ox, oy]);
+    let in_data = input.as_slice();
+    let w_data = weight.as_slice();
+    let out_data = out.as_mut_slice();
+    for ko in 0..k {
+        for ci in 0..c {
+            let w_base = (ko * c + ci) * r * s;
+            let in_base = ci * x * y;
+            for oxi in 0..ox {
+                for oyi in 0..oy {
+                    let mut acc = 0.0f32;
+                    for ri in 0..r {
+                        let ix = (oxi * stride + ri) as isize - pad as isize;
+                        if ix < 0 || ix as usize >= x {
+                            continue;
+                        }
+                        for si in 0..s {
+                            let iy = (oyi * stride + si) as isize - pad as isize;
+                            if iy < 0 || iy as usize >= y {
+                                continue;
+                            }
+                            acc += w_data[w_base + ri * s + si]
+                                * in_data[in_base + ix as usize * y + iy as usize];
+                        }
+                    }
+                    out_data[(ko * ox + oxi) * oy + oyi] += acc;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Depthwise 2-D convolution: one `R×S` kernel per input channel.
+///
+/// `input` is `C×X×Y`, `weight` is `C×R×S`; the result is `C×X'×Y'`.
+///
+/// # Panics
+///
+/// Panics on channel-count mismatch or wrong ranks.
+pub fn depthwise_conv2d(input: &Tensor, weight: &Tensor, stride: usize, pad: usize) -> Tensor {
+    let [c, x, y]: [usize; 3] = input.shape().try_into().expect("input must be C*X*Y");
+    let [wc, r, s]: [usize; 3] = weight.shape().try_into().expect("weight must be C*R*S");
+    assert_eq!(c, wc, "input channels ({c}) != weight channels ({wc})");
+    let ox = conv_out_size(x, r, stride, pad);
+    let oy = conv_out_size(y, s, stride, pad);
+    let mut out = Tensor::zeros(&[c, ox, oy]);
+    for ci in 0..c {
+        for oxi in 0..ox {
+            for oyi in 0..oy {
+                let mut acc = 0.0f32;
+                for ri in 0..r {
+                    let ix = (oxi * stride + ri) as isize - pad as isize;
+                    if ix < 0 || ix as usize >= x {
+                        continue;
+                    }
+                    for si in 0..s {
+                        let iy = (oyi * stride + si) as isize - pad as isize;
+                        if iy < 0 || iy as usize >= y {
+                            continue;
+                        }
+                        acc += weight.get(&[ci, ri, si]) * input.get(&[ci, ix as usize, iy as usize]);
+                    }
+                }
+                out.set(&[ci, oxi, oyi], acc);
+            }
+        }
+    }
+    out
+}
+
+/// Pointwise (1×1) convolution: a per-pixel linear map across channels.
+///
+/// `input` is `C×X×Y`, `weight` is `K×C`; the result is `K×X×Y`.
+///
+/// # Panics
+///
+/// Panics on channel-count mismatch or wrong ranks.
+pub fn pointwise_conv2d(input: &Tensor, weight: &crate::Matrix) -> Tensor {
+    let [c, x, y]: [usize; 3] = input.shape().try_into().expect("input must be C*X*Y");
+    assert_eq!(weight.cols(), c, "weight cols ({}) != input channels ({c})", weight.cols());
+    let k = weight.rows();
+    let mut out = Tensor::zeros(&[k, x, y]);
+    let plane = x * y;
+    let in_data = input.as_slice();
+    let out_data = out.as_mut_slice();
+    for ko in 0..k {
+        for ci in 0..c {
+            let w = weight.get(ko, ci);
+            if w == 0.0 {
+                continue;
+            }
+            let src = &in_data[ci * plane..(ci + 1) * plane];
+            let dst = &mut out_data[ko * plane..(ko + 1) * plane];
+            for (d, &s) in dst.iter_mut().zip(src) {
+                *d += w * s;
+            }
+        }
+    }
+    out
+}
+
+/// Single-channel 2-D convolution of one feature map with one kernel.
+///
+/// `input` is `X×Y`, `kernel` is `R×S`; result is `X'×Y'`. Used to express
+/// the basis convolutions of Eq. (3).
+pub fn conv2d_single(input: &Tensor, kernel: &Tensor, stride: usize, pad: usize) -> Tensor {
+    let [x, y]: [usize; 2] = input.shape().try_into().expect("input must be X*Y");
+    let [r, s]: [usize; 2] = kernel.shape().try_into().expect("kernel must be R*S");
+    let ox = conv_out_size(x, r, stride, pad);
+    let oy = conv_out_size(y, s, stride, pad);
+    let mut out = Tensor::zeros(&[ox, oy]);
+    for oxi in 0..ox {
+        for oyi in 0..oy {
+            let mut acc = 0.0f32;
+            for ri in 0..r {
+                let ix = (oxi * stride + ri) as isize - pad as isize;
+                if ix < 0 || ix as usize >= x {
+                    continue;
+                }
+                for si in 0..s {
+                    let iy = (oyi * stride + si) as isize - pad as isize;
+                    if iy < 0 || iy as usize >= y {
+                        continue;
+                    }
+                    acc += kernel.get(&[ri, si]) * input.get(&[ix as usize, iy as usize]);
+                }
+            }
+            out.set(&[oxi, oyi], acc);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Matrix;
+
+    #[test]
+    fn out_size_formula() {
+        assert_eq!(conv_out_size(32, 3, 1, 1), 32);
+        assert_eq!(conv_out_size(32, 3, 2, 1), 16);
+        assert_eq!(conv_out_size(7, 7, 1, 0), 1);
+        assert_eq!(conv_out_size(2, 5, 1, 0), 0);
+        assert_eq!(conv_out_size(224, 7, 2, 3), 112);
+    }
+
+    #[test]
+    fn identity_kernel_preserves_input() {
+        // 1x1 kernel with weight 1 reproduces the input exactly.
+        let input = Tensor::from_fn(&[2, 3, 3], |i| (i[0] * 9 + i[1] * 3 + i[2]) as f32);
+        let mut weight = Tensor::zeros(&[2, 2, 1, 1]);
+        weight.set(&[0, 0, 0, 0], 1.0);
+        weight.set(&[1, 1, 0, 0], 1.0);
+        let out = conv2d(&input, &weight, 1, 0);
+        assert_eq!(out, input);
+    }
+
+    #[test]
+    fn averaging_kernel_on_ones() {
+        let input = Tensor::ones(&[1, 5, 5]);
+        let weight = Tensor::from_fn(&[1, 1, 3, 3], |_| 1.0);
+        let out = conv2d(&input, &weight, 1, 0);
+        assert_eq!(out.shape(), &[1, 3, 3]);
+        assert!(out.as_slice().iter().all(|&v| (v - 9.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn padding_zeroes_contribute_nothing() {
+        let input = Tensor::ones(&[1, 3, 3]);
+        let weight = Tensor::from_fn(&[1, 1, 3, 3], |_| 1.0);
+        let out = conv2d(&input, &weight, 1, 1);
+        assert_eq!(out.shape(), &[1, 3, 3]);
+        // Center sees all 9 inputs; corners see only 4.
+        assert_eq!(out.get(&[0, 1, 1]), 9.0);
+        assert_eq!(out.get(&[0, 0, 0]), 4.0);
+        assert_eq!(out.get(&[0, 0, 1]), 6.0);
+    }
+
+    #[test]
+    fn stride_two_subsamples() {
+        let input = Tensor::from_fn(&[1, 4, 4], |i| (i[1] * 4 + i[2]) as f32);
+        let mut weight = Tensor::zeros(&[1, 1, 1, 1]);
+        weight.set(&[0, 0, 0, 0], 1.0);
+        let out = conv2d(&input, &weight, 2, 0);
+        assert_eq!(out.shape(), &[1, 2, 2]);
+        assert_eq!(out.get(&[0, 0, 0]), 0.0);
+        assert_eq!(out.get(&[0, 0, 1]), 2.0);
+        assert_eq!(out.get(&[0, 1, 0]), 8.0);
+        assert_eq!(out.get(&[0, 1, 1]), 10.0);
+    }
+
+    #[test]
+    fn conv_is_linear_in_input() {
+        let a = Tensor::from_fn(&[2, 4, 4], |i| (i[0] + i[1] * 2 + i[2]) as f32 * 0.1);
+        let b = Tensor::from_fn(&[2, 4, 4], |i| ((i[0] * 7 + i[1] + i[2] * 3) % 5) as f32 * 0.2);
+        let w = Tensor::from_fn(&[3, 2, 3, 3], |i| ((i[0] + i[1] + i[2] + i[3]) % 3) as f32 - 1.0);
+        let lhs = conv2d(&a.add(&b), &w, 1, 1);
+        let rhs = conv2d(&a, &w, 1, 1).add(&conv2d(&b, &w, 1, 1));
+        assert!(lhs.all_close(&rhs, 1e-4));
+    }
+
+    #[test]
+    fn depthwise_matches_grouped_direct() {
+        // A depthwise conv equals a direct conv with a block-diagonal weight.
+        let input = Tensor::from_fn(&[3, 5, 5], |i| ((i[0] * 11 + i[1] * 3 + i[2]) % 7) as f32);
+        let dw = Tensor::from_fn(&[3, 3, 3], |i| ((i[0] + i[1] * 2 + i[2]) % 4) as f32 - 1.5);
+        let mut full = Tensor::zeros(&[3, 3, 3, 3]);
+        for c in 0..3 {
+            for r in 0..3 {
+                for s in 0..3 {
+                    full.set(&[c, c, r, s], dw.get(&[c, r, s]));
+                }
+            }
+        }
+        let a = depthwise_conv2d(&input, &dw, 1, 1);
+        let b = conv2d(&input, &full, 1, 1);
+        assert!(a.all_close(&b, 1e-5));
+    }
+
+    #[test]
+    fn pointwise_matches_one_by_one_direct() {
+        let input = Tensor::from_fn(&[4, 3, 3], |i| (i[0] * 9 + i[1] * 3 + i[2]) as f32 * 0.05);
+        let w = Matrix::from_vec(2, 4, (0..8).map(|i| i as f32 * 0.3 - 1.0).collect());
+        let full = Tensor::from_fn(&[2, 4, 1, 1], |i| w.get(i[0], i[1]));
+        let a = pointwise_conv2d(&input, &w);
+        let b = conv2d(&input, &full, 1, 0);
+        assert!(a.all_close(&b, 1e-5));
+    }
+
+    #[test]
+    fn single_channel_matches_direct() {
+        let input2d = Tensor::from_fn(&[6, 6], |i| ((i[0] * 5 + i[1]) % 9) as f32);
+        let kern = Tensor::from_fn(&[3, 3], |i| (i[0] * 3 + i[1]) as f32 * 0.1);
+        let input3d = input2d.reshape(&[1, 6, 6]);
+        let w4d = kern.reshape(&[1, 1, 3, 3]);
+        let a = conv2d_single(&input2d, &kern, 1, 1);
+        let b = conv2d(&input3d, &w4d, 1, 1);
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+}

@@ -1,0 +1,50 @@
+//! Compress a whole network: the ResNet18 (CIFAR-10) pipeline with
+//! per-layer reporting — the programmatic version of the Table 1 row.
+//!
+//! Run with: `cargo run --release --example compress_resnet18`
+
+use escalate::algo::pipeline::{accuracy_proxy, CompressionConfig};
+use escalate::algo::compress_model;
+use escalate::models::ModelProfile;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let profile = ModelProfile::for_model("ResNet18").expect("known model");
+    let cfg = CompressionConfig {
+        // Enable a short quantization-aware retraining pass per layer.
+        qat_epochs: 10,
+        ..CompressionConfig::default()
+    };
+    let result = compress_model(&profile, &cfg)?;
+
+    println!("{} ({}):", result.model_name, profile.dataset);
+    println!();
+    println!(
+        "{:<22} {:>10} {:>10} {:>8} {:>8}",
+        "layer", "params", "bits", "spar%", "ratio"
+    );
+    for l in &result.layers {
+        println!(
+            "{:<22} {:>10} {:>10} {:>7.1}% {:>7.1}x{}",
+            l.name,
+            l.original_params,
+            l.compressed_bits,
+            l.coeff_sparsity() * 100.0,
+            l.compression_ratio(),
+            if l.decomposed { "" } else { "  (dense 8-bit)" },
+        );
+    }
+    println!();
+    println!(
+        "model: {:.2}x compression, {:.2}% coefficient sparsity, {:.2}% pruned",
+        result.compression_ratio(),
+        result.coeff_sparsity() * 100.0,
+        result.pruning_ratio() * 100.0
+    );
+    println!(
+        "weight error {:.3} -> proxy top-1 {:.2}% (baseline {:.2}%)",
+        result.mean_weight_error(),
+        accuracy_proxy(profile.baseline_top1, result.mean_weight_error()),
+        profile.baseline_top1
+    );
+    Ok(())
+}

@@ -1,0 +1,78 @@
+//! End-to-end quantized inference: a three-layer synthetic CNN pushed
+//! through the complete ESCALATE algorithm — decomposition, hybrid
+//! quantization, the reorganized Eq.(3) forward pass, ReLU, and per-
+//! channel output requantization between layers — compared against the
+//! fp32 reference at each stage.
+//!
+//! Run with: `cargo run --release --example quantized_network`
+
+use escalate::algo::quant::{requantize_output, threshold_for_sparsity, HybridQuantized};
+use escalate::algo::reorg::forward_eq3;
+use escalate::algo::decompose;
+use escalate::models::{synth, LayerShape, Model};
+use escalate::tensor::conv::conv2d;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small three-stage network, validated as a consistent graph.
+    let layers = vec![
+        LayerShape::conv("stage1", 8, 16, 16, 16, 3, 1, 1),
+        LayerShape::conv("stage2", 16, 24, 16, 16, 3, 2, 1),
+        LayerShape::conv("stage3", 24, 32, 8, 8, 3, 1, 1),
+    ];
+    let net = Model::new("demo-net", layers.clone());
+    net.validate().map_err(|e| format!("invalid network: {e}"))?;
+
+    let input = synth::activations(&layers[0], 0.4, 3);
+    println!("three-layer network, 90% coefficient sparsity, 8-bit inter-layer maps");
+    println!();
+    println!(
+        "{:<10} {:>8} {:>12} {:>14} {:>16}",
+        "layer", "spar%", "comp ratio", "stage err", "cumulative err"
+    );
+
+    let mut reference = input.clone();
+    let mut quantized = input;
+    for layer in &layers {
+        let w = synth::weights(layer, 6, 0.05, 100 + layer.k as u64);
+        let d = decompose(&w, 6)?;
+        let t = threshold_for_sparsity(&d.coeffs, 0.90);
+        let h = HybridQuantized::quantize(&d, t)?;
+
+        // fp32 reference path: dense conv + ReLU.
+        let ref_out = conv2d(&reference, &w, layer.stride, layer.pad).relu();
+
+        // Quantized path: reorganized decomposed conv with ternary
+        // coefficients, ReLU, then 8-bit per-channel requantization (the
+        // form the next layer's SparseMap encoder consumes).
+        let (q_out, _) = forward_eq3(&h.to_decomposed(), &quantized, layer.stride, layer.pad);
+        let (q_out, _scales) = requantize_output(&q_out.relu(), 8)?;
+
+        // Stage error: quantized layer applied to the *reference* input,
+        // isolating this layer's quantization from upstream drift.
+        let (stage, _) = forward_eq3(&h.to_decomposed(), &reference, layer.stride, layer.pad);
+        let stage_err = ref_out.relative_error(&stage.relu());
+        let cumulative = ref_out.relative_error(&q_out);
+
+        let orig_bits = w.len() * 32;
+        let comp_bits =
+            h.basis.size_bits() + escalate::algo::pipeline::ternary_storage_bits(&h.coeffs);
+        println!(
+            "{:<10} {:>7.1}% {:>11.1}x {:>14.3} {:>16.3}",
+            layer.name,
+            h.coeffs.sparsity() * 100.0,
+            orig_bits as f64 / comp_bits as f64,
+            stage_err,
+            cumulative,
+        );
+
+        reference = ref_out;
+        quantized = q_out;
+    }
+
+    println!();
+    println!("Per-stage error stays at the single-layer ternarization level; the");
+    println!("cumulative drift grows sub-linearly because ReLU and the per-channel");
+    println!("requantization re-normalize each stage (the §3.2 design). In the real");
+    println!("pipeline, retraining absorbs this drift into the task loss.");
+    Ok(())
+}

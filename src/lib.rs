@@ -1,0 +1,18 @@
+//! Facade crate re-exporting the full ESCALATE reproduction workspace.
+//!
+//! See the individual crates for details:
+//! - [`tensor`] — tensor & linear algebra substrate
+//! - [`models`] — CNN model zoo and synthetic workload generators
+//! - [`algo`] — the ESCALATE compression algorithm (kernel decomposition,
+//!   computation reorganization, hybrid quantization)
+//! - [`sparse`] — SparseMap encodings and bit-gather hardware models
+//! - [`sim`] — the cycle-level ESCALATE accelerator simulator
+//! - [`baselines`] — Eyeriss / SCNN / SparTen baseline simulators
+//! - [`energy`] — energy and area models
+pub use escalate_baselines as baselines;
+pub use escalate_core as algo;
+pub use escalate_energy as energy;
+pub use escalate_models as models;
+pub use escalate_sim as sim;
+pub use escalate_sparse as sparse;
+pub use escalate_tensor as tensor;

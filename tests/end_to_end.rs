@@ -1,0 +1,104 @@
+//! End-to-end integration: compression pipeline → workload → simulator →
+//! energy model, exercised through the public facade API exactly as a
+//! downstream user would drive it.
+
+use escalate::algo::pipeline::CompressionConfig;
+use escalate::algo::compress_model_artifacts;
+use escalate::energy::{layer_energy, model_energy, BufferCaps, UnitEnergy};
+use escalate::models::ModelProfile;
+use escalate::sim::{simulate_model, SimConfig, Workload, WorkloadMode};
+
+fn mobilenet_run() -> (escalate::sim::ModelStats, Vec<escalate::algo::CompressedLayer>) {
+    let profile = ModelProfile::for_model("MobileNet").expect("known model");
+    let artifacts =
+        compress_model_artifacts(&profile, &CompressionConfig::default()).expect("compression succeeds");
+    let workload = Workload::from_artifacts("MobileNet", &artifacts, &profile);
+    (simulate_model(&workload, &SimConfig::default(), 0), artifacts)
+}
+
+#[test]
+fn simulation_covers_every_compressed_unit() {
+    let (stats, artifacts) = mobilenet_run();
+    assert_eq!(stats.layers.len(), artifacts.len());
+    for (s, a) in stats.layers.iter().zip(&artifacts) {
+        assert_eq!(s.name, a.stats.name);
+        assert!(s.cycles > 0, "{}", s.name);
+        assert_eq!(s.fallback, a.quantized.is_none(), "{}", s.name);
+    }
+}
+
+#[test]
+fn dram_weight_traffic_equals_compressed_size() {
+    let (stats, artifacts) = mobilenet_run();
+    for (s, a) in stats.layers.iter().zip(&artifacts) {
+        assert_eq!(
+            s.dram.weights,
+            (a.stats.compressed_bits as u64).div_ceil(8),
+            "{}: weights stream once, compressed",
+            s.name
+        );
+    }
+}
+
+#[test]
+fn mac_ops_respect_the_decomposed_compute_model() {
+    let profile = ModelProfile::for_model("MobileNet").expect("known model");
+    let artifacts =
+        compress_model_artifacts(&profile, &CompressionConfig::default()).expect("compression succeeds");
+    let workload = Workload::from_artifacts("MobileNet", &artifacts, &profile);
+    let stats = simulate_model(&workload, &SimConfig::default(), 0);
+    for (lw, s) in workload.layers.iter().zip(&stats.layers) {
+        if let WorkloadMode::Decomposed(masks) = &lw.mode {
+            // K × positions × M × ceil(RS / stride²) MAC operations.
+            let rs_eff = (lw.shape.r * lw.shape.s).div_ceil(lw.shape.stride * lw.shape.stride);
+            let expect = (masks.k() * lw.positions() * masks.m() * rs_eff) as u64;
+            assert_eq!(s.mac_ops, expect, "{}", s.name);
+        }
+    }
+}
+
+#[test]
+fn energy_model_is_consistent_across_granularities() {
+    let (stats, _) = mobilenet_run();
+    let caps = BufferCaps::default();
+    let units = UnitEnergy::table3();
+    let total = model_energy(&stats, &caps, &units);
+    let summed: f64 = stats.layers.iter().map(|l| layer_energy(l, &caps, &units).total_pj()).sum();
+    assert!((total.total_pj() - summed).abs() / summed < 1e-9);
+    assert!(total.total_pj() > 0.0);
+    // DRAM energy follows the Table 3 constant exactly.
+    assert!((total.dram_pj - stats.total_dram().total() as f64 * 100.0).abs() < 1e-6);
+}
+
+#[test]
+fn simulation_is_deterministic_per_seed() {
+    let profile = ModelProfile::for_model("MobileNet").expect("known model");
+    let artifacts =
+        compress_model_artifacts(&profile, &CompressionConfig::default()).expect("compression succeeds");
+    let workload = Workload::from_artifacts("MobileNet", &artifacts, &profile);
+    let a = simulate_model(&workload, &SimConfig::default(), 3);
+    let b = simulate_model(&workload, &SimConfig::default(), 3);
+    assert_eq!(a.total_cycles(), b.total_cycles());
+    assert_eq!(a.total_dram(), b.total_dram());
+    // Different input seeds change cycles (activation draw) but not the
+    // deterministic op counts.
+    let c = simulate_model(&workload, &SimConfig::default(), 4);
+    assert_eq!(a.total_mac_ops(), c.total_mac_ops());
+}
+
+#[test]
+fn dsc_pairs_are_fused_into_single_units() {
+    let (_, artifacts) = mobilenet_run();
+    let fused = artifacts.iter().filter(|a| a.fused_pointwise.is_some()).count();
+    assert_eq!(fused, 13, "MobileNet has 13 dw+pw pairs");
+    for a in &artifacts {
+        if let Some(pw) = &a.fused_pointwise {
+            assert_eq!(a.out_channels(), pw.k);
+            let q = a.quantized.as_ref().expect("fused units carry artifacts");
+            let [k, c, m] = q.coeffs.shape();
+            assert_eq!(k, pw.k);
+            assert_eq!(c, a.shape.c);
+            assert!(m <= 6);
+        }
+    }
+}

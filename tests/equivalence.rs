@@ -1,0 +1,155 @@
+//! Cross-crate numerical equivalence: the decomposed, reorganized, and
+//! quantized computation paths must all approximate the dense reference
+//! convolution, across layer shapes, strides, and paddings.
+
+use escalate::algo::dsc::{decompose_dsc, dsc_forward};
+use escalate::algo::quant::HybridQuantized;
+use escalate::algo::reorg::{forward_eq2, forward_eq3};
+use escalate::algo::decompose;
+use escalate::models::{synth, LayerShape};
+use escalate::tensor::conv::conv2d;
+
+fn layer_cases() -> Vec<LayerShape> {
+    vec![
+        LayerShape::conv("s1", 8, 16, 12, 12, 3, 1, 1),
+        LayerShape::conv("s2", 16, 8, 13, 13, 3, 2, 1),
+        LayerShape::conv("5x5", 4, 6, 10, 10, 5, 1, 2),
+        LayerShape::conv("nopad", 6, 6, 9, 9, 3, 1, 0),
+    ]
+}
+
+#[test]
+fn decomposed_orders_match_direct_convolution_at_full_rank() {
+    for layer in layer_cases() {
+        let rs = layer.r * layer.s;
+        let w = synth::weights(&layer, rs, 0.2, 11);
+        let d = decompose(&w, rs).expect("full-rank decomposition");
+        let input = synth::activations(&layer, 0.4, 3);
+        let direct = conv2d(&input, &w, layer.stride, layer.pad);
+        let (o2, _) = forward_eq2(&d, &input, layer.stride, layer.pad);
+        let (o3, _) = forward_eq3(&d, &input, layer.stride, layer.pad);
+        assert!(
+            direct.all_close(&o2, 1e-2),
+            "{}: eq2 err {}",
+            layer.name,
+            direct.relative_error(&o2)
+        );
+        assert!(
+            direct.all_close(&o3, 1e-2),
+            "{}: eq3 err {}",
+            layer.name,
+            direct.relative_error(&o3)
+        );
+    }
+}
+
+#[test]
+fn truncation_error_is_graceful_on_low_rank_weights() {
+    let layer = LayerShape::conv("t", 12, 24, 10, 10, 3, 1, 1);
+    // Weights with true rank 4: M = 4 should be near-exact, M = 2 lossy
+    // but bounded.
+    let w = synth::weights(&layer, 4, 0.0, 5);
+    let input = synth::activations(&layer, 0.5, 9);
+    let direct = conv2d(&input, &w, 1, 1);
+    let d4 = decompose(&w, 4).expect("decomposition succeeds");
+    let (o4, _) = forward_eq3(&d4, &input, 1, 1);
+    assert!(direct.relative_error(&o4) < 1e-2);
+    let d2 = decompose(&w, 2).expect("decomposition succeeds");
+    let (o2, _) = forward_eq3(&d2, &input, 1, 1);
+    let e2 = direct.relative_error(&o2);
+    assert!(e2 > 1e-3 && e2 < 1.0, "rank-2 error should be lossy but bounded: {e2}");
+}
+
+#[test]
+fn hybrid_quantized_forward_is_bounded_and_qat_improves_it() {
+    use escalate::algo::qat::{retrain_coeffs, QatConfig};
+    let layer = LayerShape::conv("q", 16, 16, 8, 8, 3, 1, 1);
+    let w = synth::weights(&layer, 6, 0.05, 21);
+    let d = decompose(&w, 6).expect("decomposition succeeds");
+    let input = synth::activations(&layer, 0.5, 2);
+    let (reference, _) = forward_eq3(&d, &input, 1, 1);
+
+    // Post-training ternarization (threshold 0 keeps every coefficient) is
+    // coarse but bounded...
+    let h = HybridQuantized::quantize(&d, 0.0).expect("valid threshold");
+    let (quantized, _) = forward_eq3(&h.to_decomposed(), &input, 1, 1);
+    let ptq_err = reference.relative_error(&quantized);
+    assert!(ptq_err < 1.0, "ternary PTQ error out of range: {ptq_err}");
+
+    // ...and quantization-aware retraining tightens it.
+    let qat = retrain_coeffs(&d.coeffs, &QatConfig { epochs: 120, threshold: 0.0, ..QatConfig::default() })
+        .expect("retraining succeeds");
+    let mut dq = d.clone();
+    dq.coeffs = qat.coeffs.dequantize();
+    let (retrained, _) = forward_eq3(&dq, &input, 1, 1);
+    let qat_err = reference.relative_error(&retrained);
+    assert!(
+        qat_err <= ptq_err + 1e-4,
+        "QAT should not be worse: {qat_err} vs {ptq_err}"
+    );
+}
+
+#[test]
+fn dsc_decomposition_matches_depthwise_separable_reference() {
+    let c = 10;
+    let k = 14;
+    let dw = synth::weights(&LayerShape::dwconv("dw", c, 8, 8, 3, 1, 1), 9, 0.3, 31);
+    let pw = synth::pointwise_weights(c, k, 32);
+    let input = synth::activations(&LayerShape::dwconv("dw", c, 8, 8, 3, 1, 1), 0.4, 8);
+    let reference = dsc_forward(&input, &dw, &pw, 1, 1);
+    let d = decompose_dsc(&dw, &pw, 9).expect("full-rank DSC decomposition");
+    let (ours, _) = forward_eq3(&d, &input, 1, 1);
+    assert!(
+        reference.all_close(&ours, 1e-2),
+        "DSC unified form diverges: {}",
+        reference.relative_error(&ours)
+    );
+}
+
+#[test]
+fn two_layer_chain_with_output_requantization() {
+    use escalate::algo::quant::requantize_output;
+    // A two-layer chain: the inter-layer feature map is re-quantized to
+    // 8 bits per channel (§3.2) and must barely perturb the final output.
+    let l1 = LayerShape::conv("l1", 8, 12, 10, 10, 3, 1, 1);
+    let l2 = LayerShape::conv("l2", 12, 10, 10, 10, 3, 1, 1);
+    let w1 = synth::weights(&l1, 9, 0.2, 41);
+    let w2 = synth::weights(&l2, 9, 0.2, 43);
+    let input = synth::activations(&l1, 0.4, 6);
+
+    let mid = conv2d(&input, &w1, 1, 1).relu();
+    let reference = conv2d(&mid, &w2, 1, 1);
+
+    let (mid_q, scales) = requantize_output(&mid, 8).expect("valid bits");
+    assert_eq!(scales.len(), 12);
+    let quantized = conv2d(&mid_q, &w2, 1, 1);
+
+    let err = reference.relative_error(&quantized);
+    assert!(err < 0.02, "8-bit inter-layer requantization error too large: {err}");
+    // 4-bit requantization is visibly worse but still bounded.
+    let (mid_q4, _) = requantize_output(&mid, 4).expect("valid bits");
+    let q4 = conv2d(&mid_q4, &w2, 1, 1);
+    let err4 = reference.relative_error(&q4);
+    assert!(err4 > err && err4 < 0.3, "4-bit error {err4}");
+}
+
+#[test]
+fn sparsified_coefficients_degrade_smoothly() {
+    use escalate::algo::quant::{threshold_for_sparsity, TernaryCoeffs};
+    let layer = LayerShape::conv("sp", 24, 24, 8, 8, 3, 1, 1);
+    let w = synth::weights(&layer, 6, 0.05, 77);
+    let d = decompose(&w, 6).expect("decomposition succeeds");
+    let input = synth::activations(&layer, 0.5, 4);
+    let (reference, _) = forward_eq3(&d, &input, 1, 1);
+    let mut last_err = 0.0f32;
+    for target in [0.5f64, 0.8, 0.95] {
+        let t = threshold_for_sparsity(&d.coeffs, target);
+        let tern = TernaryCoeffs::ternarize(&d.coeffs, t).expect("valid threshold");
+        let mut dq = d.clone();
+        dq.coeffs = tern.dequantize();
+        let (out, _) = forward_eq3(&dq, &input, 1, 1);
+        let err = reference.relative_error(&out);
+        assert!(err >= last_err - 0.05, "error should not collapse as sparsity grows");
+        last_err = err;
+    }
+}

@@ -1,0 +1,91 @@
+//! Cross-crate property-based tests on randomized layer shapes.
+
+use escalate::algo::quant::{threshold_for_sparsity, TernaryCoeffs};
+use escalate::algo::reorg::{forward_eq2, forward_eq3};
+use escalate::algo::decompose;
+use escalate::models::{synth, LayerShape};
+use escalate::sim::workload::CoefMasks;
+use escalate::sim::{simulate_layer, LayerWorkload, SimConfig, WorkloadMode};
+use proptest::prelude::*;
+
+fn small_layer() -> impl Strategy<Value = LayerShape> {
+    (2usize..10, 2usize..12, 5usize..9, 1usize..3).prop_map(|(c, k, x, stride)| {
+        LayerShape::conv("prop", c, k, x, x, 3, stride, 1)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Eq.(2) and Eq.(3) agree on arbitrary small layers.
+    #[test]
+    fn computation_orders_agree(layer in small_layer(), m in 1usize..9, seed in 0u64..1000) {
+        let w = synth::weights(&layer, 9, 0.2, seed);
+        let d = decompose(&w, m).expect("decomposition succeeds");
+        let input = synth::activations(&layer, 0.5, seed);
+        let (o2, _) = forward_eq2(&d, &input, layer.stride, layer.pad);
+        let (o3, _) = forward_eq3(&d, &input, layer.stride, layer.pad);
+        prop_assert!(o2.all_close(&o3, 1e-2), "rel err {}", o2.relative_error(&o3));
+    }
+
+    /// Ternarization hits any requested sparsity within tolerance on
+    /// continuous coefficients, and dequantization preserves the pattern.
+    #[test]
+    fn ternarization_sparsity_control(k in 2usize..12, c in 2usize..12, target in 0.1f64..0.95) {
+        let coeffs = escalate::tensor::Tensor::from_fn(&[k, c, 6], |i| {
+            ((i[0] * 97 + i[1] * 31 + i[2] * 7) as f32 * 0.613).sin()
+        });
+        let t = threshold_for_sparsity(&coeffs, target);
+        let tern = TernaryCoeffs::ternarize(&coeffs, t).expect("valid threshold");
+        prop_assert!((tern.sparsity() - target).abs() < 0.12,
+            "target {target} got {}", tern.sparsity());
+        let deq = tern.dequantize();
+        for (q, v) in tern.ternary.iter().zip(deq.as_slice()) {
+            prop_assert_eq!(*q == 0, *v == 0.0);
+        }
+    }
+
+    /// The simulator is monotone in activation density: more nonzero
+    /// activations never reduce cycles.
+    #[test]
+    fn simulator_monotone_in_activation_density(seed in 0u64..50) {
+        let coeffs = escalate::tensor::Tensor::from_fn(&[32, 64, 6], |i| {
+            if (i[0] * 131 + i[1] * 17 + i[2]) % 10 < 8 { 0.0 } else { 1.0 }
+        });
+        let t = TernaryCoeffs::ternarize(&coeffs, 0.0).expect("valid threshold");
+        let mk = |sa: f64| LayerWorkload {
+            name: "prop".into(),
+            shape: LayerShape::conv("prop", 64, 32, 12, 12, 3, 1, 1),
+            out_channels: 32,
+            mode: WorkloadMode::Decomposed(CoefMasks::from_ternary(&t)),
+            act_sparsity: sa,
+            out_sparsity: sa,
+            weight_bytes: 100,
+        };
+        let cfg = SimConfig::default();
+        let dense = simulate_layer(&mk(0.1), &cfg, seed);
+        let sparse = simulate_layer(&mk(0.9), &cfg, seed);
+        prop_assert!(dense.cycles >= sparse.cycles,
+            "dense {} < sparse {}", dense.cycles, sparse.cycles);
+        prop_assert!(dense.ca_adds >= sparse.ca_adds);
+    }
+
+    /// Compression accounting is internally consistent for any layer and
+    /// sparsity target.
+    #[test]
+    fn compression_accounting_invariants(
+        layer in small_layer(),
+        target in 0.3f64..0.98,
+        seed in 0u64..100,
+    ) {
+        use escalate::algo::pipeline::{compress_layer, CompressionConfig};
+        let lc = compress_layer(&layer, &CompressionConfig::default(), target, seed)
+            .expect("compression succeeds");
+        prop_assert_eq!(lc.original_bits, lc.original_params * 32);
+        prop_assert!(lc.compressed_bits > 0);
+        prop_assert!(lc.coeff_nnz <= lc.coeff_total);
+        prop_assert!(lc.remaining_params <= lc.original_params + lc.coeff_total);
+        prop_assert!(lc.weight_error.is_finite());
+        prop_assert!((0.0..=1.0).contains(&lc.coeff_sparsity()));
+    }
+}
