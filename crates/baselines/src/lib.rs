@@ -31,8 +31,9 @@ use escalate_sim::ModelStats;
 /// A baseline accelerator that can simulate a whole model.
 ///
 /// The trait is object-safe so harnesses can iterate over a heterogeneous
-/// accelerator list.
-pub trait Accelerator {
+/// accelerator list. The `Sync` bound lets those harnesses fan input
+/// seeds out across threads against a shared accelerator instance.
+pub trait Accelerator: Sync {
     /// Accelerator display name.
     fn name(&self) -> &'static str;
 

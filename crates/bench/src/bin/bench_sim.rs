@@ -1,0 +1,67 @@
+//! Emits `BENCH_sim.json`: wall-clock of the full MobileNet
+//! four-accelerator grid (ESCALATE + Eyeriss + SCNN + SparTen over the
+//! configured input seeds), once forced sequential (`threads = 1`) and
+//! once on the full thread pool, plus the resulting speedup. The two runs
+//! are asserted bit-identical before anything is written, so the file also
+//! certifies the determinism contract of the parallel harness.
+//!
+//! Usage: `bench_sim [output-path]` (default `BENCH_sim.json`).
+
+use escalate_bench::{input_seeds, run_model, ModelRun};
+use escalate_models::ModelProfile;
+use escalate_sim::SimConfig;
+use std::time::Instant;
+
+/// Panics unless the two grids produced bit-identical results.
+fn assert_identical(seq: &ModelRun, par: &ModelRun) {
+    for (s, p) in [
+        (&seq.escalate, &par.escalate),
+        (&seq.eyeriss, &par.eyeriss),
+        (&seq.scnn, &par.scnn),
+        (&seq.sparten, &par.sparten),
+    ] {
+        assert_eq!(s.stats, p.stats, "{}: per-layer stats diverged", s.name);
+        assert!(
+            s.cycles == p.cycles && s.dram_bytes == p.dram_bytes && s.energy_pj == p.energy_pj,
+            "{}: seed averages diverged between sequential and parallel runs",
+            s.name
+        );
+    }
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_sim.json".into());
+    // Build the global pool at full width up front: the first configuration
+    // wins for the whole process, and the sequential grid (which only uses
+    // `threads == 1` fast paths) must not pin the pool to one thread.
+    let threads = escalate_core::par::configure_threads(0);
+    let seeds = input_seeds();
+    let profile = ModelProfile::for_model("MobileNet").expect("known model");
+
+    let sequential_cfg = SimConfig { threads: 1, ..SimConfig::default() };
+    let parallel_cfg = SimConfig::default();
+
+    // Warm the artifact cache so both timings measure simulation, not the
+    // shared one-off compression.
+    let warm = Instant::now();
+    run_model(&profile, &sequential_cfg, 1).expect("warm-up run");
+    let warmup_s = warm.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    let seq = run_model(&profile, &sequential_cfg, seeds).expect("sequential grid");
+    let sequential_s = t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    let par = run_model(&profile, &parallel_cfg, seeds).expect("parallel grid");
+    let parallel_s = t.elapsed().as_secs_f64();
+
+    assert_identical(&seq, &par);
+    let speedup = sequential_s / parallel_s;
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"mobilenet_four_accelerator_grid\",\n  \"model\": \"MobileNet\",\n  \"accelerators\": [\"ESCALATE\", \"Eyeriss\", \"SCNN\", \"SparTen\"],\n  \"seeds\": {seeds},\n  \"threads\": {threads},\n  \"compression_warmup_s\": {warmup_s:.4},\n  \"sequential_s\": {sequential_s:.4},\n  \"parallel_s\": {parallel_s:.4},\n  \"speedup\": {speedup:.2},\n  \"bit_identical\": true\n}}\n"
+    );
+    std::fs::write(&out_path, &json).expect("write benchmark record");
+    println!("{json}");
+    println!("wrote {out_path} ({threads} threads, {speedup:.2}x over sequential)");
+}

@@ -6,7 +6,7 @@
 //!
 //! Usage: `cargo run --release -p escalate-bench --bin fig10`
 
-use escalate_bench::{run_model, INPUT_SEEDS};
+use escalate_bench::{input_seeds, run_model};
 use escalate_models::ModelProfile;
 use escalate_sim::SimConfig;
 
@@ -19,7 +19,7 @@ fn main() {
         "Model", "DRAM", "InBuf", "MAC", "Dilut", "Concen", "ActBuf", "Cf+Ps", "total(uJ)"
     );
     for profile in ModelProfile::all() {
-        let run = run_model(&profile, &cfg, INPUT_SEEDS).expect("simulation succeeds");
+        let run = run_model(&profile, &cfg, input_seeds()).expect("simulation succeeds");
         let e = &run.escalate.energy;
         let total = e.total_pj();
         let pct = |v: f64| 100.0 * v / total;

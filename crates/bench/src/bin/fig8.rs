@@ -3,7 +3,7 @@
 //!
 //! Usage: `cargo run --release -p escalate-bench --bin fig8`
 
-use escalate_bench::{ratio, run_model, INPUT_SEEDS};
+use escalate_bench::{input_seeds, ratio, run_model};
 use escalate_models::ModelProfile;
 use escalate_sim::SimConfig;
 
@@ -21,7 +21,7 @@ fn main() {
     println!("{:<12} | {:^29} | {:^29}", "", "speedup", "energy efficiency");
     println!("{}", "-".repeat(78));
     for profile in ModelProfile::all() {
-        let run = run_model(&profile, &cfg, INPUT_SEEDS).expect("simulation succeeds");
+        let run = run_model(&profile, &cfg, input_seeds()).expect("simulation succeeds");
         let s = [
             run.speedup_over_eyeriss(&run.scnn),
             run.speedup_over_eyeriss(&run.sparten),

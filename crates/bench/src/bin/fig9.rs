@@ -3,7 +3,7 @@
 //!
 //! Usage: `cargo run --release -p escalate-bench --bin fig9`
 
-use escalate_bench::{bar, run_model, INPUT_SEEDS};
+use escalate_bench::{bar, input_seeds, run_model};
 use escalate_models::ModelProfile;
 use escalate_sim::SimConfig;
 
@@ -14,7 +14,7 @@ fn main() {
     println!("{:<12} {:>9} {:>9} {:>9} {:>10}", "Model", "Eyeriss", "SCNN", "SparTen", "ESCALATE");
     let mut ratios = Vec::new();
     for profile in ModelProfile::all() {
-        let run = run_model(&profile, &cfg, INPUT_SEEDS).expect("simulation succeeds");
+        let run = run_model(&profile, &cfg, input_seeds()).expect("simulation succeeds");
         let r = [
             run.dram_vs_escalate(&run.eyeriss),
             run.dram_vs_escalate(&run.scnn),

@@ -1,0 +1,52 @@
+//! Determinism contract of the parallel harness: every parallel stage
+//! (layers within a model, seeds within a run, accelerators within the
+//! grid) must produce bit-identical results to a forced single-thread run,
+//! because each work item seeds its RNG independently and all fan-outs are
+//! order-preserving.
+
+use escalate_bench::{compress_cached, run_model};
+use escalate_core::pipeline::CompressionConfig;
+use escalate_models::ModelProfile;
+use escalate_sim::{simulate_model, SimConfig, Workload};
+
+/// Builds the global pool at its auto width before any `threads == 1` run
+/// can pin it to one thread (the first configuration wins per process).
+fn wide_pool() {
+    escalate_core::par::configure_threads(0);
+}
+
+#[test]
+fn parallel_simulate_model_is_bit_identical() {
+    wide_pool();
+    let profile = ModelProfile::for_model("MobileNet").expect("known model");
+    let artifacts = compress_cached(&profile, &CompressionConfig::default()).expect("compression");
+    let workload = Workload::from_artifacts(profile.name, &artifacts, &profile);
+    let sequential = SimConfig { threads: 1, ..SimConfig::default() };
+    let parallel = SimConfig::default();
+    for seed in [0u64, 7, 41] {
+        let seq = simulate_model(&workload, &sequential, seed);
+        let par = simulate_model(&workload, &parallel, seed);
+        assert_eq!(seq, par, "seed {seed}: parallel layer fan-out diverged");
+    }
+}
+
+#[test]
+fn parallel_run_model_matches_sequential() {
+    wide_pool();
+    let profile = ModelProfile::for_model("MobileNet").expect("known model");
+    let seeds = 3;
+    let seq = run_model(&profile, &SimConfig { threads: 1, ..SimConfig::default() }, seeds)
+        .expect("sequential grid");
+    let par = run_model(&profile, &SimConfig::default(), seeds).expect("parallel grid");
+    for (s, p) in [
+        (&seq.escalate, &par.escalate),
+        (&seq.eyeriss, &par.eyeriss),
+        (&seq.scnn, &par.scnn),
+        (&seq.sparten, &par.sparten),
+    ] {
+        assert_eq!(s.stats, p.stats, "{}: per-layer stats diverged", s.name);
+        assert_eq!(s.cycles, p.cycles, "{}: mean cycles diverged", s.name);
+        assert_eq!(s.dram_bytes, p.dram_bytes, "{}: mean DRAM bytes diverged", s.name);
+        assert_eq!(s.energy_pj, p.energy_pj, "{}: mean energy diverged", s.name);
+    }
+}

@@ -1,7 +1,7 @@
 //! Command handlers for the `escalate` CLI.
 
 use crate::args::{ArgError, ParsedArgs};
-use escalate_bench::{compress, run_model, INPUT_SEEDS};
+use escalate_bench::{compress, input_seeds, run_model};
 use escalate_core::pipeline::{accuracy_proxy, CompressionConfig};
 use escalate_core::artifact::{read_artifacts, write_artifacts, LayerArtifact};
 use escalate_core::ModelCompression;
@@ -56,9 +56,13 @@ COMMANDS:
         --out <FILE>   save the compressed artifacts (.esca)
     simulate <MODEL>               compare all four accelerators
         --m <N>        basis kernels (default 6)
-        --seeds <N>    input samples to average (default 10)
+        --seeds <N>    input samples to average
+                       (default $ESCALATE_SEEDS or 10)
+        --threads <N>  host threads (default $ESCALATE_THREADS or all
+                       cores; 1 forces sequential; results are identical)
     sweep <MODEL>                  sweep M at a fixed MAC budget (Figure 12)
         --from <N> --to <N>        M range (default 4..8)
+        --threads <N>  host threads (as for simulate)
     characterize <MODEL>           compute/traffic structure per layer
         --m <N>        basis kernels for the C/M bound (default 6)
     inspect <FILE>                 summarize a saved .esca artifact
@@ -186,11 +190,13 @@ fn cmd_compress(args: &ParsedArgs) -> Result<String, CliError> {
 }
 
 fn cmd_simulate(args: &ParsedArgs) -> Result<String, CliError> {
-    args.ensure_known(&["m", "seeds"])?;
+    args.ensure_known(&["m", "seeds", "threads"])?;
     let p = model_arg(args)?;
     let m = args.get_or("m", 6usize)?;
-    let seeds = args.get_or("seeds", INPUT_SEEDS)?;
-    let cfg = if m == 6 { SimConfig::default() } else { SimConfig::default().with_m(m) };
+    let seeds = args.get_or("seeds", input_seeds())?;
+    let threads = args.get_or("threads", 0usize)?;
+    let mut cfg = if m == 6 { SimConfig::default() } else { SimConfig::default().with_m(m) };
+    cfg.threads = threads;
     let run = run_model(&p, &cfg, seeds).map_err(|e| CliError::Pipeline(e.to_string()))?;
     let mut out = format!(
         "{:<10} {:>12} {:>12} {:>12} {:>10} {:>10}\n",
@@ -211,11 +217,12 @@ fn cmd_simulate(args: &ParsedArgs) -> Result<String, CliError> {
 }
 
 fn cmd_sweep(args: &ParsedArgs) -> Result<String, CliError> {
-    args.ensure_known(&["from", "to", "seeds"])?;
+    args.ensure_known(&["from", "to", "seeds", "threads"])?;
     let p = model_arg(args)?;
     let from = args.get_or("from", 4usize)?;
     let to = args.get_or("to", 8usize)?;
     let seeds = args.get_or("seeds", 3u64)?;
+    let threads = args.get_or("threads", 0usize)?;
     if from == 0 || to < from {
         return Err(CliError::Args(ArgError::BadValue {
             option: "from/to".into(),
@@ -228,7 +235,8 @@ fn cmd_sweep(args: &ParsedArgs) -> Result<String, CliError> {
         "M", "l", "latency(ms)", "energy(mJ)", "comp(x)", "proxy top-1"
     );
     for m in from..=to {
-        let sim_cfg = SimConfig::default().with_m(m);
+        let mut sim_cfg = SimConfig::default().with_m(m);
+        sim_cfg.threads = threads;
         let cfg = CompressionConfig { m, ..CompressionConfig::default() };
         let artifacts = compress(&p, &cfg).map_err(|e| CliError::Pipeline(e.to_string()))?;
         let stats = ModelCompression {

@@ -29,6 +29,7 @@ pub mod artifact;
 pub mod decompose;
 pub mod dsc;
 pub mod error;
+pub mod par;
 pub mod pipeline;
 pub mod qat;
 pub mod quant;

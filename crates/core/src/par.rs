@@ -1,0 +1,83 @@
+//! Process-wide threading knob for every parallel stage of the workspace
+//! (compression units, simulation seeds, layers, and the accelerator
+//! comparison).
+//!
+//! All parallelism runs on rayon's global pool, so one setting governs
+//! everything. Resolution order for the thread count:
+//!
+//! 1. An explicit request (`SimConfig::threads`, the CLI's `--threads`).
+//! 2. The `ESCALATE_THREADS` environment variable.
+//! 3. The machine's available parallelism.
+//!
+//! Every parallel stage in the workspace is order-preserving and seeds its
+//! RNGs independently per work item, so results are bit-identical for any
+//! thread count, including 1.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Environment variable overriding the default thread count.
+pub const THREADS_ENV: &str = "ESCALATE_THREADS";
+
+/// What `configure_threads` resolved to (0 = not yet configured).
+static RESOLVED: AtomicUsize = AtomicUsize::new(0);
+
+fn env_threads() -> Option<usize> {
+    std::env::var(THREADS_ENV).ok()?.trim().parse::<usize>().ok().filter(|&n| n > 0)
+}
+
+/// Resolves a requested thread count (`0` = auto) against the
+/// `ESCALATE_THREADS` environment variable and the machine size.
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    env_threads()
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+}
+
+/// Configures the global pool to `requested` threads (`0` = auto).
+///
+/// The first call wins — rayon's global pool is built once per process —
+/// so harness entry points call this before any parallel work. Later calls
+/// with a different count are ignored (the pool cannot be resized), which
+/// is why per-run sequential forcing goes through `threads == 1` fast
+/// paths instead. Returns the thread count the pool actually uses.
+pub fn configure_threads(requested: usize) -> usize {
+    let n = resolve_threads(requested);
+    if rayon::ThreadPoolBuilder::new().num_threads(n).build_global().is_ok() {
+        RESOLVED.store(n, Ordering::Relaxed);
+        return n;
+    }
+    effective_threads()
+}
+
+/// Thread count of the configured pool (or what it would default to).
+pub fn effective_threads() -> usize {
+    match RESOLVED.load(Ordering::Relaxed) {
+        0 => rayon::current_num_threads(),
+        n => n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_request_wins() {
+        assert_eq!(resolve_threads(3), 3);
+    }
+
+    #[test]
+    fn auto_resolves_to_positive() {
+        assert!(resolve_threads(0) >= 1);
+    }
+
+    #[test]
+    fn configure_is_idempotent() {
+        let first = configure_threads(2);
+        let second = configure_threads(7);
+        assert_eq!(first, second, "the first configuration must win");
+        assert!(effective_threads() >= 1);
+    }
+}

@@ -19,6 +19,7 @@ use crate::quant::{threshold_for_sparsity, HybridQuantized, QuantizedBasis, Tern
 use escalate_models::{synth, LayerKind, LayerShape, ModelProfile};
 use escalate_sparse::TwoLevelSparseMap;
 use escalate_tensor::Tensor;
+use rayon::prelude::*;
 
 /// Configuration of the compression pipeline.
 #[derive(Debug, Clone, Copy)]
@@ -369,29 +370,8 @@ pub fn compress_model_artifacts(
 ) -> Result<Vec<CompressedLayer>, EscalateError> {
     let plan = plan_units(profile, cfg);
     // Units are independent and deterministic (each derives its own seed),
-    // so compress them on scoped worker threads and reassemble in order.
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(plan.len().max(1));
-    let mut slots: Vec<Option<Result<CompressedLayer, EscalateError>>> = Vec::new();
-    slots.resize_with(plan.len(), || None);
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let slots_mutex = std::sync::Mutex::new(&mut slots);
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= plan.len() {
-                    break;
-                }
-                let result = compress_unit(&plan[i], cfg);
-                let mut guard = slots_mutex.lock().expect("no poisoned slots");
-                guard[i] = Some(result);
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|s| s.expect("every unit was compressed"))
-        .collect()
+    // so compress them on the global pool and reassemble in plan order.
+    plan.par_iter().map(|unit| compress_unit(unit, cfg)).collect()
 }
 
 /// One independently-compressible unit of the plan.

@@ -10,7 +10,37 @@
 //! slowest CA's concentration drain.
 
 use crate::config::SimConfig;
-use escalate_sparse::{dilute, ConcentrationBuffer, DilutionInput};
+use escalate_sparse::{dilute_into, ConcentrationBuffer, DilutionInput};
+
+/// Unit activation values: the timing model only cares which positions are
+/// nonzero, so every nonzero activation streams as `1.0`.
+static UNIT_ACTS: [f32; 64] = [1.0; 64];
+/// All-positive coefficient signs (sign bits are irrelevant to timing).
+static NO_SIGNS: [bool; 64] = [false; 64];
+
+/// Reusable scratch state for [`position_cost_with`]: the concentration
+/// buffer and the diluted-slot buffer, so the per-position hot loop
+/// allocates nothing after warm-up.
+///
+/// A scratch is tied to the [`SimConfig`] it was built from (adder-tree
+/// width and look-ahead/look-aside windows); build a new one when the
+/// config changes.
+#[derive(Debug, Clone)]
+pub struct CaScratch {
+    buf: ConcentrationBuffer,
+    slots: Vec<Option<f32>>,
+}
+
+impl CaScratch {
+    /// Creates scratch state for simulations under `cfg`.
+    pub fn new(cfg: &SimConfig) -> Self {
+        let bus = cfg.bus_elems().max(1);
+        CaScratch {
+            buf: ConcentrationBuffer::new(bus, cfg.look_ahead, cfg.look_aside),
+            slots: Vec::with_capacity(64),
+        }
+    }
+}
 
 /// Per-position CA simulation result.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -35,6 +65,30 @@ pub struct PositionCost {
 ///
 /// Panics if the mask word counts disagree with `c`.
 pub fn position_cost(cfg: &SimConfig, c: usize, act_mask: &[u64], coef_masks: &[&[u64]]) -> PositionCost {
+    position_cost_with(cfg, c, act_mask, coef_masks, &mut CaScratch::new(cfg))
+}
+
+/// [`position_cost`] with caller-owned scratch buffers, for hot loops that
+/// evaluate many positions: reusing a [`CaScratch`] across calls makes the
+/// per-position work allocation-free. Results are identical to
+/// [`position_cost`].
+///
+/// # Panics
+///
+/// Panics if the mask word counts disagree with `c`, or (in debug builds)
+/// if `scratch` was built from a config with a different bus width.
+pub fn position_cost_with(
+    cfg: &SimConfig,
+    c: usize,
+    act_mask: &[u64],
+    coef_masks: &[&[u64]],
+    scratch: &mut CaScratch,
+) -> PositionCost {
+    debug_assert_eq!(
+        scratch.buf.width(),
+        cfg.bus_elems().max(1),
+        "scratch built from a different config"
+    );
     let words = c.div_ceil(64);
     assert_eq!(act_mask.len(), words, "activation mask word count");
     for cm in coef_masks {
@@ -88,26 +142,27 @@ pub fn position_cost(cfg: &SimConfig, c: usize, act_mask: &[u64], coef_masks: &[
     // One value per nonzero activation; the magnitudes are irrelevant to
     // timing, so use unit values.
     for cm in coef_masks {
-        let mut buf = ConcentrationBuffer::new(cfg.bus_elems().max(1), cfg.look_ahead, cfg.look_aside);
+        scratch.buf.reset();
         for (wi, (&aw, &cw)) in act_mask.iter().zip(cm.iter()).enumerate() {
             let width = (c - wi * 64).min(64);
             if aw == 0 {
                 continue;
             }
-            let act_values = vec![1.0f32; aw.count_ones() as usize];
-            let coef_signs = vec![false; cw.count_ones() as usize];
-            let out = dilute(&DilutionInput {
-                act_values: &act_values,
-                act_map: aw,
-                coef_signs: &coef_signs,
-                coef_map: cw,
-                width,
-            });
+            let out = dilute_into(
+                &DilutionInput {
+                    act_values: &UNIT_ACTS[..aw.count_ones() as usize],
+                    act_map: aw,
+                    coef_signs: &NO_SIGNS[..cw.count_ones() as usize],
+                    coef_map: cw,
+                    width,
+                },
+                &mut scratch.slots,
+            );
             gather_passes += 1;
             matched += out.matched as u64;
-            buf.push_slots(&out.slots);
+            scratch.buf.push_slots(&scratch.slots);
         }
-        let (_, stats) = buf.drain_sum();
+        let (_, stats) = scratch.buf.drain_sum();
         worst_conc = worst_conc.max(stats.rows_drained as u64);
     }
 
@@ -179,6 +234,23 @@ mod tests {
         let mixed = position_cost(&cfg(), 64, &act, &[&dense, &empty]);
         let only_dense = position_cost(&cfg(), 64, &act, &[&dense]);
         assert_eq!(mixed.ca_cycles, only_dense.ca_cycles);
+    }
+
+    #[test]
+    fn reused_scratch_matches_fresh_calls() {
+        let cfg = cfg();
+        let mut scratch = CaScratch::new(&cfg);
+        let patterns: [([u64; 2], [u64; 2]); 4] = [
+            ([u64::MAX; 2], [u64::MAX; 2]),
+            ([0xAAAA_AAAA_AAAA_AAAA; 2], [0x0101_0101_0101_0101; 2]),
+            ([0x00FF_00FF_00FF_00FF, 0], [u64::MAX, 0x0F0F]),
+            ([0, 0], [u64::MAX; 2]),
+        ];
+        for (act, coef) in &patterns {
+            let fresh = position_cost(&cfg, 128, act, &[&coef[..], &coef[..]]);
+            let reused = position_cost_with(&cfg, 128, act, &[&coef[..], &coef[..]], &mut scratch);
+            assert_eq!(fresh, reused);
+        }
     }
 
     #[test]

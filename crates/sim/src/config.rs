@@ -48,6 +48,13 @@ pub struct SimConfig {
     /// the paper's ramulator runs model). Layers whose traffic exceeds
     /// compute become memory-bound.
     pub dram_bytes_per_cycle: f64,
+    /// Host threads for the simulation harness: `0` = auto (the
+    /// `ESCALATE_THREADS` environment variable, else all cores), `1`
+    /// forces sequential execution. Results are bit-identical for any
+    /// value — every parallel stage is order-preserving with per-item
+    /// RNG seeding. This knob configures the host simulator, not the
+    /// modeled hardware.
+    pub threads: usize,
 }
 
 impl Default for SimConfig {
@@ -67,6 +74,7 @@ impl Default for SimConfig {
             look_aside: 1,
             frequency_mhz: 800.0,
             dram_bytes_per_cycle: 64.0,
+            threads: 0,
         }
     }
 }

@@ -8,7 +8,7 @@
 //! so a slice advances at `max(CA time, R·S)` per position. Dense layers
 //! take the fallback path.
 
-use crate::ca::position_cost;
+use crate::ca::{position_cost_with, CaScratch};
 use crate::config::SimConfig;
 use crate::dataflow::Mapping;
 use crate::fallback::simulate_dense;
@@ -17,6 +17,7 @@ use crate::stats::{DramTraffic, LayerStats, ModelStats, SramTraffic};
 use crate::workload::{LayerWorkload, Workload, WorkloadMode};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
 
 /// Output channels sampled per layer.
 const SAMPLE_CHANNELS: usize = 8;
@@ -65,12 +66,19 @@ pub fn simulate_layer(lw: &LayerWorkload, cfg: &SimConfig, seed: u64) -> LayerSt
             let mut sum_idle = 0.0f64;
             let mut max_block_time = 0.0f64;
 
+            // Buffers reused across every sampled (channel, position) pair;
+            // the inner loop allocates nothing.
+            let mut coef_masks: Vec<&[u64]> = Vec::with_capacity(m);
+            let mut act = vec![0u64; words];
+            let mut scratch = CaScratch::new(cfg);
+
             for &k in &sampled_k {
-                let coef_masks: Vec<&[u64]> = (0..m).map(|mi| masks.mask(k, mi)).collect();
+                coef_masks.clear();
+                coef_masks.extend((0..m).map(|mi| masks.mask(k, mi)));
                 let mut k_pos_cycles = 0.0f64;
                 for _ in 0..sp {
-                    let act = draw_act_mask(&mut rng, c, words, keep_prob);
-                    let cost = position_cost(cfg, c, &act, &coef_masks);
+                    draw_act_mask_into(&mut rng, c, keep_prob, &mut act);
+                    let cost = position_cost_with(cfg, c, &act, &coef_masks, &mut scratch);
                     let pos_cycles = mac_row.position_cycles(cost.ca_cycles);
                     k_pos_cycles += pos_cycles as f64;
                     sum_matched += cost.matched as f64;
@@ -154,12 +162,19 @@ pub fn simulate_layer(lw: &LayerWorkload, cfg: &SimConfig, seed: u64) -> LayerSt
     }
 }
 
-/// Simulates a whole model (layers execute sequentially).
+/// Simulates a whole model.
+///
+/// Layers are independent — each draws from its own RNG stream
+/// (`seed ^ hash(layer name)`) — so they run on the global thread pool
+/// and reassemble in execution order, bit-identical to a sequential run.
+/// `cfg.threads == 1` skips the pool entirely.
 pub fn simulate_model(workload: &Workload, cfg: &SimConfig, seed: u64) -> ModelStats {
-    ModelStats {
-        model_name: workload.model_name.clone(),
-        layers: workload.layers.iter().map(|lw| simulate_layer(lw, cfg, seed)).collect(),
-    }
+    let layers = if cfg.threads == 1 {
+        workload.layers.iter().map(|lw| simulate_layer(lw, cfg, seed)).collect()
+    } else {
+        workload.layers.par_iter().map(|lw| simulate_layer(lw, cfg, seed)).collect()
+    };
+    ModelStats { model_name: workload.model_name.clone(), layers }
 }
 
 /// Quantile representatives of the per-channel coefficient-count
@@ -174,6 +189,12 @@ pub(crate) fn stratified_channels(masks: &crate::workload::CoefMasks, sk: usize)
         .collect()
 }
 
+/// Draws a Bernoulli activation mask, allocating the word vector.
+///
+/// Kept as the reference implementation the property tests compare
+/// [`draw_act_mask_into`] against; the engine itself uses the
+/// scratch-buffer variant.
+#[cfg(test)]
 fn draw_act_mask(rng: &mut StdRng, c: usize, words: usize, keep_prob: f64) -> Vec<u64> {
     let mut mask = vec![0u64; words];
     for ci in 0..c {
@@ -182,6 +203,18 @@ fn draw_act_mask(rng: &mut StdRng, c: usize, words: usize, keep_prob: f64) -> Ve
         }
     }
     mask
+}
+
+/// Draws a Bernoulli activation mask into a caller-owned buffer. Consumes
+/// exactly the same RNG stream as [`draw_act_mask`], so the two are
+/// bit-identical for equal `(rng state, c, keep_prob)`.
+pub(crate) fn draw_act_mask_into(rng: &mut StdRng, c: usize, keep_prob: f64, mask: &mut [u64]) {
+    mask.fill(0);
+    for ci in 0..c {
+        if rng.gen_bool(keep_prob.clamp(0.0, 1.0)) {
+            mask[ci / 64] |= 1u64 << (ci % 64);
+        }
+    }
 }
 
 fn hash_name(name: &str) -> u64 {
@@ -290,6 +323,33 @@ mod tests {
         let big = simulate_layer(&workload(256, 256, 64, 0.9, 0.5), &cfg, 0);
         assert!(big.dram.ifm > one_load);
         assert_eq!(small.dram.weights, 1000);
+    }
+
+    proptest::proptest! {
+        /// The scratch-buffer mask draw must consume the identical RNG
+        /// stream as the allocating reference for any `(c, keep_prob)`.
+        #[test]
+        fn scratch_mask_draw_matches_allocating(
+            c in 1usize..300,
+            keep_prob in 0.0f64..1.0,
+            seed in proptest::prelude::any::<u64>(),
+        ) {
+            let words = c.div_ceil(64);
+            let mut r_alloc = StdRng::seed_from_u64(seed);
+            let mut r_scratch = StdRng::seed_from_u64(seed);
+            let reference = draw_act_mask(&mut r_alloc, c, words, keep_prob);
+            let mut mask = vec![u64::MAX; words]; // deliberately dirty
+            draw_act_mask_into(&mut r_scratch, c, keep_prob, &mut mask);
+            proptest::prop_assert_eq!(&reference, &mask);
+            // Both RNGs must land in the same state afterwards.
+            proptest::prop_assert_eq!(
+                draw_act_mask(&mut r_alloc, c, words, keep_prob),
+                {
+                    draw_act_mask_into(&mut r_scratch, c, keep_prob, &mut mask);
+                    mask.clone()
+                }
+            );
+        }
     }
 
     #[test]

@@ -76,7 +76,7 @@ impl LayerStats {
 }
 
 /// Whole-model simulation result.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ModelStats {
     /// Model name.
     pub model_name: String,

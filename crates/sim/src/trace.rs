@@ -10,7 +10,7 @@
 //! to validate the sampling engine and available for exact small-layer
 //! studies.
 
-use crate::ca::position_cost;
+use crate::ca::{position_cost_with, CaScratch};
 use crate::config::SimConfig;
 use crate::dataflow::Mapping;
 use crate::mac::MacRow;
@@ -77,11 +77,14 @@ pub fn simulate_layer_traced(lw: &LayerWorkload, cfg: &SimConfig, ifm: &Tensor) 
     let mut gather = 0.0f64;
     let mut idle = 0.0f64;
     let mut max_block_time = 0.0f64;
+    let mut coef_masks: Vec<&[u64]> = Vec::with_capacity(m);
+    let mut scratch = CaScratch::new(cfg);
     for &k in &sampled_k {
-        let coef_masks: Vec<&[u64]> = (0..m).map(|mi| masks.mask(k, mi)).collect();
+        coef_masks.clear();
+        coef_masks.extend((0..m).map(|mi| masks.mask(k, mi)));
         let mut k_cycles = 0.0f64;
         for am in &pos_masks {
-            let cost = position_cost(cfg, c, am, &coef_masks);
+            let cost = position_cost_with(cfg, c, am, &coef_masks, &mut scratch);
             k_cycles += mac_row.position_cycles(cost.ca_cycles) as f64;
             matched += cost.matched as f64;
             gather += cost.gather_passes as f64;

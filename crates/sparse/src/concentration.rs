@@ -12,7 +12,13 @@
 //! is the cycle cost of the weighted-accumulation stage; perfect
 //! concentration reaches `ceil(matched / width)` cycles.
 
+use std::collections::VecDeque;
+
 /// A concentration buffer folding diluted slots into adder-tree rows.
+///
+/// The buffer recycles drained row storage into a free pool, so a
+/// long-lived buffer (see [`ConcentrationBuffer::reset`]) reaches a
+/// steady state where pushing and draining allocate nothing.
 ///
 /// # Examples
 ///
@@ -31,7 +37,9 @@ pub struct ConcentrationBuffer {
     width: usize,
     look_ahead: usize,
     look_aside: usize,
-    rows: Vec<Vec<Option<f32>>>,
+    rows: VecDeque<Vec<Option<f32>>>,
+    /// Drained/emptied row storage awaiting reuse.
+    free: Vec<Vec<Option<f32>>>,
     /// Column cursor for folding incoming slots.
     cursor: usize,
     stats: ConcentrationStats,
@@ -78,10 +86,22 @@ impl ConcentrationBuffer {
             width,
             look_ahead,
             look_aside,
-            rows: Vec::new(),
+            rows: VecDeque::new(),
+            free: Vec::new(),
             cursor: 0,
             stats: ConcentrationStats::default(),
         }
+    }
+
+    /// Clears buffered rows, the fold cursor, and the statistics, keeping
+    /// the row storage for reuse. A reset buffer behaves exactly like a
+    /// freshly constructed one with the same geometry.
+    pub fn reset(&mut self) {
+        while let Some(row) = self.rows.pop_front() {
+            self.free.push(row);
+        }
+        self.cursor = 0;
+        self.stats = ConcentrationStats::default();
     }
 
     /// Adder-tree width this buffer feeds.
@@ -93,9 +113,16 @@ impl ConcentrationBuffer {
     pub fn push_slots(&mut self, slots: &[Option<f32>]) {
         for &slot in slots {
             if self.cursor == 0 {
-                self.rows.push(vec![None; self.width]);
+                let row = match self.free.pop() {
+                    Some(mut row) => {
+                        row.fill(None);
+                        row
+                    }
+                    None => vec![None; self.width],
+                };
+                self.rows.push_back(row);
             }
-            let last = self.rows.last_mut().expect("row was just pushed");
+            let last = self.rows.back_mut().expect("row was just pushed");
             last[self.cursor] = slot;
             self.cursor = (self.cursor + 1) % self.width;
         }
@@ -111,8 +138,8 @@ impl ConcentrationBuffer {
     /// and the cumulative statistics.
     pub fn drain_sum(&mut self) -> (f32, ConcentrationStats) {
         let mut sum = 0.0f32;
-        while let Some(row) = self.drain_row() {
-            sum += row.iter().sum::<f32>();
+        while let Some(row_sum) = self.drain_row() {
+            sum += row_sum;
         }
         (sum, self.stats)
     }
@@ -139,12 +166,13 @@ impl ConcentrationBuffer {
     /// This is the per-cycle operation of the hardware: one row enters the
     /// reduction tree per clock.
     pub fn drain_one(&mut self) -> Option<f32> {
-        self.drain_row().map(|row| row.iter().sum())
+        self.drain_row()
     }
 
     /// Concentrates the head row (fills holes via look-ahead/look-aside),
-    /// removes it, and returns its elements. Returns `None` when empty.
-    fn drain_row(&mut self) -> Option<Vec<f32>> {
+    /// removes it, and returns the sum of its elements. Returns `None`
+    /// when empty.
+    fn drain_row(&mut self) -> Option<f32> {
         if self.rows.is_empty() {
             self.cursor = 0;
             return None;
@@ -163,20 +191,34 @@ impl ConcentrationBuffer {
                 }
             }
         }
-        let head = self.rows.remove(0);
-        // Drop rows that have become entirely empty after donations.
-        self.rows.retain(|r| r.iter().any(Option::is_some));
+        let head = self.rows.pop_front().expect("buffer was non-empty");
+        // Drop rows that have become entirely empty after donations,
+        // recycling their storage.
+        for _ in 0..self.rows.len() {
+            let row = self.rows.pop_front().expect("iterating existing rows");
+            if row.iter().any(Option::is_some) {
+                self.rows.push_back(row);
+            } else {
+                self.free.push(row);
+            }
+        }
         if self.rows.is_empty() {
             self.cursor = 0;
         }
-        let vals: Vec<f32> = head.into_iter().flatten().collect();
-        if vals.is_empty() {
+        let mut sum = 0.0f32;
+        let mut count = 0usize;
+        for &v in head.iter().flatten() {
+            sum += v;
+            count += 1;
+        }
+        self.free.push(head);
+        if count == 0 {
             // An all-hole row costs no adder-tree cycle; recurse to the next.
             return self.drain_row();
         }
         self.stats.rows_drained += 1;
-        self.stats.elements += vals.len();
-        Some(vals)
+        self.stats.elements += count;
+        Some(sum)
     }
 
     /// Finds a donor element for a hole in the head row at `col`:
@@ -286,6 +328,24 @@ mod tests {
             let (sum, _) = buf.drain_sum();
             assert!((sum - expect).abs() < 1e-5, "la={la} ls={ls}");
         }
+    }
+
+    #[test]
+    fn reset_matches_fresh_buffer() {
+        let slots: Vec<Option<f32>> =
+            (0..20).map(|i| if i % 3 == 0 { Some(i as f32) } else { None }).collect();
+        let mut reused = ConcentrationBuffer::new(4, 2, 1);
+        reused.push_slots(&slots);
+        let first = reused.drain_sum();
+        // Leave a partially-filled row behind before resetting.
+        reused.push_slots(&[Some(9.0)]);
+        reused.reset();
+        reused.push_slots(&slots);
+        let again = reused.drain_sum();
+        let mut fresh = ConcentrationBuffer::new(4, 2, 1);
+        fresh.push_slots(&slots);
+        assert_eq!(again, fresh.drain_sum());
+        assert_eq!(again, first);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! them is expensive, the survivors keep their "holes" — compacting them is
 //! deferred to the Concentration step.
 
-use crate::bitgather::{gather_bits_butterfly, gather_elements};
+use crate::bitgather::{gather_bits, gather_bits_butterfly};
 
 /// One chunk of compressed activations and the coefficients they must be
 /// matched against.
@@ -49,6 +49,21 @@ pub struct DilutedChunk {
     pub gather_activity: u32,
 }
 
+/// The scalar results of diluting one chunk — everything [`DilutedChunk`]
+/// carries except the slot vector, which [`dilute_into`] writes into a
+/// caller-provided buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DilutionOutcome {
+    /// Number of surviving (matched) activations.
+    pub matched: usize,
+    /// Filter mask over compressed activations (bit `i` ⇒ `slots[i]` kept).
+    pub filter_mask: u64,
+    /// Sign mask over the surviving activations, in order.
+    pub sign_mask: u64,
+    /// Total gather-network switching activity (for the energy model).
+    pub gather_activity: u32,
+}
+
 /// Performs the dilution of one chunk.
 ///
 /// # Panics
@@ -76,6 +91,25 @@ pub struct DilutedChunk {
 /// assert_eq!(out.slots, vec![Some(1.0), None, Some(-3.0)]);
 /// ```
 pub fn dilute(input: &DilutionInput<'_>) -> DilutedChunk {
+    let mut slots = Vec::with_capacity(input.act_values.len());
+    let out = dilute_into(input, &mut slots);
+    DilutedChunk {
+        slots,
+        matched: out.matched,
+        filter_mask: out.filter_mask,
+        sign_mask: out.sign_mask,
+        gather_activity: out.gather_activity,
+    }
+}
+
+/// Allocation-free dilution: like [`dilute`], but writes the slot stream
+/// into `slots` (cleared first) so hot loops can reuse one buffer across
+/// chunks. Returns the scalar outcome.
+///
+/// # Panics
+///
+/// Same contract as [`dilute`].
+pub fn dilute_into(input: &DilutionInput<'_>, slots: &mut Vec<Option<f32>>) -> DilutionOutcome {
     assert!(input.width <= 64, "dilution chunks are at most 64 positions");
     let limit = if input.width == 64 { u64::MAX } else { (1u64 << input.width) - 1 };
     assert_eq!(input.act_map & !limit, 0, "activation map has bits beyond width");
@@ -101,17 +135,19 @@ pub fn dilute(input: &DilutionInput<'_>) -> DilutedChunk {
     // activation survive?
     let coef = gather_bits_butterfly(inter, input.coef_map);
 
-    // Surviving coefficient signs, in order.
-    let surviving_signs = gather_elements(input.coef_signs, coef.gathered);
-    let mut sign_mask = 0u64;
-    for (i, &neg) in surviving_signs.iter().enumerate() {
+    // Surviving coefficient signs, in order: pack the compressed signs
+    // into a word and gather the survivors — the element-level gather is
+    // just a bit gather once the signs are 1 bit each.
+    let mut packed_signs = 0u64;
+    for (i, &neg) in input.coef_signs.iter().enumerate() {
         if neg {
-            sign_mask |= 1u64 << i;
+            packed_signs |= 1u64 << i;
         }
     }
+    let sign_mask = gather_bits(packed_signs, coef.gathered);
 
     // Apply filter + sign to the activation chunk, keeping holes.
-    let mut slots = Vec::with_capacity(input.act_values.len());
+    slots.clear();
     let mut matched = 0usize;
     for (i, &v) in input.act_values.iter().enumerate() {
         if filt.gathered >> i & 1 == 1 {
@@ -123,8 +159,7 @@ pub fn dilute(input: &DilutionInput<'_>) -> DilutedChunk {
         }
     }
 
-    DilutedChunk {
-        slots,
+    DilutionOutcome {
         matched,
         filter_mask: filt.gathered,
         sign_mask,
@@ -236,6 +271,33 @@ mod tests {
                 let survivors: Vec<f32> = out.slots.iter().flatten().copied().collect();
                 assert_eq!(survivors, dense_reference(&act, &coef), "am={am_bits:b} cm={cm_bits:b}");
             }
+        }
+    }
+
+    #[test]
+    fn dilute_into_reused_buffer_matches_dilute() {
+        let cases: [(&[f32], &[i8]); 3] = [
+            (&[1.0, 0.0, 2.0, 3.0, 0.0, 4.0], &[1, -1, 0, -1, 1, 1]),
+            (&[0.0, 0.0, 5.0], &[-1, 0, 1]),
+            (&[1.0, 2.0, 3.0, 4.0], &[1, 0, 0, -1]),
+        ];
+        let mut slots = vec![Some(99.0); 7]; // deliberately dirty
+        for (act, coef) in cases {
+            let (av, am, cs, cm) = maps_from_dense(act, coef);
+            let input = DilutionInput {
+                act_values: &av,
+                act_map: am,
+                coef_signs: &cs,
+                coef_map: cm,
+                width: act.len(),
+            };
+            let expect = dilute(&input);
+            let out = dilute_into(&input, &mut slots);
+            assert_eq!(slots, expect.slots);
+            assert_eq!(out.matched, expect.matched);
+            assert_eq!(out.filter_mask, expect.filter_mask);
+            assert_eq!(out.sign_mask, expect.sign_mask);
+            assert_eq!(out.gather_activity, expect.gather_activity);
         }
     }
 

@@ -30,7 +30,7 @@ pub mod sparsemap;
 
 pub use bitgather::{gather_bits, gather_bits_butterfly, GATHER_STAGES_64};
 pub use concentration::{ConcentrationBuffer, ConcentrationStats};
-pub use dilution::{dilute, DilutedChunk, DilutionInput};
+pub use dilution::{dilute, dilute_into, DilutedChunk, DilutionInput, DilutionOutcome};
 pub use maskpipe::{MaskPipeline, MaskWindow, PositionMaps};
 pub use rolling::RollingMask;
 pub use sparsemap::{SparseMap, TwoLevelSparseMap};

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 gate: release build, full test suite, and clippy with warnings
+# denied — the checks every PR must keep green (see ROADMAP.md).
+#
+# Usage: scripts/tier1.sh
+#
+# The workspace vendors its external dependencies (vendor/ via
+# [patch.crates-io]), so everything runs offline.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline
+cargo test -q --offline
+cargo clippy --all-targets --offline -- -D warnings
+
+echo "tier-1: OK"

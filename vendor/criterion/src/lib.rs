@@ -1,0 +1,298 @@
+//! Offline stand-in for the `criterion` 0.5 API surface this workspace
+//! uses.
+//!
+//! The build environment has no network access, so the workspace patches
+//! `criterion` to this crate (see `[patch.crates-io]` in the root
+//! `Cargo.toml`). It implements `black_box`, `Criterion::bench_function`,
+//! benchmark groups with `bench_with_input`/`sample_size`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement model: when the binary is invoked with `--bench` (what
+//! `cargo bench` passes), each benchmark is warmed up briefly, then timed
+//! over `sample_size` samples whose iteration counts are sized so one
+//! sample takes roughly `measurement_time / sample_size`; the median,
+//! minimum, and maximum per-iteration times are printed. Under any other
+//! invocation (notably `cargo test`, which passes `--test`), every
+//! benchmark body runs exactly once as a smoke test. There are no HTML
+//! reports, statistical regressions, or saved baselines.
+
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting the
+/// benchmarked computation.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Identifier for one parameterized benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Builds an id from just a parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Times closures handed to it by a benchmark body.
+pub struct Bencher<'a> {
+    mode: Mode,
+    /// Per-iteration durations recorded by `iter`, one per sample.
+    samples: &'a mut Vec<f64>,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Bencher<'_> {
+    /// Runs `routine` repeatedly and records its per-iteration time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match self.mode {
+            Mode::Smoke => {
+                black_box(routine());
+            }
+            Mode::Measure => {
+                // Warm up and size the per-sample iteration count so one
+                // sample lands near measurement_time / sample_size.
+                let warmup_start = Instant::now();
+                let mut warmup_iters = 0u64;
+                while warmup_start.elapsed() < Duration::from_millis(200) {
+                    black_box(routine());
+                    warmup_iters += 1;
+                }
+                let per_iter = warmup_start.elapsed().as_secs_f64() / warmup_iters as f64;
+                let per_sample = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+                let iters = ((per_sample / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+
+                self.samples.clear();
+                for _ in 0..self.sample_size {
+                    let start = Instant::now();
+                    for _ in 0..iters {
+                        black_box(routine());
+                    }
+                    self.samples.push(start.elapsed().as_secs_f64() / iters as f64);
+                }
+            }
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Run each body once (`cargo test` over a harness=false bench).
+    Smoke,
+    /// Timed sampling (`cargo bench`).
+    Measure,
+}
+
+fn detect_mode() -> Mode {
+    if std::env::args().any(|a| a == "--bench") {
+        Mode::Measure
+    } else {
+        Mode::Smoke
+    }
+}
+
+fn format_duration(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    id: &str,
+    mode: Mode,
+    sample_size: usize,
+    measurement_time: Duration,
+    mut body: F,
+) {
+    let mut samples = Vec::new();
+    let mut bencher = Bencher { mode, samples: &mut samples, sample_size, measurement_time };
+    body(&mut bencher);
+    match mode {
+        Mode::Smoke => println!("bench {id}: ok (smoke)"),
+        Mode::Measure => {
+            samples.sort_by(|a, b| a.total_cmp(b));
+            if samples.is_empty() {
+                println!("bench {id}: no samples recorded");
+                return;
+            }
+            let median = samples[samples.len() / 2];
+            let mut line = String::new();
+            let _ = write!(
+                line,
+                "bench {id}: median {} (min {}, max {}, {} samples)",
+                format_duration(median),
+                format_duration(samples[0]),
+                format_duration(samples[samples.len() - 1]),
+                samples.len()
+            );
+            println!("{line}");
+        }
+    }
+}
+
+/// Entry point handed to benchmark functions (mirrors
+/// `criterion::Criterion`).
+pub struct Criterion {
+    mode: Mode,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // First free argument (not a flag, not the binary path) is a
+        // name filter, like upstream.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion { mode: detect_mode(), filter }
+    }
+}
+
+impl Criterion {
+    fn selected(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    /// Defines and runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, body: F) -> &mut Self {
+        if self.selected(id) {
+            run_one(id, self.mode, 60, Duration::from_secs(3), body);
+        }
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 60,
+            measurement_time: Duration::from_secs(3),
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing sampling settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the target total measurement time per benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Defines and runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        body: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        if self.criterion.selected(&full) {
+            run_one(&full, self.criterion.mode, self.sample_size, self.measurement_time, body);
+        }
+        self
+    }
+
+    /// Defines and runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| body(b, input))
+    }
+
+    /// Ends the group (kept for API parity; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions (mirrors
+/// `criterion::criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `fn main` running one or more benchmark groups (mirrors
+/// `criterion::criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_body_once() {
+        let mut runs = 0;
+        run_one("t", Mode::Smoke, 10, Duration::from_secs(1), |b| {
+            b.iter(|| runs += 1);
+        });
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::from_parameter("64x3x3").to_string(), "64x3x3");
+        assert_eq!(BenchmarkId::new("dilute", 8).to_string(), "dilute/8");
+    }
+
+    #[test]
+    fn group_chain_compiles_and_runs() {
+        let mut c = Criterion { mode: Mode::Smoke, filter: None };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10);
+        g.bench_function("a", |b| b.iter(|| black_box(1 + 1)));
+        g.bench_with_input(BenchmarkId::from_parameter(3), &3, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        g.finish();
+    }
+}

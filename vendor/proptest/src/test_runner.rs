@@ -1,0 +1,218 @@
+//! The deterministic case runner behind the `proptest!` macro.
+
+use crate::strategy::Strategy;
+
+/// Deterministic generation source for one test function.
+///
+/// xoshiro256** seeded through SplitMix64, same construction as the
+/// workspace's vendored `rand::rngs::StdRng` but independent of it so the
+/// two crates stay decoupled.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl TestRng {
+    /// Builds a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut state = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = splitmix64(&mut state);
+        }
+        if s == [0, 0, 0, 0] {
+            s = [0x9E37_79B9_7F4A_7C15, 1, 2, 3];
+        }
+        TestRng { s }
+    }
+
+    /// Next 64 uniformly random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 mantissa bits.
+    #[inline]
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// How a test case failed.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// A `prop_assert*` (or explicit failure) tripped.
+    Fail(String),
+    /// The case asked to be discarded (accepted for API parity; treated as
+    /// a pass since this runner has no rejection budget).
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Builds the failure variant.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// Builds the rejection variant.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(r) => write!(f, "{r}"),
+            TestCaseError::Reject(r) => write!(f, "rejected: {r}"),
+        }
+    }
+}
+
+/// Result of one generated case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runner configuration (subset of upstream's `ProptestConfig`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Default config with an explicit case count.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        ProptestConfig { cases }
+    }
+}
+
+/// Drives a strategy through `cases` deterministic draws.
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+}
+
+impl TestRunner {
+    /// Builds a runner for one property.
+    pub fn new(config: ProptestConfig) -> Self {
+        TestRunner { config }
+    }
+
+    /// Runs the property; panics (failing the enclosing `#[test]`) on the
+    /// first failing case, reporting the generated input.
+    ///
+    /// Case `i` of property `name` is seeded from `hash(name) ^ i`, so
+    /// runs are reproducible and distinct properties see distinct streams.
+    pub fn run<S, F>(&mut self, name: &str, strategy: &S, test: F)
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> TestCaseResult,
+    {
+        let base = fnv1a(name.as_bytes());
+        for case in 0..self.config.cases {
+            let mut rng = TestRng::seed_from_u64(base ^ u64::from(case));
+            let value = strategy.new_value(&mut rng);
+            // Render before the move into the closure; on failure the
+            // value is gone.
+            let rendered = format!("{value:?}");
+            match test(value) {
+                Ok(()) | Err(TestCaseError::Reject(_)) => {}
+                Err(TestCaseError::Fail(reason)) => {
+                    panic!(
+                        "proptest case failed: {reason}\n  property: {name}\n  case: {case}/{}\n  input: {rendered}",
+                        self.config.cases
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+            prop_assert_eq!(a + b, b + a);
+        }
+
+        #[test]
+        fn bare_type_args_work(x: u64) {
+            prop_assert!(x.count_ones() <= 64);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn oneof_and_map_compose(v in prop_oneof![
+            2 => (0u32..10).prop_map(|x| x * 2),
+            1 => Just(99u32),
+        ]) {
+            prop_assert!(v == 99 || v < 20);
+        }
+
+        #[test]
+        fn collections_respect_size(v in prop::collection::vec(0u8..255, 3..7)) {
+            prop_assert!((3..7).contains(&v.len()));
+        }
+
+        #[test]
+        fn weighted_option_generates_both(o in prop::option::weighted(0.5, 0i32..5)) {
+            if let Some(x) = o {
+                prop_assert!((0..5).contains(&x));
+            }
+        }
+    }
+
+    #[test]
+    fn failing_case_reports_input() {
+        let result = std::panic::catch_unwind(|| {
+            let mut runner = super::TestRunner::new(super::ProptestConfig::with_cases(64));
+            runner.run("always_fails", &(0u32..10,), |(_x,)| {
+                Err(super::TestCaseError::fail("nope"))
+            });
+        });
+        assert!(result.is_err());
+    }
+}

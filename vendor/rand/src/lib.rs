@@ -1,0 +1,262 @@
+//! Offline stand-in for the `rand` 0.8 API surface this workspace uses.
+//!
+//! The build environment has no network access and no crates.io mirror, so
+//! the workspace patches `rand` to this crate (see `[patch.crates-io]` in
+//! the root `Cargo.toml`). Only the pieces the repo actually calls are
+//! implemented: `rngs::StdRng`, `SeedableRng::seed_from_u64`,
+//! `Rng::gen_bool`, and `Rng::gen_range` over primitive integer and float
+//! ranges.
+//!
+//! `StdRng` is xoshiro256** seeded through SplitMix64 — a different stream
+//! than upstream's ChaCha12, which is fine here: the repo treats `StdRng`
+//! as an opaque deterministic source (upstream documents `StdRng` streams
+//! as unstable across versions), and every consumer derives statistics
+//! from the draws rather than asserting exact values.
+
+#![warn(missing_docs)]
+
+/// Low-level uniform bit source (subset of `rand_core::RngCore`).
+pub trait RngCore {
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Deterministic construction from a `u64` seed (subset of
+/// `rand_core::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed via SplitMix64 expansion.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// User-facing sampling helpers (subset of `rand::Rng`).
+pub trait Rng: RngCore + Sized {
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool probability {p} not in [0, 1]");
+        // 53 uniform mantissa bits in [0, 1); strictly below 1.0, so p = 1.0
+        // always accepts and p = 0.0 always rejects.
+        unit_f64(self.next_u64()) < p
+    }
+
+    /// Samples uniformly from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_single(self)
+    }
+}
+
+impl<R: RngCore + Sized> Rng for R {}
+
+/// A range that can produce a uniform sample (subset of
+/// `rand::distributions::uniform::SampleRange`).
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+#[inline]
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+#[inline]
+fn unit_f32(bits: u32) -> f32 {
+    (bits >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+}
+
+/// Uniform `u64` in `[0, span)` by widening multiply (Lemire's method)
+/// with the exact rejection pass.
+#[inline]
+fn uniform_below<R: RngCore>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    // 2^64 mod span: draws whose low product word falls below this would
+    // be biased toward small results, so reject and redraw.
+    let threshold = span.wrapping_neg() % span;
+    loop {
+        let wide = (rng.next_u64() as u128) * (span as u128);
+        if wide as u64 >= threshold {
+            return (wide >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty => $wide:ty),+ $(,)?) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let span = (self.end as $wide).wrapping_sub(self.start as $wide) as u64;
+                self.start.wrapping_add(uniform_below(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample from empty range");
+                let span = (end as $wide).wrapping_sub(start as $wide) as u64;
+                if span == u64::MAX {
+                    return start.wrapping_add(rng.next_u64() as $t);
+                }
+                start.wrapping_add(uniform_below(rng, span + 1) as $t)
+            }
+        }
+    )+};
+}
+
+int_sample_range!(
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64,
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+);
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample from empty range");
+        let v = self.start + (self.end - self.start) * unit_f64(rng.next_u64());
+        // Guard against rounding up to the excluded endpoint.
+        if v >= self.end { self.start } else { v }
+    }
+}
+
+impl SampleRange<f32> for core::ops::Range<f32> {
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "cannot sample from empty range");
+        let v = self.start + (self.end - self.start) * unit_f32(rng.next_u32());
+        if v >= self.end { self.start } else { v }
+    }
+}
+
+/// Pseudo-random number generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256**.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rand::rngs::StdRng;
+    /// use rand::{Rng, SeedableRng};
+    ///
+    /// let mut a = StdRng::seed_from_u64(7);
+    /// let mut b = StdRng::seed_from_u64(7);
+    /// assert_eq!(a.gen_range(0u64..1000), b.gen_range(0u64..1000));
+    /// ```
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut state = seed;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = splitmix64(&mut state);
+            }
+            // xoshiro forbids the all-zero state.
+            if s == [0, 0, 0, 0] {
+                s = [0x9E37_79B9_7F4A_7C15, 1, 2, 3];
+            }
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1_000_000), b.gen_range(0u64..1_000_000));
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        let same: usize =
+            (0..100).filter(|_| a.gen_range(0u64..1_000_000) == c.gen_range(0u64..1_000_000)).count();
+        assert!(same < 5, "different seeds should diverge");
+    }
+
+    #[test]
+    fn gen_bool_frequency_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for &p in &[0.0, 0.1, 0.5, 0.9, 1.0] {
+            let hits = (0..10_000).filter(|_| rng.gen_bool(p)).count() as f64 / 10_000.0;
+            assert!((hits - p).abs() < 0.02, "p={p} hits={hits}");
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let f = rng.gen_range(0.25f32..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let i = rng.gen_range(-5i32..=5);
+            assert!((-5..=5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn gen_range_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0usize; 8];
+        for _ in 0..80_000 {
+            counts[rng.gen_range(0usize..8)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 10_000.0).abs() < 600.0, "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = rng.gen_range(5u32..5);
+    }
+}

@@ -1,0 +1,390 @@
+//! Offline stand-in for the `rayon` API surface this workspace uses.
+//!
+//! The build environment has no network access, so the workspace patches
+//! `rayon` to this crate (see `[patch.crates-io]` in the root
+//! `Cargo.toml`). It provides order-preserving parallel `map`/`collect`/
+//! `sum`/`for_each` over vectors, slices, and integer ranges, plus the
+//! `ThreadPoolBuilder::build_global` / `current_num_threads` global-pool
+//! API, on top of `std::thread::scope`.
+//!
+//! Scheduling model: a process-wide token budget of `pool size - 1` extra
+//! workers. Each parallel call grabs as many tokens as it can, spawns that
+//! many scoped workers pulling items off a shared queue (the calling
+//! thread participates too), and releases the tokens when done. Nested
+//! parallel calls therefore degrade gracefully to sequential execution
+//! instead of oversubscribing the machine — a poor man's work sharing
+//! where real rayon would work-steal. Results are always reassembled in
+//! input order, so a computation's output is independent of the pool size.
+
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicIsize, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Re-exports to mirror `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+// ---------------------------------------------------------------------------
+// Global pool configuration.
+
+/// Requested global pool size; 0 means "not configured".
+static CONFIGURED: AtomicUsize = AtomicUsize::new(0);
+
+/// Extra-worker token budget, initialized from the pool size on first use.
+static TOKENS: OnceLock<AtomicIsize> = OnceLock::new();
+
+fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Number of threads the global pool uses.
+pub fn current_num_threads() -> usize {
+    match CONFIGURED.load(Ordering::Relaxed) {
+        0 => default_threads(),
+        n => n,
+    }
+}
+
+fn tokens() -> &'static AtomicIsize {
+    TOKENS.get_or_init(|| AtomicIsize::new(current_num_threads() as isize - 1))
+}
+
+fn acquire_tokens(want: usize) -> usize {
+    if want == 0 {
+        return 0;
+    }
+    let t = tokens();
+    loop {
+        let cur = t.load(Ordering::Relaxed);
+        if cur <= 0 {
+            return 0;
+        }
+        let take = cur.min(want as isize);
+        if t.compare_exchange(cur, cur - take, Ordering::Relaxed, Ordering::Relaxed).is_ok() {
+            return take as usize;
+        }
+    }
+}
+
+/// Releases tokens on drop so worker panics cannot leak budget.
+struct TokenGuard(usize);
+
+impl Drop for TokenGuard {
+    fn drop(&mut self) {
+        if self.0 > 0 {
+            tokens().fetch_add(self.0 as isize, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Error from [`ThreadPoolBuilder::build_global`].
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "the global thread pool has already been initialized")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Configures the global pool (mirrors `rayon::ThreadPoolBuilder`).
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Starts a builder with the default (auto) thread count.
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Requests an explicit thread count (0 = auto).
+    #[must_use]
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Installs this configuration as the global pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThreadPoolBuildError`] if the pool was already configured
+    /// or its token budget already materialized.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        let requested = if self.num_threads == 0 { default_threads() } else { self.num_threads };
+        if CONFIGURED.compare_exchange(0, requested, Ordering::Relaxed, Ordering::Relaxed).is_err() {
+            return Err(ThreadPoolBuildError);
+        }
+        if TOKENS.set(AtomicIsize::new(requested as isize - 1)).is_err() {
+            return Err(ThreadPoolBuildError);
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The parallel driver.
+
+fn parallel_apply<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let len = items.len();
+    if len <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let extra = acquire_tokens(len.saturating_sub(1).min(current_num_threads().saturating_sub(1)));
+    let _guard = TokenGuard(extra);
+    if extra == 0 {
+        return items.into_iter().map(f).collect();
+    }
+
+    let queue: Mutex<VecDeque<(usize, T)>> = Mutex::new(items.into_iter().enumerate().collect());
+    let done: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(len));
+    std::thread::scope(|scope| {
+        // Captures only shared references, so it is `Copy` and can be
+        // spawned several times and also run on the calling thread.
+        let work = || loop {
+            let item = queue.lock().expect("work queue poisoned").pop_front();
+            match item {
+                Some((i, v)) => {
+                    let r = f(v);
+                    done.lock().expect("result buffer poisoned").push((i, r));
+                }
+                None => break,
+            }
+        };
+        for _ in 0..extra {
+            scope.spawn(work);
+        }
+        work();
+    });
+
+    let mut out = done.into_inner().expect("result buffer poisoned");
+    out.sort_unstable_by_key(|&(i, _)| i);
+    out.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Runs two closures, in parallel when a worker token is available.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let extra = acquire_tokens(1);
+    let _guard = TokenGuard(extra);
+    if extra == 0 {
+        return (a(), b());
+    }
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("joined closure panicked"))
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Iterator traits.
+
+/// A finite, order-preserving parallel iterator.
+pub trait ParallelIterator: Sized + Send {
+    /// Element type.
+    type Item: Send;
+
+    /// Materializes all elements, in order.
+    fn drive(self) -> Vec<Self::Item>;
+
+    /// Maps each element through `f` in parallel.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync + Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Collects the elements in input order.
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        self.drive().into_iter().collect()
+    }
+
+    /// Sums the elements (fold order matches the sequential iterator).
+    fn sum<S: std::iter::Sum<Self::Item>>(self) -> S {
+        self.drive().into_iter().sum()
+    }
+
+    /// Runs `f` on every element in parallel.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        self.map(f).drive();
+    }
+
+    /// Number of elements.
+    fn count(self) -> usize {
+        self.drive().len()
+    }
+}
+
+/// Conversion into a parallel iterator (mirrors rayon's trait).
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// Iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Converts `self`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Borrowing conversion: `.par_iter()` over `&self` (mirrors rayon).
+pub trait IntoParallelRefIterator<'data> {
+    /// Element type (a reference).
+    type Item: Send + 'data;
+    /// Iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Converts `&self`.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+/// Parallel iterator over an owned vector of items.
+pub struct VecParIter<T: Send> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for VecParIter<T> {
+    type Item = T;
+
+    fn drive(self) -> Vec<T> {
+        self.items
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = VecParIter<T>;
+
+    fn into_par_iter(self) -> VecParIter<T> {
+        VecParIter { items: self }
+    }
+}
+
+macro_rules! range_into_par_iter {
+    ($($t:ty),+ $(,)?) => {$(
+        impl IntoParallelIterator for core::ops::Range<$t> {
+            type Item = $t;
+            type Iter = VecParIter<$t>;
+
+            fn into_par_iter(self) -> VecParIter<$t> {
+                VecParIter { items: self.collect() }
+            }
+        }
+    )+};
+}
+
+range_into_par_iter!(u32, u64, usize, i32, i64);
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+    type Iter = VecParIter<&'data T>;
+
+    fn par_iter(&'data self) -> VecParIter<&'data T> {
+        VecParIter { items: self.iter().collect() }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = &'data T;
+    type Iter = VecParIter<&'data T>;
+
+    fn par_iter(&'data self) -> VecParIter<&'data T> {
+        VecParIter { items: self.iter().collect() }
+    }
+}
+
+/// Lazy parallel map adapter.
+pub struct Map<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, R, F> ParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    R: Send,
+    F: Fn(P::Item) -> R + Sync + Send,
+{
+    type Item = R;
+
+    fn drive(self) -> Vec<R> {
+        parallel_apply(self.base.drive(), &self.f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_over_slice_borrows() {
+        let data = vec![1u64, 2, 3, 4, 5];
+        let s: u64 = data.par_iter().map(|&x| x * x).sum();
+        assert_eq!(s, 55);
+    }
+
+    #[test]
+    fn nested_calls_do_not_deadlock() {
+        let out: Vec<Vec<usize>> = (0..8usize)
+            .into_par_iter()
+            .map(|i| (0..64usize).into_par_iter().map(move |j| i * j).collect())
+            .collect();
+        assert_eq!(out.len(), 8);
+        assert_eq!(out[3][7], 21);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 1 + 1, || "x".repeat(3));
+        assert_eq!(a, 2);
+        assert_eq!(b, "xxx");
+    }
+
+    #[test]
+    fn worker_panic_propagates_and_releases_tokens() {
+        let res = std::panic::catch_unwind(|| {
+            (0..100usize).into_par_iter().for_each(|i| {
+                if i == 37 {
+                    panic!("boom");
+                }
+            });
+        });
+        assert!(res.is_err());
+        // The budget must be usable again afterwards.
+        let v: Vec<usize> = (0..100usize).into_par_iter().map(|i| i + 1).collect();
+        assert_eq!(v[99], 100);
+    }
+}
