@@ -21,7 +21,12 @@ pub struct BaselineConfig {
 
 impl Default for BaselineConfig {
     fn default() -> Self {
-        BaselineConfig { multipliers: 1024, glb_bytes: 64 * 1024, frequency_mhz: 800.0, dram_bytes_per_cycle: 64.0 }
+        BaselineConfig {
+            multipliers: 1024,
+            glb_bytes: 64 * 1024,
+            frequency_mhz: 800.0,
+            dram_bytes_per_cycle: 64.0,
+        }
     }
 }
 
@@ -54,7 +59,11 @@ impl BaselineWorkload {
             .enumerate()
             .map(|(i, l)| BaselineWorkload {
                 layer: (*l).clone(),
-                weight_sparsity: if i == 0 { 0.2 } else { profile.baseline_weight_sparsity },
+                weight_sparsity: if i == 0 {
+                    0.2
+                } else {
+                    profile.baseline_weight_sparsity
+                },
                 act_sparsity: profile.activation_sparsity(i, n),
                 out_sparsity: profile.activation_sparsity((i + 1).min(n - 1), n),
             })
@@ -69,8 +78,8 @@ impl BaselineWorkload {
     /// Effectual products: pairs where both weight and activation are
     /// nonzero (the work two-sided sparse accelerators perform).
     pub fn effectual_products(&self) -> u64 {
-        (self.dense_macs() as f64 * (1.0 - self.weight_sparsity) * (1.0 - self.act_sparsity))
-            .ceil() as u64
+        (self.dense_macs() as f64 * (1.0 - self.weight_sparsity) * (1.0 - self.act_sparsity)).ceil()
+            as u64
     }
 
     /// Nonzero weights of the pruned checkpoint.
@@ -105,7 +114,10 @@ mod tests {
         let p = ModelProfile::for_model("ResNet18").unwrap();
         let w = BaselineWorkload::for_profile(&p);
         assert_eq!(w.len(), p.model().conv_layers().count());
-        assert!((w[0].weight_sparsity - 0.2).abs() < 1e-12, "first layer stays nearly dense");
+        assert!(
+            (w[0].weight_sparsity - 0.2).abs() < 1e-12,
+            "first layer stays nearly dense"
+        );
         assert!((w[3].weight_sparsity - p.baseline_weight_sparsity).abs() < 1e-12);
     }
 

@@ -8,9 +8,8 @@
 //! is what makes it the normalization baseline of Figures 8 and 11.
 
 use crate::common::{BaselineConfig, BaselineWorkload};
-use crate::Accelerator;
+use crate::LayerModel;
 use escalate_sim::stats::{DramTraffic, LayerStats, SramTraffic};
-use escalate_sim::ModelStats;
 
 /// The Eyeriss dense accelerator model.
 #[derive(Debug, Clone, Default)]
@@ -45,6 +44,12 @@ impl Eyeriss {
         let work = (w.layer.k * w.layer.out_x() * w.layer.out_y()) as f64;
         let fill = (work / (4.0 * self.cfg.multipliers as f64)).min(1.0);
         (row_util * 0.85 * fill).clamp(1e-3, 1.0)
+    }
+}
+
+impl LayerModel for Eyeriss {
+    fn name(&self) -> &'static str {
+        "Eyeriss"
     }
 
     fn simulate_layer(&self, w: &BaselineWorkload) -> LayerStats {
@@ -96,26 +101,18 @@ impl Eyeriss {
     }
 }
 
-impl Accelerator for Eyeriss {
-    fn name(&self) -> &'static str {
-        "Eyeriss"
-    }
-
-    fn simulate(&self, workload: &[BaselineWorkload], _seed: u64) -> ModelStats {
-        ModelStats {
-            model_name: "eyeriss".into(),
-            layers: workload.iter().map(|w| self.simulate_layer(w)).collect(),
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use escalate_models::{LayerShape, ModelProfile};
 
     fn wl(layer: LayerShape) -> BaselineWorkload {
-        BaselineWorkload { layer, weight_sparsity: 0.9, act_sparsity: 0.5, out_sparsity: 0.5 }
+        BaselineWorkload {
+            layer,
+            weight_sparsity: 0.9,
+            act_sparsity: 0.5,
+            out_sparsity: 0.5,
+        }
     }
 
     #[test]

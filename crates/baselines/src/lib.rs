@@ -22,21 +22,63 @@ pub mod scnn;
 pub mod sparten;
 
 pub use common::{BaselineConfig, BaselineWorkload};
+pub use escalate_sim::Accelerator;
 pub use eyeriss::Eyeriss;
 pub use scnn::Scnn;
 pub use sparten::SparTen;
 
-use escalate_sim::ModelStats;
+use escalate_sim::{LayerStats, ModelStats};
 
-/// A baseline accelerator that can simulate a whole model.
+/// A baseline accelerator's per-layer cost model.
 ///
-/// The trait is object-safe so harnesses can iterate over a heterogeneous
-/// accelerator list. The `Sync` bound lets those harnesses fan input
-/// seeds out across threads against a shared accelerator instance.
-pub trait Accelerator: Sync {
+/// Implementors supply only [`LayerModel::simulate_layer`]; the fold into
+/// [`ModelStats`] happens once, in the provided
+/// [`Accelerator::simulate`], by binding the model to a workload with
+/// [`BaselineSim`]. The trait is object-safe so harnesses can iterate
+/// over a heterogeneous accelerator list, and `Sync` so they can fan
+/// input seeds out across threads against a shared instance.
+pub trait LayerModel: Sync {
     /// Accelerator display name.
     fn name(&self) -> &'static str;
 
-    /// Simulates all layers of a model workload.
-    fn simulate(&self, workload: &[BaselineWorkload], seed: u64) -> ModelStats;
+    /// Simulates one layer of a baseline workload.
+    fn simulate_layer(&self, w: &BaselineWorkload) -> LayerStats;
+
+    /// Convenience: binds the model to `workload` and runs the unified
+    /// [`Accelerator::simulate`] fold. The baseline models are
+    /// deterministic, so `seed` is accepted for signature uniformity and
+    /// ignored.
+    fn simulate(&self, workload: &[BaselineWorkload], _seed: u64) -> ModelStats {
+        BaselineSim::new(self, workload).simulate(0, 1)
+    }
+}
+
+/// A [`LayerModel`] bound to a concrete workload, implementing the
+/// unified [`Accelerator`] trait from `escalate-sim` — the adapter that
+/// lets the generic seed-averaging harness in `escalate-bench` drive
+/// baselines and ESCALATE identically.
+pub struct BaselineSim<'a, M: ?Sized + LayerModel> {
+    model: &'a M,
+    workload: &'a [BaselineWorkload],
+}
+
+impl<'a, M: ?Sized + LayerModel> BaselineSim<'a, M> {
+    /// Binds a layer model to a workload.
+    pub fn new(model: &'a M, workload: &'a [BaselineWorkload]) -> Self {
+        BaselineSim { model, workload }
+    }
+}
+
+impl<M: ?Sized + LayerModel> Accelerator for BaselineSim<'_, M> {
+    fn name(&self) -> &str {
+        self.model.name()
+    }
+
+    fn num_layers(&self) -> usize {
+        self.workload.len()
+    }
+
+    fn simulate_layer(&self, index: usize, _seed: u64) -> LayerStats {
+        self.model.simulate_layer(&self.workload[index])
+    }
 }

@@ -78,8 +78,8 @@ pub fn search(w: &BaselineWorkload, array_rows: usize, array_cols: usize) -> Map
             let out_row_passes = out_rows.div_ceil(cols_for_output) as u64;
             let kc_passes = kc.div_ceil(parallel_kc) as u64;
             let cycles = out_row_passes * kc_passes * (s * out_cols) as u64;
-            let utilization = macs as f64
-                / (cycles.max(1) as f64 * (array_rows * array_cols) as f64);
+            let utilization =
+                macs as f64 / (cycles.max(1) as f64 * (array_rows * array_cols) as f64);
             if cycles < best.cycles {
                 best = Mapping {
                     row_replicas,
@@ -100,7 +100,12 @@ mod tests {
     use escalate_models::LayerShape;
 
     fn wl(layer: LayerShape) -> BaselineWorkload {
-        BaselineWorkload { layer, weight_sparsity: 0.9, act_sparsity: 0.5, out_sparsity: 0.5 }
+        BaselineWorkload {
+            layer,
+            weight_sparsity: 0.9,
+            act_sparsity: 0.5,
+            out_sparsity: 0.5,
+        }
     }
 
     #[test]
@@ -137,7 +142,7 @@ mod tests {
         // search (ideal, fragmentation-only) is at least as good, but not
         // wildly better than closed-form × scheduling efficiency.
         use crate::eyeriss::Eyeriss;
-        use crate::Accelerator;
+        use crate::LayerModel;
         let eye = Eyeriss::default();
         for layer in [
             LayerShape::conv("a", 64, 64, 32, 32, 3, 1, 1),

@@ -11,9 +11,8 @@
 //! add a constant overhead factor.
 
 use crate::common::{BaselineConfig, BaselineWorkload};
-use crate::Accelerator;
+use crate::LayerModel;
 use escalate_sim::stats::{DramTraffic, LayerStats, SramTraffic};
-use escalate_sim::ModelStats;
 
 /// The SCNN sparse accelerator model.
 #[derive(Debug, Clone)]
@@ -30,7 +29,11 @@ pub struct Scnn {
 impl Default for Scnn {
     fn default() -> Self {
         // 1024 multipliers = 64 PEs × 4×4 arrays.
-        Scnn { cfg: BaselineConfig::default(), n_pe: 64, conflict_factor: 1.2 }
+        Scnn {
+            cfg: BaselineConfig::default(),
+            n_pe: 64,
+            conflict_factor: 1.2,
+        }
     }
 }
 
@@ -49,8 +52,16 @@ impl Scnn {
         // layers have exactly one kernel per channel, not K of them.
         let depthwise = w.layer.kind == escalate_models::LayerKind::DwConv;
         let kc = 64usize;
-        let groups = if depthwise { 1.0 } else { w.layer.k.div_ceil(kc) as f64 };
-        let kc_eff = if depthwise { 1.0 } else { w.layer.k as f64 / groups };
+        let groups = if depthwise {
+            1.0
+        } else {
+            w.layer.k.div_ceil(kc) as f64
+        };
+        let kc_eff = if depthwise {
+            1.0
+        } else {
+            w.layer.k as f64 / groups
+        };
         // Nonzero weights of one channel within one filter group.
         let nw = kc_eff * (w.layer.r * w.layer.s) as f64 * (1.0 - w.weight_sparsity);
         // Nonzero activations in one PE's spatial tile of one channel.
@@ -60,16 +71,25 @@ impl Scnn {
         let per_cg = (nw / 4.0 + 0.5).max(1.0) * (na / 4.0 + 0.5).max(1.0);
         w.layer.c as f64 * groups * per_cg
     }
+}
+
+impl LayerModel for Scnn {
+    fn name(&self) -> &'static str {
+        "SCNN"
+    }
 
     fn simulate_layer(&self, w: &BaselineWorkload) -> LayerStats {
         // Depthwise layers break the Cartesian product (no cross-channel
         // reduction): only matching channels multiply, collapsing the F
         // vector — the SCNN paper does not support them natively; DNNsim
         // serializes them. Model as 2× lower multiplier efficiency.
-        let dw_penalty = if w.layer.kind == escalate_models::LayerKind::DwConv { 2.0 } else { 1.0 };
+        let dw_penalty = if w.layer.kind == escalate_models::LayerKind::DwConv {
+            2.0
+        } else {
+            1.0
+        };
         let products = w.effectual_products();
-        let cycles =
-            (self.structural_cycles(w) * self.conflict_factor * dw_penalty).ceil() as u64;
+        let cycles = (self.structural_cycles(w) * self.conflict_factor * dw_penalty).ceil() as u64;
 
         // Weights: run-length encoded nonzeros (8-bit value + 4-bit step ≈
         // 1.5 bytes per nonzero). Activations: compressed, and SCNN's
@@ -91,7 +111,11 @@ impl Scnn {
             gather_passes: 0,
             mac_idle_cycles: 0,
             mac_cycle_slots: cycles.max(1) * self.cfg.multipliers as u64,
-            dram: DramTraffic { weights: weight_bytes, ifm: ifm_bytes, ofm: ofm_bytes },
+            dram: DramTraffic {
+                weights: weight_bytes,
+                ifm: ifm_bytes,
+                ofm: ofm_bytes,
+            },
             sram: SramTraffic {
                 input_buf: ifm_bytes * w.layer.r as u64 * w.layer.s as u64,
                 coef_buf: weight_bytes * 2,
@@ -107,19 +131,6 @@ impl Scnn {
     }
 }
 
-impl Accelerator for Scnn {
-    fn name(&self) -> &'static str {
-        "SCNN"
-    }
-
-    fn simulate(&self, workload: &[BaselineWorkload], _seed: u64) -> ModelStats {
-        ModelStats {
-            model_name: "scnn".into(),
-            layers: workload.iter().map(|w| self.simulate_layer(w)).collect(),
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -127,7 +138,12 @@ mod tests {
     use escalate_models::{LayerShape, ModelProfile};
 
     fn wl(layer: LayerShape, ws: f64, as_: f64) -> BaselineWorkload {
-        BaselineWorkload { layer, weight_sparsity: ws, act_sparsity: as_, out_sparsity: as_ }
+        BaselineWorkload {
+            layer,
+            weight_sparsity: ws,
+            act_sparsity: as_,
+            out_sparsity: as_,
+        }
     }
 
     #[test]
@@ -143,8 +159,12 @@ mod tests {
     #[test]
     fn scnn_beats_eyeriss_on_sparse_early_layers() {
         let w = wl(LayerShape::conv("a", 64, 64, 32, 32, 3, 1, 1), 0.9, 0.5);
-        let scnn = Scnn::default().simulate(std::slice::from_ref(&w), 0).total_cycles();
-        let eye = Eyeriss::default().simulate(std::slice::from_ref(&w), 0).total_cycles();
+        let scnn = Scnn::default()
+            .simulate(std::slice::from_ref(&w), 0)
+            .total_cycles();
+        let eye = Eyeriss::default()
+            .simulate(std::slice::from_ref(&w), 0)
+            .total_cycles();
         assert!(scnn < eye);
     }
 
@@ -154,8 +174,10 @@ mod tests {
         let big = wl(LayerShape::conv("a", 512, 512, 32, 32, 3, 1, 1), 0.9, 0.5);
         let small = wl(LayerShape::conv("b", 512, 512, 2, 2, 3, 1, 1), 0.9, 0.5);
         // Cycles per product are much worse on the small map.
-        let cb = s.simulate(std::slice::from_ref(&big), 0).total_cycles() as f64 / big.effectual_products() as f64;
-        let cs = s.simulate(std::slice::from_ref(&small), 0).total_cycles() as f64 / small.effectual_products() as f64;
+        let cb = s.simulate(std::slice::from_ref(&big), 0).total_cycles() as f64
+            / big.effectual_products() as f64;
+        let cs = s.simulate(std::slice::from_ref(&small), 0).total_cycles() as f64
+            / small.effectual_products() as f64;
         assert!(cs > 5.0 * cb);
     }
 
@@ -165,8 +187,10 @@ mod tests {
         let dw = wl(LayerShape::dwconv("dw", 256, 28, 28, 3, 1, 1), 0.7, 0.4);
         let conv = wl(LayerShape::conv("c", 16, 16, 28, 28, 3, 1, 1), 0.7, 0.4);
         // Same order of products; the depthwise one pays the penalty.
-        let cd = s.simulate(std::slice::from_ref(&dw), 0).total_cycles() as f64 / dw.effectual_products() as f64;
-        let cc = s.simulate(std::slice::from_ref(&conv), 0).total_cycles() as f64 / conv.effectual_products() as f64;
+        let cd = s.simulate(std::slice::from_ref(&dw), 0).total_cycles() as f64
+            / dw.effectual_products() as f64;
+        let cc = s.simulate(std::slice::from_ref(&conv), 0).total_cycles() as f64
+            / conv.effectual_products() as f64;
         assert!(cd > 2.0 * cc);
     }
 

@@ -10,9 +10,8 @@
 //! synchronization barrier per output tile that forces IFM re-fetches.
 
 use crate::common::{BaselineConfig, BaselineWorkload};
-use crate::Accelerator;
+use crate::LayerModel;
 use escalate_sim::stats::{DramTraffic, LayerStats, SramTraffic};
-use escalate_sim::ModelStats;
 
 /// The SparTen sparse accelerator model.
 #[derive(Debug, Clone)]
@@ -39,7 +38,12 @@ impl Default for SparTen {
         // area-equivalent to several multipliers, so the equal-multiplier
         // normalization of Table 2 cannot afford one front end per
         // multiplier.
-        SparTen { cfg: BaselineConfig::default(), n_units: 256, mults_per_unit: 4, imbalance_factor: 1.3 }
+        SparTen {
+            cfg: BaselineConfig::default(),
+            n_units: 256,
+            mults_per_unit: 4,
+            imbalance_factor: 1.3,
+        }
     }
 }
 
@@ -72,13 +76,20 @@ impl SparTen {
         // One cycle ANDs a chunk; its matches serialize over the unit's
         // multiplier backend.
         let matched_per_chunk = products_per_out / chunks_per_out;
-        let cyc_per_out = chunks_per_out * (matched_per_chunk / self.mults_per_unit as f64).max(1.0);
+        let cyc_per_out =
+            chunks_per_out * (matched_per_chunk / self.mults_per_unit as f64).max(1.0);
         let outputs = if depthwise {
             (w.layer.c * w.layer.out_x() * w.layer.out_y()) as f64
         } else {
             (w.layer.k * w.layer.out_x() * w.layer.out_y()) as f64
         };
         outputs * cyc_per_out / self.n_units as f64
+    }
+}
+
+impl LayerModel for SparTen {
+    fn name(&self) -> &'static str {
+        "SparTen"
     }
 
     fn simulate_layer(&self, w: &BaselineWorkload) -> LayerStats {
@@ -108,7 +119,11 @@ impl SparTen {
                 * ((w.layer.r * w.layer.s * w.layer.c.div_ceil(32)) as u64),
             mac_idle_cycles: 0,
             mac_cycle_slots: cycles.max(1) * self.cfg.multipliers as u64,
-            dram: DramTraffic { weights: weight_bytes, ifm: ifm_bytes, ofm: ofm_bytes },
+            dram: DramTraffic {
+                weights: weight_bytes,
+                ifm: ifm_bytes,
+                ofm: ofm_bytes,
+            },
             sram: SramTraffic {
                 input_buf: ifm_bytes,
                 coef_buf: weight_bytes * 2,
@@ -121,19 +136,6 @@ impl SparTen {
     }
 }
 
-impl Accelerator for SparTen {
-    fn name(&self) -> &'static str {
-        "SparTen"
-    }
-
-    fn simulate(&self, workload: &[BaselineWorkload], _seed: u64) -> ModelStats {
-        ModelStats {
-            model_name: "sparten".into(),
-            layers: workload.iter().map(|w| self.simulate_layer(w)).collect(),
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -142,7 +144,12 @@ mod tests {
     use escalate_models::{LayerShape, ModelProfile};
 
     fn wl(layer: LayerShape, ws: f64, as_: f64) -> BaselineWorkload {
-        BaselineWorkload { layer, weight_sparsity: ws, act_sparsity: as_, out_sparsity: as_ }
+        BaselineWorkload {
+            layer,
+            weight_sparsity: ws,
+            act_sparsity: as_,
+            out_sparsity: as_,
+        }
     }
 
     #[test]
@@ -150,8 +157,12 @@ mod tests {
         // Deep channels, tiny spatial map: SparTen's channel-first join
         // stays busy; SCNN's spatial tiling starves.
         let w = wl(LayerShape::conv("late", 512, 512, 2, 2, 3, 1, 1), 0.98, 0.5);
-        let sp = SparTen::default().simulate(std::slice::from_ref(&w), 0).total_cycles();
-        let sc = Scnn::default().simulate(std::slice::from_ref(&w), 0).total_cycles();
+        let sp = SparTen::default()
+            .simulate(std::slice::from_ref(&w), 0)
+            .total_cycles();
+        let sc = Scnn::default()
+            .simulate(std::slice::from_ref(&w), 0)
+            .total_cycles();
         assert!(sp < sc, "SparTen {sp} should beat SCNN {sc} on late layers");
     }
 
@@ -159,10 +170,21 @@ mod tests {
     fn early_layers_favor_scnn_over_sparten() {
         // Shallow channels, big map, heavily pruned checkpoint: SCNN's
         // spatial tiles stay full while SparTen's channel chunks starve.
-        let w = wl(LayerShape::conv("early", 64, 64, 32, 32, 3, 1, 1), 0.986, 0.35);
-        let sp = SparTen::default().simulate(std::slice::from_ref(&w), 0).total_cycles();
-        let sc = Scnn::default().simulate(std::slice::from_ref(&w), 0).total_cycles();
-        assert!(sc < sp, "SCNN {sc} should beat SparTen {sp} on early layers");
+        let w = wl(
+            LayerShape::conv("early", 64, 64, 32, 32, 3, 1, 1),
+            0.986,
+            0.35,
+        );
+        let sp = SparTen::default()
+            .simulate(std::slice::from_ref(&w), 0)
+            .total_cycles();
+        let sc = Scnn::default()
+            .simulate(std::slice::from_ref(&w), 0)
+            .total_cycles();
+        assert!(
+            sc < sp,
+            "SCNN {sc} should beat SparTen {sp} on early layers"
+        );
     }
 
     #[test]
@@ -180,6 +202,9 @@ mod tests {
         let wide = wl(LayerShape::conv("w", 64, 512, 16, 16, 3, 1, 1), 0.8, 0.5);
         let sn = SparTen::default().simulate(&[narrow], 0).total_dram().ifm;
         let sw = SparTen::default().simulate(&[wide], 0).total_dram().ifm;
-        assert!(sw >= 8 * sn, "16 filter rounds should refetch the IFM: {sw} vs {sn}");
+        assert!(
+            sw >= 8 * sn,
+            "16 filter rounds should refetch the IFM: {sw} vs {sn}"
+        );
     }
 }

@@ -1,15 +1,24 @@
 //! Cross-baseline coverage: behaviors every accelerator model must share
 //! under the Table 2 normalization, plus the bandwidth-bound regime.
 
-use escalate_baselines::{Accelerator, BaselineConfig, BaselineWorkload, Eyeriss, Scnn, SparTen};
+use escalate_baselines::{BaselineConfig, BaselineWorkload, Eyeriss, LayerModel, Scnn, SparTen};
 use escalate_models::{LayerShape, ModelProfile};
 
 fn wl(layer: LayerShape, ws: f64, sa: f64) -> BaselineWorkload {
-    BaselineWorkload { layer, weight_sparsity: ws, act_sparsity: sa, out_sparsity: sa }
+    BaselineWorkload {
+        layer,
+        weight_sparsity: ws,
+        act_sparsity: sa,
+        out_sparsity: sa,
+    }
 }
 
-fn accels() -> Vec<Box<dyn Accelerator>> {
-    vec![Box::new(Eyeriss::default()), Box::new(Scnn::default()), Box::new(SparTen::default())]
+fn accels() -> Vec<Box<dyn LayerModel>> {
+    vec![
+        Box::new(Eyeriss::default()),
+        Box::new(Scnn::default()),
+        Box::new(SparTen::default()),
+    ]
 }
 
 #[test]
@@ -49,8 +58,10 @@ fn sparse_baselines_collapse_to_dense_speed_at_zero_sparsity() {
     // faster than Eyeriss (their skipping hardware buys nothing).
     let layer = LayerShape::conv("dense", 128, 128, 28, 28, 3, 1, 1);
     let w = wl(layer, 0.0, 0.0);
-    let eye = Eyeriss::default().simulate(std::slice::from_ref(&w), 0).total_cycles() as f64;
-    for acc in [&Scnn::default() as &dyn Accelerator, &SparTen::default()] {
+    let eye = Eyeriss::default()
+        .simulate(std::slice::from_ref(&w), 0)
+        .total_cycles() as f64;
+    for acc in [&Scnn::default() as &dyn LayerModel, &SparTen::default()] {
         let c = acc.simulate(std::slice::from_ref(&w), 0).total_cycles() as f64;
         let speedup = eye / c;
         assert!(
@@ -81,7 +92,11 @@ fn cycles_scale_with_model_size_on_every_baseline() {
     for acc in accels() {
         let cs = acc.simulate(&ws, 0).total_cycles();
         let cl = acc.simulate(&wlg, 0).total_cycles();
-        assert!(cl > cs, "{}: ResNet50 should outweigh MobileNet", acc.name());
+        assert!(
+            cl > cs,
+            "{}: ResNet50 should outweigh MobileNet",
+            acc.name()
+        );
     }
 }
 

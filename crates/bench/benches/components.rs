@@ -28,7 +28,11 @@ fn bench_slice(c: &mut Criterion) {
                     }
                 }
             }
-            PositionInput { act_mask: act, coef_masks: coefs, c: 128 }
+            PositionInput {
+                act_mask: act,
+                coef_masks: coefs,
+                c: 128,
+            }
         })
         .collect();
     let cfg = SimConfig::default();
@@ -54,19 +58,33 @@ fn bench_maskpipe(c: &mut Criterion) {
 fn bench_htree(c: &mut Criterion) {
     let mut tree = HTree::new(32);
     let reqs: Vec<Option<u64>> = (0..32).map(|i| Some((i % 5) as u64)).collect();
-    c.bench_function("htree_round_32", |b| b.iter(|| tree.round(black_box(&reqs))));
+    c.bench_function("htree_round_32", |b| {
+        b.iter(|| tree.round(black_box(&reqs)))
+    });
 }
 
 fn bench_gemm_vs_direct(c: &mut Criterion) {
-    let input = Tensor::from_fn(&[32, 16, 16], |i| ((i[0] * 7 + i[1] * 3 + i[2]) % 9) as f32 * 0.1);
-    let weight = Tensor::from_fn(&[32, 32, 3, 3], |i| ((i[0] + i[1] + i[2] * i[3]) % 7) as f32 * 0.1);
+    let input = Tensor::from_fn(&[32, 16, 16], |i| {
+        ((i[0] * 7 + i[1] * 3 + i[2]) % 9) as f32 * 0.1
+    });
+    let weight = Tensor::from_fn(&[32, 32, 3, 3], |i| {
+        ((i[0] + i[1] + i[2] * i[3]) % 7) as f32 * 0.1
+    });
     let mut g = c.benchmark_group("conv_paths");
-    g.bench_function("direct", |b| b.iter(|| conv2d(black_box(&input), black_box(&weight), 1, 1)));
+    g.bench_function("direct", |b| {
+        b.iter(|| conv2d(black_box(&input), black_box(&weight), 1, 1))
+    });
     g.bench_function("im2col_gemm", |b| {
         b.iter(|| conv2d_gemm(black_box(&input), black_box(&weight), 1, 1))
     });
     g.finish();
 }
 
-criterion_group!(benches, bench_slice, bench_maskpipe, bench_htree, bench_gemm_vs_direct);
+criterion_group!(
+    benches,
+    bench_slice,
+    bench_maskpipe,
+    bench_htree,
+    bench_gemm_vs_direct
+);
 criterion_main!(benches);

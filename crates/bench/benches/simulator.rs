@@ -3,7 +3,7 @@
 //! compression pipeline on the smallest network.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use escalate_baselines::{Accelerator, BaselineWorkload, Eyeriss, Scnn, SparTen};
+use escalate_baselines::{BaselineWorkload, Eyeriss, LayerModel, Scnn, SparTen};
 use escalate_core::pipeline::CompressionConfig;
 use escalate_core::quant::TernaryCoeffs;
 use escalate_models::{LayerShape, ModelProfile};
@@ -46,9 +46,15 @@ fn bench_baselines(c: &mut Criterion) {
     let profile = ModelProfile::for_model("ResNet18").expect("known model");
     let w = BaselineWorkload::for_profile(&profile);
     let mut g = c.benchmark_group("baseline_models");
-    g.bench_function("eyeriss_resnet18", |b| b.iter(|| Eyeriss::default().simulate(black_box(&w), 0)));
-    g.bench_function("scnn_resnet18", |b| b.iter(|| Scnn::default().simulate(black_box(&w), 0)));
-    g.bench_function("sparten_resnet18", |b| b.iter(|| SparTen::default().simulate(black_box(&w), 0)));
+    g.bench_function("eyeriss_resnet18", |b| {
+        b.iter(|| Eyeriss::default().simulate(black_box(&w), 0))
+    });
+    g.bench_function("scnn_resnet18", |b| {
+        b.iter(|| Scnn::default().simulate(black_box(&w), 0))
+    });
+    g.bench_function("sparten_resnet18", |b| {
+        b.iter(|| SparTen::default().simulate(black_box(&w), 0))
+    });
     g.finish();
 }
 
@@ -73,7 +79,10 @@ fn bench_model_grid(c: &mut Criterion) {
     escalate_bench::run_model(&profile, &SimConfig::default(), 1).expect("warm-up");
     let mut g = c.benchmark_group("model_grid");
     g.sample_size(10);
-    let seq = SimConfig { threads: 1, ..SimConfig::default() };
+    let seq = SimConfig {
+        threads: 1,
+        ..SimConfig::default()
+    };
     g.bench_function("mobilenet_grid_seq_2seeds", |b| {
         b.iter(|| escalate_bench::run_model(black_box(&profile), &seq, 2))
     });

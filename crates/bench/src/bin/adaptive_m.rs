@@ -9,8 +9,10 @@
 //! Usage: `cargo run --release -p escalate-bench --bin adaptive_m`
 
 use escalate_core::decompose::{decompose, decompose_adaptive};
-use escalate_core::quant::{threshold_for_sparsity, HybridQuantized, QuantizedBasis, TernaryCoeffs};
 use escalate_core::pipeline::ternary_storage_bits;
+use escalate_core::quant::{
+    threshold_for_sparsity, HybridQuantized, QuantizedBasis, TernaryCoeffs,
+};
 use escalate_models::{synth, ModelProfile};
 
 fn main() {
@@ -22,7 +24,10 @@ fn main() {
         "{:<20} {:>4} {:>6} {:>10} {:>10} {:>9} {:>9}",
         "Layer", "Mad", "Mfix", "bits(ad)", "bits(fix)", "err(ad)", "err(fix)"
     );
-    let conv: Vec<_> = model.conv_layers().filter(|l| l.is_decomposable() && l.c > 3).collect();
+    let conv: Vec<_> = model
+        .conv_layers()
+        .filter(|l| l.is_decomposable() && l.c > 3)
+        .collect();
     let n = conv.len();
     let mut total_ad = 0usize;
     let mut total_fix = 0usize;

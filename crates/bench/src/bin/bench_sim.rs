@@ -30,7 +30,9 @@ fn assert_identical(seq: &ModelRun, par: &ModelRun) {
 }
 
 fn main() {
-    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_sim.json".into());
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_sim.json".into());
     // Build the global pool at full width up front: the first configuration
     // wins for the whole process, and the sequential grid (which only uses
     // `threads == 1` fast paths) must not pin the pool to one thread.
@@ -38,7 +40,10 @@ fn main() {
     let seeds = input_seeds();
     let profile = ModelProfile::for_model("MobileNet").expect("known model");
 
-    let sequential_cfg = SimConfig { threads: 1, ..SimConfig::default() };
+    let sequential_cfg = SimConfig {
+        threads: 1,
+        ..SimConfig::default()
+    };
     let parallel_cfg = SimConfig::default();
 
     // Warm the artifact cache so both timings measure simulation, not the

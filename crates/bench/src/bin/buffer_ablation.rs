@@ -27,7 +27,12 @@ struct UnifiedFifo {
 
 impl UnifiedFifo {
     fn new(capacity: u32) -> Self {
-        UnifiedFifo { capacity, used: 0, resident: VecDeque::new(), fetches: 0 }
+        UnifiedFifo {
+            capacity,
+            used: 0,
+            resident: VecDeque::new(),
+            fetches: 0,
+        }
     }
 
     fn read(&mut self, id: u64, bytes: u32) {
@@ -35,7 +40,10 @@ impl UnifiedFifo {
             return;
         }
         while self.used + bytes > self.capacity {
-            let (_, b) = self.resident.pop_front().expect("chunk larger than capacity");
+            let (_, b) = self
+                .resident
+                .pop_front()
+                .expect("chunk larger than capacity");
             self.used -= b;
         }
         self.resident.push_back((id, bytes));

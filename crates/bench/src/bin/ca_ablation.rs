@@ -24,7 +24,13 @@ fn main() {
     for density in [0.05f64, 0.1, 0.3, 0.5] {
         let mut rng = StdRng::seed_from_u64(9);
         let slots: Vec<Option<f32>> = (0..stream_len)
-            .map(|i| if rng.gen_bool(density) { Some(i as f32) } else { None })
+            .map(|i| {
+                if rng.gen_bool(density) {
+                    Some(i as f32)
+                } else {
+                    None
+                }
+            })
             .collect();
         let survivors = slots.iter().flatten().count();
         let perfect = survivors.div_ceil(width);

@@ -22,7 +22,8 @@ fn main() {
     let mut latencies = Vec::new();
     for name in ["VGG16", "MobileNetV2"] {
         let profile = ModelProfile::for_model(name).expect("known model");
-        let artifacts = compress(&profile, &CompressionConfig::default()).expect("compression succeeds");
+        let artifacts =
+            compress(&profile, &CompressionConfig::default()).expect("compression succeeds");
         let stats = ModelCompression {
             model_name: name.to_string(),
             layers: artifacts.iter().map(|a| a.stats.clone()).collect(),
@@ -44,7 +45,11 @@ fn main() {
     println!(
         "sparse VGG16 is {:.2}x {} than sparse MobileNetV2 (paper: 1.5x faster at a",
         (latencies[1] / latencies[0]).max(latencies[0] / latencies[1]),
-        if latencies[0] < latencies[1] { "faster" } else { "slower" },
+        if latencies[0] < latencies[1] {
+            "faster"
+        } else {
+            "slower"
+        },
     );
     println!("0.5%-accuracy gap). Compact models are designed for dense edge processors");
     println!("and leave little sparsity for a sparse-aware accelerator to harvest (§6.3).");

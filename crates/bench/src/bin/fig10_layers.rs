@@ -11,14 +11,20 @@ use escalate_models::ModelProfile;
 use escalate_sim::SimConfig;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "ResNet18".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "ResNet18".to_string());
     let profile = ModelProfile::for_model(&name).unwrap_or_else(|| panic!("unknown model {name}"));
     let cfg = SimConfig::default();
-    let artifacts = compress(&profile, &CompressionConfig::default()).expect("compression succeeds");
+    let artifacts =
+        compress(&profile, &CompressionConfig::default()).expect("compression succeeds");
     let run = run_escalate(&profile, &artifacts, &cfg, 1);
     let layers = escalate_layer_energies(&run, &cfg);
 
-    println!("Per-layer ESCALATE energy breakdown, {} (% of the layer's energy)", profile.name);
+    println!(
+        "Per-layer ESCALATE energy breakdown, {} (% of the layer's energy)",
+        profile.name
+    );
     println!();
     println!(
         "{:<22} {:>10} {:>7} {:>7} {:>7} {:>7} {:>7}",
@@ -41,7 +47,11 @@ fn main() {
     }
     let model_total: f64 = layers.iter().map(|(_, e)| e.total_pj()).sum();
     println!();
-    println!("model total: {:.1} uJ over {} layers", model_total * 1e-6, layers.len());
+    println!(
+        "model total: {:.1} uJ over {} layers",
+        model_total * 1e-6,
+        layers.len()
+    );
     println!();
     println!("Early wide-map layers are DRAM-lean and logic-dominated; layers whose");
     println!("compressed inputs exceed the distributed buffers (re-streamed IFMs) and");

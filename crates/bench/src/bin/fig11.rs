@@ -4,7 +4,7 @@
 //!
 //! Usage: `cargo run --release -p escalate-bench --bin fig11 [MODEL]`
 
-use escalate_baselines::{Accelerator, BaselineWorkload, Eyeriss, Scnn, SparTen};
+use escalate_baselines::{BaselineWorkload, Eyeriss, LayerModel, Scnn, SparTen};
 use escalate_bench::compress;
 use escalate_core::pipeline::CompressionConfig;
 use escalate_models::ModelProfile;
@@ -12,10 +12,12 @@ use escalate_sim::{simulate_model, SimConfig, Workload};
 
 fn main() {
     let cfg = SimConfig::default();
-    let name = std::env::args().nth(1).unwrap_or_else(|| "ResNet18".to_string());
-    let profile = ModelProfile::for_model(&name)
-        .unwrap_or_else(|| panic!("unknown model {name}"));
-    let artifacts = compress(&profile, &CompressionConfig::default()).expect("compression succeeds");
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "ResNet18".to_string());
+    let profile = ModelProfile::for_model(&name).unwrap_or_else(|| panic!("unknown model {name}"));
+    let artifacts =
+        compress(&profile, &CompressionConfig::default()).expect("compression succeeds");
     let workload = Workload::from_artifacts(profile.name, &artifacts, &profile);
     let esc = simulate_model(&workload, &cfg, 0);
 
@@ -24,7 +26,10 @@ fn main() {
     let scnn = Scnn::default().simulate(&bw, 0);
     let sparten = SparTen::default().simulate(&bw, 0);
 
-    println!("Figure 11: layer-wise speedup over Eyeriss, {} ({})", profile.name, profile.dataset);
+    println!(
+        "Figure 11: layer-wise speedup over Eyeriss, {} ({})",
+        profile.name, profile.dataset
+    );
     println!();
     println!(
         "{:<20} {:>5} {:>5} {:>7} {:>9} {:>9} {:>9} {:>9}",
@@ -55,7 +60,11 @@ fn main() {
             e_cycles / sparten.layers[i].cycles as f64,
             e_cycles / esc_l.cycles as f64,
             cm,
-            if esc_l.fallback { "  (dense fallback)" } else { "" },
+            if esc_l.fallback {
+                "  (dense fallback)"
+            } else {
+                ""
+            },
         );
     }
     println!();

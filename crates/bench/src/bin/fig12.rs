@@ -22,7 +22,10 @@ fn main() {
         );
         for m in 4..=8usize {
             let sim_cfg = SimConfig::default().with_m(m);
-            let cfg = CompressionConfig { m, ..CompressionConfig::default() };
+            let cfg = CompressionConfig {
+                m,
+                ..CompressionConfig::default()
+            };
             let artifacts = compress(&profile, &cfg).expect("compression succeeds");
             let stats = ModelCompression {
                 model_name: model.to_string(),

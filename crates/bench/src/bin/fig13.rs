@@ -11,7 +11,8 @@ use escalate_sim::{simulate_model, SimConfig, Workload};
 fn main() {
     let cfg = SimConfig::default();
     let profile = ModelProfile::for_model("MobileNet").expect("known model");
-    let artifacts = compress(&profile, &CompressionConfig::default()).expect("compression succeeds");
+    let artifacts =
+        compress(&profile, &CompressionConfig::default()).expect("compression succeeds");
     let workload = Workload::from_artifacts("MobileNet", &artifacts, &profile);
     let stats = simulate_model(&workload, &cfg, 0);
 

@@ -67,7 +67,11 @@ fn main() {
     println!("kernels need high precision, the coefficients do not.");
 }
 
-fn evaluate(decomposed: &[(LayerShape, Tensor, Decomposed)], policy: &str, bits: u32) -> PolicyPoint {
+fn evaluate(
+    decomposed: &[(LayerShape, Tensor, Decomposed)],
+    policy: &str,
+    bits: u32,
+) -> PolicyPoint {
     let mut total_bits = 0usize;
     let mut err_weighted = 0.0f64;
     let mut params = 0usize;
@@ -93,7 +97,11 @@ fn evaluate(decomposed: &[(LayerShape, Tensor, Decomposed)], policy: &str, bits:
             let slice_len = d.c() * d.m();
             quantize_linear_grouped(&d.coeffs, coeff_bits, slice_len).expect("coeff bits valid")
         };
-        let q = Decomposed { basis: basis_q, coeffs: coeffs_q, captured_energy: 1.0 };
+        let q = Decomposed {
+            basis: basis_q,
+            coeffs: coeffs_q,
+            captured_energy: 1.0,
+        };
         let e = w.relative_error(&q.reconstruct()) as f64;
         err_weighted += e * w.len() as f64;
         params += w.len();

@@ -18,7 +18,10 @@ fn main() {
         "{:<12} | {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9}",
         "Model", "SCNN", "SparTen", "ESCALATE", "SCNN", "SparTen", "ESCALATE"
     );
-    println!("{:<12} | {:^29} | {:^29}", "", "speedup", "energy efficiency");
+    println!(
+        "{:<12} | {:^29} | {:^29}",
+        "", "speedup", "energy efficiency"
+    );
     println!("{}", "-".repeat(78));
     for profile in ModelProfile::all() {
         let run = run_model(&profile, &cfg, input_seeds()).expect("simulation succeeds");

@@ -11,7 +11,10 @@ fn main() {
     let cfg = SimConfig::default();
     println!("Figure 9: DRAM accesses normalized to ESCALATE (higher = more traffic)");
     println!();
-    println!("{:<12} {:>9} {:>9} {:>9} {:>10}", "Model", "Eyeriss", "SCNN", "SparTen", "ESCALATE");
+    println!(
+        "{:<12} {:>9} {:>9} {:>9} {:>10}",
+        "Model", "Eyeriss", "SCNN", "SparTen", "ESCALATE"
+    );
     let mut ratios = Vec::new();
     for profile in ModelProfile::all() {
         let run = run_model(&profile, &cfg, input_seeds()).expect("simulation succeeds");

@@ -25,7 +25,10 @@ fn main() {
     println!("Psum bank-conflict factor under the Basis-First scatter");
     println!("({m} MACs x {r}x{s} kernels, {out_width}-wide output rows, {positions} positions)");
     println!();
-    println!("{:>6} {:>12} {:>12} {:>16}", "banks", "accesses", "cycles", "conflict factor");
+    println!(
+        "{:>6} {:>12} {:>12} {:>16}",
+        "banks", "accesses", "cycles", "conflict factor"
+    );
     for banks in [2usize, 4, 8, 16, 32] {
         let mut p = PsumBanks::new(banks, (r + 1) * out_width / banks + 1);
         let mut rng = StdRng::seed_from_u64(11);

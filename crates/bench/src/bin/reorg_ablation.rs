@@ -8,8 +8,8 @@
 //!
 //! Usage: `cargo run --release -p escalate-bench --bin reorg_ablation`
 
-use escalate_core::reorg::{forward_eq2, forward_eq3, intermediate_footprint};
 use escalate_core::decompose;
+use escalate_core::reorg::{forward_eq2, forward_eq3, intermediate_footprint};
 use escalate_models::{synth, ModelProfile};
 use std::time::Instant;
 
@@ -23,7 +23,13 @@ fn main() {
     );
     // Scale the spatial size down so the dense reference runs quickly; the
     // footprint ratio C·M/M is spatial-size independent.
-    for (i, layer) in profile.model().conv_layers().filter(|l| l.is_decomposable()).take(9).enumerate() {
+    for (i, layer) in profile
+        .model()
+        .conv_layers()
+        .filter(|l| l.is_decomposable())
+        .take(9)
+        .enumerate()
+    {
         let mut l = layer.clone();
         l.x = l.x.min(16);
         l.y = l.y.min(16);

@@ -11,7 +11,7 @@
 //! Usage: `cargo run --release -p escalate-bench --bin rs_mapping`
 
 use escalate_baselines::rs_mapper::search;
-use escalate_baselines::{Accelerator, BaselineWorkload, Eyeriss};
+use escalate_baselines::{BaselineWorkload, Eyeriss, LayerModel};
 use escalate_models::ModelProfile;
 
 fn main() {

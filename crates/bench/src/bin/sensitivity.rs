@@ -14,7 +14,8 @@ use escalate_sim::{simulate_model, SimConfig, Workload};
 fn main() {
     let cfg = SimConfig::default();
     let profile = ModelProfile::for_model("ResNet18").expect("known model");
-    let artifacts = compress(&profile, &CompressionConfig::default()).expect("compression succeeds");
+    let artifacts =
+        compress(&profile, &CompressionConfig::default()).expect("compression succeeds");
     let workload = Workload::from_artifacts("ResNet18", &artifacts, &profile);
 
     // (a) Input-sample variance at the profile's sparsity.
@@ -25,11 +26,17 @@ fn main() {
     let var = cycles.iter().map(|c| (c - mean).powi(2)).sum::<f64>() / cycles.len() as f64;
     let cv = var.sqrt() / mean;
     println!("ResNet18, 10 random input samples at profile sparsity:");
-    println!("  mean {mean:.0} cycles, coefficient of variation {:.2}%", cv * 100.0);
+    println!(
+        "  mean {mean:.0} cycles, coefficient of variation {:.2}%",
+        cv * 100.0
+    );
     println!();
 
     // (b) Activation-sparsity sweep (all layers forced to one level).
-    println!("{:>14} {:>12} {:>14}", "act sparsity", "cycles", "vs profile");
+    println!(
+        "{:>14} {:>12} {:>14}",
+        "act sparsity", "cycles", "vs profile"
+    );
     for sa in [0.0f64, 0.2, 0.4, 0.6, 0.8] {
         let mut w = workload.clone();
         for l in w.layers.iter_mut() {

@@ -8,18 +8,29 @@
 //! compressed model and "proxy top-1" applies the documented monotone
 //! mapping (see EXPERIMENTS.md).
 
-use escalate_core::pipeline::{accuracy_proxy, CompressionConfig};
 use escalate_core::compress_model;
+use escalate_core::pipeline::{accuracy_proxy, CompressionConfig};
 use escalate_models::ModelProfile;
 
 fn main() {
     let cfg = CompressionConfig::default();
-    println!("Table 1: ESCALATE compression results (M = {}, t from per-layer sparsity targets)", cfg.m);
+    println!(
+        "Table 1: ESCALATE compression results (M = {}, t from per-layer sparsity targets)",
+        cfg.m
+    );
     println!();
     println!(
         "{:<12} {:>9} {:>10} {:>10} {:>9} {:>9} {:>8} {:>8} {:>11} {:>11}",
-        "Model", "CONV(MB)", "comp(MB)", "Comp.(x)", "Spar.(%)", "Prun.(%)", "err", "proxy",
-        "paperComp", "paperSpar"
+        "Model",
+        "CONV(MB)",
+        "comp(MB)",
+        "Comp.(x)",
+        "Spar.(%)",
+        "Prun.(%)",
+        "err",
+        "proxy",
+        "paperComp",
+        "paperSpar"
     );
     for profile in ModelProfile::all() {
         let model = profile.model();

@@ -21,16 +21,26 @@ fn main() {
         cfg.psum_buf_bytes / 1024,
         cfg.act_buf_bytes,
     );
-    println!("  {} multipliers total, {} MHz", cfg.total_macs(), cfg.frequency_mhz);
+    println!(
+        "  {} multipliers total, {} MHz",
+        cfg.total_macs(),
+        cfg.frequency_mhz
+    );
     println!();
     println!("Table 4: power and area estimation of one PE block (65 nm)");
     println!();
-    println!("{:<20} {:>10} {:>10}", "Component", "Area(mm2)", "Power(mW)");
+    println!(
+        "{:<20} {:>10} {:>10}",
+        "Component", "Area(mm2)", "Power(mW)"
+    );
     for c in COMPONENTS {
         println!("{:<20} {:>10.4} {:>10.2}", c.name, c.area_mm2, c.power_mw);
     }
     let total = PeBlockArea::from_components();
-    println!("{:<20} {:>10.4} {:>10.2}", "Total", total.area_mm2, total.power_mw);
+    println!(
+        "{:<20} {:>10.4} {:>10.2}",
+        "Total", total.area_mm2, total.power_mw
+    );
     assert!((total.area_mm2 - TOTAL_AREA_MM2).abs() < 1e-3);
     assert!((total.power_mw - TOTAL_POWER_MW).abs() < 1e-2);
     println!();

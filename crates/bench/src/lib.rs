@@ -9,12 +9,12 @@
 //! accelerator workloads, running all four simulators over multiple input
 //! seeds, and attaching energy breakdowns.
 
-use escalate_baselines::{Accelerator, BaselineWorkload, Eyeriss, Scnn, SparTen};
+use escalate_baselines::{BaselineSim, BaselineWorkload, Eyeriss, LayerModel, Scnn, SparTen};
 use escalate_core::pipeline::CompressionConfig;
 use escalate_core::{compress_model_artifacts, CompressedLayer, EscalateError};
 use escalate_energy::{layer_energy, model_energy, BufferCaps, EnergyBreakdown, UnitEnergy};
 use escalate_models::ModelProfile;
-use escalate_sim::{simulate_model, ModelStats, SimConfig, Workload};
+use escalate_sim::{Accelerator, Escalate, ModelStats, SimConfig, Workload};
 use rayon::prelude::*;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
@@ -78,7 +78,11 @@ impl ModelRun {
     /// at least one cycle, so a zero here is a harness bug that must not
     /// be papered over with a fabricated ratio.
     pub fn speedup_over_eyeriss(&self, run: &AccelRun) -> f64 {
-        assert!(run.cycles > 0.0, "{}: zero-cycle run cannot be normalized", run.name);
+        assert!(
+            run.cycles > 0.0,
+            "{}: zero-cycle run cannot be normalized",
+            run.name
+        );
         self.eyeriss.cycles / run.cycles
     }
 
@@ -89,7 +93,11 @@ impl ModelRun {
     /// Panics if `run` reports zero energy (see
     /// [`ModelRun::speedup_over_eyeriss`]).
     pub fn efficiency_over_eyeriss(&self, run: &AccelRun) -> f64 {
-        assert!(run.energy_pj > 0.0, "{}: zero-energy run cannot be normalized", run.name);
+        assert!(
+            run.energy_pj > 0.0,
+            "{}: zero-energy run cannot be normalized",
+            run.name
+        );
         self.eyeriss.energy_pj / run.energy_pj
     }
 
@@ -113,7 +121,10 @@ impl ModelRun {
 /// # Errors
 ///
 /// Propagates compression failures.
-pub fn compress(profile: &ModelProfile, cfg: &CompressionConfig) -> Result<Vec<CompressedLayer>, EscalateError> {
+pub fn compress(
+    profile: &ModelProfile,
+    cfg: &CompressionConfig,
+) -> Result<Vec<CompressedLayer>, EscalateError> {
     compress_model_artifacts(profile, cfg)
 }
 
@@ -158,7 +169,11 @@ pub fn compress_cached(
     cfg: &CompressionConfig,
 ) -> Result<Arc<Vec<CompressedLayer>>, EscalateError> {
     let key = cache_key(profile.name, cfg);
-    if let Some(hit) = artifact_cache().lock().expect("artifact cache poisoned").get(&key) {
+    if let Some(hit) = artifact_cache()
+        .lock()
+        .expect("artifact cache poisoned")
+        .get(&key)
+    {
         return Ok(Arc::clone(hit));
     }
     let artifacts = Arc::new(compress_model_artifacts(profile, cfg)?);
@@ -191,12 +206,39 @@ fn average_runs(name: String, per_seed: Vec<(ModelStats, EnergyBreakdown)>) -> A
     }
 }
 
-/// Runs ESCALATE on a compressed model, averaged over input seeds.
+/// The generic seed-averaging runner: simulates any [`Accelerator`] over
+/// `seeds` input seeds and attaches energy under the given buffer
+/// capacities.
 ///
-/// Seeds fan out over the global thread pool (`sim_cfg.threads == 1`
-/// forces a sequential run); each seed is an independent simulation, and
+/// Seeds fan out over the global thread pool unless `threads == 1`, which
+/// forces a sequential loop; each seed is an independent simulation and
 /// the average folds in seed order, so results are bit-identical either
-/// way.
+/// way. ESCALATE and the baselines both run through this one function —
+/// the only per-design differences are the `Accelerator` instance and the
+/// buffer pricing.
+pub fn run_accelerator(
+    acc: &dyn Accelerator,
+    caps: &BufferCaps,
+    seeds: u64,
+    threads: usize,
+) -> AccelRun {
+    let units = UnitEnergy::table3();
+    let simulate = |seed: u64| {
+        let stats = acc.simulate(seed, threads);
+        let e = model_energy(&stats, caps, &units);
+        (stats, e)
+    };
+    let per_seed: Vec<(ModelStats, EnergyBreakdown)> = if threads == 1 {
+        (0..seeds.max(1)).map(simulate).collect()
+    } else {
+        (0..seeds.max(1)).into_par_iter().map(simulate).collect()
+    };
+    average_runs(acc.name().into(), per_seed)
+}
+
+/// Runs ESCALATE on a compressed model, averaged over input seeds — a
+/// thin wrapper binding [`Escalate`] to the workload and routing through
+/// [`run_accelerator`] with the Table 2 buffer capacities.
 pub fn run_escalate(
     profile: &ModelProfile,
     artifacts: &[CompressedLayer],
@@ -206,45 +248,12 @@ pub fn run_escalate(
     escalate_core::par::configure_threads(sim_cfg.threads);
     let workload = Workload::from_artifacts(profile.name, artifacts, profile);
     let caps = BufferCaps::from_config(sim_cfg);
-    let units = UnitEnergy::table3();
-    let simulate = |seed: u64| {
-        let stats = simulate_model(&workload, sim_cfg, seed);
-        let e = model_energy(&stats, &caps, &units);
-        (stats, e)
-    };
-    let per_seed: Vec<(ModelStats, EnergyBreakdown)> = if sim_cfg.threads == 1 {
-        (0..seeds.max(1)).map(simulate).collect()
-    } else {
-        (0..seeds.max(1)).into_par_iter().map(simulate).collect()
-    };
-    average_runs("ESCALATE".into(), per_seed)
-}
-
-/// Runs one baseline accelerator, averaged over input seeds.
-///
-/// Seeds fan out over the global thread pool unless `threads == 1`, which
-/// forces a sequential loop (the fan-out is order-preserving, so the
-/// result is bit-identical either way).
-pub fn run_baseline(
-    acc: &dyn Accelerator,
-    workload: &[BaselineWorkload],
-    glb_bytes: usize,
-    seeds: u64,
-    threads: usize,
-) -> AccelRun {
-    let caps = BufferCaps::baseline(glb_bytes);
-    let units = UnitEnergy::table3();
-    let simulate = |seed: u64| {
-        let stats = acc.simulate(workload, seed);
-        let e = model_energy(&stats, &caps, &units);
-        (stats, e)
-    };
-    let per_seed: Vec<(ModelStats, EnergyBreakdown)> = if threads == 1 {
-        (0..seeds.max(1)).map(simulate).collect()
-    } else {
-        (0..seeds.max(1)).into_par_iter().map(simulate).collect()
-    };
-    average_runs(acc.name().into(), per_seed)
+    run_accelerator(
+        &Escalate::new(&workload, sim_cfg),
+        &caps,
+        seeds,
+        sim_cfg.threads,
+    )
 }
 
 /// Runs all four accelerators on one model.
@@ -256,21 +265,31 @@ pub fn run_baseline(
 /// # Errors
 ///
 /// Propagates compression failures.
-pub fn run_model(profile: &ModelProfile, sim_cfg: &SimConfig, seeds: u64) -> Result<ModelRun, EscalateError> {
+pub fn run_model(
+    profile: &ModelProfile,
+    sim_cfg: &SimConfig,
+    seeds: u64,
+) -> Result<ModelRun, EscalateError> {
     escalate_core::par::configure_threads(sim_cfg.threads);
-    let artifacts =
-        compress_cached(profile, &CompressionConfig { m: sim_cfg.m, ..CompressionConfig::default() })?;
+    let artifacts = compress_cached(
+        profile,
+        &CompressionConfig {
+            m: sim_cfg.m,
+            ..CompressionConfig::default()
+        },
+    )?;
     let bw = BaselineWorkload::for_profile(profile);
-    let glb = 64 * 1024;
+    let caps = BufferCaps::baseline(64 * 1024);
+    let (eyeriss, scnn, sparten) = (Eyeriss::default(), Scnn::default(), SparTen::default());
+    let run_base = |model: &dyn LayerModel, threads: usize| {
+        run_accelerator(&BaselineSim::new(model, &bw), &caps, seeds, threads)
+    };
     let (escalate, (eyeriss, (scnn, sparten))) = if sim_cfg.threads == 1 {
         (
             run_escalate(profile, &artifacts, sim_cfg, seeds),
             (
-                run_baseline(&Eyeriss::default(), &bw, glb, seeds, 1),
-                (
-                    run_baseline(&Scnn::default(), &bw, glb, seeds, 1),
-                    run_baseline(&SparTen::default(), &bw, glb, seeds, 1),
-                ),
+                run_base(&eyeriss, 1),
+                (run_base(&scnn, 1), run_base(&sparten, 1)),
             ),
         )
     } else {
@@ -278,22 +297,26 @@ pub fn run_model(profile: &ModelProfile, sim_cfg: &SimConfig, seeds: u64) -> Res
             || run_escalate(profile, &artifacts, sim_cfg, seeds),
             || {
                 rayon::join(
-                    || run_baseline(&Eyeriss::default(), &bw, glb, seeds, 0),
-                    || {
-                        rayon::join(
-                            || run_baseline(&Scnn::default(), &bw, glb, seeds, 0),
-                            || run_baseline(&SparTen::default(), &bw, glb, seeds, 0),
-                        )
-                    },
+                    || run_base(&eyeriss, 0),
+                    || rayon::join(|| run_base(&scnn, 0), || run_base(&sparten, 0)),
                 )
             },
         )
     };
-    Ok(ModelRun { model: profile.name.to_string(), escalate, eyeriss, scnn, sparten })
+    Ok(ModelRun {
+        model: profile.name.to_string(),
+        escalate,
+        eyeriss,
+        scnn,
+        sparten,
+    })
 }
 
 /// Per-layer energy of one accelerator run (ESCALATE buffer pricing).
-pub fn escalate_layer_energies(run: &AccelRun, sim_cfg: &SimConfig) -> Vec<(String, EnergyBreakdown)> {
+pub fn escalate_layer_energies(
+    run: &AccelRun,
+    sim_cfg: &SimConfig,
+) -> Vec<(String, EnergyBreakdown)> {
     let caps = BufferCaps::from_config(sim_cfg);
     let units = UnitEnergy::table3();
     run.stats
@@ -308,7 +331,9 @@ pub fn bar(value: f64, max: f64, width: usize) -> String {
     if max <= 0.0 {
         return String::new();
     }
-    let n = ((value / max) * width as f64).round().clamp(0.0, width as f64) as usize;
+    let n = ((value / max) * width as f64)
+        .round()
+        .clamp(0.0, width as f64) as usize;
     "#".repeat(n)
 }
 

@@ -4,10 +4,11 @@
 //! because each work item seeds its RNG independently and all fan-outs are
 //! order-preserving.
 
-use escalate_bench::{compress_cached, run_model};
+use escalate_bench::{compress_cached, run_accelerator, run_model};
 use escalate_core::pipeline::CompressionConfig;
+use escalate_energy::BufferCaps;
 use escalate_models::ModelProfile;
-use escalate_sim::{simulate_model, SimConfig, Workload};
+use escalate_sim::{simulate_model, Accelerator, Escalate, SimConfig, Workload};
 
 /// Builds the global pool at its auto width before any `threads == 1` run
 /// can pin it to one thread (the first configuration wins per process).
@@ -21,7 +22,10 @@ fn parallel_simulate_model_is_bit_identical() {
     let profile = ModelProfile::for_model("MobileNet").expect("known model");
     let artifacts = compress_cached(&profile, &CompressionConfig::default()).expect("compression");
     let workload = Workload::from_artifacts(profile.name, &artifacts, &profile);
-    let sequential = SimConfig { threads: 1, ..SimConfig::default() };
+    let sequential = SimConfig {
+        threads: 1,
+        ..SimConfig::default()
+    };
     let parallel = SimConfig::default();
     for seed in [0u64, 7, 41] {
         let seq = simulate_model(&workload, &sequential, seed);
@@ -35,8 +39,15 @@ fn parallel_run_model_matches_sequential() {
     wide_pool();
     let profile = ModelProfile::for_model("MobileNet").expect("known model");
     let seeds = 3;
-    let seq = run_model(&profile, &SimConfig { threads: 1, ..SimConfig::default() }, seeds)
-        .expect("sequential grid");
+    let seq = run_model(
+        &profile,
+        &SimConfig {
+            threads: 1,
+            ..SimConfig::default()
+        },
+        seeds,
+    )
+    .expect("sequential grid");
     let par = run_model(&profile, &SimConfig::default(), seeds).expect("parallel grid");
     for (s, p) in [
         (&seq.escalate, &par.escalate),
@@ -46,7 +57,52 @@ fn parallel_run_model_matches_sequential() {
     ] {
         assert_eq!(s.stats, p.stats, "{}: per-layer stats diverged", s.name);
         assert_eq!(s.cycles, p.cycles, "{}: mean cycles diverged", s.name);
-        assert_eq!(s.dram_bytes, p.dram_bytes, "{}: mean DRAM bytes diverged", s.name);
+        assert_eq!(
+            s.dram_bytes, p.dram_bytes,
+            "{}: mean DRAM bytes diverged",
+            s.name
+        );
         assert_eq!(s.energy_pj, p.energy_pj, "{}: mean energy diverged", s.name);
     }
+}
+
+#[test]
+fn generic_runner_is_bit_identical_across_thread_counts() {
+    wide_pool();
+    let profile = ModelProfile::for_model("MobileNet").expect("known model");
+    let artifacts = compress_cached(&profile, &CompressionConfig::default()).expect("compression");
+    let workload = Workload::from_artifacts(profile.name, &artifacts, &profile);
+    let cfg = SimConfig::default();
+    let caps = BufferCaps::from_config(&cfg);
+    let escalate = Escalate::new(&workload, &cfg);
+    // Drive ESCALATE through the generic `&dyn Accelerator` path (the same
+    // one `run_model` uses for baselines): the seed fan-out and the
+    // per-seed layer fan-out must both be order-preserving.
+    let acc: &dyn Accelerator = &escalate;
+    let seq = run_accelerator(acc, &caps, 3, 1);
+    let par = run_accelerator(acc, &caps, 3, 0);
+    assert_eq!(
+        seq.stats, par.stats,
+        "generic runner: per-layer stats diverged"
+    );
+    assert_eq!(
+        seq.cycles, par.cycles,
+        "generic runner: mean cycles diverged"
+    );
+    assert_eq!(
+        seq.dram_bytes, par.dram_bytes,
+        "generic runner: mean DRAM bytes diverged"
+    );
+    assert_eq!(
+        seq.energy_pj, par.energy_pj,
+        "generic runner: mean energy diverged"
+    );
+    // The trait's provided fold must agree with what the runner averaged
+    // in the single-seed case: one seed means mean == that seed's totals.
+    let one = run_accelerator(acc, &caps, 1, 1);
+    let direct = acc.simulate(0, 1);
+    assert_eq!(
+        one.stats, direct,
+        "provided Accelerator::simulate diverged from runner"
+    );
 }

@@ -37,7 +37,11 @@ impl std::fmt::Display for ArgError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ArgError::MissingCommand => write!(f, "no command given (try `escalate help`)"),
-            ArgError::BadValue { option, value, expected } => {
+            ArgError::BadValue {
+                option,
+                value,
+                expected,
+            } => {
                 write!(f, "--{option}: expected {expected}, got {value:?}")
             }
             ArgError::UnknownOption(o) => write!(f, "unknown option --{o}"),
@@ -138,7 +142,10 @@ mod tests {
 
     #[test]
     fn empty_line_is_an_error() {
-        assert_eq!(ParsedArgs::parse(Vec::<String>::new()), Err(ArgError::MissingCommand));
+        assert_eq!(
+            ParsedArgs::parse(Vec::<String>::new()),
+            Err(ArgError::MissingCommand)
+        );
     }
 
     #[test]

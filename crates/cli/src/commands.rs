@@ -2,8 +2,8 @@
 
 use crate::args::{ArgError, ParsedArgs};
 use escalate_bench::{compress, input_seeds, run_model};
-use escalate_core::pipeline::{accuracy_proxy, CompressionConfig};
 use escalate_core::artifact::{read_artifacts, write_artifacts, LayerArtifact};
+use escalate_core::pipeline::{accuracy_proxy, CompressionConfig};
 use escalate_core::ModelCompression;
 use escalate_models::ModelProfile;
 use escalate_sim::SimConfig;
@@ -24,7 +24,10 @@ impl std::fmt::Display for CliError {
         match self {
             CliError::Args(e) => write!(f, "{e}"),
             CliError::UnknownModel(m) => {
-                write!(f, "unknown model {m:?} (run `escalate models` for the list)")
+                write!(
+                    f,
+                    "unknown model {m:?} (run `escalate models` for the list)"
+                )
             }
             CliError::Pipeline(e) => write!(f, "pipeline failure: {e}"),
         }
@@ -153,7 +156,10 @@ fn cmd_compress(args: &ParsedArgs) -> Result<String, CliError> {
             .map_err(|e| CliError::Pipeline(format!("cannot create {path}: {e}")))?;
         let arts: Vec<LayerArtifact> = artifacts
             .iter()
-            .map(|a| LayerArtifact { stats: a.stats.clone(), quantized: a.quantized.clone() })
+            .map(|a| LayerArtifact {
+                stats: a.stats.clone(),
+                quantized: a.quantized.clone(),
+            })
             .collect();
         write_artifacts(std::io::BufWriter::new(file), &arts)
             .map_err(|e| CliError::Pipeline(e.to_string()))?;
@@ -195,7 +201,11 @@ fn cmd_simulate(args: &ParsedArgs) -> Result<String, CliError> {
     let m = args.get_or("m", 6usize)?;
     let seeds = args.get_or("seeds", input_seeds())?;
     let threads = args.get_or("threads", 0usize)?;
-    let mut cfg = if m == 6 { SimConfig::default() } else { SimConfig::default().with_m(m) };
+    let mut cfg = if m == 6 {
+        SimConfig::default()
+    } else {
+        SimConfig::default().with_m(m)
+    };
     cfg.threads = threads;
     let run = run_model(&p, &cfg, seeds).map_err(|e| CliError::Pipeline(e.to_string()))?;
     let mut out = format!(
@@ -237,7 +247,10 @@ fn cmd_sweep(args: &ParsedArgs) -> Result<String, CliError> {
     for m in from..=to {
         let mut sim_cfg = SimConfig::default().with_m(m);
         sim_cfg.threads = threads;
-        let cfg = CompressionConfig { m, ..CompressionConfig::default() };
+        let cfg = CompressionConfig {
+            m,
+            ..CompressionConfig::default()
+        };
         let artifacts = compress(&p, &cfg).map_err(|e| CliError::Pipeline(e.to_string()))?;
         let stats = ModelCompression {
             model_name: p.name.to_string(),
@@ -259,11 +272,14 @@ fn cmd_sweep(args: &ParsedArgs) -> Result<String, CliError> {
 
 fn cmd_inspect(args: &ParsedArgs) -> Result<String, CliError> {
     args.ensure_known(&[])?;
-    let path = args.positional.first().ok_or(CliError::Args(ArgError::BadValue {
-        option: "FILE".into(),
-        value: "<missing>".into(),
-        expected: "an artifact path",
-    }))?;
+    let path = args
+        .positional
+        .first()
+        .ok_or(CliError::Args(ArgError::BadValue {
+            option: "FILE".into(),
+            value: "<missing>".into(),
+            expected: "an artifact path",
+        }))?;
     let file = std::fs::File::open(path)
         .map_err(|e| CliError::Pipeline(format!("cannot open {path}: {e}")))?;
     let arts = read_artifacts(std::io::BufReader::new(file))
@@ -288,7 +304,10 @@ fn cmd_inspect(args: &ParsedArgs) -> Result<String, CliError> {
             m
         ));
     }
-    out.push_str(&format!("\ntotal: {:.2}x compression\n", orig as f64 / comp.max(1) as f64));
+    out.push_str(&format!(
+        "\ntotal: {:.2}x compression\n",
+        orig as f64 / comp.max(1) as f64
+    ));
     Ok(out)
 }
 
@@ -321,19 +340,36 @@ fn cmd_validate(args: &ParsedArgs) -> Result<String, CliError> {
             .ok_or_else(|| CliError::Pipeline("no detailed-mode-sized layer found".into()))?,
     };
     if matches!(lw.mode, WorkloadMode::Dense) {
-        return Err(CliError::Pipeline(format!("{} uses the dense fallback; pick a compressed layer", lw.name)));
+        return Err(CliError::Pipeline(format!(
+            "{} uses the dense fallback; pick a compressed layer",
+            lw.name
+        )));
     }
     let cfg = SimConfig::default();
     let ifm = escalate_models::synth::activations(&lw.shape, lw.act_sparsity, 7);
 
     let engine = simulate_layer(lw, &cfg, 0);
-    let traced = simulate_layer_traced(lw, &cfg, &ifm);
-    let detailed = simulate_layer_detailed(lw, &cfg, &ifm);
+    let traced =
+        simulate_layer_traced(lw, &cfg, &ifm).map_err(|e| CliError::Pipeline(e.to_string()))?;
+    let detailed =
+        simulate_layer_detailed(lw, &cfg, &ifm).map_err(|e| CliError::Pipeline(e.to_string()))?;
     let mut out = format!("layer {} of {} ({}):\n\n", lw.name, p.name, lw.shape);
-    out.push_str(&format!("{:<22} {:>12} {:>14}\n", "mode", "cycles", "CA matches"));
-    out.push_str(&format!("{:<22} {:>12} {:>14}\n", "sampling engine", engine.cycles, engine.ca_adds));
-    out.push_str(&format!("{:<22} {:>12} {:>14}\n", "trace-driven", traced.cycles, traced.ca_adds));
-    out.push_str(&format!("{:<22} {:>12} {:>14}\n", "detailed (stepped)", detailed.cycles, detailed.matched));
+    out.push_str(&format!(
+        "{:<22} {:>12} {:>14}\n",
+        "mode", "cycles", "CA matches"
+    ));
+    out.push_str(&format!(
+        "{:<22} {:>12} {:>14}\n",
+        "sampling engine", engine.cycles, engine.ca_adds
+    ));
+    out.push_str(&format!(
+        "{:<22} {:>12} {:>14}\n",
+        "trace-driven", traced.cycles, traced.ca_adds
+    ));
+    out.push_str(&format!(
+        "{:<22} {:>12} {:>14}\n",
+        "detailed (stepped)", detailed.cycles, detailed.matched
+    ));
     out.push_str(&format!(
         "\ntrace/engine = {:.2}, detailed/engine = {:.2}\n",
         traced.cycles as f64 / engine.cycles.max(1) as f64,
@@ -384,7 +420,14 @@ mod tests {
     #[test]
     fn models_lists_all_six() {
         let out = run(&["models"]).unwrap();
-        for name in ["VGG16", "ResNet18", "ResNet152", "MobileNetV2", "ResNet50", "MobileNet"] {
+        for name in [
+            "VGG16",
+            "ResNet18",
+            "ResNet152",
+            "MobileNetV2",
+            "ResNet50",
+            "MobileNet",
+        ] {
             assert!(out.contains(name), "{name} missing:\n{out}");
         }
     }

@@ -117,7 +117,13 @@ pub fn write_artifacts<W: Write>(mut w: W, layers: &[LayerArtifact]) -> Result<(
                 w.write_all(&v.to_le_bytes())?;
             }
             w.write_all(&q.coeffs.quotient_code)?;
-            w.write_all(&q.coeffs.ternary.iter().map(|&v| v as u8).collect::<Vec<_>>())?;
+            w.write_all(
+                &q.coeffs
+                    .ternary
+                    .iter()
+                    .map(|&v| v as u8)
+                    .collect::<Vec<_>>(),
+            )?;
         }
     }
     Ok(())
@@ -141,7 +147,9 @@ pub fn read_artifacts<R: Read>(mut r: R) -> Result<Vec<LayerArtifact>, ArtifactE
     }
     let n = get_u32(&mut r)? as usize;
     if n > 1_000_000 {
-        return Err(ArtifactError::Format(format!("implausible layer count {n}")));
+        return Err(ArtifactError::Format(format!(
+            "implausible layer count {n}"
+        )));
     }
     let mut out = Vec::with_capacity(n);
     for _ in 0..n {
@@ -159,14 +167,22 @@ pub fn read_artifacts<R: Read>(mut r: R) -> Result<Vec<LayerArtifact>, ArtifactE
             decomposed: get_u8(&mut r)? != 0,
         };
         let quantized = if has_payload {
-            let (m, rr, s) = (get_u32(&mut r)? as usize, get_u32(&mut r)? as usize, get_u32(&mut r)? as usize);
+            let (m, rr, s) = (
+                get_u32(&mut r)? as usize,
+                get_u32(&mut r)? as usize,
+                get_u32(&mut r)? as usize,
+            );
             check_dims(&[m, rr, s])?;
             let scale = get_f32(&mut r)?;
             let mut q = vec![0u8; m * rr * s];
             r.read_exact(&mut q)?;
             let basis_vals: Vec<f32> = q.iter().map(|&b| (b as i8) as f32 * scale).collect();
             let basis = QuantizedBasis::quantize(&Tensor::from_vec(&[m, rr, s], basis_vals));
-            let (k, c, cm) = (get_u32(&mut r)? as usize, get_u32(&mut r)? as usize, get_u32(&mut r)? as usize);
+            let (k, c, cm) = (
+                get_u32(&mut r)? as usize,
+                get_u32(&mut r)? as usize,
+                get_u32(&mut r)? as usize,
+            );
             check_dims(&[k, c, cm])?;
             let mut w_pos = Vec::with_capacity(k);
             for _ in 0..k {
@@ -178,11 +194,18 @@ pub fn read_artifacts<R: Read>(mut r: R) -> Result<Vec<LayerArtifact>, ArtifactE
             r.read_exact(&mut tern)?;
             let ternary: Vec<i8> = tern.into_iter().map(|b| b as i8).collect();
             if ternary.iter().any(|&v| !(-1..=1).contains(&v)) {
-                return Err(ArtifactError::Format("non-ternary coefficient value".into()));
+                return Err(ArtifactError::Format(
+                    "non-ternary coefficient value".into(),
+                ));
             }
             Some(HybridQuantized {
                 basis,
-                coeffs: TernaryCoeffs { ternary, w_pos, quotient_code, shape: [k, c, cm] },
+                coeffs: TernaryCoeffs {
+                    ternary,
+                    w_pos,
+                    quotient_code,
+                    shape: [k, c, cm],
+                },
             })
         } else {
             None
@@ -233,7 +256,9 @@ fn get_f32<R: Read>(r: &mut R) -> Result<f32, ArtifactError> {
 fn get_str<R: Read>(r: &mut R) -> Result<String, ArtifactError> {
     let len = get_u32(r)? as usize;
     if len > 1 << 16 {
-        return Err(ArtifactError::Format(format!("implausible name length {len}")));
+        return Err(ArtifactError::Format(format!(
+            "implausible name length {len}"
+        )));
     }
     let mut b = vec![0u8; len];
     r.read_exact(&mut b)?;
@@ -250,7 +275,10 @@ mod tests {
         let layer = LayerShape::conv("t", 8, 12, 8, 8, 3, 1, 1);
         let a = compress_layer_artifact(&layer, &CompressionConfig::default(), 0.8, 3).unwrap();
         vec![
-            LayerArtifact { stats: a.stats.clone(), quantized: a.quantized },
+            LayerArtifact {
+                stats: a.stats.clone(),
+                quantized: a.quantized,
+            },
             LayerArtifact {
                 stats: LayerCompression {
                     name: "dense".into(),
@@ -278,7 +306,10 @@ mod tests {
         assert_eq!(back[0].stats.name, arts[0].stats.name);
         assert_eq!(back[0].stats.compressed_bits, arts[0].stats.compressed_bits);
         assert!((back[0].stats.weight_error - arts[0].stats.weight_error).abs() < 1e-9);
-        let (qa, qb) = (arts[0].quantized.as_ref().unwrap(), back[0].quantized.as_ref().unwrap());
+        let (qa, qb) = (
+            arts[0].quantized.as_ref().unwrap(),
+            back[0].quantized.as_ref().unwrap(),
+        );
         assert_eq!(qa.coeffs.ternary, qb.coeffs.ternary);
         assert_eq!(qa.coeffs.quotient_code, qb.coeffs.quotient_code);
         assert_eq!(qa.coeffs.shape(), qb.coeffs.shape());
@@ -286,7 +317,10 @@ mod tests {
             assert!((a - b).abs() < 1e-9);
         }
         // The basis survives the int8 roundtrip exactly (same grid).
-        assert!(qa.basis.dequantize().all_close(&qb.basis.dequantize(), 1e-5));
+        assert!(qa
+            .basis
+            .dequantize()
+            .all_close(&qb.basis.dequantize(), 1e-5));
         assert!(back[1].quantized.is_none());
         assert!(!back[1].stats.decomposed);
     }
@@ -300,7 +334,8 @@ mod tests {
             0.0,
         )
         .unwrap();
-        let basis = crate::quant::QuantizedBasis::quantize(&escalate_tensor::Tensor::ones(&[1, 1, 1]));
+        let basis =
+            crate::quant::QuantizedBasis::quantize(&escalate_tensor::Tensor::ones(&[1, 1, 1]));
         let art = LayerArtifact {
             stats: LayerCompression {
                 name: "g".into(),
@@ -313,7 +348,10 @@ mod tests {
                 weight_error: 0.5,
                 decomposed: true,
             },
-            quantized: Some(HybridQuantized { basis, coeffs: tern }),
+            quantized: Some(HybridQuantized {
+                basis,
+                coeffs: tern,
+            }),
         };
         let mut buf = Vec::new();
         write_artifacts(&mut buf, &[art]).unwrap();
@@ -322,7 +360,7 @@ mod tests {
             1, 0, 0, 0, // version
             1, 0, 0, 0, // layer count
             1, 0, 0, 0, b'g', // name
-            1, // has payload
+            1,    // has payload
             64, 0, 0, 0, 0, 0, 0, 0, // original_bits
             8, 0, 0, 0, 0, 0, 0, 0, // compressed_bits
             2, 0, 0, 0, 0, 0, 0, 0, // original_params
@@ -330,13 +368,13 @@ mod tests {
             2, 0, 0, 0, 0, 0, 0, 0, // coeff_total
             2, 0, 0, 0, 0, 0, 0, 0, // coeff_nnz
             0, 0, 0, 63, // weight_error 0.5f32
-            1, // decomposed
+            1,  // decomposed
             1, 0, 0, 0, 1, 0, 0, 0, 1, 0, 0, 0, // basis shape 1x1x1
-            4, 2, 1, 60, // basis scale 1/127 f32
+            4, 2, 1, 60,  // basis scale 1/127 f32
             127, // basis value
             1, 0, 0, 0, 2, 0, 0, 0, 1, 0, 0, 0, // coeff shape 1x2x1
             0, 0, 128, 63, // w_pos[0] = 1.0
-            1, // quotient code (w_neg/w_pos = 1.0)
+            1,  // quotient code (w_neg/w_pos = 1.0)
             1, 255, // ternary +1, -1
         ];
         assert_eq!(buf, expected, "artifact byte layout drifted — bump VERSION");
@@ -356,7 +394,10 @@ mod tests {
         buf.extend_from_slice(MAGIC);
         buf.extend_from_slice(&99u32.to_le_bytes());
         buf.extend_from_slice(&0u32.to_le_bytes());
-        assert!(matches!(read_artifacts(buf.as_slice()), Err(ArtifactError::Version(99))));
+        assert!(matches!(
+            read_artifacts(buf.as_slice()),
+            Err(ArtifactError::Version(99))
+        ));
     }
 
     #[test]
@@ -365,7 +406,10 @@ mod tests {
         let mut buf = Vec::new();
         write_artifacts(&mut buf, &arts).unwrap();
         for cut in [3usize, 9, 20, buf.len() / 2, buf.len() - 1] {
-            assert!(read_artifacts(&buf[..cut]).is_err(), "cut at {cut} must fail");
+            assert!(
+                read_artifacts(&buf[..cut]).is_err(),
+                "cut at {cut} must fail"
+            );
         }
     }
 

@@ -140,7 +140,10 @@ pub fn decompose(weights: &Tensor, m: usize) -> Result<Decomposed, EscalateError
 /// # Ok(())
 /// # }
 /// ```
-pub fn decompose_adaptive(weights: &Tensor, energy_threshold: f32) -> Result<Decomposed, EscalateError> {
+pub fn decompose_adaptive(
+    weights: &Tensor,
+    energy_threshold: f32,
+) -> Result<Decomposed, EscalateError> {
     let [k, c, r, s]: [usize; 4] = weights.shape().try_into().expect("weights must be K*C*R*S");
     let rs = r * s;
     let threshold = energy_threshold.clamp(0.0, 1.0);
@@ -179,7 +182,10 @@ pub fn decompose_depthwise(weights: &Tensor, m: usize) -> Result<(Matrix, Tensor
     }
     let reshaped = Matrix::from_vec(c, rs, weights.as_slice().to_vec());
     let f = linalg::truncated_svd(&reshaped, m)?;
-    Ok((f.coeffs, Tensor::from_vec(&[m, r, s], f.basis.as_slice().to_vec())))
+    Ok((
+        f.coeffs,
+        Tensor::from_vec(&[m, r, s], f.basis.as_slice().to_vec()),
+    ))
 }
 
 #[cfg(test)]
@@ -190,7 +196,11 @@ mod tests {
         // Build exactly-rank-`rank` kernels deterministically.
         let rs = 9;
         let latent: Vec<Vec<f32>> = (0..rank)
-            .map(|l| (0..rs).map(|i| ((l * 13 + i * 7) % 11) as f32 - 5.0).collect())
+            .map(|l| {
+                (0..rs)
+                    .map(|i| ((l * 13 + i * 7) % 11) as f32 - 5.0)
+                    .collect()
+            })
             .collect();
         let mut data = Vec::new();
         for kc in 0..k * c {
@@ -208,7 +218,9 @@ mod tests {
 
     #[test]
     fn full_rank_reconstruction_is_exact() {
-        let w = Tensor::from_fn(&[3, 2, 2, 2], |i| ((i[0] * 8 + i[1] * 4 + i[2] * 2 + i[3]) as f32).sin());
+        let w = Tensor::from_fn(&[3, 2, 2, 2], |i| {
+            ((i[0] * 8 + i[1] * 4 + i[2] * 2 + i[3]) as f32).sin()
+        });
         let d = decompose(&w, 4).unwrap();
         assert!(d.reconstruct().all_close(&w, 1e-3));
         assert!(d.captured_energy > 0.9999);
@@ -236,8 +248,14 @@ mod tests {
     #[test]
     fn invalid_basis_counts_error() {
         let w = Tensor::zeros(&[2, 2, 3, 3]);
-        assert!(matches!(decompose(&w, 0), Err(EscalateError::InvalidBasisCount { .. })));
-        assert!(matches!(decompose(&w, 10), Err(EscalateError::InvalidBasisCount { .. })));
+        assert!(matches!(
+            decompose(&w, 0),
+            Err(EscalateError::InvalidBasisCount { .. })
+        ));
+        assert!(matches!(
+            decompose(&w, 10),
+            Err(EscalateError::InvalidBasisCount { .. })
+        ));
     }
 
     #[test]
@@ -297,7 +315,9 @@ mod tests {
 
     #[test]
     fn depthwise_decomposition_reconstructs() {
-        let w = Tensor::from_fn(&[6, 3, 3], |i| ((i[0] + 2 * i[1] + 3 * i[2]) % 5) as f32 - 2.0);
+        let w = Tensor::from_fn(&[6, 3, 3], |i| {
+            ((i[0] + 2 * i[1] + 3 * i[2]) % 5) as f32 - 2.0
+        });
         let (coeffs, basis) = decompose_depthwise(&w, 9).unwrap();
         let b = Matrix::from_vec(9, 9, basis.as_slice().to_vec());
         let recon = coeffs.matmul(&b);

@@ -40,9 +40,20 @@ use escalate_tensor::{conv, Matrix, Tensor};
 /// # Ok(())
 /// # }
 /// ```
-pub fn decompose_dsc(dw_weights: &Tensor, pw_weights: &Matrix, m: usize) -> Result<Decomposed, EscalateError> {
-    let [c, _r, _s]: [usize; 3] = dw_weights.shape().try_into().expect("dw weights must be C*R*S");
-    assert_eq!(pw_weights.cols(), c, "pointwise weights must have C columns");
+pub fn decompose_dsc(
+    dw_weights: &Tensor,
+    pw_weights: &Matrix,
+    m: usize,
+) -> Result<Decomposed, EscalateError> {
+    let [c, _r, _s]: [usize; 3] = dw_weights
+        .shape()
+        .try_into()
+        .expect("dw weights must be C*R*S");
+    assert_eq!(
+        pw_weights.cols(),
+        c,
+        "pointwise weights must have C columns"
+    );
     let k = pw_weights.rows();
 
     let (ce_prime, basis) = decompose_depthwise(dw_weights, m)?;
@@ -58,7 +69,11 @@ pub fn decompose_dsc(dw_weights: &Tensor, pw_weights: &Matrix, m: usize) -> Resu
             }
         }
     }
-    Ok(Decomposed { basis, coeffs, captured_energy: 1.0 })
+    Ok(Decomposed {
+        basis,
+        coeffs,
+        captured_energy: 1.0,
+    })
 }
 
 /// Reference DSC forward pass: depthwise convolution followed by pointwise.
@@ -87,9 +102,13 @@ mod tests {
         let pw = Matrix::from_vec(
             k,
             c,
-            (0..k * c).map(|i| (((i * 17) % 13) as f32 - 6.0) * 0.1).collect(),
+            (0..k * c)
+                .map(|i| (((i * 17) % 13) as f32 - 6.0) * 0.1)
+                .collect(),
         );
-        let input = Tensor::from_fn(&[c, 6, 6], |i| (((i[0] * 7 + i[1] * 3 + i[2]) % 9) as f32 - 4.0) * 0.2);
+        let input = Tensor::from_fn(&[c, 6, 6], |i| {
+            (((i[0] * 7 + i[1] * 3 + i[2]) % 9) as f32 - 4.0) * 0.2
+        });
         (dw, pw, input)
     }
 

@@ -25,6 +25,12 @@ pub enum EscalateError {
         /// Description of the invalid parameter.
         what: String,
     },
+    /// A simulation was handed an invalid workload or feature map
+    /// (converted from `escalate_sim`'s `SimError`).
+    Simulation {
+        /// Description of the invalid input.
+        what: String,
+    },
 }
 
 impl std::fmt::Display for EscalateError {
@@ -39,6 +45,9 @@ impl std::fmt::Display for EscalateError {
             }
             EscalateError::InvalidQuantization { what } => {
                 write!(f, "invalid quantization parameter: {what}")
+            }
+            EscalateError::Simulation { what } => {
+                write!(f, "invalid simulation input: {what}")
             }
         }
     }
@@ -68,7 +77,12 @@ mod tests {
         let errs: Vec<EscalateError> = vec![
             EscalateError::InvalidBasisCount { m: 10, rs: 9 },
             EscalateError::NotDecomposable { layer: "fc".into() },
-            EscalateError::InvalidQuantization { what: "bits=0".into() },
+            EscalateError::InvalidQuantization {
+                what: "bits=0".into(),
+            },
+            EscalateError::Simulation {
+                what: "dense workload".into(),
+            },
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());
@@ -78,7 +92,10 @@ mod tests {
     #[test]
     fn numeric_errors_chain_source() {
         use std::error::Error;
-        let e = EscalateError::from(TensorError::NoConvergence { routine: "jacobi", iterations: 3 });
+        let e = EscalateError::from(TensorError::NoConvergence {
+            routine: "jacobi",
+            iterations: 3,
+        });
         assert!(e.source().is_some());
     }
 }

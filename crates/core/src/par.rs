@@ -22,7 +22,12 @@ pub const THREADS_ENV: &str = "ESCALATE_THREADS";
 static RESOLVED: AtomicUsize = AtomicUsize::new(0);
 
 fn env_threads() -> Option<usize> {
-    std::env::var(THREADS_ENV).ok()?.trim().parse::<usize>().ok().filter(|&n| n > 0)
+    std::env::var(THREADS_ENV)
+        .ok()?
+        .trim()
+        .parse::<usize>()
+        .ok()
+        .filter(|&n| n > 0)
 }
 
 /// Resolves a requested thread count (`0` = auto) against the
@@ -31,8 +36,11 @@ pub fn resolve_threads(requested: usize) -> usize {
     if requested > 0 {
         return requested;
     }
-    env_threads()
-        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+    env_threads().unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
 }
 
 /// Configures the global pool to `requested` threads (`0` = auto).
@@ -44,7 +52,11 @@ pub fn resolve_threads(requested: usize) -> usize {
 /// paths instead. Returns the thread count the pool actually uses.
 pub fn configure_threads(requested: usize) -> usize {
     let n = resolve_threads(requested);
-    if rayon::ThreadPoolBuilder::new().num_threads(n).build_global().is_ok() {
+    if rayon::ThreadPoolBuilder::new()
+        .num_threads(n)
+        .build_global()
+        .is_ok()
+    {
         RESOLVED.store(n, Ordering::Relaxed);
         return n;
     }

@@ -40,7 +40,14 @@ pub struct CompressionConfig {
 
 impl Default for CompressionConfig {
     fn default() -> Self {
-        CompressionConfig { m: 6, basis_bits: 8, weight_rank: 6, weight_noise: 0.05, qat_epochs: 0, seed: 42 }
+        CompressionConfig {
+            m: 6,
+            basis_bits: 8,
+            weight_rank: 6,
+            weight_noise: 0.05,
+            qat_epochs: 0,
+            seed: 42,
+        }
     }
 }
 
@@ -102,7 +109,9 @@ impl ModelCompression {
 
     /// Compressed conv model size in MiB.
     pub fn compressed_size_mb(&self) -> f64 {
-        self.layers.iter().map(|l| l.compressed_bits).sum::<usize>() as f64 / 8.0 / (1024.0 * 1024.0)
+        self.layers.iter().map(|l| l.compressed_bits).sum::<usize>() as f64
+            / 8.0
+            / (1024.0 * 1024.0)
     }
 
     /// Overall coefficient sparsity across decomposed layers.
@@ -224,7 +233,11 @@ fn compress_decomposed(
     let coeffs = if cfg.qat_epochs > 0 {
         retrain_coeffs(
             &d.coeffs,
-            &QatConfig { epochs: cfg.qat_epochs, threshold: t, ..QatConfig::default() },
+            &QatConfig {
+                epochs: cfg.qat_epochs,
+                threshold: t,
+                ..QatConfig::default()
+            },
         )?
         .coeffs
     } else {
@@ -293,7 +306,11 @@ fn compress_pointwise(
 }
 
 /// Compresses a layer kept dense at `basis_bits` (the first conv layer).
-fn compress_dense(layer: &LayerShape, cfg: &CompressionConfig, seed: u64) -> Result<LayerCompression, EscalateError> {
+fn compress_dense(
+    layer: &LayerShape,
+    cfg: &CompressionConfig,
+    seed: u64,
+) -> Result<LayerCompression, EscalateError> {
     let w = synth::weights(layer, layer.r * layer.s, 0.3, seed);
     let (deq, bits) = crate::quant::quantize_linear(&w, cfg.basis_bits)?;
     Ok(LayerCompression {
@@ -328,7 +345,10 @@ fn compress_dense(layer: &LayerShape, cfg: &CompressionConfig, seed: u64) -> Res
 /// # Ok(())
 /// # }
 /// ```
-pub fn compress_model(profile: &ModelProfile, cfg: &CompressionConfig) -> Result<ModelCompression, EscalateError> {
+pub fn compress_model(
+    profile: &ModelProfile,
+    cfg: &CompressionConfig,
+) -> Result<ModelCompression, EscalateError> {
     let artifacts = compress_model_artifacts(profile, cfg)?;
     Ok(ModelCompression {
         model_name: profile.name.to_string(),
@@ -355,7 +375,9 @@ impl CompressedLayer {
     /// Number of output channels produced by this unit (the pointwise
     /// layer's `K` for fused DSC pairs).
     pub fn out_channels(&self) -> usize {
-        self.fused_pointwise.as_ref().map_or(self.shape.k, |pw| pw.k)
+        self.fused_pointwise
+            .as_ref()
+            .map_or(self.shape.k, |pw| pw.k)
     }
 }
 
@@ -371,7 +393,9 @@ pub fn compress_model_artifacts(
     let plan = plan_units(profile, cfg);
     // Units are independent and deterministic (each derives its own seed),
     // so compress them on the global pool and reassemble in plan order.
-    plan.par_iter().map(|unit| compress_unit(unit, cfg)).collect()
+    plan.par_iter()
+        .map(|unit| compress_unit(unit, cfg))
+        .collect()
 }
 
 /// One independently-compressible unit of the plan.
@@ -380,13 +404,31 @@ enum UnitPlan {
     /// The dense first convolution.
     Dense { layer: LayerShape, seed: u64 },
     /// A fused depthwise + pointwise pair (Eq. (5)).
-    Dsc { dw: LayerShape, pw: LayerShape, seed: u64, pw_seed: u64, target: f64 },
+    Dsc {
+        dw: LayerShape,
+        pw: LayerShape,
+        seed: u64,
+        pw_seed: u64,
+        target: f64,
+    },
     /// A standalone depthwise layer.
-    DwOnly { layer: LayerShape, seed: u64, target: f64 },
+    DwOnly {
+        layer: LayerShape,
+        seed: u64,
+        target: f64,
+    },
     /// A 1×1 layer, ternary-only.
-    Pointwise { layer: LayerShape, seed: u64, target: f64 },
+    Pointwise {
+        layer: LayerShape,
+        seed: u64,
+        target: f64,
+    },
     /// A regular decomposable convolution.
-    Conv { layer: LayerShape, seed: u64, target: f64 },
+    Conv {
+        layer: LayerShape,
+        seed: u64,
+        target: f64,
+    },
 }
 
 /// Walks the conv layers and decides how each unit is compressed (the
@@ -403,7 +445,10 @@ fn plan_units(profile: &ModelProfile, cfg: &CompressionConfig) -> Vec<UnitPlan> 
         let seed = synth::layer_seed(cfg.seed, i, 0);
         let target = profile.layer_coeff_sparsity(i, n);
         if !first_conv_done && layer.kind == LayerKind::Conv {
-            plan.push(UnitPlan::Dense { layer: layer.clone(), seed });
+            plan.push(UnitPlan::Dense {
+                layer: layer.clone(),
+                seed,
+            });
             first_conv_done = true;
             i += 1;
             continue;
@@ -420,16 +465,28 @@ fn plan_units(profile: &ModelProfile, cfg: &CompressionConfig) -> Vec<UnitPlan> 
                     });
                     i += 2;
                 } else {
-                    plan.push(UnitPlan::DwOnly { layer: layer.clone(), seed, target });
+                    plan.push(UnitPlan::DwOnly {
+                        layer: layer.clone(),
+                        seed,
+                        target,
+                    });
                     i += 1;
                 }
             }
             LayerKind::PwConv | LayerKind::Conv if layer.r * layer.s == 1 => {
-                plan.push(UnitPlan::Pointwise { layer: layer.clone(), seed, target });
+                plan.push(UnitPlan::Pointwise {
+                    layer: layer.clone(),
+                    seed,
+                    target,
+                });
                 i += 1;
             }
             LayerKind::Conv => {
-                plan.push(UnitPlan::Conv { layer: layer.clone(), seed, target });
+                plan.push(UnitPlan::Conv {
+                    layer: layer.clone(),
+                    seed,
+                    target,
+                });
                 i += 1;
             }
             LayerKind::PwConv | LayerKind::Fc => {
@@ -441,7 +498,10 @@ fn plan_units(profile: &ModelProfile, cfg: &CompressionConfig) -> Vec<UnitPlan> 
 }
 
 /// Compresses one planned unit (pure function of the plan and config).
-fn compress_unit(unit: &UnitPlan, cfg: &CompressionConfig) -> Result<CompressedLayer, EscalateError> {
+fn compress_unit(
+    unit: &UnitPlan,
+    cfg: &CompressionConfig,
+) -> Result<CompressedLayer, EscalateError> {
     match unit {
         UnitPlan::Dense { layer, seed } => Ok(CompressedLayer {
             shape: layer.clone(),
@@ -449,7 +509,13 @@ fn compress_unit(unit: &UnitPlan, cfg: &CompressionConfig) -> Result<CompressedL
             stats: compress_dense(layer, cfg, *seed)?,
             quantized: None,
         }),
-        UnitPlan::Dsc { dw, pw, seed, pw_seed, target } => {
+        UnitPlan::Dsc {
+            dw,
+            pw,
+            seed,
+            pw_seed,
+            target,
+        } => {
             let dw_w = synth::weights(dw, cfg.weight_rank, cfg.weight_noise, *seed);
             let pw_w = synth::pointwise_weights(pw.c, pw.k, *pw_seed);
             let m = cfg.m.min(dw.r * dw.s);
@@ -470,12 +536,20 @@ fn compress_unit(unit: &UnitPlan, cfg: &CompressionConfig) -> Result<CompressedL
                 quantized: Some(hybrid),
             })
         }
-        UnitPlan::DwOnly { layer, seed, target } => {
+        UnitPlan::DwOnly {
+            layer,
+            seed,
+            target,
+        } => {
             let dw_w = synth::weights(layer, cfg.weight_rank, cfg.weight_noise, *seed);
             let m = cfg.m.min(layer.r * layer.s);
             let (ce, basis) = crate::decompose::decompose_depthwise(&dw_w, m)?;
             let coeffs = Tensor::from_vec(&[layer.c, 1, m], ce.as_slice().to_vec());
-            let d = Decomposed { basis, coeffs, captured_energy: 1.0 };
+            let d = Decomposed {
+                basis,
+                coeffs,
+                captured_energy: 1.0,
+            };
             let (stats, hybrid) = compress_decomposed(&layer.name, &dw_w, &d, cfg, *target)?;
             Ok(CompressedLayer {
                 shape: layer.clone(),
@@ -484,7 +558,11 @@ fn compress_unit(unit: &UnitPlan, cfg: &CompressionConfig) -> Result<CompressedL
                 quantized: Some(hybrid),
             })
         }
-        UnitPlan::Pointwise { layer, seed, target } => {
+        UnitPlan::Pointwise {
+            layer,
+            seed,
+            target,
+        } => {
             let (stats, hybrid) = compress_pointwise(layer, cfg, *target, *seed)?;
             Ok(CompressedLayer {
                 shape: layer.clone(),
@@ -493,7 +571,11 @@ fn compress_unit(unit: &UnitPlan, cfg: &CompressionConfig) -> Result<CompressedL
                 quantized: Some(hybrid),
             })
         }
-        UnitPlan::Conv { layer, seed, target } => compress_layer_artifact(layer, cfg, *target, *seed),
+        UnitPlan::Conv {
+            layer,
+            seed,
+            target,
+        } => compress_layer_artifact(layer, cfg, *target, *seed),
     }
 }
 
@@ -508,7 +590,11 @@ mod tests {
     #[test]
     fn layer_compression_hits_sparsity_target() {
         let lc = compress_layer(&small_layer(), &CompressionConfig::default(), 0.9, 1).unwrap();
-        assert!((lc.coeff_sparsity() - 0.9).abs() < 0.03, "got {}", lc.coeff_sparsity());
+        assert!(
+            (lc.coeff_sparsity() - 0.9).abs() < 0.03,
+            "got {}",
+            lc.coeff_sparsity()
+        );
         assert!(lc.decomposed);
     }
 
@@ -532,7 +618,10 @@ mod tests {
     #[test]
     fn qat_improves_weight_error() {
         let base = CompressionConfig::default();
-        let with_qat = CompressionConfig { qat_epochs: 30, ..base };
+        let with_qat = CompressionConfig {
+            qat_epochs: 30,
+            ..base
+        };
         let plain = compress_layer(&small_layer(), &base, 0.8, 1).unwrap();
         let trained = compress_layer(&small_layer(), &with_qat, 0.8, 1).unwrap();
         assert!(trained.weight_error <= plain.weight_error + 1e-4);
@@ -541,7 +630,11 @@ mod tests {
     #[test]
     fn compressed_bits_are_far_below_fp32() {
         let lc = compress_layer(&small_layer(), &CompressionConfig::default(), 0.9, 1).unwrap();
-        assert!(lc.compression_ratio() > 20.0, "got {:.1}x", lc.compression_ratio());
+        assert!(
+            lc.compression_ratio() > 20.0,
+            "got {:.1}x",
+            lc.compression_ratio()
+        );
     }
 
     #[test]

@@ -34,7 +34,12 @@ pub struct QatConfig {
 impl Default for QatConfig {
     fn default() -> Self {
         // t = 0.05 is the paper's setting (§5.1.1).
-        QatConfig { epochs: 50, lr: 0.1, scale_lr: 0.05, threshold: 0.05 }
+        QatConfig {
+            epochs: 50,
+            lr: 0.1,
+            scale_lr: 0.05,
+            threshold: 0.05,
+        }
     }
 }
 
@@ -101,7 +106,9 @@ pub fn retrain_coeffs(target: &Tensor, cfg: &QatConfig) -> Result<QatResult, Esc
         let mut mse = 0.0f32;
         for ki in 0..k {
             let range = ki * slice_len..(ki + 1) * slice_len;
-            let max = shadow[range.clone()].iter().fold(0.0f32, |a, &v| a.max(v.abs()));
+            let max = shadow[range.clone()]
+                .iter()
+                .fold(0.0f32, |a, &v| a.max(v.abs()));
             let thr = cfg.threshold * max;
             let mut g_pos = 0.0f32;
             let mut g_neg = 0.0f32;
@@ -145,8 +152,9 @@ pub fn retrain_coeffs(target: &Tensor, cfg: &QatConfig) -> Result<QatResult, Esc
 
     let (_, best_ternary, best_w_pos, best_w_neg) = best.expect("at least one epoch ran");
     // Re-encode the 2-bit quotient from the trained scales.
-    let quotient_code: Vec<u8> =
-        (0..k).map(|ki| encode_quotient(best_w_neg[ki] / best_w_pos[ki])).collect();
+    let quotient_code: Vec<u8> = (0..k)
+        .map(|ki| encode_quotient(best_w_neg[ki] / best_w_pos[ki]))
+        .collect();
 
     let result = TernaryCoeffs {
         ternary: best_ternary,
@@ -166,7 +174,12 @@ pub fn retrain_coeffs(target: &Tensor, cfg: &QatConfig) -> Result<QatResult, Esc
             loss_curve,
         });
     }
-    Ok(QatResult { coeffs: result, initial_error, final_error, loss_curve })
+    Ok(QatResult {
+        coeffs: result,
+        initial_error,
+        final_error,
+        loss_curve,
+    })
 }
 
 #[cfg(test)]
@@ -195,7 +208,14 @@ mod tests {
     #[test]
     fn loss_curve_trends_down() {
         let t = target(4, 8, 6);
-        let r = retrain_coeffs(&t, &QatConfig { epochs: 80, ..QatConfig::default() }).unwrap();
+        let r = retrain_coeffs(
+            &t,
+            &QatConfig {
+                epochs: 80,
+                ..QatConfig::default()
+            },
+        )
+        .unwrap();
         let first = r.loss_curve[0];
         let last = *r.loss_curve.last().unwrap();
         assert!(last < first, "loss should decrease: {first} → {last}");
@@ -211,7 +231,12 @@ mod tests {
         });
         let r = retrain_coeffs(
             &t,
-            &QatConfig { epochs: 200, lr: 0.05, scale_lr: 0.02, threshold: 0.05 },
+            &QatConfig {
+                epochs: 200,
+                lr: 0.05,
+                scale_lr: 0.02,
+                threshold: 0.05,
+            },
         )
         .unwrap();
         assert!(r.final_error < 0.05, "got {}", r.final_error);
@@ -220,13 +245,29 @@ mod tests {
     #[test]
     fn bad_threshold_is_rejected() {
         let t = target(2, 2, 2);
-        assert!(retrain_coeffs(&t, &QatConfig { threshold: 1.5, ..QatConfig::default() }).is_err());
+        assert!(retrain_coeffs(
+            &t,
+            &QatConfig {
+                threshold: 1.5,
+                ..QatConfig::default()
+            }
+        )
+        .is_err());
     }
 
     #[test]
     fn scales_stay_positive() {
         let t = target(5, 6, 4);
-        let r = retrain_coeffs(&t, &QatConfig { epochs: 100, lr: 0.3, scale_lr: 0.2, threshold: 0.05 }).unwrap();
+        let r = retrain_coeffs(
+            &t,
+            &QatConfig {
+                epochs: 100,
+                lr: 0.3,
+                scale_lr: 0.2,
+                threshold: 0.05,
+            },
+        )
+        .unwrap();
         for k in 0..5 {
             assert!(r.coeffs.w_pos[k] > 0.0);
             assert!(r.coeffs.w_neg(k) > 0.0);

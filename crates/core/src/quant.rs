@@ -25,7 +25,9 @@ use escalate_tensor::Tensor;
 /// Returns [`EscalateError::InvalidQuantization`] when `bits` is 0 or > 16.
 pub fn quantize_linear(t: &Tensor, bits: u32) -> Result<(Tensor, usize), EscalateError> {
     if bits == 0 || bits > 16 {
-        return Err(EscalateError::InvalidQuantization { what: format!("bits={bits}") });
+        return Err(EscalateError::InvalidQuantization {
+            what: format!("bits={bits}"),
+        });
     }
     let qmax = ((1i32 << (bits - 1)) - 1) as f32;
     let max = t.max_abs();
@@ -46,12 +48,20 @@ pub fn quantize_linear(t: &Tensor, bits: u32) -> Result<(Tensor, usize), Escalat
 ///
 /// Returns [`EscalateError::InvalidQuantization`] when `bits` is 0 or > 16,
 /// or when `group_len` is zero or does not divide the tensor length.
-pub fn quantize_linear_grouped(t: &Tensor, bits: u32, group_len: usize) -> Result<(Tensor, usize), EscalateError> {
+pub fn quantize_linear_grouped(
+    t: &Tensor,
+    bits: u32,
+    group_len: usize,
+) -> Result<(Tensor, usize), EscalateError> {
     if bits == 0 || bits > 16 {
-        return Err(EscalateError::InvalidQuantization { what: format!("bits={bits}") });
+        return Err(EscalateError::InvalidQuantization {
+            what: format!("bits={bits}"),
+        });
     }
     if group_len == 0 || !t.len().is_multiple_of(group_len) {
-        return Err(EscalateError::InvalidQuantization { what: format!("group_len={group_len}") });
+        return Err(EscalateError::InvalidQuantization {
+            what: format!("group_len={group_len}"),
+        });
     }
     let qmax = ((1i32 << (bits - 1)) - 1) as f32;
     let mut out = Vec::with_capacity(t.len());
@@ -64,7 +74,11 @@ pub fn quantize_linear_grouped(t: &Tensor, bits: u32, group_len: usize) -> Resul
             continue;
         }
         let scale = max / qmax;
-        out.extend(slice.iter().map(|&v| (v / scale).round().clamp(-qmax, qmax) * scale));
+        out.extend(
+            slice
+                .iter()
+                .map(|&v| (v / scale).round().clamp(-qmax, qmax) * scale),
+        );
     }
     // Storage: `bits` per value plus one 8-bit scale per group.
     let size = t.len() * bits as usize + groups * 8;
@@ -87,7 +101,9 @@ pub fn quantize_linear_grouped(t: &Tensor, bits: u32, group_len: usize) -> Resul
 /// Panics if `ofm` is not rank-3.
 pub fn requantize_output(ofm: &Tensor, bits: u32) -> Result<(Tensor, Vec<f32>), EscalateError> {
     if bits == 0 || bits > 16 {
-        return Err(EscalateError::InvalidQuantization { what: format!("bits={bits}") });
+        return Err(EscalateError::InvalidQuantization {
+            what: format!("bits={bits}"),
+        });
     }
     let [k, x, y]: [usize; 3] = ofm.shape().try_into().expect("ofm must be K*X'*Y'");
     let plane = x * y;
@@ -99,7 +115,11 @@ pub fn requantize_output(ofm: &Tensor, bits: u32) -> Result<(Tensor, Vec<f32>), 
         let max = slice.iter().fold(0.0f32, |a, &v| a.max(v.abs()));
         let scale = if max == 0.0 { 1.0 } else { max / qmax };
         scales.push(scale);
-        out.extend(slice.iter().map(|&v| (v / scale).round().clamp(-qmax, qmax) * scale));
+        out.extend(
+            slice
+                .iter()
+                .map(|&v| (v / scale).round().clamp(-qmax, qmax) * scale),
+        );
     }
     Ok((Tensor::from_vec(ofm.shape(), out), scales))
 }
@@ -134,7 +154,10 @@ impl QuantizedBasis {
 
     /// Dequantizes back to an `M×R×S` tensor.
     pub fn dequantize(&self) -> Tensor {
-        Tensor::from_vec(&self.shape, self.q.iter().map(|&v| v as f32 * self.scale).collect())
+        Tensor::from_vec(
+            &self.shape,
+            self.q.iter().map(|&v| v as f32 * self.scale).collect(),
+        )
     }
 
     /// Storage cost in bits (8 per value plus the fp32 scale).
@@ -201,7 +224,9 @@ impl TernaryCoeffs {
     /// Panics if `coeffs` is not rank-3.
     pub fn ternarize(coeffs: &Tensor, t: f32) -> Result<Self, EscalateError> {
         if !(0.0..1.0).contains(&t) {
-            return Err(EscalateError::InvalidQuantization { what: format!("t={t}") });
+            return Err(EscalateError::InvalidQuantization {
+                what: format!("t={t}"),
+            });
         }
         let shape: [usize; 3] = coeffs.shape().try_into().expect("coeffs must be K*C*M");
         let [k, c, m] = shape;
@@ -228,12 +253,25 @@ impl TernaryCoeffs {
                     neg_n += 1;
                 }
             }
-            let wp = if pos_n > 0 { pos_sum / pos_n as f32 } else { max.max(f32::MIN_POSITIVE) };
-            let wn = if neg_n > 0 { neg_sum / neg_n as f32 } else { wp };
+            let wp = if pos_n > 0 {
+                pos_sum / pos_n as f32
+            } else {
+                max.max(f32::MIN_POSITIVE)
+            };
+            let wn = if neg_n > 0 {
+                neg_sum / neg_n as f32
+            } else {
+                wp
+            };
             w_pos.push(wp);
             quotient_code.push(encode_quotient(wn / wp));
         }
-        Ok(TernaryCoeffs { ternary, w_pos, quotient_code, shape })
+        Ok(TernaryCoeffs {
+            ternary,
+            w_pos,
+            quotient_code,
+            shape,
+        })
     }
 
     /// Shape `[K, C, M]`.
@@ -327,7 +365,9 @@ pub fn threshold_for_sparsity(coeffs: &Tensor, target: f64) -> f32 {
     }
     ratios.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
     let n = ratios.len();
-    let idx = ((target * n as f64).ceil() as usize).min(n).saturating_sub(1);
+    let idx = ((target * n as f64).ceil() as usize)
+        .min(n)
+        .saturating_sub(1);
     ratios[idx].clamp(0.0, 0.999)
 }
 
@@ -417,7 +457,11 @@ mod tests {
         // crushes the small slice, per-slice scales do not.
         let t = Tensor::from_fn(&[2, 4, 4], |i| {
             let v = ((i[1] * 4 + i[2]) as f32 * 0.37).sin();
-            if i[0] == 0 { v * 100.0 } else { v * 0.01 }
+            if i[0] == 0 {
+                v * 100.0
+            } else {
+                v * 0.01
+            }
         });
         let (global, _) = quantize_linear(&t, 4).unwrap();
         let (grouped, _) = quantize_linear_grouped(&t, 4, 16).unwrap();
@@ -455,7 +499,10 @@ mod tests {
     fn basis_roundtrip_is_tight() {
         let b = Tensor::from_fn(&[3, 3, 3], |i| ((i[0] + i[1] * 2 + i[2] * 4) as f32).sin());
         let q = QuantizedBasis::quantize(&b);
-        assert!(b.relative_error(&q.dequantize()) < 0.02, "8-bit error too high");
+        assert!(
+            b.relative_error(&q.dequantize()) < 0.02,
+            "8-bit error too high"
+        );
         assert_eq!(q.size_bits(), 27 * 8 + 32);
     }
 
@@ -544,12 +591,19 @@ mod tests {
         // Channels with very different ranges each keep 8-bit resolution.
         let ofm = Tensor::from_fn(&[2, 4, 4], |i| {
             let v = ((i[1] * 4 + i[2]) as f32 * 0.41).sin();
-            if i[0] == 0 { v * 50.0 } else { v * 0.05 }
+            if i[0] == 0 {
+                v * 50.0
+            } else {
+                v * 0.05
+            }
         });
         let (deq, scales) = requantize_output(&ofm, 8).unwrap();
         assert_eq!(scales.len(), 2);
         assert!(scales[0] > scales[1]);
-        assert!(ofm.relative_error(&deq) < 0.01, "8-bit per-channel should be tight");
+        assert!(
+            ofm.relative_error(&deq) < 0.01,
+            "8-bit per-channel should be tight"
+        );
     }
 
     #[test]

@@ -31,7 +31,12 @@ pub fn forward_eq2(d: &Decomposed, input: &Tensor, stride: usize, pad: usize) ->
             input.as_slice()[ci * x * y..(ci + 1) * x * y].to_vec(),
         );
         for mi in 0..d.m() {
-            inter.push(conv::conv2d_single(&plane, &d.basis_kernel(mi), stride, pad));
+            inter.push(conv::conv2d_single(
+                &plane,
+                &d.basis_kernel(mi),
+                stride,
+                pad,
+            ));
         }
     }
     let inter_elems = inter.iter().map(Tensor::len).sum();
@@ -97,7 +102,13 @@ pub fn forward_eq3(d: &Decomposed, input: &Tensor, stride: usize, pad: usize) ->
 /// Count of intermediate feature-map elements under each order, for the
 /// ablation bench: Eq. (2) materializes `C·M` output-sized maps, Eq. (3)
 /// only `M` input-sized maps at a time.
-pub fn intermediate_footprint(d: &Decomposed, x: usize, y: usize, stride: usize, pad: usize) -> (usize, usize) {
+pub fn intermediate_footprint(
+    d: &Decomposed,
+    x: usize,
+    y: usize,
+    stride: usize,
+    pad: usize,
+) -> (usize, usize) {
     let ox = conv::conv_out_size(x, d.r(), stride, pad);
     let oy = conv::conv_out_size(y, d.s(), stride, pad);
     (d.c() * d.m() * ox * oy, d.m() * x * y)
@@ -114,7 +125,9 @@ mod tests {
             (((i[0] * 31 + i[1] * 17 + i[2] * 5 + i[3] * 3) % 13) as f32 - 6.0) * 0.1
         });
         let d = decompose(&w, m).unwrap();
-        let input = Tensor::from_fn(&[c, 8, 8], |i| (((i[0] * 7 + i[1] * 3 + i[2]) % 9) as f32 - 4.0) * 0.25);
+        let input = Tensor::from_fn(&[c, 8, 8], |i| {
+            (((i[0] * 7 + i[1] * 3 + i[2]) % 9) as f32 - 4.0) * 0.25
+        });
         (d, w, input)
     }
 
@@ -123,7 +136,11 @@ mod tests {
         let (d, _, input) = setup(6, 4, 3);
         let (o2, _) = forward_eq2(&d, &input, 1, 1);
         let (o3, _) = forward_eq3(&d, &input, 1, 1);
-        assert!(o2.all_close(&o3, 1e-3), "rel err {}", o2.relative_error(&o3));
+        assert!(
+            o2.all_close(&o3, 1e-3),
+            "rel err {}",
+            o2.relative_error(&o3)
+        );
     }
 
     #[test]
@@ -131,7 +148,11 @@ mod tests {
         let (d, w, input) = setup(5, 3, 9);
         let direct = conv2d(&input, &w, 1, 1);
         let (o3, _) = forward_eq3(&d, &input, 1, 1);
-        assert!(direct.all_close(&o3, 1e-2), "rel err {}", direct.relative_error(&o3));
+        assert!(
+            direct.all_close(&o3, 1e-2),
+            "rel err {}",
+            direct.relative_error(&o3)
+        );
         let (o2, _) = forward_eq2(&d, &input, 1, 1);
         assert!(direct.all_close(&o2, 1e-2));
     }

@@ -14,11 +14,31 @@ pub struct Component {
 
 /// The Table 4 component list.
 pub const COMPONENTS: [Component; 5] = [
-    Component { name: "Activation Buffer", area_mm2: 0.0098, power_mw: 5.44 },
-    Component { name: "MAC Row", area_mm2: 0.0159, power_mw: 7.79 },
-    Component { name: "Dilution", area_mm2: 0.0450, power_mw: 17.77 },
-    Component { name: "Concentration", area_mm2: 0.0906, power_mw: 46.74 },
-    Component { name: "Coef.&Psum Buffer", area_mm2: 0.0538, power_mw: 8.33 },
+    Component {
+        name: "Activation Buffer",
+        area_mm2: 0.0098,
+        power_mw: 5.44,
+    },
+    Component {
+        name: "MAC Row",
+        area_mm2: 0.0159,
+        power_mw: 7.79,
+    },
+    Component {
+        name: "Dilution",
+        area_mm2: 0.0450,
+        power_mw: 17.77,
+    },
+    Component {
+        name: "Concentration",
+        area_mm2: 0.0906,
+        power_mw: 46.74,
+    },
+    Component {
+        name: "Coef.&Psum Buffer",
+        area_mm2: 0.0538,
+        power_mw: 8.33,
+    },
 ];
 
 /// Totals reported in Table 4.
@@ -47,7 +67,10 @@ impl PeBlockArea {
     /// Whole-accelerator estimates for `n_pe` blocks.
     pub fn chip(n_pe: usize) -> PeBlockArea {
         let b = PeBlockArea::from_components();
-        PeBlockArea { area_mm2: b.area_mm2 * n_pe as f64, power_mw: b.power_mw * n_pe as f64 }
+        PeBlockArea {
+            area_mm2: b.area_mm2 * n_pe as f64,
+            power_mw: b.power_mw * n_pe as f64,
+        }
     }
 }
 
@@ -64,13 +87,24 @@ mod tests {
     #[test]
     fn component_sums_match_table4_totals() {
         let b = PeBlockArea::from_components();
-        assert!((b.area_mm2 - TOTAL_AREA_MM2).abs() < 1e-3, "area {}", b.area_mm2);
-        assert!((b.power_mw - TOTAL_POWER_MW).abs() < 1e-2, "power {}", b.power_mw);
+        assert!(
+            (b.area_mm2 - TOTAL_AREA_MM2).abs() < 1e-3,
+            "area {}",
+            b.area_mm2
+        );
+        assert!(
+            (b.power_mw - TOTAL_POWER_MW).abs() < 1e-2,
+            "power {}",
+            b.power_mw
+        );
     }
 
     #[test]
     fn concentration_is_the_largest_component() {
-        let max = COMPONENTS.iter().max_by(|a, b| a.area_mm2.total_cmp(&b.area_mm2)).unwrap();
+        let max = COMPONENTS
+            .iter()
+            .max_by(|a, b| a.area_mm2.total_cmp(&b.area_mm2))
+            .unwrap();
         assert_eq!(max.name, "Concentration");
     }
 

@@ -139,7 +139,8 @@ impl EnergyBreakdown {
 pub fn layer_energy(stats: &LayerStats, caps: &BufferCaps, units: &UnitEnergy) -> EnergyBreakdown {
     let cycles = stats.cycles as f64;
     let blocks = caps.n_pe as f64;
-    let per_cycle = |power_mw: f64| component_pj_per_cycle(power_mw, caps.frequency_mhz) * cycles * blocks;
+    let per_cycle =
+        |power_mw: f64| component_pj_per_cycle(power_mw, caps.frequency_mhz) * cycles * blocks;
 
     let mut bd = EnergyBreakdown {
         dram_pj: stats.dram.total() as f64 * units.dram_pj_per_byte,
@@ -220,8 +221,18 @@ mod tests {
             gather_passes: 500,
             mac_idle_cycles: 0,
             mac_cycle_slots: 6000,
-            dram: DramTraffic { weights: 100, ifm: 200, ofm: 300 },
-            sram: SramTraffic { input_buf: 1000, coef_buf: 2000, psum_buf: 3000, output_buf: 400, act_buf: 500 },
+            dram: DramTraffic {
+                weights: 100,
+                ifm: 200,
+                ofm: 300,
+            },
+            sram: SramTraffic {
+                input_buf: 1000,
+                coef_buf: 2000,
+                psum_buf: 3000,
+                output_buf: 400,
+                act_buf: 500,
+            },
             fallback,
         }
     }
@@ -229,10 +240,19 @@ mod tests {
     #[test]
     fn breakdown_components_sum() {
         let b = layer_energy(&stats(false), &BufferCaps::default(), &UnitEnergy::table3());
-        let manual = b.dram_pj + b.mac_pj + b.concentration_pj + b.dilution_pj + b.input_buf_pj
-            + b.coef_psum_pj + b.act_buf_pj + b.output_buf_pj;
+        let manual = b.dram_pj
+            + b.mac_pj
+            + b.concentration_pj
+            + b.dilution_pj
+            + b.input_buf_pj
+            + b.coef_psum_pj
+            + b.act_buf_pj
+            + b.output_buf_pj;
         assert!((b.total_pj() - manual).abs() < 1e-9);
-        assert!(b.concentration_pj > b.dilution_pj, "Table 4: concentration draws more power");
+        assert!(
+            b.concentration_pj > b.dilution_pj,
+            "Table 4: concentration draws more power"
+        );
     }
 
     #[test]
@@ -251,7 +271,10 @@ mod tests {
 
     #[test]
     fn model_energy_sums_layers() {
-        let m = ModelStats { model_name: "x".into(), layers: vec![stats(false), stats(false)] };
+        let m = ModelStats {
+            model_name: "x".into(),
+            layers: vec![stats(false), stats(false)],
+        };
         let one = layer_energy(&stats(false), &BufferCaps::default(), &UnitEnergy::table3());
         let all = model_energy(&m, &BufferCaps::default(), &UnitEnergy::table3());
         assert!((all.total_pj() - 2.0 * one.total_pj()).abs() < 1e-6);
@@ -261,7 +284,11 @@ mod tests {
     fn dram_model_pricing_tracks_locality() {
         use crate::dram::DramModel;
         let s = LayerStats {
-            dram: DramTraffic { weights: 1 << 16, ifm: 1 << 18, ofm: 1 << 14 },
+            dram: DramTraffic {
+                weights: 1 << 16,
+                ifm: 1 << 18,
+                ofm: 1 << 14,
+            },
             ..stats(false)
         };
         let caps = BufferCaps::default();
@@ -279,10 +306,15 @@ mod tests {
     #[test]
     fn baseline_logic_uses_whole_chip_power() {
         let esc = layer_energy(&stats(false), &BufferCaps::default(), &UnitEnergy::table3());
-        let base = layer_energy(&stats(false), &BufferCaps::baseline(64 * 1024), &UnitEnergy::table3());
+        let base = layer_energy(
+            &stats(false),
+            &BufferCaps::baseline(64 * 1024),
+            &UnitEnergy::table3(),
+        );
         // Same cycle count: the baseline's single logic term equals the sum
         // of ESCALATE's per-component terms (same chip power).
-        let esc_logic = esc.mac_pj + esc.dilution_pj + esc.concentration_pj + esc.act_buf_pj + esc.coef_psum_pj;
+        let esc_logic =
+            esc.mac_pj + esc.dilution_pj + esc.concentration_pj + esc.act_buf_pj + esc.coef_psum_pj;
         assert!((base.mac_pj - esc_logic).abs() / esc_logic < 1e-6);
     }
 }

@@ -41,7 +41,11 @@ impl Default for DramModel {
         // Calibrated so a fully sequential stream costs ≈55 pJ/B and a
         // fully random byte stream far more, blending to the ≈100 pJ/B of
         // Table 3 at typical CNN-trace locality.
-        DramModel { row_bytes: 2048, hit_pj_per_byte: 55.0, activate_pj: 25_000.0 }
+        DramModel {
+            row_bytes: 2048,
+            hit_pj_per_byte: 55.0,
+            activate_pj: 25_000.0,
+        }
     }
 }
 
@@ -86,7 +90,11 @@ mod tests {
 
     #[test]
     fn hundred_pj_per_byte() {
-        let t = DramTraffic { weights: 10, ifm: 20, ofm: 30 };
+        let t = DramTraffic {
+            weights: 10,
+            ifm: 20,
+            ofm: 30,
+        };
         let u = UnitEnergy::table3();
         assert_eq!(traffic_energy_pj(&t, &u), 6000.0);
         assert!((traffic_energy_mj(&t, &u) - 6e-6).abs() < 1e-15);
@@ -94,7 +102,10 @@ mod tests {
 
     #[test]
     fn zero_traffic_zero_energy() {
-        assert_eq!(traffic_energy_pj(&DramTraffic::default(), &UnitEnergy::table3()), 0.0);
+        assert_eq!(
+            traffic_energy_pj(&DramTraffic::default(), &UnitEnergy::table3()),
+            0.0
+        );
     }
 
     #[test]
@@ -109,7 +120,11 @@ mod tests {
     #[test]
     fn locality_reduces_ifm_energy() {
         let m = DramModel::default();
-        let t = DramTraffic { weights: 0, ifm: 1 << 20, ofm: 0 };
+        let t = DramTraffic {
+            weights: 0,
+            ifm: 1 << 20,
+            ofm: 0,
+        };
         let good = m.traffic_energy_pj(&t, 0.95);
         let bad = m.traffic_energy_pj(&t, 0.1);
         assert!(good < bad);
@@ -121,9 +136,17 @@ mod tests {
         // below it for streaming-dominated traffic, above it for
         // random-walk IFMs.
         let m = DramModel::default();
-        let streaming = DramTraffic { weights: 1 << 20, ifm: 1 << 16, ofm: 1 << 18 };
+        let streaming = DramTraffic {
+            weights: 1 << 20,
+            ifm: 1 << 16,
+            ofm: 1 << 18,
+        };
         assert!(m.effective_pj_per_byte(&streaming, 0.9) < 100.0);
-        let thrashing = DramTraffic { weights: 1 << 14, ifm: 1 << 20, ofm: 1 << 14 };
+        let thrashing = DramTraffic {
+            weights: 1 << 14,
+            ifm: 1 << 20,
+            ofm: 1 << 14,
+        };
         assert!(m.effective_pj_per_byte(&thrashing, 0.0) > 100.0);
     }
 

@@ -22,5 +22,5 @@ pub mod sram;
 pub mod units;
 
 pub use area::{PeBlockArea, COMPONENTS};
-pub use breakdown::{model_energy, layer_energy, BufferCaps, EnergyBreakdown};
+pub use breakdown::{layer_energy, model_energy, BufferCaps, EnergyBreakdown};
 pub use units::UnitEnergy;

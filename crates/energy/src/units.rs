@@ -18,14 +18,24 @@ pub struct UnitEnergy {
 
 impl Default for UnitEnergy {
     fn default() -> Self {
-        UnitEnergy { dram_pj_per_byte: 100.0, mac_pj: 0.407, multiply_pj: 0.186, add_pj: 0.036 }
+        UnitEnergy {
+            dram_pj_per_byte: 100.0,
+            mac_pj: 0.407,
+            multiply_pj: 0.186,
+            add_pj: 0.036,
+        }
     }
 }
 
 impl UnitEnergy {
     /// The Table 3 values.
     pub const fn table3() -> Self {
-        UnitEnergy { dram_pj_per_byte: 100.0, mac_pj: 0.407, multiply_pj: 0.186, add_pj: 0.036 }
+        UnitEnergy {
+            dram_pj_per_byte: 100.0,
+            mac_pj: 0.407,
+            multiply_pj: 0.186,
+            add_pj: 0.036,
+        }
     }
 }
 

@@ -59,7 +59,10 @@ impl ModelCharacter {
         let model = profile.model();
         ModelCharacter {
             name: profile.name.to_string(),
-            layers: model.conv_layers().map(|l| LayerCharacter::of(l, m)).collect(),
+            layers: model
+                .conv_layers()
+                .map(|l| LayerCharacter::of(l, m))
+                .collect(),
         }
     }
 
@@ -78,7 +81,11 @@ impl ModelCharacter {
         if macs == 0 {
             return 0.0;
         }
-        self.layers.iter().map(|l| l.cm_bound * l.macs as f64).sum::<f64>() / macs as f64
+        self.layers
+            .iter()
+            .map(|l| l.cm_bound * l.macs as f64)
+            .sum::<f64>()
+            / macs as f64
     }
 
     /// Fraction of MACs in depthwise/pointwise (DSC) layers — high values

@@ -68,23 +68,84 @@ pub struct LayerShape {
 impl LayerShape {
     /// A regular convolution layer with square kernels and inputs.
     #[allow(clippy::too_many_arguments)]
-    pub fn conv(name: &str, c: usize, k: usize, x: usize, y: usize, rs: usize, stride: usize, pad: usize) -> Self {
-        LayerShape { name: name.to_string(), kind: LayerKind::Conv, c, k, x, y, r: rs, s: rs, stride, pad }
+    pub fn conv(
+        name: &str,
+        c: usize,
+        k: usize,
+        x: usize,
+        y: usize,
+        rs: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Self {
+        LayerShape {
+            name: name.to_string(),
+            kind: LayerKind::Conv,
+            c,
+            k,
+            x,
+            y,
+            r: rs,
+            s: rs,
+            stride,
+            pad,
+        }
     }
 
     /// A depthwise convolution layer (`K == C`).
-    pub fn dwconv(name: &str, c: usize, x: usize, y: usize, rs: usize, stride: usize, pad: usize) -> Self {
-        LayerShape { name: name.to_string(), kind: LayerKind::DwConv, c, k: c, x, y, r: rs, s: rs, stride, pad }
+    pub fn dwconv(
+        name: &str,
+        c: usize,
+        x: usize,
+        y: usize,
+        rs: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Self {
+        LayerShape {
+            name: name.to_string(),
+            kind: LayerKind::DwConv,
+            c,
+            k: c,
+            x,
+            y,
+            r: rs,
+            s: rs,
+            stride,
+            pad,
+        }
     }
 
     /// A pointwise (1×1) convolution layer.
     pub fn pwconv(name: &str, c: usize, k: usize, x: usize, y: usize) -> Self {
-        LayerShape { name: name.to_string(), kind: LayerKind::PwConv, c, k, x, y, r: 1, s: 1, stride: 1, pad: 0 }
+        LayerShape {
+            name: name.to_string(),
+            kind: LayerKind::PwConv,
+            c,
+            k,
+            x,
+            y,
+            r: 1,
+            s: 1,
+            stride: 1,
+            pad: 0,
+        }
     }
 
     /// A fully connected layer viewed as a 1×1 convolution on a 1×1 input.
     pub fn fc(name: &str, c: usize, k: usize) -> Self {
-        LayerShape { name: name.to_string(), kind: LayerKind::Fc, c, k, x: 1, y: 1, r: 1, s: 1, stride: 1, pad: 0 }
+        LayerShape {
+            name: name.to_string(),
+            kind: LayerKind::Fc,
+            c,
+            k,
+            x: 1,
+            y: 1,
+            r: 1,
+            s: 1,
+            stride: 1,
+            pad: 0,
+        }
     }
 
     /// Output rows `X'`.
@@ -142,7 +203,16 @@ impl std::fmt::Display for LayerShape {
         write!(
             f,
             "{} [{}] C={} K={} {}x{} k={}x{} s={} p={}",
-            self.name, self.kind, self.c, self.k, self.x, self.y, self.r, self.s, self.stride, self.pad
+            self.name,
+            self.kind,
+            self.c,
+            self.k,
+            self.x,
+            self.y,
+            self.r,
+            self.s,
+            self.stride,
+            self.pad
         )
     }
 }

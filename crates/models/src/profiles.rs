@@ -150,7 +150,11 @@ impl ModelProfile {
     /// linear ramp centred on the profile's mean, matching the qualitative
     /// layer-wise profiles in Figures 11 and 13.
     pub fn activation_sparsity(&self, layer_index: usize, n_layers: usize) -> f64 {
-        let frac = if n_layers <= 1 { 0.5 } else { layer_index as f64 / (n_layers - 1) as f64 };
+        let frac = if n_layers <= 1 {
+            0.5
+        } else {
+            layer_index as f64 / (n_layers - 1) as f64
+        };
         // ±0.15 ramp around the mean, clamped to a sane ReLU range.
         (self.mean_activation_sparsity - 0.15 + 0.30 * frac).clamp(0.05, 0.90)
     }
@@ -163,7 +167,11 @@ impl ModelProfile {
     /// parameters concentrate in late layers, so a steep ramp would push
     /// the parameter-weighted sparsity past the Table 1 target.
     pub fn layer_coeff_sparsity(&self, layer_index: usize, n_layers: usize) -> f64 {
-        let frac = if n_layers <= 1 { 0.5 } else { layer_index as f64 / (n_layers - 1) as f64 };
+        let frac = if n_layers <= 1 {
+            0.5
+        } else {
+            layer_index as f64 / (n_layers - 1) as f64
+        };
         (self.coeff_sparsity - 0.01 + 0.02 * frac).clamp(0.0, 0.995)
     }
 }

@@ -56,8 +56,9 @@ pub fn weights(layer: &LayerShape, rank: usize, noise: f32, seed: u64) -> Tensor
     };
 
     // Shared latent kernels, roughly orthogonal by random draw.
-    let latent: Vec<Vec<f32>> =
-        (0..rank).map(|_| (0..rs).map(|_| gaussian(&mut rng)).collect()).collect();
+    let latent: Vec<Vec<f32>> = (0..rank)
+        .map(|_| (0..rs).map(|_| gaussian(&mut rng)).collect())
+        .collect();
 
     // Long-tailed combination coefficients: most kernels are dominated by
     // one or two latent components, which is what magnitude pruning of the
@@ -98,7 +99,11 @@ pub fn weights(layer: &LayerShape, rank: usize, noise: f32, seed: u64) -> Tensor
 pub fn pointwise_weights(c: usize, k: usize, seed: u64) -> escalate_tensor::Matrix {
     let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_0002);
     let scale = (2.0 / c as f32).sqrt();
-    escalate_tensor::Matrix::from_vec(k, c, (0..k * c).map(|_| gaussian(&mut rng) * scale).collect())
+    escalate_tensor::Matrix::from_vec(
+        k,
+        c,
+        (0..k * c).map(|_| gaussian(&mut rng) * scale).collect(),
+    )
 }
 
 /// Generates a synthetic input feature map (`C×X×Y`) with exactly the
@@ -144,7 +149,11 @@ pub fn activations(layer: &LayerShape, sparsity: f64, seed: u64) -> Tensor {
     let mut sorted = data.clone();
     sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
     let cut_idx = ((sorted.len() as f64 * sparsity) as usize).min(sorted.len().saturating_sub(1));
-    let cut = if sparsity >= 1.0 { f32::INFINITY } else { sorted[cut_idx] };
+    let cut = if sparsity >= 1.0 {
+        f32::INFINITY
+    } else {
+        sorted[cut_idx]
+    };
     for v in data.iter_mut() {
         // Shift survivors to be positive (ReLU-like) with the threshold as 0.
         *v = if *v > cut { *v - cut } else { 0.0 };
@@ -211,7 +220,11 @@ mod tests {
         let l = LayerShape::conv("l", 8, 8, 32, 32, 3, 1, 1);
         for target in [0.0, 0.3, 0.5, 0.8] {
             let a = activations(&l, target, 11);
-            assert!((a.sparsity() - target).abs() < 0.02, "target {target}, got {}", a.sparsity());
+            assert!(
+                (a.sparsity() - target).abs() < 0.02,
+                "target {target}, got {}",
+                a.sparsity()
+            );
         }
     }
 

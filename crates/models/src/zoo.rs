@@ -28,7 +28,10 @@ pub struct Model {
 impl Model {
     /// Creates a model from a name and layer list.
     pub fn new(name: &str, layers: Vec<LayerShape>) -> Self {
-        Model { name: name.to_string(), layers }
+        Model {
+            name: name.to_string(),
+            layers,
+        }
     }
 
     /// Model name.
@@ -84,7 +87,9 @@ impl Model {
         let mut layers: Vec<LayerShape> = cfg
             .iter()
             .enumerate()
-            .map(|(i, &(c, k, sp))| LayerShape::conv(&format!("conv{}", i + 1), c, k, sp, sp, 3, 1, 1))
+            .map(|(i, &(c, k, sp))| {
+                LayerShape::conv(&format!("conv{}", i + 1), c, k, sp, sp, 3, 1, 1)
+            })
             .collect();
         layers.push(LayerShape::fc("fc", 512, 10));
         Model::new("VGG16", layers)
@@ -131,7 +136,15 @@ impl Model {
         for (stage, &(t, out, n, s)) in cfg.iter().enumerate() {
             for rep in 0..n {
                 let stride = if rep == 0 { s } else { 1 };
-                inverted_residual(&mut layers, &format!("ir{}_{}", stage + 1, rep + 1), c, out, sp, t, stride);
+                inverted_residual(
+                    &mut layers,
+                    &format!("ir{}_{}", stage + 1, rep + 1),
+                    c,
+                    out,
+                    sp,
+                    t,
+                    stride,
+                );
                 if stride == 2 {
                     sp /= 2;
                 }
@@ -178,7 +191,13 @@ impl Model {
             let n = i + 1;
             layers.push(LayerShape::dwconv(&format!("dw{n}"), cin, sp, sp, 3, s, 1));
             let out_sp = sp / s;
-            layers.push(LayerShape::pwconv(&format!("pw{n}"), cin, cout, out_sp, out_sp));
+            layers.push(LayerShape::pwconv(
+                &format!("pw{n}"),
+                cin,
+                cout,
+                out_sp,
+                out_sp,
+            ));
         }
         layers.push(LayerShape::fc("fc", 1024, 1000));
         Model::new("MobileNet", layers)
@@ -200,10 +219,16 @@ impl Model {
         let mut prev_out: Option<usize> = None;
         for l in self.conv_layers() {
             if l.out_x() == 0 || l.out_y() == 0 {
-                return Err(format!("{}: kernel {}x{} cannot cover input {}x{}", l.name, l.r, l.s, l.x, l.y));
+                return Err(format!(
+                    "{}: kernel {}x{} cannot cover input {}x{}",
+                    l.name, l.r, l.s, l.x, l.y
+                ));
             }
             if l.kind == LayerKind::DwConv && l.k != l.c {
-                return Err(format!("{}: depthwise layers need K == C ({} vs {})", l.name, l.k, l.c));
+                return Err(format!(
+                    "{}: depthwise layers need K == C ({} vs {})",
+                    l.name, l.k, l.c
+                ));
             }
             let is_shortcut = l.name.contains("downsample");
             if !is_shortcut {
@@ -235,14 +260,40 @@ impl Model {
 }
 
 /// Appends a stage of ResNet BasicBlocks (two 3×3 convs per block).
-fn basic_stage(layers: &mut Vec<LayerShape>, name: &str, cin: usize, cout: usize, sp: usize, blocks: usize, stride: usize) {
+fn basic_stage(
+    layers: &mut Vec<LayerShape>,
+    name: &str,
+    cin: usize,
+    cout: usize,
+    sp: usize,
+    blocks: usize,
+    stride: usize,
+) {
     let mut c = cin;
     let mut s = stride;
     let mut x = sp;
     for b in 0..blocks {
         let out_x = x / s;
-        layers.push(LayerShape::conv(&format!("{name}.{b}.conv1"), c, cout, x, x, 3, s, 1));
-        layers.push(LayerShape::conv(&format!("{name}.{b}.conv2"), cout, cout, out_x, out_x, 3, 1, 1));
+        layers.push(LayerShape::conv(
+            &format!("{name}.{b}.conv1"),
+            c,
+            cout,
+            x,
+            x,
+            3,
+            s,
+            1,
+        ));
+        layers.push(LayerShape::conv(
+            &format!("{name}.{b}.conv2"),
+            cout,
+            cout,
+            out_x,
+            out_x,
+            3,
+            1,
+            1,
+        ));
         if s != 1 || c != cout {
             // Downsample shortcut: 1×1 strided conv.
             layers.push(LayerShape {
@@ -266,7 +317,15 @@ fn basic_stage(layers: &mut Vec<LayerShape>, name: &str, cin: usize, cout: usize
 
 /// Appends a stage of ResNet Bottleneck blocks (1×1 → 3×3 → 1×1, ×4
 /// expansion).
-fn bottleneck_stage(layers: &mut Vec<LayerShape>, name: &str, cin: usize, width: usize, sp: usize, blocks: usize, stride: usize) {
+fn bottleneck_stage(
+    layers: &mut Vec<LayerShape>,
+    name: &str,
+    cin: usize,
+    width: usize,
+    sp: usize,
+    blocks: usize,
+    stride: usize,
+) {
     let expansion = 4;
     let cout = width * expansion;
     let mut c = cin;
@@ -274,9 +333,30 @@ fn bottleneck_stage(layers: &mut Vec<LayerShape>, name: &str, cin: usize, width:
     let mut x = sp;
     for b in 0..blocks {
         let out_x = x / s;
-        layers.push(LayerShape::pwconv(&format!("{name}.{b}.conv1"), c, width, x, x));
-        layers.push(LayerShape::conv(&format!("{name}.{b}.conv2"), width, width, x, x, 3, s, 1));
-        layers.push(LayerShape::pwconv(&format!("{name}.{b}.conv3"), width, cout, out_x, out_x));
+        layers.push(LayerShape::pwconv(
+            &format!("{name}.{b}.conv1"),
+            c,
+            width,
+            x,
+            x,
+        ));
+        layers.push(LayerShape::conv(
+            &format!("{name}.{b}.conv2"),
+            width,
+            width,
+            x,
+            x,
+            3,
+            s,
+            1,
+        ));
+        layers.push(LayerShape::pwconv(
+            &format!("{name}.{b}.conv3"),
+            width,
+            cout,
+            out_x,
+            out_x,
+        ));
         if s != 1 || c != cout {
             layers.push(LayerShape {
                 name: format!("{name}.{b}.downsample"),
@@ -299,14 +379,42 @@ fn bottleneck_stage(layers: &mut Vec<LayerShape>, name: &str, cin: usize, width:
 
 /// Appends one MobileNetV2 inverted-residual block: 1×1 expand → 3×3
 /// depthwise → 1×1 project. The expansion conv is skipped when `t == 1`.
-fn inverted_residual(layers: &mut Vec<LayerShape>, name: &str, cin: usize, cout: usize, sp: usize, t: usize, stride: usize) {
+fn inverted_residual(
+    layers: &mut Vec<LayerShape>,
+    name: &str,
+    cin: usize,
+    cout: usize,
+    sp: usize,
+    t: usize,
+    stride: usize,
+) {
     let hidden = cin * t;
     if t != 1 {
-        layers.push(LayerShape::pwconv(&format!("{name}.expand"), cin, hidden, sp, sp));
+        layers.push(LayerShape::pwconv(
+            &format!("{name}.expand"),
+            cin,
+            hidden,
+            sp,
+            sp,
+        ));
     }
-    layers.push(LayerShape::dwconv(&format!("{name}.dw"), hidden, sp, sp, 3, stride, 1));
+    layers.push(LayerShape::dwconv(
+        &format!("{name}.dw"),
+        hidden,
+        sp,
+        sp,
+        3,
+        stride,
+        1,
+    ));
     let out_sp = sp / stride;
-    layers.push(LayerShape::pwconv(&format!("{name}.project"), hidden, cout, out_sp, out_sp));
+    layers.push(LayerShape::pwconv(
+        &format!("{name}.project"),
+        hidden,
+        cout,
+        out_sp,
+        out_sp,
+    ));
 }
 
 #[cfg(test)]
@@ -318,28 +426,44 @@ mod tests {
         // Table 1: VGG16 CONV = 56.12 MB.
         let m = Model::vgg16_cifar();
         assert_eq!(m.conv_layers().count(), 13);
-        assert!((m.conv_size_mb_fp32() - 56.12).abs() < 0.1, "got {}", m.conv_size_mb_fp32());
+        assert!(
+            (m.conv_size_mb_fp32() - 56.12).abs() < 0.1,
+            "got {}",
+            m.conv_size_mb_fp32()
+        );
     }
 
     #[test]
     fn resnet18_conv_size_matches_paper() {
         // Table 1: ResNet18 CONV = 42.58 MB.
         let m = Model::resnet18_cifar();
-        assert!((m.conv_size_mb_fp32() - 42.58).abs() < 0.1, "got {}", m.conv_size_mb_fp32());
+        assert!(
+            (m.conv_size_mb_fp32() - 42.58).abs() < 0.1,
+            "got {}",
+            m.conv_size_mb_fp32()
+        );
     }
 
     #[test]
     fn resnet152_conv_size_close_to_paper() {
         // Table 1: ResNet152 CONV = 221.19 MB.
         let m = Model::resnet152_cifar();
-        assert!((m.conv_size_mb_fp32() - 221.19).abs() / 221.19 < 0.05, "got {}", m.conv_size_mb_fp32());
+        assert!(
+            (m.conv_size_mb_fp32() - 221.19).abs() / 221.19 < 0.05,
+            "got {}",
+            m.conv_size_mb_fp32()
+        );
     }
 
     #[test]
     fn mobilenet_v2_conv_size_close_to_paper() {
         // Table 1: MobileNetV2 CONV = 8.40 MB.
         let m = Model::mobilenet_v2_cifar();
-        assert!((m.conv_size_mb_fp32() - 8.40).abs() / 8.40 < 0.06, "got {}", m.conv_size_mb_fp32());
+        assert!(
+            (m.conv_size_mb_fp32() - 8.40).abs() / 8.40 < 0.06,
+            "got {}",
+            m.conv_size_mb_fp32()
+        );
     }
 
     #[test]
@@ -356,7 +480,10 @@ mod tests {
     fn mobilenet_alternates_dw_pw() {
         let m = Model::mobilenet_imagenet();
         assert_eq!(m.conv_layers().count(), 1 + 26);
-        let dw = m.conv_layers().filter(|l| l.kind == LayerKind::DwConv).count();
+        let dw = m
+            .conv_layers()
+            .filter(|l| l.kind == LayerKind::DwConv)
+            .count();
         assert_eq!(dw, 13);
         // Standard MobileNet conv params ≈ 3.2 M.
         let p = m.conv_params() as f64 / 1e6;
@@ -379,7 +506,11 @@ mod tests {
     fn mobilenet_v2_final_spatial_is_four() {
         let m = Model::mobilenet_v2_cifar();
         let last = m.conv_layers().last().unwrap();
-        assert_eq!(last.x, 4, "CIFAR MobileNetV2 should end at 4x4, got {}", last.x);
+        assert_eq!(
+            last.x, 4,
+            "CIFAR MobileNetV2 should end at 4x4, got {}",
+            last.x
+        );
     }
 
     #[test]

@@ -1,0 +1,163 @@
+//! The accelerator abstraction the whole harness runs through.
+//!
+//! An [`Accelerator`] is a model-bound simulator instance: it knows how
+//! many layers its workload has and how to produce [`LayerStats`] for any
+//! one of them. The provided [`Accelerator::simulate`] is the *single*
+//! fold from per-layer stats into [`ModelStats`] — ESCALATE and every
+//! baseline in `escalate-baselines` go through it, so the seed-averaging
+//! harness in `escalate-bench` treats all designs uniformly through one
+//! `&dyn Accelerator` runner.
+//!
+//! The trait is object-safe and `Sync`: harnesses iterate heterogeneous
+//! accelerator lists and fan input seeds out across threads against a
+//! shared instance.
+
+use crate::config::SimConfig;
+use crate::engine::simulate_layer;
+use crate::stats::{LayerStats, ModelStats};
+use crate::workload::Workload;
+use rayon::prelude::*;
+
+/// A model-bound accelerator simulator.
+pub trait Accelerator: Sync {
+    /// Accelerator display name (e.g. `"ESCALATE"`, `"Eyeriss"`).
+    fn name(&self) -> &str;
+
+    /// The `ModelStats::model_name` tag for this run. Defaults to the
+    /// lower-cased accelerator name (the baselines' convention); ESCALATE
+    /// overrides it with the workload's model name.
+    fn model_name(&self) -> String {
+        self.name().to_lowercase()
+    }
+
+    /// Number of layers in the bound workload.
+    fn num_layers(&self) -> usize;
+
+    /// Simulates one layer. `seed` selects the synthetic input draw;
+    /// deterministic accelerator models ignore it.
+    fn simulate_layer(&self, index: usize, seed: u64) -> LayerStats;
+
+    /// Simulates the whole model: the one fold from per-layer stats into
+    /// [`ModelStats`]. Layers are independent, so with `threads != 1` they
+    /// fan out over the global pool and reassemble in execution order —
+    /// bit-identical to the sequential walk.
+    fn simulate(&self, seed: u64, threads: usize) -> ModelStats {
+        let layers = if threads == 1 {
+            (0..self.num_layers())
+                .map(|i| self.simulate_layer(i, seed))
+                .collect()
+        } else {
+            (0..self.num_layers())
+                .into_par_iter()
+                .map(|i| self.simulate_layer(i, seed))
+                .collect()
+        };
+        ModelStats {
+            model_name: self.model_name(),
+            layers,
+        }
+    }
+}
+
+/// ESCALATE itself as an [`Accelerator`]: the sampled engine bound to a
+/// compressed-model workload and a [`SimConfig`].
+pub struct Escalate<'a> {
+    workload: &'a Workload,
+    cfg: &'a SimConfig,
+}
+
+impl<'a> Escalate<'a> {
+    /// Binds the engine to a workload and configuration.
+    pub fn new(workload: &'a Workload, cfg: &'a SimConfig) -> Self {
+        Escalate { workload, cfg }
+    }
+}
+
+impl Accelerator for Escalate<'_> {
+    fn name(&self) -> &str {
+        "ESCALATE"
+    }
+
+    fn model_name(&self) -> String {
+        self.workload.model_name.clone()
+    }
+
+    fn num_layers(&self) -> usize {
+        self.workload.layers.len()
+    }
+
+    fn simulate_layer(&self, index: usize, seed: u64) -> LayerStats {
+        simulate_layer(&self.workload.layers[index], self.cfg, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{CoefMasks, LayerWorkload, WorkloadMode};
+    use escalate_core::quant::TernaryCoeffs;
+    use escalate_models::LayerShape;
+    use escalate_tensor::Tensor;
+
+    fn toy_workload() -> Workload {
+        let layers = (0..3)
+            .map(|i| {
+                let (c, k) = (32 + 16 * i, 32);
+                let coeffs =
+                    Tensor::from_fn(&[k, c, 6], |ix| match (ix[0] + ix[1] * 2 + ix[2]) % 4 {
+                        0 => 1.0,
+                        1 => -1.0,
+                        _ => 0.0,
+                    });
+                let t = TernaryCoeffs::ternarize(&coeffs, 0.0).unwrap();
+                LayerWorkload {
+                    name: format!("l{i}"),
+                    shape: LayerShape::conv("t", c, k, 8, 8, 3, 1, 1),
+                    out_channels: k,
+                    mode: WorkloadMode::Decomposed(CoefMasks::from_ternary(&t)),
+                    act_sparsity: 0.5,
+                    out_sparsity: 0.5,
+                    weight_bytes: 100,
+                }
+            })
+            .collect();
+        Workload {
+            model_name: "toy".into(),
+            layers,
+        }
+    }
+
+    #[test]
+    fn escalate_keeps_the_workload_model_name() {
+        let w = toy_workload();
+        let cfg = SimConfig::default();
+        let acc = Escalate::new(&w, &cfg);
+        assert_eq!(acc.name(), "ESCALATE");
+        let stats = acc.simulate(0, 1);
+        assert_eq!(stats.model_name, "toy");
+        assert_eq!(stats.layers.len(), 3);
+    }
+
+    #[test]
+    fn provided_fold_matches_per_layer_calls() {
+        let w = toy_workload();
+        let cfg = SimConfig::default();
+        let acc = Escalate::new(&w, &cfg);
+        let whole = acc.simulate(5, 1);
+        for (i, l) in whole.layers.iter().enumerate() {
+            assert_eq!(*l, acc.simulate_layer(i, 5), "layer {i}");
+        }
+    }
+
+    #[test]
+    fn trait_is_object_safe_and_threads_agnostic() {
+        let w = toy_workload();
+        let cfg = SimConfig::default();
+        let acc: &dyn Accelerator = &Escalate::new(&w, &cfg);
+        assert_eq!(
+            acc.simulate(1, 1),
+            acc.simulate(1, 0),
+            "thread count changed results"
+        );
+    }
+}

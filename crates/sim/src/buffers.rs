@@ -69,7 +69,13 @@ impl InputBuffer {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: u32) -> Self {
         assert!(capacity > 0, "buffer capacity must be positive");
-        InputBuffer { capacity, used: 0, next_id: 0, queue: VecDeque::new(), stats: BufferStats::default() }
+        InputBuffer {
+            capacity,
+            used: 0,
+            next_id: 0,
+            queue: VecDeque::new(),
+            stats: BufferStats::default(),
+        }
     }
 
     /// Admits a chunk of `bytes` to be consumed by `consumers` slices.
@@ -86,7 +92,11 @@ impl InputBuffer {
         let id = self.next_id;
         self.next_id += 1;
         self.used += bytes;
-        self.queue.push_back(Chunk { id, bytes, refs: consumers });
+        self.queue.push_back(Chunk {
+            id,
+            bytes,
+            refs: consumers,
+        });
         self.stats.pushes += 1;
         Some(id)
     }

@@ -64,7 +64,12 @@ pub struct PositionCost {
 /// # Panics
 ///
 /// Panics if the mask word counts disagree with `c`.
-pub fn position_cost(cfg: &SimConfig, c: usize, act_mask: &[u64], coef_masks: &[&[u64]]) -> PositionCost {
+pub fn position_cost(
+    cfg: &SimConfig,
+    c: usize,
+    act_mask: &[u64],
+    coef_masks: &[&[u64]],
+) -> PositionCost {
     position_cost_with(cfg, c, act_mask, coef_masks, &mut CaScratch::new(cfg))
 }
 

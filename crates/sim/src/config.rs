@@ -48,6 +48,13 @@ pub struct SimConfig {
     /// the paper's ramulator runs model). Layers whose traffic exceeds
     /// compute become memory-bound.
     pub dram_bytes_per_cycle: f64,
+    /// Output channels the sampled and trace-driven fidelities walk per
+    /// layer (clamped to `K`): stratified quantile representatives of the
+    /// per-channel coefficient-count distribution. Raising it toward `K`
+    /// trades simulation speed for estimator variance — set it to `K` (or
+    /// any large value) to cover every channel exactly. This knob
+    /// configures the host simulator, not the modeled hardware.
+    pub sample_channels: usize,
     /// Host threads for the simulation harness: `0` = auto (the
     /// `ESCALATE_THREADS` environment variable, else all cores), `1`
     /// forces sequential execution. Results are bit-identical for any
@@ -74,6 +81,7 @@ impl Default for SimConfig {
             look_aside: 1,
             frequency_mhz: 800.0,
             dram_bytes_per_cycle: 64.0,
+            sample_channels: 8,
             threads: 0,
         }
     }
@@ -126,6 +134,7 @@ mod tests {
         assert_eq!(c.psum_buf_bytes, 2048);
         assert_eq!(c.total_macs(), 960);
         assert_eq!(c.bus_elems(), 16);
+        assert_eq!(c.sample_channels, 8);
     }
 
     #[test]

@@ -25,7 +25,12 @@ impl Mapping {
     /// Builds the mapping for a layer with `out_channels` channels and
     /// `rows` feature-map rows.
     pub fn new(cfg: &SimConfig, out_channels: usize, rows: usize) -> Self {
-        Mapping { out_channels, rows, n_pe: cfg.n_pe, l: cfg.l }
+        Mapping {
+            out_channels,
+            rows,
+            n_pe: cfg.n_pe,
+            l: cfg.l,
+        }
     }
 
     /// Number of sequential output-channel rounds (`⌈K / N_PE⌉`).
@@ -84,7 +89,7 @@ mod tests {
     fn rounds_cover_all_channels() {
         let m = Mapping::new(&cfg(), 100, 32);
         assert_eq!(m.rounds(), 4); // ceil(100/32)
-        // Every channel is assigned to exactly one (round, block) pair.
+                                   // Every channel is assigned to exactly one (round, block) pair.
         let mut seen = std::collections::HashSet::new();
         for k in 0..100 {
             assert!(seen.insert((m.round_of(k), m.block_of(k))));
@@ -104,7 +109,10 @@ mod tests {
         assert_eq!(counts.iter().sum::<usize>(), 32);
         let max = *counts.iter().max().unwrap();
         let min = *counts.iter().min().unwrap();
-        assert!(max - min <= 1, "rows must balance across slices: {counts:?}");
+        assert!(
+            max - min <= 1,
+            "rows must balance across slices: {counts:?}"
+        );
         assert_eq!(m.rows_per_slice(), max);
     }
 

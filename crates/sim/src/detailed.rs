@@ -8,12 +8,17 @@
 //! queue; a block's time for one channel is its slowest slice; the layer
 //! ends when the last block drains. It is exact w.r.t. the slice pipeline
 //! but quadratic in layer size — use it for small layers and for
-//! validating the engine (see `tests/detailed_validation.rs`).
+//! validating the engine (see `tests/detailed_validation.rs` and
+//! `tests/fidelity.rs`). Layer setup comes from the shared
+//! [`LayerContext`]; each stepped slice flows through the
+//! [`SimObserver`] hook.
 
 use crate::config::SimConfig;
+use crate::context::{LayerContext, NoopObserver, SimObserver, SliceEvent};
+use crate::error::SimError;
+use crate::masks::position_masks;
 use crate::slice::{run_slice, PositionInput, SliceTrace};
-use crate::trace::position_masks;
-use crate::workload::{LayerWorkload, WorkloadMode};
+use crate::workload::LayerWorkload;
 use escalate_tensor::Tensor;
 
 /// Result of a detailed layer run.
@@ -34,36 +39,49 @@ pub struct DetailedStats {
 /// Runs a decomposed layer in detailed mode against a concrete input
 /// feature map.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the workload is not decomposed or the feature map disagrees
-/// with the layer shape.
-pub fn simulate_layer_detailed(lw: &LayerWorkload, cfg: &SimConfig, ifm: &Tensor) -> DetailedStats {
-    let WorkloadMode::Decomposed(masks) = &lw.mode else {
-        panic!("detailed simulation requires a decomposed workload");
-    };
-    let [c, x, y]: [usize; 3] = ifm.shape().try_into().expect("ifm must be C*X*Y");
-    assert_eq!(c, masks.c(), "feature-map channels must match the workload");
-    assert_eq!((x, y), (lw.shape.x, lw.shape.y), "feature-map size must match the workload");
+/// Returns a [`SimError`] if the workload is not decomposed or the
+/// feature map disagrees with the layer shape.
+pub fn simulate_layer_detailed(
+    lw: &LayerWorkload,
+    cfg: &SimConfig,
+    ifm: &Tensor,
+) -> Result<DetailedStats, SimError> {
+    simulate_layer_detailed_observed(lw, cfg, ifm, &mut NoopObserver)
+}
 
-    let m = masks.m();
-    let rs = (lw.shape.r * lw.shape.s).div_ceil(lw.shape.stride * lw.shape.stride).max(1);
-    let k_total = masks.k();
+/// [`simulate_layer_detailed`] with a [`SimObserver`] receiving every
+/// cycle-stepped slice trace.
+///
+/// # Errors
+///
+/// See [`simulate_layer_detailed`].
+pub fn simulate_layer_detailed_observed(
+    lw: &LayerWorkload,
+    cfg: &SimConfig,
+    ifm: &Tensor,
+    obs: &mut dyn SimObserver,
+) -> Result<DetailedStats, SimError> {
+    let ctx = LayerContext::new(lw, cfg)?;
+    ctx.validate_ifm(ifm)?;
+    let (c, m, k_total) = (ctx.c, ctx.m, ctx.k_total);
+    let y = lw.shape.y;
 
     // Per-position activation masks, grouped by slice ownership
     // (row i → slice i % l).
     let pos_masks = position_masks(ifm);
     let slice_rows: Vec<Vec<usize>> = (0..cfg.l)
-        .map(|s| (s..x).step_by(cfg.l).collect())
+        .map(|s| (s..lw.shape.x).step_by(cfg.l).collect())
         .collect();
 
     // Per output channel: the slowest slice's cycle count.
     let mut channel_time = Vec::with_capacity(k_total);
     let mut total = DetailedStats::default();
     for k in 0..k_total {
-        let coef_masks: Vec<Vec<u64>> = (0..m).map(|mi| masks.mask(k, mi).to_vec()).collect();
+        let coef_masks: Vec<Vec<u64>> = (0..m).map(|mi| ctx.masks.mask(k, mi).to_vec()).collect();
         let mut worst = 0u64;
-        for rows in &slice_rows {
+        for (si, rows) in slice_rows.iter().enumerate() {
             if rows.is_empty() {
                 continue;
             }
@@ -76,7 +94,12 @@ pub fn simulate_layer_detailed(lw: &LayerWorkload, cfg: &SimConfig, ifm: &Tensor
                     c,
                 })
                 .collect();
-            let t: SliceTrace = run_slice(cfg, m, rs, &positions);
+            let t: SliceTrace = run_slice(cfg, m, ctx.rs, &positions);
+            obs.on_slice(&SliceEvent {
+                channel: k,
+                slice: si,
+                trace: &t,
+            });
             worst = worst.max(t.cycles);
             total.mac_idle_cycles += t.mac_idle_cycles;
             total.stream_stall_cycles += t.stream_stall_cycles;
@@ -100,13 +123,13 @@ pub fn simulate_layer_detailed(lw: &LayerWorkload, cfg: &SimConfig, ifm: &Tensor
         block_loads[idx] += t;
     }
     total.cycles = block_loads.into_iter().max().unwrap_or(0);
-    total
+    Ok(total)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::workload::CoefMasks;
+    use crate::workload::{CoefMasks, WorkloadMode};
     use escalate_core::quant::TernaryCoeffs;
     use escalate_models::{synth, LayerShape};
 
@@ -139,7 +162,7 @@ mod tests {
     #[test]
     fn covers_every_channel_and_counts_matches() {
         let (lw, ifm) = workload(32, 8, 6, 0.8);
-        let d = simulate_layer_detailed(&lw, &SimConfig::default(), &ifm);
+        let d = simulate_layer_detailed(&lw, &SimConfig::default(), &ifm).unwrap();
         assert_eq!(d.channels, 8);
         assert!(d.cycles > 0);
         assert!(d.matched > 0);
@@ -150,8 +173,8 @@ mod tests {
         let cfg = SimConfig::default();
         let (small, ifm_s) = workload(16, 32, 6, 0.9);
         let (large, ifm_l) = workload(16, 96, 6, 0.9);
-        let ds = simulate_layer_detailed(&small, &cfg, &ifm_s);
-        let dl = simulate_layer_detailed(&large, &cfg, &ifm_l);
+        let ds = simulate_layer_detailed(&small, &cfg, &ifm_s).unwrap();
+        let dl = simulate_layer_detailed(&large, &cfg, &ifm_l).unwrap();
         // 96 channels over 32 blocks = 3 rounds vs 1: ~3x the time.
         let ratio = dl.cycles as f64 / ds.cycles as f64;
         assert!((2.0..4.5).contains(&ratio), "ratio {ratio}");
@@ -162,9 +185,33 @@ mod tests {
         let cfg = SimConfig::default();
         let (dense, ifm_d) = workload(128, 8, 6, 0.2);
         let (sparse, ifm_s) = workload(128, 8, 6, 0.98);
-        let dd = simulate_layer_detailed(&dense, &cfg, &ifm_d);
-        let ds = simulate_layer_detailed(&sparse, &cfg, &ifm_s);
+        let dd = simulate_layer_detailed(&dense, &cfg, &ifm_d).unwrap();
+        let ds = simulate_layer_detailed(&sparse, &cfg, &ifm_s).unwrap();
         assert!(dd.cycles >= ds.cycles);
         assert!(dd.matched > ds.matched);
+    }
+
+    #[test]
+    fn bad_inputs_return_typed_errors() {
+        let (lw, _) = workload(32, 8, 6, 0.8);
+        let cfg = SimConfig::default();
+        let err = simulate_layer_detailed(&lw, &cfg, &Tensor::zeros(&[32, 7, 6])).unwrap_err();
+        assert!(matches!(err, SimError::ShapeMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn observer_sees_every_stepped_slice() {
+        struct Slices(usize);
+        impl crate::context::SimObserver for Slices {
+            fn on_slice(&mut self, _ev: &SliceEvent) {
+                self.0 += 1;
+            }
+        }
+        let (lw, ifm) = workload(32, 8, 6, 0.8);
+        let cfg = SimConfig::default();
+        let mut obs = Slices(0);
+        simulate_layer_detailed_observed(&lw, &cfg, &ifm, &mut obs).unwrap();
+        // 6 rows over l=5 slices: 5 non-empty slices per channel.
+        assert_eq!(obs.0, 8 * 5);
     }
 }

@@ -1,26 +1,25 @@
-//! The per-layer simulation engine.
+//! The sampled (throughput) fidelity: the default per-layer engine.
 //!
-//! For decomposed layers the engine executes the bit-exact CA component
-//! models on a deterministic sample of (output channel, input position)
-//! pairs, then extrapolates by the Basis-First mapping's parallelism:
-//! output channels spread over `N_PE` blocks in rounds, rows over `l`
-//! slices, and the CA/MAC stages of a slice overlap via double buffering,
-//! so a slice advances at `max(CA time, R·S)` per position. Dense layers
-//! take the fallback path.
+//! For decomposed layers the engine drives the shared simulation core
+//! ([`crate::context`]) with a synthetic [`MaskSource::Bernoulli`]: the
+//! bit-exact CA component models run on a deterministic sample of
+//! (output channel, input position) pairs, then
+//! [`crate::context::assemble_stats`] extrapolates by the Basis-First
+//! mapping's parallelism — output channels spread over `N_PE` blocks in
+//! rounds, rows over `l` slices, and the CA/MAC stages of a slice overlap
+//! via double buffering, so a slice advances at `max(CA time, R·S)` per
+//! position. Dense layers take the fallback path.
 
-use crate::ca::{position_cost_with, CaScratch};
+use crate::accel::{Accelerator, Escalate};
 use crate::config::SimConfig;
-use crate::dataflow::Mapping;
+use crate::context::{
+    assemble_stats, run_positions, LayerContext, NoopObserver, SimObserver, TrafficInputs,
+};
 use crate::fallback::simulate_dense;
-use crate::mac::MacRow;
-use crate::stats::{DramTraffic, LayerStats, ModelStats, SramTraffic};
+use crate::masks::{layer_seed, MaskSource};
+use crate::stats::{LayerStats, ModelStats};
 use crate::workload::{LayerWorkload, Workload, WorkloadMode};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use rayon::prelude::*;
 
-/// Output channels sampled per layer.
-const SAMPLE_CHANNELS: usize = 8;
 /// Input positions sampled per channel.
 const SAMPLE_POSITIONS: usize = 48;
 
@@ -29,196 +28,51 @@ const SAMPLE_POSITIONS: usize = 48;
 /// `seed` controls the synthetic activation draw (the paper averages over
 /// 10 random inputs; callers pass different seeds and average).
 pub fn simulate_layer(lw: &LayerWorkload, cfg: &SimConfig, seed: u64) -> LayerStats {
+    simulate_layer_observed(lw, cfg, seed, &mut NoopObserver)
+}
+
+/// [`simulate_layer`] with a [`SimObserver`] receiving every sampled
+/// position's CA cost.
+pub fn simulate_layer_observed(
+    lw: &LayerWorkload,
+    cfg: &SimConfig,
+    seed: u64,
+    obs: &mut dyn SimObserver,
+) -> LayerStats {
     match &lw.mode {
         WorkloadMode::Dense => simulate_dense(&lw.shape, cfg, lw.weight_bytes),
-        WorkloadMode::Decomposed(masks) => {
-            let mut rng = StdRng::seed_from_u64(seed ^ hash_name(&lw.name));
-            let k_total = masks.k();
-            let c = masks.c();
-            let m = masks.m();
-            // SCNN-style scatter with stride: only ~R·S/stride² of a basis
-            // kernel's products land on valid output positions, so the MAC
-            // service time per intermediate element shrinks accordingly.
-            let rs = (lw.shape.r * lw.shape.s).div_ceil(lw.shape.stride * lw.shape.stride).max(1);
-            let mac_row = MacRow::new(m, rs);
-            // Pointwise workloads (M = 1) leave M−1 CA-MAC pairs idle under
-            // the plain mapping; the Basis-First dataflow instead assigns
-            // each pair its own output channel (coefficients for several
-            // channels fit the per-block buffer at 1 bit/position), so a
-            // block retires `M` output channels per pass.
-            let parallel_k = if m == 1 { cfg.m.max(1) } else { 1 };
-            let mapping = Mapping::new(cfg, k_total.div_ceil(parallel_k), lw.shape.x);
-
-            let words = c.div_ceil(64);
+        WorkloadMode::Decomposed(_) => {
+            let ctx = LayerContext::new(lw, cfg).expect("decomposed mode checked above");
             let keep_prob = 1.0 - lw.act_sparsity;
-
-            // Stratified channel sampling: per-channel coefficient counts
-            // are heavy-tailed, so sample quantile representatives of the
-            // nnz distribution rather than a fixed stride (which can land
-            // on unrepresentative channels).
-            let sk = k_total.min(SAMPLE_CHANNELS);
-            let sampled_k = stratified_channels(masks, sk);
+            let sampled_k = ctx.sample_channels(cfg);
             let sp = lw.positions().clamp(1, SAMPLE_POSITIONS);
+            let mut source =
+                MaskSource::bernoulli(layer_seed(seed, &lw.name), ctx.c, keep_prob, sp);
+            let agg = run_positions(&ctx, cfg, &sampled_k, &mut source, obs);
 
-            let mut sum_pos_cycles = 0.0f64;
-            let mut sum_matched = 0.0f64;
-            let mut sum_gather = 0.0f64;
-            let mut sum_idle = 0.0f64;
-            let mut max_block_time = 0.0f64;
-
-            // Buffers reused across every sampled (channel, position) pair;
-            // the inner loop allocates nothing.
-            let mut coef_masks: Vec<&[u64]> = Vec::with_capacity(m);
-            let mut act = vec![0u64; words];
-            let mut scratch = CaScratch::new(cfg);
-
-            for &k in &sampled_k {
-                coef_masks.clear();
-                coef_masks.extend((0..m).map(|mi| masks.mask(k, mi)));
-                let mut k_pos_cycles = 0.0f64;
-                for _ in 0..sp {
-                    draw_act_mask_into(&mut rng, c, keep_prob, &mut act);
-                    let cost = position_cost_with(cfg, c, &act, &coef_masks, &mut scratch);
-                    let pos_cycles = mac_row.position_cycles(cost.ca_cycles);
-                    k_pos_cycles += pos_cycles as f64;
-                    sum_matched += cost.matched as f64;
-                    sum_gather += cost.gather_passes as f64;
-                    sum_idle += mac_row.idle_cycles(cost.ca_cycles) as f64;
-                }
-                let mean_pos = k_pos_cycles / sp as f64;
-                sum_pos_cycles += mean_pos;
-                let block_time = mean_pos * (mapping.rows_per_slice() * lw.shape.y) as f64;
-                max_block_time = max_block_time.max(block_time);
-            }
-
-            let samples = (sampled_k.len() * sp) as f64;
-            let mean_pos_cycles = sum_pos_cycles / sampled_k.len() as f64;
-            let mean_matched = sum_matched / samples;
-            let mean_gather = sum_gather / samples;
-            let mean_idle = sum_idle / samples;
-
-            let positions = lw.positions() as f64;
-            let positions_per_slice = (mapping.rows_per_slice() * lw.shape.y) as f64;
-
-            // Work-queue schedule: blocks pull the next output channel
-            // (group) as they finish; the layer ends when the slowest
-            // block drains.
-            let total_block_work =
-                (k_total as f64 / parallel_k as f64) * positions_per_slice * mean_pos_cycles;
-            let compute_cycles = (total_block_work / cfg.n_pe as f64).max(max_block_time).ceil() as u64;
-
-            let mac_ops = (k_total as f64 * positions * mac_row.ops_per_position() as f64) as u64;
-            let ca_adds = (k_total as f64 * positions * mean_matched) as u64;
-            let gather_passes = (k_total as f64 * positions * mean_gather) as u64;
-            let mac_idle = (k_total as f64 * positions * mean_idle) as u64;
-            let mac_slots =
-                (k_total as f64 * positions * m as f64 * mean_pos_cycles).max(1.0) as u64;
-
-            // DRAM traffic. Weights stream once (they fit on-chip after the
-            // first load thanks to coefficient compression); the compressed
-            // IFM re-streams once per output-channel round unless it fits
-            // in the distributed input buffers.
+            // Traffic estimated from the profiled sparsity: nonzero
+            // payload plus the SparseMap bit mask.
             let nnz_act_bytes = (lw.shape.input_size() as f64 * keep_prob).ceil() as u64;
             let ifm_bytes = nnz_act_bytes + (lw.shape.input_size() as u64).div_ceil(8);
-            let rounds = mapping.rounds() as u64;
-            let ifm_loads = if ifm_bytes <= cfg.total_input_buf_bytes() as u64 { 1 } else { rounds };
-            // The OFM is written back SparseMap-compressed (post-ReLU
-            // nonzeros plus the bit mask), like every activation tensor.
-            let ofm_dense = (lw.out_channels * lw.shape.out_x() * lw.shape.out_y()) as u64;
-            let ofm_bytes = (ofm_dense as f64 * (1.0 - lw.out_sparsity)).ceil() as u64 + ofm_dense.div_ceil(8);
-
-            // SRAM traffic.
-            let coef_bytes_per_pos = (c * m) as u64 / 8 + (masks.total_nnz() as u64 / k_total.max(1) as u64) / 8;
-            let sram = SramTraffic {
-                input_buf: nnz_act_bytes * rounds + ifm_bytes * ifm_loads,
-                coef_buf: (k_total as f64 * positions) as u64 * coef_bytes_per_pos.max(1),
-                psum_buf: (k_total as f64 * positions) as u64 * mac_row.psum_accesses_per_position() * 2,
-                output_buf: ofm_bytes,
-                act_buf: ca_adds,
-            };
-
-            // Memory-bound layers pace at the DRAM bandwidth.
-            let dram_total = lw.weight_bytes + ifm_bytes * ifm_loads + ofm_bytes;
-            let dram_cycles = (dram_total as f64 / cfg.dram_bytes_per_cycle).ceil() as u64;
-            let cycles = compute_cycles.max(dram_cycles);
-
-            LayerStats {
-                name: lw.name.clone(),
-                cycles: cycles.max(1),
-                mac_ops,
-                ca_adds,
-                gather_passes,
-                mac_idle_cycles: mac_idle,
-                mac_cycle_slots: mac_slots,
-                dram: DramTraffic {
-                    weights: lw.weight_bytes,
-                    ifm: ifm_bytes * ifm_loads,
-                    ofm: ofm_bytes,
+            assemble_stats(
+                &ctx,
+                cfg,
+                &agg,
+                &TrafficInputs {
+                    nnz_act_bytes,
+                    ifm_bytes,
                 },
-                sram,
-                fallback: false,
-            }
+            )
         }
     }
 }
 
-/// Simulates a whole model.
-///
-/// Layers are independent — each draws from its own RNG stream
-/// (`seed ^ hash(layer name)`) — so they run on the global thread pool
-/// and reassemble in execution order, bit-identical to a sequential run.
-/// `cfg.threads == 1` skips the pool entirely.
+/// Simulates a whole model: ESCALATE as an [`Accelerator`], folded through
+/// the provided `simulate` (layers fan out over the global thread pool
+/// unless `cfg.threads == 1`; each draws from its own RNG stream, so any
+/// thread count is bit-identical).
 pub fn simulate_model(workload: &Workload, cfg: &SimConfig, seed: u64) -> ModelStats {
-    let layers = if cfg.threads == 1 {
-        workload.layers.iter().map(|lw| simulate_layer(lw, cfg, seed)).collect()
-    } else {
-        workload.layers.par_iter().map(|lw| simulate_layer(lw, cfg, seed)).collect()
-    };
-    ModelStats { model_name: workload.model_name.clone(), layers }
-}
-
-/// Quantile representatives of the per-channel coefficient-count
-/// distribution: channel `i` of the sample stands for the `i`-th stratum
-/// of equally many output channels.
-pub(crate) fn stratified_channels(masks: &crate::workload::CoefMasks, sk: usize) -> Vec<usize> {
-    let k_total = masks.k();
-    let mut order: Vec<usize> = (0..k_total).collect();
-    order.sort_by_key(|&k| masks.nnz_for_channel(k));
-    (0..sk)
-        .map(|i| order[((2 * i + 1) * k_total) / (2 * sk)])
-        .collect()
-}
-
-/// Draws a Bernoulli activation mask, allocating the word vector.
-///
-/// Kept as the reference implementation the property tests compare
-/// [`draw_act_mask_into`] against; the engine itself uses the
-/// scratch-buffer variant.
-#[cfg(test)]
-fn draw_act_mask(rng: &mut StdRng, c: usize, words: usize, keep_prob: f64) -> Vec<u64> {
-    let mut mask = vec![0u64; words];
-    for ci in 0..c {
-        if rng.gen_bool(keep_prob.clamp(0.0, 1.0)) {
-            mask[ci / 64] |= 1u64 << (ci % 64);
-        }
-    }
-    mask
-}
-
-/// Draws a Bernoulli activation mask into a caller-owned buffer. Consumes
-/// exactly the same RNG stream as [`draw_act_mask`], so the two are
-/// bit-identical for equal `(rng state, c, keep_prob)`.
-pub(crate) fn draw_act_mask_into(rng: &mut StdRng, c: usize, keep_prob: f64, mask: &mut [u64]) {
-    mask.fill(0);
-    for ci in 0..c {
-        if rng.gen_bool(keep_prob.clamp(0.0, 1.0)) {
-            mask[ci / 64] |= 1u64 << (ci % 64);
-        }
-    }
-}
-
-fn hash_name(name: &str) -> u64 {
-    name.bytes().fold(0xcbf29ce484222325u64, |h, b| (h ^ b as u64).wrapping_mul(0x100000001b3))
+    Escalate::new(workload, cfg).simulate(seed, cfg.threads)
 }
 
 #[cfg(test)]
@@ -229,7 +83,13 @@ mod tests {
     use escalate_models::LayerShape;
     use escalate_tensor::Tensor;
 
-    fn workload(c: usize, k: usize, x: usize, coef_sparsity: f64, act_sparsity: f64) -> LayerWorkload {
+    fn workload(
+        c: usize,
+        k: usize,
+        x: usize,
+        coef_sparsity: f64,
+        act_sparsity: f64,
+    ) -> LayerWorkload {
         let m = 6;
         let coeffs = Tensor::from_fn(&[k, c, m], |i| {
             let h = (i[0] * 7919 + i[1] * 104729 + i[2] * 1299709) % 1000;
@@ -258,7 +118,12 @@ mod tests {
         let cfg = SimConfig::default();
         let a = simulate_layer(&workload(64, 64, 16, 0.9, 0.5), &cfg, 0);
         let b = simulate_layer(&workload(64, 64, 32, 0.9, 0.5), &cfg, 0);
-        assert!(b.cycles > 2 * a.cycles, "4x positions should give ~4x cycles: {} vs {}", a.cycles, b.cycles);
+        assert!(
+            b.cycles > 2 * a.cycles,
+            "4x positions should give ~4x cycles: {} vs {}",
+            a.cycles,
+            b.cycles
+        );
     }
 
     #[test]
@@ -298,7 +163,11 @@ mod tests {
         let s = simulate_layer(&lw, &cfg, 0);
         let mac_bound = (64.0 * 400.0 * 9.0 / (32.0 * 5.0)) as u64;
         assert!(s.cycles >= mac_bound, "{} < {mac_bound}", s.cycles);
-        assert!(s.cycles < mac_bound * 3, "{} should be near the MAC bound {mac_bound}", s.cycles);
+        assert!(
+            s.cycles < mac_bound * 3,
+            "{} should be near the MAC bound {mac_bound}",
+            s.cycles
+        );
     }
 
     #[test]
@@ -325,31 +194,22 @@ mod tests {
         assert_eq!(small.dram.weights, 1000);
     }
 
-    proptest::proptest! {
-        /// The scratch-buffer mask draw must consume the identical RNG
-        /// stream as the allocating reference for any `(c, keep_prob)`.
-        #[test]
-        fn scratch_mask_draw_matches_allocating(
-            c in 1usize..300,
-            keep_prob in 0.0f64..1.0,
-            seed in proptest::prelude::any::<u64>(),
-        ) {
-            let words = c.div_ceil(64);
-            let mut r_alloc = StdRng::seed_from_u64(seed);
-            let mut r_scratch = StdRng::seed_from_u64(seed);
-            let reference = draw_act_mask(&mut r_alloc, c, words, keep_prob);
-            let mut mask = vec![u64::MAX; words]; // deliberately dirty
-            draw_act_mask_into(&mut r_scratch, c, keep_prob, &mut mask);
-            proptest::prop_assert_eq!(&reference, &mask);
-            // Both RNGs must land in the same state afterwards.
-            proptest::prop_assert_eq!(
-                draw_act_mask(&mut r_alloc, c, words, keep_prob),
-                {
-                    draw_act_mask_into(&mut r_scratch, c, keep_prob, &mut mask);
-                    mask.clone()
-                }
-            );
-        }
+    #[test]
+    fn sample_channels_knob_changes_coverage_not_determinism() {
+        let lw = workload(128, 64, 16, 0.8, 0.5);
+        let narrow = SimConfig::default();
+        let wide = SimConfig {
+            sample_channels: 64,
+            ..SimConfig::default()
+        };
+        // Same knob, same seed: identical.
+        assert_eq!(simulate_layer(&lw, &wide, 3), simulate_layer(&lw, &wide, 3));
+        // Full coverage and 8-channel sampling estimate the same layer.
+        let a = simulate_layer(&lw, &narrow, 3);
+        let b = simulate_layer(&lw, &wide, 3);
+        assert_eq!(a.mac_ops, b.mac_ops);
+        let ratio = a.cycles as f64 / b.cycles as f64;
+        assert!((0.7..1.4).contains(&ratio), "cycle ratio {ratio}");
     }
 
     #[test]
@@ -357,7 +217,10 @@ mod tests {
         let cfg = SimConfig::default();
         let w = Workload {
             model_name: "toy".into(),
-            layers: vec![workload(64, 64, 16, 0.9, 0.5), workload(64, 128, 16, 0.9, 0.5)],
+            layers: vec![
+                workload(64, 64, 16, 0.9, 0.5),
+                workload(64, 128, 16, 0.9, 0.5),
+            ],
         };
         let s = simulate_model(&w, &cfg, 0);
         assert_eq!(s.layers.len(), 2);

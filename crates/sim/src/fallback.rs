@@ -29,7 +29,8 @@ pub fn simulate_dense(layer: &LayerShape, cfg: &SimConfig, weight_bytes: u64) ->
     let ofm_bytes = layer.output_size() as u64;
     // Input-stationary: weights re-stream once per input tile round.
     let rounds = mapping.rounds() as u64;
-    let dram_cycles = ((weight_bytes + ifm_bytes + ofm_bytes) as f64 / cfg.dram_bytes_per_cycle).ceil() as u64;
+    let dram_cycles =
+        ((weight_bytes + ifm_bytes + ofm_bytes) as f64 / cfg.dram_bytes_per_cycle).ceil() as u64;
     let cycles = compute_cycles.max(dram_cycles);
 
     LayerStats {
@@ -40,7 +41,11 @@ pub fn simulate_dense(layer: &LayerShape, cfg: &SimConfig, weight_bytes: u64) ->
         gather_passes: 0,
         mac_idle_cycles: 0,
         mac_cycle_slots: cycles.max(1) * cfg.total_macs() as u64,
-        dram: DramTraffic { weights: weight_bytes, ifm: ifm_bytes, ofm: ofm_bytes },
+        dram: DramTraffic {
+            weights: weight_bytes,
+            ifm: ifm_bytes,
+            ofm: ofm_bytes,
+        },
         sram: SramTraffic {
             input_buf: ifm_bytes * rounds,
             coef_buf: weight_bytes,

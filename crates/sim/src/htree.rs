@@ -40,7 +40,11 @@ impl HTree {
     pub fn new(leaves: usize) -> Self {
         assert!(leaves > 0, "H-tree needs at least one leaf");
         let levels = (usize::BITS - (leaves - 1).leading_zeros()) as usize;
-        HTree { leaves, levels, stats: HTreeStats::default() }
+        HTree {
+            leaves,
+            levels,
+            stats: HTreeStats::default(),
+        }
     }
 
     /// Number of arbitration levels (request latency in cycles).
@@ -143,7 +147,16 @@ mod tests {
     #[test]
     fn tree_matches_flat_arbitration() {
         let mut tree = HTree::new(8);
-        let reqs = [Some(7u64), Some(3), None, Some(3), Some(9), None, Some(3), Some(12)];
+        let reqs = [
+            Some(7u64),
+            Some(3),
+            None,
+            Some(3),
+            Some(9),
+            None,
+            Some(3),
+            Some(12),
+        ];
         let flat: Vec<u64> = reqs.iter().flatten().copied().collect();
         assert_eq!(tree.round(&reqs), leaf_policy(&flat));
         assert_eq!(tree.round(&reqs), Some((3, 3)));

@@ -20,6 +20,44 @@
 //! cycle-accurate simulator; it preserves throughput statistics while
 //! keeping whole-model runs fast (see DESIGN.md).
 //!
+//! # The simulation core
+//!
+//! Three fidelities share one core instead of forking it:
+//!
+//! - **Sampled** ([`engine::simulate_layer`]): synthetic Bernoulli
+//!   activation masks on a stratified channel/position sample,
+//!   extrapolated to the full layer. The default — fast enough for
+//!   whole-model seed sweeps.
+//! - **Trace-driven** ([`trace::simulate_layer_traced`]): the same cost
+//!   model against a real `C×X×Y` feature map, every position walked,
+//!   exact compressed-stream traffic.
+//! - **Detailed** ([`detailed::simulate_layer_detailed`]): the
+//!   cycle-stepped slice pipeline ([`slice::run_slice`]) for every
+//!   (channel, slice) assignment — exact but quadratic.
+//!
+//! The shared pieces live in [`context`] and [`masks`]:
+//! [`context::LayerContext`] owns the per-layer derivation (effective
+//! `R·S`, [`mac::MacRow`], pointwise `parallel_k`,
+//! [`dataflow::Mapping`], the stratified channel sample — derived in
+//! exactly one place); [`masks::MaskSource`] unifies where activation
+//! masks come from (Bernoulli draws vs a real feature map);
+//! [`context::run_positions`] is the one inner loop and
+//! [`context::assemble_stats`] the one extrapolation into
+//! [`LayerStats`]; [`context::SimObserver`] hooks per-position and
+//! per-slice events for instrumentation. Invalid inputs surface as typed
+//! [`error::SimError`]s.
+//!
+//! On top sits the object-safe [`Accelerator`] trait ([`accel`]):
+//! a model-bound simulator exposing `num_layers`/`simulate_layer`, with
+//! the provided [`Accelerator::simulate`] folding per-layer stats into
+//! [`ModelStats`] once for every design. ESCALATE implements it via
+//! [`accel::Escalate`]; the baselines in `escalate-baselines` implement
+//! it through their `LayerModel` adapter. Adding a fourth accelerator is
+//! ~100 lines: implement a per-layer cost model, expose it through
+//! `Accelerator` (directly or via `BaselineSim`), and every harness —
+//! seed averaging, energy attachment, figure binaries — picks it up
+//! unchanged.
+//!
 //! # Examples
 //!
 //! ```no_run
@@ -37,22 +75,30 @@
 //! # }
 //! ```
 
+pub mod accel;
 pub mod buffers;
 pub mod ca;
 pub mod config;
+pub mod context;
 pub mod dataflow;
 pub mod detailed;
 pub mod engine;
+pub mod error;
 pub mod fallback;
 pub mod htree;
 pub mod mac;
+pub mod masks;
 pub mod psum;
 pub mod slice;
 pub mod stats;
 pub mod trace;
 pub mod workload;
 
+pub use accel::{Accelerator, Escalate};
 pub use config::SimConfig;
+pub use context::{LayerContext, NoopObserver, SimObserver};
 pub use engine::{simulate_layer, simulate_model};
+pub use error::SimError;
+pub use masks::MaskSource;
 pub use stats::{LayerStats, ModelStats};
 pub use workload::{LayerWorkload, Workload, WorkloadMode};

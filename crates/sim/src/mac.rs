@@ -26,7 +26,10 @@ impl MacRow {
     ///
     /// Panics if either argument is zero.
     pub fn new(m: usize, kernel_area: usize) -> Self {
-        assert!(m > 0 && kernel_area > 0, "MAC row needs positive m and kernel area");
+        assert!(
+            m > 0 && kernel_area > 0,
+            "MAC row needs positive m and kernel area"
+        );
         MacRow { m, kernel_area }
     }
 

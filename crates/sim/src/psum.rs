@@ -51,8 +51,15 @@ impl PsumBanks {
     ///
     /// Panics if either dimension is zero.
     pub fn new(banks: usize, depth: usize) -> Self {
-        assert!(banks > 0 && depth > 0, "psum banks need positive dimensions");
-        PsumBanks { banks, data: vec![0.0; banks * depth], stats: PsumStats::default() }
+        assert!(
+            banks > 0 && depth > 0,
+            "psum banks need positive dimensions"
+        );
+        PsumBanks {
+            banks,
+            data: vec![0.0; banks * depth],
+            stats: PsumStats::default(),
+        }
     }
 
     /// Number of banks.
@@ -185,6 +192,10 @@ mod tests {
                 p.issue(&group);
             }
         }
-        assert!(p.stats().conflict_factor() < 1.6, "factor {}", p.stats().conflict_factor());
+        assert!(
+            p.stats().conflict_factor() < 1.6,
+            "factor {}",
+            p.stats().conflict_factor()
+        );
     }
 }

@@ -223,7 +223,13 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
-    fn position(c: usize, act_density: f64, coef_density: f64, m: usize, rng: &mut StdRng) -> PositionInput {
+    fn position(
+        c: usize,
+        act_density: f64,
+        coef_density: f64,
+        m: usize,
+        rng: &mut StdRng,
+    ) -> PositionInput {
         let words = c.div_ceil(64);
         let mut act = vec![0u64; words];
         for i in 0..c {
@@ -242,12 +248,17 @@ mod tests {
                 w
             })
             .collect();
-        PositionInput { act_mask: act, coef_masks: coefs, c }
+        PositionInput {
+            act_mask: act,
+            coef_masks: coefs,
+            c,
+        }
     }
 
     fn run(c: usize, ad: f64, cd: f64, m: usize, rs: usize, n: usize, seed: u64) -> SliceTrace {
         let mut rng = StdRng::seed_from_u64(seed);
-        let positions: Vec<PositionInput> = (0..n).map(|_| position(c, ad, cd, m, &mut rng)).collect();
+        let positions: Vec<PositionInput> =
+            (0..n).map(|_| position(c, ad, cd, m, &mut rng)).collect();
         run_slice(&SimConfig::default(), m, rs, &positions)
     }
 
@@ -257,8 +268,14 @@ mod tests {
         // are trivially fast, so the slice paces at R·S per position.
         let t = run(32, 0.2, 0.9, 6, 9, 50, 1);
         let per_pos = t.cycles as f64 / 50.0;
-        assert!((9.0..14.0).contains(&per_pos), "got {per_pos} cycles/position");
-        assert!(t.mac_idle_cycles < t.cycles * 2, "MACs should be mostly busy");
+        assert!(
+            (9.0..14.0).contains(&per_pos),
+            "got {per_pos} cycles/position"
+        );
+        assert!(
+            t.mac_idle_cycles < t.cycles * 2,
+            "MACs should be mostly busy"
+        );
     }
 
     #[test]
@@ -268,7 +285,10 @@ mod tests {
         let t = run(512, 0.9, 0.9, 6, 9, 20, 2);
         let per_pos = t.cycles as f64 / 20.0;
         assert!(per_pos > 25.0, "expected stream-bound pace, got {per_pos}");
-        assert!(t.mac_idle_cycles > 0, "MACs must idle on a stream-bound slice");
+        assert!(
+            t.mac_idle_cycles > 0,
+            "MACs must idle on a stream-bound slice"
+        );
     }
 
     #[test]

@@ -136,7 +136,8 @@ impl ModelStats {
     /// the default accounting stays conservative.
     pub fn pipelined_cycles(&self, dram_bytes_per_cycle: f64) -> u64 {
         let compute: u64 = self.layers.iter().map(|l| l.cycles).sum();
-        let dram = (self.total_dram().total() as f64 / dram_bytes_per_cycle.max(1e-9)).ceil() as u64;
+        let dram =
+            (self.total_dram().total() as f64 / dram_bytes_per_cycle.max(1e-9)).ceil() as u64;
         compute.max(dram)
     }
 }
@@ -147,9 +148,19 @@ mod tests {
 
     #[test]
     fn traffic_totals_sum_fields() {
-        let d = DramTraffic { weights: 1, ifm: 2, ofm: 3 };
+        let d = DramTraffic {
+            weights: 1,
+            ifm: 2,
+            ofm: 3,
+        };
         assert_eq!(d.total(), 6);
-        let s = SramTraffic { input_buf: 1, coef_buf: 2, psum_buf: 3, output_buf: 4, act_buf: 5 };
+        let s = SramTraffic {
+            input_buf: 1,
+            coef_buf: 2,
+            psum_buf: 3,
+            output_buf: 4,
+            act_buf: 5,
+        };
         assert_eq!(s.total(), 15);
     }
 
@@ -161,13 +172,20 @@ mod tests {
 
     #[test]
     fn model_aggregation() {
-        let mut m = ModelStats { model_name: "x".into(), layers: vec![] };
+        let mut m = ModelStats {
+            model_name: "x".into(),
+            layers: vec![],
+        };
         for i in 1..=3u64 {
             m.layers.push(LayerStats {
                 name: format!("l{i}"),
                 cycles: i * 10,
                 mac_ops: i,
-                dram: DramTraffic { weights: i, ifm: i, ofm: i },
+                dram: DramTraffic {
+                    weights: i,
+                    ifm: i,
+                    ofm: i,
+                },
                 ..LayerStats::default()
             });
         }
@@ -182,8 +200,24 @@ mod tests {
         let m = ModelStats {
             model_name: "x".into(),
             layers: vec![
-                LayerStats { cycles: 100, dram: DramTraffic { weights: 6400, ifm: 0, ofm: 0 }, ..LayerStats::default() },
-                LayerStats { cycles: 100, dram: DramTraffic { weights: 0, ifm: 0, ofm: 0 }, ..LayerStats::default() },
+                LayerStats {
+                    cycles: 100,
+                    dram: DramTraffic {
+                        weights: 6400,
+                        ifm: 0,
+                        ofm: 0,
+                    },
+                    ..LayerStats::default()
+                },
+                LayerStats {
+                    cycles: 100,
+                    dram: DramTraffic {
+                        weights: 0,
+                        ifm: 0,
+                        ofm: 0,
+                    },
+                    ..LayerStats::default()
+                },
             ],
         };
         // Compute 200 cycles; DRAM 6400 B at 64 B/cycle = 100 cycles.

@@ -39,7 +39,13 @@ impl CoefMasks {
                 }
             }
         }
-        CoefMasks { k, c, m, words_per_mask, words }
+        CoefMasks {
+            k,
+            c,
+            m,
+            words_per_mask,
+            words,
+        }
     }
 
     /// Number of output channels `K`.
@@ -70,7 +76,14 @@ impl CoefMasks {
 
     /// Nonzero coefficients for output channel `k` across all bases.
     pub fn nnz_for_channel(&self, k: usize) -> usize {
-        (0..self.m).map(|m| self.mask(k, m).iter().map(|w| w.count_ones() as usize).sum::<usize>()).sum()
+        (0..self.m)
+            .map(|m| {
+                self.mask(k, m)
+                    .iter()
+                    .map(|w| w.count_ones() as usize)
+                    .sum::<usize>()
+            })
+            .sum()
     }
 
     /// Total nonzero coefficients.
@@ -136,7 +149,11 @@ pub struct Workload {
 impl Workload {
     /// Builds the workload from compression artifacts and the model
     /// profile (which supplies per-layer activation sparsity).
-    pub fn from_artifacts(model_name: &str, artifacts: &[CompressedLayer], profile: &ModelProfile) -> Workload {
+    pub fn from_artifacts(
+        model_name: &str,
+        artifacts: &[CompressedLayer],
+        profile: &ModelProfile,
+    ) -> Workload {
         let n = artifacts.len();
         let layers = artifacts
             .iter()
@@ -157,7 +174,10 @@ impl Workload {
                 }
             })
             .collect();
-        Workload { model_name: model_name.to_string(), layers }
+        Workload {
+            model_name: model_name.to_string(),
+            layers,
+        }
     }
 }
 

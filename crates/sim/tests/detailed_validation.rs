@@ -9,7 +9,13 @@ use escalate_sim::workload::CoefMasks;
 use escalate_sim::{simulate_layer, LayerWorkload, SimConfig, WorkloadMode};
 use escalate_tensor::Tensor;
 
-fn workload(c: usize, k: usize, x: usize, coef_sparsity: f64, act_sparsity: f64) -> (LayerWorkload, Tensor) {
+fn workload(
+    c: usize,
+    k: usize,
+    x: usize,
+    coef_sparsity: f64,
+    act_sparsity: f64,
+) -> (LayerWorkload, Tensor) {
     let coeffs = Tensor::from_fn(&[k, c, 6], |i| {
         let h = (i[0] * 7919 + i[1] * 104729 + i[2] * 1299709) % 1000;
         if (h as f64) < coef_sparsity * 1000.0 {
@@ -41,7 +47,9 @@ fn check(c: usize, k: usize, x: usize, cs: f64, as_: f64, envelope: (f64, f64)) 
     let cfg = SimConfig::default();
     let (lw, ifm) = workload(c, k, x, cs, as_);
     let engine = simulate_layer(&lw, &cfg, 0).cycles as f64;
-    let detailed = simulate_layer_detailed(&lw, &cfg, &ifm).cycles as f64;
+    let detailed = simulate_layer_detailed(&lw, &cfg, &ifm)
+        .expect("valid trace inputs")
+        .cycles as f64;
     let ratio = detailed / engine;
     assert!(
         (envelope.0..envelope.1).contains(&ratio),
@@ -71,8 +79,8 @@ fn detailed_idle_accounting_is_consistent() {
     // Stream-bound: detailed idles; MAC-bound: detailed mostly busy.
     let (bound, ifm_b) = workload(256, 16, 6, 0.3, 0.1);
     let (fast, ifm_f) = workload(32, 16, 6, 0.95, 0.7);
-    let db = simulate_layer_detailed(&bound, &cfg, &ifm_b);
-    let df = simulate_layer_detailed(&fast, &cfg, &ifm_f);
+    let db = simulate_layer_detailed(&bound, &cfg, &ifm_b).expect("valid trace inputs");
+    let df = simulate_layer_detailed(&fast, &cfg, &ifm_f).expect("valid trace inputs");
     let idle_rate_bound = db.mac_idle_cycles as f64 / db.cycles.max(1) as f64;
     let idle_rate_fast = df.mac_idle_cycles as f64 / df.cycles.max(1) as f64;
     assert!(

@@ -1,0 +1,114 @@
+//! Cross-fidelity equivalence: the three simulation modes share one core
+//! (`LayerContext` + `run_positions` + `assemble_stats`), so their
+//! disagreement is bounded by what they *model* differently, not by
+//! drifting copies of the arithmetic.
+//!
+//! - The sampling engine draws synthetic Bernoulli masks over a stratified
+//!   channel subset and extrapolates; the trace-driven mode walks every
+//!   position of a real feature map. On a map whose density matches the
+//!   engine's `act_sparsity`, their cycle counts agree within the same
+//!   envelope the trace tests document (0.75..1.35).
+//! - When the channel sample covers every channel
+//!   (`SimConfig::sample_channels >= C`), the trace-driven mode takes the
+//!   exact-count path: its `ca_adds` is an integer sum over all (channel,
+//!   position) pairs and must equal the detailed mode's `matched` exactly
+//!   — both count `popcount(act_mask & coef_mask)` over the same masks.
+
+use escalate_core::quant::TernaryCoeffs;
+use escalate_models::{synth, LayerShape};
+use escalate_sim::detailed::simulate_layer_detailed;
+use escalate_sim::trace::simulate_layer_traced;
+use escalate_sim::workload::CoefMasks;
+use escalate_sim::{simulate_layer, LayerWorkload, SimConfig, WorkloadMode};
+use escalate_tensor::Tensor;
+
+fn workload(
+    c: usize,
+    k: usize,
+    x: usize,
+    coef_sparsity: f64,
+    act_sparsity: f64,
+) -> (LayerWorkload, Tensor) {
+    let coeffs = Tensor::from_fn(&[k, c, 6], |i| {
+        let h = (i[0] * 7919 + i[1] * 104729 + i[2] * 1299709) % 1000;
+        if (h as f64) < coef_sparsity * 1000.0 {
+            0.0
+        } else if h % 2 == 0 {
+            1.0
+        } else {
+            -1.0
+        }
+    });
+    let t = TernaryCoeffs::ternarize(&coeffs, 0.0).expect("valid threshold");
+    let shape = LayerShape::conv("f", c, k, x, x, 3, 1, 1);
+    let ifm = synth::activations(&shape, act_sparsity, 13);
+    (
+        LayerWorkload {
+            name: format!("f{c}x{k}"),
+            shape,
+            out_channels: k,
+            mode: WorkloadMode::Decomposed(CoefMasks::from_ternary(&t)),
+            act_sparsity,
+            out_sparsity: act_sparsity,
+            weight_bytes: 100,
+        },
+        ifm,
+    )
+}
+
+#[test]
+fn sampled_engine_tracks_trace_driven_cycles() {
+    let cfg = SimConfig::default();
+    for (c, k, x, cs, as_) in [(64, 48, 10, 0.9, 0.5), (96, 32, 8, 0.7, 0.3)] {
+        let (lw, ifm) = workload(c, k, x, cs, as_);
+        let engine = simulate_layer(&lw, &cfg, 0).cycles as f64;
+        let traced = simulate_layer_traced(&lw, &cfg, &ifm)
+            .expect("valid trace")
+            .cycles as f64;
+        let ratio = traced / engine;
+        assert!(
+            (0.75..1.35).contains(&ratio),
+            "c={c} k={k}: trace {traced} vs engine {engine} (ratio {ratio:.2})"
+        );
+    }
+}
+
+#[test]
+fn full_channel_coverage_makes_trace_match_counts_exact() {
+    // Two small decomposed layers; sample_channels lifted to cover every
+    // input channel so the trace mode's aggregate is exact, not scaled.
+    for (c, k, x, cs, as_) in [(24, 16, 6, 0.8, 0.4), (40, 24, 5, 0.6, 0.25)] {
+        let cfg = SimConfig {
+            sample_channels: c,
+            ..SimConfig::default()
+        };
+        let (lw, ifm) = workload(c, k, x, cs, as_);
+        let traced = simulate_layer_traced(&lw, &cfg, &ifm).expect("valid trace");
+        let detailed = simulate_layer_detailed(&lw, &cfg, &ifm).expect("valid trace");
+        assert_eq!(
+            traced.ca_adds, detailed.matched,
+            "c={c} k={k}: full-coverage trace ca_adds must equal detailed matched"
+        );
+    }
+}
+
+#[test]
+fn partial_sampling_stays_close_to_exact_counts() {
+    // The default 8-channel sample extrapolates; it must stay within a
+    // sane band of the exact all-channel count on a uniform synthetic map.
+    let (lw, ifm) = workload(64, 32, 8, 0.8, 0.4);
+    let sampled_cfg = SimConfig::default();
+    let exact_cfg = SimConfig {
+        sample_channels: 64,
+        ..SimConfig::default()
+    };
+    let sampled = simulate_layer_traced(&lw, &sampled_cfg, &ifm).expect("valid trace");
+    let exact = simulate_layer_traced(&lw, &exact_cfg, &ifm).expect("valid trace");
+    let ratio = sampled.ca_adds as f64 / exact.ca_adds.max(1) as f64;
+    assert!(
+        (0.7..1.4).contains(&ratio),
+        "sampled {} vs exact {} (ratio {ratio:.2})",
+        sampled.ca_adds,
+        exact.ca_adds
+    );
+}

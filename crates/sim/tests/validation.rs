@@ -38,7 +38,11 @@ fn positions(c: usize, ad: f64, cd: f64, m: usize, n: usize, seed: u64) -> Vec<P
                     w
                 })
                 .collect();
-            PositionInput { act_mask: act, coef_masks, c }
+            PositionInput {
+                act_mask: act,
+                coef_masks,
+                c,
+            }
         })
         .collect()
 }
@@ -94,7 +98,10 @@ fn stepped_model_reports_idle_when_ca_bound() {
     let cfg = SimConfig::default();
     let pos = positions(512, 0.9, 0.9, 6, 40, 5);
     let t = run_slice(&cfg, 6, 9, &pos);
-    assert!(t.mac_idle_cycles > 0, "a stream-bound slice must idle its MACs");
+    assert!(
+        t.mac_idle_cycles > 0,
+        "a stream-bound slice must idle its MACs"
+    );
     // And the analytic idle estimate points the same way.
     let mac = MacRow::new(6, 9);
     let masks: Vec<&[u64]> = pos[0].coef_masks.iter().map(Vec::as_slice).collect();

@@ -30,7 +30,11 @@ impl SliceStream {
     /// Total stored bits: values at `value_bits` plus the 2-level maps.
     pub fn size_bits(&self, value_bits: usize) -> usize {
         self.values.len() * value_bits
-            + self.maps.iter().map(|m| m.total_chunks() + m.stored_chunks() * 16).sum::<usize>()
+            + self
+                .maps
+                .iter()
+                .map(|m| m.total_chunks() + m.stored_chunks() * 16)
+                .sum::<usize>()
     }
 
     /// Splits the value stream into bus-width chunks (the units the input
@@ -46,7 +50,13 @@ impl SliceStream {
 /// # Panics
 ///
 /// Panics if `data.len() != c*x*y` or `l == 0`.
-pub fn encode_feature_map(data: &[f32], c: usize, x: usize, y: usize, l: usize) -> Vec<SliceStream> {
+pub fn encode_feature_map(
+    data: &[f32],
+    c: usize,
+    x: usize,
+    y: usize,
+    l: usize,
+) -> Vec<SliceStream> {
     assert_eq!(data.len(), c * x * y, "data must be C*X*Y");
     assert!(l > 0, "at least one slice");
     (0..l)
@@ -62,7 +72,13 @@ pub fn encode_feature_map(data: &[f32], c: usize, x: usize, y: usize, l: usize) 
                     maps.push(TwoLevelSparseMap::encode(&chan));
                 }
             }
-            SliceStream { rows, values, maps, c, y }
+            SliceStream {
+                rows,
+                values,
+                maps,
+                c,
+                y,
+            }
         })
         .collect()
 }
@@ -104,7 +120,13 @@ mod tests {
 
     fn sample(c: usize, x: usize, y: usize) -> Vec<f32> {
         (0..c * x * y)
-            .map(|i| if (i * 7) % 5 < 2 { (i % 13) as f32 + 1.0 } else { 0.0 })
+            .map(|i| {
+                if (i * 7) % 5 < 2 {
+                    (i % 13) as f32 + 1.0
+                } else {
+                    0.0
+                }
+            })
             .collect()
     }
 
@@ -136,7 +158,9 @@ mod tests {
         // One position, channels carry distinct values: stream preserves
         // channel order.
         let c = 5;
-        let data: Vec<f32> = (0..c).map(|ci| if ci % 2 == 0 { (ci + 1) as f32 } else { 0.0 }).collect();
+        let data: Vec<f32> = (0..c)
+            .map(|ci| if ci % 2 == 0 { (ci + 1) as f32 } else { 0.0 })
+            .collect();
         let streams = encode_feature_map(&data, c, 1, 1, 1);
         assert_eq!(streams[0].values, vec![1.0, 3.0, 5.0]);
     }
@@ -149,7 +173,10 @@ mod tests {
         let nnz: usize = data.iter().filter(|&&v| v != 0.0).count();
         let total_bits: usize = streams.iter().map(|s| s.size_bits(8)).sum();
         assert!(total_bits >= nnz * 8, "values must be charged");
-        assert!(total_bits < c * x * y * 8, "compressed must beat dense at 60% sparsity");
+        assert!(
+            total_bits < c * x * y * 8,
+            "compressed must beat dense at 60% sparsity"
+        );
     }
 
     #[test]

@@ -65,7 +65,10 @@ pub fn gather_bits_butterfly(data: u64, mask: u64) -> ButterflyGather {
         x = (x ^ t) | (t >> (1 << i));
         mk &= !mp;
     }
-    ButterflyGather { gathered: x, stage_moves }
+    ButterflyGather {
+        gathered: x,
+        stage_moves,
+    }
 }
 
 /// Result of [`gather_bits_butterfly`]: the gathered word plus per-stage
@@ -92,7 +95,10 @@ impl ButterflyGather {
 /// dilution step: position `i` of `items` survives when bit `i` of `mask`
 /// is set.
 pub fn gather_elements<T: Copy>(items: &[T], mask: u64) -> Vec<T> {
-    assert!(items.len() <= 64, "element gather operates on <=64-element chunks");
+    assert!(
+        items.len() <= 64,
+        "element gather operates on <=64-element chunks"
+    );
     items
         .iter()
         .enumerate()
@@ -122,8 +128,20 @@ mod tests {
 
     #[test]
     fn butterfly_matches_reference_on_patterns() {
-        let datas = [0u64, u64::MAX, 0xAAAA_AAAA_AAAA_AAAA, 0x0123_4567_89AB_CDEF, 1 << 63];
-        let masks = [0u64, u64::MAX, 0x5555_5555_5555_5555, 0xF0F0_F0F0_F0F0_F0F0, (1 << 40) - 1];
+        let datas = [
+            0u64,
+            u64::MAX,
+            0xAAAA_AAAA_AAAA_AAAA,
+            0x0123_4567_89AB_CDEF,
+            1 << 63,
+        ];
+        let masks = [
+            0u64,
+            u64::MAX,
+            0x5555_5555_5555_5555,
+            0xF0F0_F0F0_F0F0_F0F0,
+            (1 << 40) - 1,
+        ];
         for &d in &datas {
             for &m in &masks {
                 assert_eq!(
@@ -140,7 +158,9 @@ mod tests {
         // Simple LCG so the test is deterministic without a rand dependency.
         let mut state = 0x0123_4567_89AB_CDEFu64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             state
         };
         for _ in 0..500 {

@@ -279,7 +279,10 @@ mod tests {
         buf.push_slots(&[Some(1.0), None, Some(2.0), None, Some(3.0), None]);
         let (sum, stats) = buf.drain_sum();
         assert_eq!(sum, 6.0);
-        assert!(stats.look_aside_fills > 0, "expected look-aside moves: {stats:?}");
+        assert!(
+            stats.look_aside_fills > 0,
+            "expected look-aside moves: {stats:?}"
+        );
         // Perfect concentration: ceil(3/2) = 2 rows.
         assert_eq!(stats.rows_drained, 2);
     }
@@ -319,7 +322,13 @@ mod tests {
     #[test]
     fn sum_is_preserved_regardless_of_windows() {
         let slots: Vec<Option<f32>> = (0..40)
-            .map(|i| if i % 3 == 0 { Some((i as f32) * 0.5 - 3.0) } else { None })
+            .map(|i| {
+                if i % 3 == 0 {
+                    Some((i as f32) * 0.5 - 3.0)
+                } else {
+                    None
+                }
+            })
             .collect();
         let expect: f32 = slots.iter().flatten().sum();
         for (la, ls) in [(0, 0), (1, 0), (4, 1), (8, 2)] {
@@ -332,8 +341,9 @@ mod tests {
 
     #[test]
     fn reset_matches_fresh_buffer() {
-        let slots: Vec<Option<f32>> =
-            (0..20).map(|i| if i % 3 == 0 { Some(i as f32) } else { None }).collect();
+        let slots: Vec<Option<f32>> = (0..20)
+            .map(|i| if i % 3 == 0 { Some(i as f32) } else { None })
+            .collect();
         let mut reused = ConcentrationBuffer::new(4, 2, 1);
         reused.push_slots(&slots);
         let first = reused.drain_sum();
@@ -351,7 +361,13 @@ mod tests {
     #[test]
     fn deeper_lookahead_never_hurts_cycles() {
         let slots: Vec<Option<f32>> = (0..64)
-            .map(|i| if (i * 7) % 5 < 2 { Some(i as f32) } else { None })
+            .map(|i| {
+                if (i * 7) % 5 < 2 {
+                    Some(i as f32)
+                } else {
+                    None
+                }
+            })
             .collect();
         let mut last = usize::MAX;
         for la in [0usize, 1, 2, 4, 8] {

@@ -49,7 +49,13 @@ impl Csr {
             }
             row_ptr.push(values.len());
         }
-        Csr { rows, cols, row_ptr, col_idx, values }
+        Csr {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 
     /// Number of stored nonzeros.
@@ -96,7 +102,10 @@ impl RunLength {
     ///
     /// Panics if `step_bits` is 0 or larger than 31.
     pub fn encode(dense: &[f32], step_bits: usize) -> Self {
-        assert!(step_bits > 0 && step_bits < 32, "step_bits must be in 1..32");
+        assert!(
+            step_bits > 0 && step_bits < 32,
+            "step_bits must be in 1..32"
+        );
         let max_run = (1u32 << step_bits) - 1;
         let mut entries = Vec::new();
         let mut run = 0u32;
@@ -113,7 +122,11 @@ impl RunLength {
                 run = 0;
             }
         }
-        RunLength { len: dense.len(), step_bits, entries }
+        RunLength {
+            len: dense.len(),
+            step_bits,
+            entries,
+        }
     }
 
     /// Number of stored entries (including overflow padding).
@@ -183,7 +196,10 @@ mod tests {
         dense[9] = 4.0;
         let rl = RunLength::encode(&dense, 2);
         assert_eq!(rl.decode(), dense);
-        assert!(rl.stored_entries() > 1, "overflow should add padding entries");
+        assert!(
+            rl.stored_entries() > 1,
+            "overflow should add padding entries"
+        );
     }
 
     #[test]
@@ -198,10 +214,15 @@ mod tests {
     fn sparsemap_beats_csr_for_ternary_values() {
         // The paper's motivating case: 2-bit ternary values, moderate
         // sparsity — per-element indices dwarf the values they locate.
-        let dense: Vec<f32> = (0..1024).map(|i| if i % 10 == 0 { 1.0 } else { 0.0 }).collect();
+        let dense: Vec<f32> = (0..1024)
+            .map(|i| if i % 10 == 0 { 1.0 } else { 0.0 })
+            .collect();
         let sm = crate::SparseMap::encode(&dense).size_bits(2);
         let csr = Csr::encode(1, 1024, &dense).size_bits(2);
-        assert!(sm < csr, "SparseMap ({sm}) should beat CSR ({csr}) for ternary data");
+        assert!(
+            sm < csr,
+            "SparseMap ({sm}) should beat CSR ({csr}) for ternary data"
+        );
     }
 
     #[test]

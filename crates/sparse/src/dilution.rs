@@ -110,10 +110,25 @@ pub fn dilute(input: &DilutionInput<'_>) -> DilutedChunk {
 ///
 /// Same contract as [`dilute`].
 pub fn dilute_into(input: &DilutionInput<'_>, slots: &mut Vec<Option<f32>>) -> DilutionOutcome {
-    assert!(input.width <= 64, "dilution chunks are at most 64 positions");
-    let limit = if input.width == 64 { u64::MAX } else { (1u64 << input.width) - 1 };
-    assert_eq!(input.act_map & !limit, 0, "activation map has bits beyond width");
-    assert_eq!(input.coef_map & !limit, 0, "coefficient map has bits beyond width");
+    assert!(
+        input.width <= 64,
+        "dilution chunks are at most 64 positions"
+    );
+    let limit = if input.width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << input.width) - 1
+    };
+    assert_eq!(
+        input.act_map & !limit,
+        0,
+        "activation map has bits beyond width"
+    );
+    assert_eq!(
+        input.coef_map & !limit,
+        0,
+        "coefficient map has bits beyond width"
+    );
     assert_eq!(
         input.act_map.count_ones() as usize,
         input.act_values.len(),
@@ -263,13 +278,35 @@ mod tests {
         // Exhaustively check all activation/coefficient patterns at width 5.
         for am_bits in 0u32..32 {
             for cm_bits in 0u32..32 {
-                let act: Vec<f32> =
-                    (0..5).map(|i| if am_bits >> i & 1 == 1 { (i + 1) as f32 } else { 0.0 }).collect();
-                let coef: Vec<i8> =
-                    (0..5).map(|i| if cm_bits >> i & 1 == 1 { if i % 2 == 0 { 1 } else { -1 } } else { 0 }).collect();
+                let act: Vec<f32> = (0..5)
+                    .map(|i| {
+                        if am_bits >> i & 1 == 1 {
+                            (i + 1) as f32
+                        } else {
+                            0.0
+                        }
+                    })
+                    .collect();
+                let coef: Vec<i8> = (0..5)
+                    .map(|i| {
+                        if cm_bits >> i & 1 == 1 {
+                            if i % 2 == 0 {
+                                1
+                            } else {
+                                -1
+                            }
+                        } else {
+                            0
+                        }
+                    })
+                    .collect();
                 let out = run(&act, &coef);
                 let survivors: Vec<f32> = out.slots.iter().flatten().copied().collect();
-                assert_eq!(survivors, dense_reference(&act, &coef), "am={am_bits:b} cm={cm_bits:b}");
+                assert_eq!(
+                    survivors,
+                    dense_reference(&act, &coef),
+                    "am={am_bits:b} cm={cm_bits:b}"
+                );
             }
         }
     }

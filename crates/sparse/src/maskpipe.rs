@@ -67,7 +67,11 @@ impl MaskPipeline {
     /// Panics if the maps' word counts disagree or `chunk` is 0 or > 64.
     pub fn position_windows(&mut self, maps: &PositionMaps, chunk: usize) -> Vec<MaskWindow> {
         assert!(chunk > 0 && chunk <= 64, "chunk width must be 1..=64");
-        assert_eq!(maps.act_map.len(), maps.coef_map.len(), "map word counts differ");
+        assert_eq!(
+            maps.act_map.len(),
+            maps.coef_map.len(),
+            "map word counts differ"
+        );
         let total_nnz: usize = maps.act_map.iter().map(|w| w.count_ones() as usize).sum();
         self.rolling.start_position(total_nnz);
 
@@ -100,7 +104,10 @@ impl MaskPipeline {
                 });
             }
         }
-        debug_assert_eq!(emitted, total_nnz, "every nonzero activation gets a mask bit");
+        debug_assert_eq!(
+            emitted, total_nnz,
+            "every nonzero activation gets a mask bit"
+        );
         windows
     }
 }
@@ -124,7 +131,11 @@ mod tests {
     use super::*;
 
     fn maps(act: &[u64], coef: &[u64], width: usize) -> PositionMaps {
-        PositionMaps { act_map: act.to_vec(), coef_map: coef.to_vec(), width }
+        PositionMaps {
+            act_map: act.to_vec(),
+            coef_map: coef.to_vec(),
+            width,
+        }
     }
 
     fn windows_to_bits(windows: &[MaskWindow]) -> Vec<bool> {
@@ -166,7 +177,10 @@ mod tests {
         let m = maps(&[0b1011_0110], &[0b0000_1111], 8);
         let mut pipe = MaskPipeline::new();
         let windows = pipe.position_windows(&m, 4);
-        assert_eq!(windows.iter().map(|w| w.len).collect::<Vec<_>>(), vec![4, 1]);
+        assert_eq!(
+            windows.iter().map(|w| w.len).collect::<Vec<_>>(),
+            vec![4, 1]
+        );
         assert_eq!(windows_to_bits(&windows), reference_filter_mask(&m));
     }
 
@@ -193,7 +207,9 @@ mod tests {
     fn pseudorandom_streams_roundtrip() {
         let mut state = 0xDEADBEEFu64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             state
         };
         let mut pipe = MaskPipeline::new();

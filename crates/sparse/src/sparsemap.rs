@@ -156,7 +156,12 @@ impl TwoLevelSparseMap {
                 }
             }
         }
-        TwoLevelSparseMap { len, presence, chunk_masks, values }
+        TwoLevelSparseMap {
+            len,
+            presence,
+            chunk_masks,
+            values,
+        }
     }
 
     /// Number of encoded positions (dense length).
@@ -280,15 +285,23 @@ mod tests {
         d[17] = 1.0;
         let two = TwoLevelSparseMap::encode(&d).size_bits(2);
         let flat = SparseMap::encode(&d).size_bits(2);
-        assert!(two < flat, "2-level ({two}) should beat flat ({flat}) at 99.9% sparsity");
+        assert!(
+            two < flat,
+            "2-level ({two}) should beat flat ({flat}) at 99.9% sparsity"
+        );
     }
 
     #[test]
     fn flat_beats_two_level_at_low_sparsity() {
-        let d: Vec<f32> = (0..1600).map(|i| if i % 2 == 0 { 1.0 } else { 0.0 }).collect();
+        let d: Vec<f32> = (0..1600)
+            .map(|i| if i % 2 == 0 { 1.0 } else { 0.0 })
+            .collect();
         let two = TwoLevelSparseMap::encode(&d).size_bits(2);
         let flat = SparseMap::encode(&d).size_bits(2);
-        assert!(flat < two, "flat ({flat}) should beat 2-level ({two}) at 50% sparsity");
+        assert!(
+            flat < two,
+            "flat ({flat}) should beat 2-level ({two}) at 50% sparsity"
+        );
     }
 
     #[test]
@@ -307,6 +320,9 @@ mod tests {
         let m = SparseMap::encode(&d);
         assert_eq!(m.size_bits(8), 100 + m.nnz() * 8);
         let t = TwoLevelSparseMap::encode(&d);
-        assert_eq!(t.size_bits(8), t.total_chunks() + t.stored_chunks() * 16 + t.nnz() * 8);
+        assert_eq!(
+            t.size_bits(8),
+            t.total_chunks() + t.stored_chunks() * 16 + t.nnz() * 8
+        );
     }
 }

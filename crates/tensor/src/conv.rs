@@ -97,7 +97,8 @@ pub fn depthwise_conv2d(input: &Tensor, weight: &Tensor, stride: usize, pad: usi
                         if iy < 0 || iy as usize >= y {
                             continue;
                         }
-                        acc += weight.get(&[ci, ri, si]) * input.get(&[ci, ix as usize, iy as usize]);
+                        acc +=
+                            weight.get(&[ci, ri, si]) * input.get(&[ci, ix as usize, iy as usize]);
                     }
                 }
                 out.set(&[ci, oxi, oyi], acc);
@@ -116,7 +117,12 @@ pub fn depthwise_conv2d(input: &Tensor, weight: &Tensor, stride: usize, pad: usi
 /// Panics on channel-count mismatch or wrong ranks.
 pub fn pointwise_conv2d(input: &Tensor, weight: &crate::Matrix) -> Tensor {
     let [c, x, y]: [usize; 3] = input.shape().try_into().expect("input must be C*X*Y");
-    assert_eq!(weight.cols(), c, "weight cols ({}) != input channels ({c})", weight.cols());
+    assert_eq!(
+        weight.cols(),
+        c,
+        "weight cols ({}) != input channels ({c})",
+        weight.cols()
+    );
     let k = weight.rows();
     let mut out = Tensor::zeros(&[k, x, y]);
     let plane = x * y;
@@ -232,8 +238,12 @@ mod tests {
     #[test]
     fn conv_is_linear_in_input() {
         let a = Tensor::from_fn(&[2, 4, 4], |i| (i[0] + i[1] * 2 + i[2]) as f32 * 0.1);
-        let b = Tensor::from_fn(&[2, 4, 4], |i| ((i[0] * 7 + i[1] + i[2] * 3) % 5) as f32 * 0.2);
-        let w = Tensor::from_fn(&[3, 2, 3, 3], |i| ((i[0] + i[1] + i[2] + i[3]) % 3) as f32 - 1.0);
+        let b = Tensor::from_fn(&[2, 4, 4], |i| {
+            ((i[0] * 7 + i[1] + i[2] * 3) % 5) as f32 * 0.2
+        });
+        let w = Tensor::from_fn(&[3, 2, 3, 3], |i| {
+            ((i[0] + i[1] + i[2] + i[3]) % 3) as f32 - 1.0
+        });
         let lhs = conv2d(&a.add(&b), &w, 1, 1);
         let rhs = conv2d(&a, &w, 1, 1).add(&conv2d(&b, &w, 1, 1));
         assert!(lhs.all_close(&rhs, 1e-4));

@@ -73,7 +73,9 @@ mod tests {
     use crate::conv::conv2d;
 
     fn input(c: usize, x: usize) -> Tensor {
-        Tensor::from_fn(&[c, x, x], |i| (((i[0] * 31 + i[1] * 7 + i[2] * 3) % 17) as f32 - 8.0) * 0.1)
+        Tensor::from_fn(&[c, x, x], |i| {
+            (((i[0] * 31 + i[1] * 7 + i[2] * 3) % 17) as f32 - 8.0) * 0.1
+        })
     }
 
     fn weight(k: usize, c: usize, rs: usize) -> Tensor {

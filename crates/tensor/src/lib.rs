@@ -59,8 +59,14 @@ impl std::fmt::Display for TensorError {
             TensorError::ShapeMismatch { expected, got } => {
                 write!(f, "shape mismatch: expected {expected}, got {got}")
             }
-            TensorError::NoConvergence { routine, iterations } => {
-                write!(f, "{routine} did not converge after {iterations} iterations")
+            TensorError::NoConvergence {
+                routine,
+                iterations,
+            } => {
+                write!(
+                    f,
+                    "{routine} did not converge after {iterations} iterations"
+                )
             }
         }
     }

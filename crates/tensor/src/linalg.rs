@@ -55,7 +55,10 @@ pub fn jacobi_eigen(a: &Matrix) -> Result<SymmetricEigen, TensorError> {
         });
     }
     if n == 0 {
-        return Ok(SymmetricEigen { values: Vec::new(), vectors: Matrix::zeros(0, 0) });
+        return Ok(SymmetricEigen {
+            values: Vec::new(),
+            vectors: Matrix::zeros(0, 0),
+        });
     }
 
     let mut m = a.clone();
@@ -121,13 +124,20 @@ pub fn jacobi_eigen(a: &Matrix) -> Result<SymmetricEigen, TensorError> {
             }
         }
     }
-    Err(TensorError::NoConvergence { routine: "jacobi_eigen", iterations: max_sweeps })
+    Err(TensorError::NoConvergence {
+        routine: "jacobi_eigen",
+        iterations: max_sweeps,
+    })
 }
 
 fn sorted_eigen(m: Matrix, v: Matrix) -> SymmetricEigen {
     let n = m.rows();
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&i, &j| m.get(j, j).partial_cmp(&m.get(i, i)).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&i, &j| {
+        m.get(j, j)
+            .partial_cmp(&m.get(i, i))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut values = Vec::with_capacity(n);
     let mut vectors = Matrix::zeros(n, n);
     for (dst, &src) in order.iter().enumerate() {
@@ -190,7 +200,11 @@ pub fn truncated_svd(a: &Matrix, m: usize) -> Result<Factorization, TensorError>
     Ok(Factorization {
         coeffs,
         basis,
-        captured_energy: if energy > 0.0 { (captured / energy).clamp(0.0, 1.0) } else { 1.0 },
+        captured_energy: if energy > 0.0 {
+            (captured / energy).clamp(0.0, 1.0)
+        } else {
+            1.0
+        },
     })
 }
 
@@ -255,7 +269,12 @@ mod tests {
 
     #[test]
     fn full_rank_svd_is_exact() {
-        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[0.0, 1.0, -1.0], &[2.0, 0.5, 0.1], &[4.0, 4.0, 4.0]]);
+        let a = Matrix::from_rows(&[
+            &[1.0, 2.0, 3.0],
+            &[0.0, 1.0, -1.0],
+            &[2.0, 0.5, 0.1],
+            &[4.0, 4.0, 4.0],
+        ]);
         let f = truncated_svd(&a, 3).unwrap();
         assert!(reconstruct(&f).all_close(&a, 1e-3));
         assert!((f.captured_energy - 1.0).abs() < 1e-5);
@@ -265,7 +284,13 @@ mod tests {
     fn rank_one_matrix_needs_one_component() {
         let u = [1.0f32, -2.0, 0.5, 3.0];
         let v = [2.0f32, 1.0, -1.0];
-        let a = Matrix::from_vec(4, 3, u.iter().flat_map(|&x| v.iter().map(move |&y| x * y)).collect());
+        let a = Matrix::from_vec(
+            4,
+            3,
+            u.iter()
+                .flat_map(|&x| v.iter().map(move |&y| x * y))
+                .collect(),
+        );
         let f = truncated_svd(&a, 1).unwrap();
         assert!(reconstruct(&f).all_close(&a, 1e-4));
     }
@@ -276,7 +301,9 @@ mod tests {
         let a = Matrix::from_vec(
             8,
             4,
-            (0..32).map(|i| ((i * 37 % 13) as f32 - 6.0) * 0.3 + (i as f32 * 0.01)).collect(),
+            (0..32)
+                .map(|i| ((i * 37 % 13) as f32 - 6.0) * 0.3 + (i as f32 * 0.01))
+                .collect(),
         );
         let mut last = f32::INFINITY;
         for m in 1..=4 {
@@ -295,7 +322,10 @@ mod tests {
     #[test]
     fn svd_rejects_oversized_rank() {
         let a = Matrix::zeros(4, 3);
-        assert!(matches!(truncated_svd(&a, 4), Err(TensorError::ShapeMismatch { .. })));
+        assert!(matches!(
+            truncated_svd(&a, 4),
+            Err(TensorError::ShapeMismatch { .. })
+        ));
     }
 
     #[test]

@@ -28,13 +28,19 @@ impl Tensor {
     /// Panics if the number of elements overflows `usize`.
     pub fn zeros(shape: &[usize]) -> Self {
         let len = shape.iter().product();
-        Tensor { shape: shape.to_vec(), data: vec![0.0; len] }
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![0.0; len],
+        }
     }
 
     /// Creates a tensor of the given shape filled with ones.
     pub fn ones(shape: &[usize]) -> Self {
         let len = shape.iter().product();
-        Tensor { shape: shape.to_vec(), data: vec![1.0; len] }
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![1.0; len],
+        }
     }
 
     /// Creates a tensor by calling `f` with each multi-dimensional index in
@@ -53,7 +59,10 @@ impl Tensor {
                 idx[axis] = 0;
             }
         }
-        Tensor { shape: shape.to_vec(), data }
+        Tensor {
+            shape: shape.to_vec(),
+            data,
+        }
     }
 
     /// Wraps an existing buffer as a tensor.
@@ -70,7 +79,10 @@ impl Tensor {
             data.len(),
             shape
         );
-        Tensor { shape: shape.to_vec(), data }
+        Tensor {
+            shape: shape.to_vec(),
+            data,
+        }
     }
 
     /// The shape of the tensor.
@@ -113,7 +125,10 @@ impl Tensor {
         assert_eq!(idx.len(), self.shape.len(), "rank mismatch");
         let mut off = 0usize;
         for (axis, (&i, &dim)) in idx.iter().zip(&self.shape).enumerate() {
-            assert!(i < dim, "index {i} out of bounds for axis {axis} (size {dim})");
+            assert!(
+                i < dim,
+                "index {i} out of bounds for axis {axis} (size {dim})"
+            );
             off = off * dim + i;
         }
         off
@@ -145,13 +160,23 @@ impl Tensor {
     /// Panics if the new shape has a different number of elements.
     pub fn reshape(&self, shape: &[usize]) -> Tensor {
         let len: usize = shape.iter().product();
-        assert_eq!(len, self.data.len(), "reshape to {shape:?} changes element count");
-        Tensor { shape: shape.to_vec(), data: self.data.clone() }
+        assert_eq!(
+            len,
+            self.data.len(),
+            "reshape to {shape:?} changes element count"
+        );
+        Tensor {
+            shape: shape.to_vec(),
+            data: self.data.clone(),
+        }
     }
 
     /// Element-wise map into a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor { shape: self.shape.clone(), data: self.data.iter().map(|&x| f(x)).collect() }
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
     }
 
     /// Applies the ReLU nonlinearity (used to create realistic activation
@@ -167,8 +192,16 @@ impl Tensor {
     /// Panics if the shapes differ.
     pub fn add(&self, other: &Tensor) -> Tensor {
         assert_eq!(self.shape, other.shape, "add requires identical shapes");
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect();
-        Tensor { shape: self.shape.clone(), data }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Tensor {
+            shape: self.shape.clone(),
+            data,
+        }
     }
 
     /// In-place scaled accumulation: `self += alpha * other`.
@@ -221,7 +254,10 @@ impl Tensor {
     ///
     /// Panics if the shapes differ.
     pub fn relative_error(&self, other: &Tensor) -> f32 {
-        assert_eq!(self.shape, other.shape, "relative_error requires identical shapes");
+        assert_eq!(
+            self.shape, other.shape,
+            "relative_error requires identical shapes"
+        );
         let mut num = 0.0f32;
         let mut den = 0.0f32;
         for (a, b) in self.data.iter().zip(&other.data) {
@@ -248,7 +284,10 @@ impl Tensor {
 
 impl Default for Tensor {
     fn default() -> Self {
-        Tensor { shape: vec![0], data: Vec::new() }
+        Tensor {
+            shape: vec![0],
+            data: Vec::new(),
+        }
     }
 }
 

@@ -6,8 +6,9 @@ use proptest::prelude::*;
 
 fn small_tensor(shape: Vec<usize>) -> impl Strategy<Value = Tensor> {
     let len: usize = shape.iter().product();
-    prop::collection::vec(-8i32..8, len)
-        .prop_map(move |v| Tensor::from_vec(&shape, v.into_iter().map(|x| x as f32 * 0.25).collect()))
+    prop::collection::vec(-8i32..8, len).prop_map(move |v| {
+        Tensor::from_vec(&shape, v.into_iter().map(|x| x as f32 * 0.25).collect())
+    })
 }
 
 proptest! {

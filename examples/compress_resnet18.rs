@@ -3,8 +3,8 @@
 //!
 //! Run with: `cargo run --release --example compress_resnet18`
 
-use escalate::algo::pipeline::{accuracy_proxy, CompressionConfig};
 use escalate::algo::compress_model;
+use escalate::algo::pipeline::{accuracy_proxy, CompressionConfig};
 use escalate::models::ModelProfile;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

@@ -6,15 +6,17 @@
 
 use escalate::algo::pipeline::{accuracy_proxy, compress_layer_artifact, CompressionConfig};
 use escalate::models::{LayerShape, ModelProfile};
-use escalate::sim::{simulate_layer, LayerWorkload, SimConfig, Workload, WorkloadMode};
 use escalate::sim::workload::CoefMasks;
+use escalate::sim::{simulate_layer, LayerWorkload, SimConfig, Workload, WorkloadMode};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A custom "edge detector" workload: a small VGG-ish stack.
-    let layers = [LayerShape::conv("stem", 16, 32, 64, 64, 3, 1, 1),
+    let layers = [
+        LayerShape::conv("stem", 16, 32, 64, 64, 3, 1, 1),
         LayerShape::conv("mid", 32, 64, 32, 32, 3, 1, 1),
         LayerShape::conv("deep", 64, 128, 16, 16, 3, 2, 1),
-        LayerShape::conv("head", 128, 128, 8, 8, 3, 1, 1)];
+        LayerShape::conv("head", 128, 128, 8, 8, 3, 1, 1),
+    ];
     // Reuse the ResNet18 profile's activation statistics for the sweep.
     let profile = ModelProfile::for_model("ResNet18").expect("known model");
 
@@ -26,7 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     for m in 3..=9usize {
         let sim_cfg = SimConfig::default().with_m(m);
-        let cfg = CompressionConfig { m, ..CompressionConfig::default() };
+        let cfg = CompressionConfig {
+            m,
+            ..CompressionConfig::default()
+        };
         let mut cycles = 0u64;
         let mut orig_bits = 0usize;
         let mut comp_bits = 0usize;
@@ -39,7 +44,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             comp_bits += a.stats.compressed_bits;
             err += a.stats.weight_error as f64 * a.stats.original_params as f64;
             params += a.stats.original_params;
-            let hybrid = a.quantized.as_ref().expect("decomposed layer has artifacts");
+            let hybrid = a
+                .quantized
+                .as_ref()
+                .expect("decomposed layer has artifacts");
             wls.push(LayerWorkload {
                 name: layer.name.clone(),
                 shape: layer.clone(),
@@ -50,7 +58,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 weight_bytes: (a.stats.compressed_bits as u64).div_ceil(8),
             });
         }
-        let _ = Workload { model_name: "custom".into(), layers: wls.clone() };
+        let _ = Workload {
+            model_name: "custom".into(),
+            layers: wls.clone(),
+        };
         for lw in &wls {
             cycles += simulate_layer(lw, &sim_cfg, 0).cycles;
         }

@@ -6,9 +6,9 @@
 //!
 //! Run with: `cargo run --release --example quantized_network`
 
+use escalate::algo::decompose;
 use escalate::algo::quant::{requantize_output, threshold_for_sparsity, HybridQuantized};
 use escalate::algo::reorg::forward_eq3;
-use escalate::algo::decompose;
 use escalate::models::{synth, LayerShape, Model};
 use escalate::tensor::conv::conv2d;
 
@@ -20,7 +20,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         LayerShape::conv("stage3", 24, 32, 8, 8, 3, 1, 1),
     ];
     let net = Model::new("demo-net", layers.clone());
-    net.validate().map_err(|e| format!("invalid network: {e}"))?;
+    net.validate()
+        .map_err(|e| format!("invalid network: {e}"))?;
 
     let input = synth::activations(&layers[0], 0.4, 3);
     println!("three-layer network, 90% coefficient sparsity, 8-bit inter-layer maps");

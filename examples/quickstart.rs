@@ -3,10 +3,10 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
+use escalate::algo::decompose;
 use escalate::algo::pipeline::ternary_storage_bits;
 use escalate::algo::quant::HybridQuantized;
 use escalate::algo::reorg::{forward_eq2, forward_eq3};
-use escalate::algo::decompose;
 use escalate::models::{synth, LayerShape};
 use escalate::tensor::conv::conv2d;
 
@@ -36,7 +36,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // And both approximate the direct convolution of the original weights.
     let direct = conv2d(&input, &weights, layer.stride, layer.pad);
-    println!("output relative error vs dense convolution: {:.4}", direct.relative_error(&out3));
+    println!(
+        "output relative error vs dense convolution: {:.4}",
+        direct.relative_error(&out3)
+    );
 
     // Hybrid quantization: 8-bit basis, ternary coefficients (t = 0.05).
     let h = HybridQuantized::quantize(&d, 0.05)?;

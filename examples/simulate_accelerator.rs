@@ -4,9 +4,9 @@
 //!
 //! Run with: `cargo run --release --example simulate_accelerator`
 
-use escalate::baselines::{Accelerator, BaselineWorkload, Eyeriss, Scnn, SparTen};
-use escalate::algo::pipeline::CompressionConfig;
 use escalate::algo::compress_model_artifacts;
+use escalate::algo::pipeline::CompressionConfig;
+use escalate::baselines::{BaselineWorkload, Eyeriss, LayerModel, Scnn, SparTen};
 use escalate::energy::{model_energy, BufferCaps, UnitEnergy};
 use escalate::models::ModelProfile;
 use escalate::sim::{simulate_model, SimConfig, Workload};
@@ -27,8 +27,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 3. Simulate the baselines on the pruned checkpoint.
     let bw = BaselineWorkload::for_profile(&profile);
     let caps = BufferCaps::baseline(64 * 1024);
-    let accels: Vec<Box<dyn Accelerator>> =
-        vec![Box::new(Eyeriss::default()), Box::new(Scnn::default()), Box::new(SparTen::default())];
+    let accels: Vec<Box<dyn LayerModel>> = vec![
+        Box::new(Eyeriss::default()),
+        Box::new(Scnn::default()),
+        Box::new(SparTen::default()),
+    ];
 
     println!("{} on four accelerators:", profile.name);
     println!();

@@ -4,8 +4,8 @@
 //!
 //! Run with: `cargo run --release --example validate_simulator`
 
-use escalate::algo::quant::{threshold_for_sparsity, TernaryCoeffs};
 use escalate::algo::decompose;
+use escalate::algo::quant::{threshold_for_sparsity, TernaryCoeffs};
 use escalate::models::{synth, LayerShape};
 use escalate::sim::detailed::simulate_layer_detailed;
 use escalate::sim::trace::simulate_layer_traced;
@@ -19,7 +19,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let d = decompose(&weights, 6)?;
     let t = threshold_for_sparsity(&d.coeffs, 0.95);
     let coeffs = TernaryCoeffs::ternarize(&d.coeffs, t)?;
-    println!("layer {layer}, coefficient sparsity {:.1}%", coeffs.sparsity() * 100.0);
+    println!(
+        "layer {layer}, coefficient sparsity {:.1}%",
+        coeffs.sparsity() * 100.0
+    );
 
     let lw = LayerWorkload {
         name: layer.name.clone(),
@@ -36,12 +39,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Sampling engine (the mode every figure harness uses).
     let engine = simulate_layer(&lw, &cfg, 0);
     // 2. Trace-driven: every position of a real feature map.
-    let traced = simulate_layer_traced(&lw, &cfg, &ifm);
+    let traced = simulate_layer_traced(&lw, &cfg, &ifm)?;
     // 3. Detailed: cycle-stepped slices for every channel assignment.
-    let detailed = simulate_layer_detailed(&lw, &cfg, &ifm);
+    let detailed = simulate_layer_detailed(&lw, &cfg, &ifm)?;
 
     println!();
-    println!("{:<22} {:>10} {:>14} {:>12}", "mode", "cycles", "MAC idle (cyc)", "CA matches");
+    println!(
+        "{:<22} {:>10} {:>14} {:>12}",
+        "mode", "cycles", "MAC idle (cyc)", "CA matches"
+    );
     println!(
         "{:<22} {:>10} {:>14} {:>12}",
         "sampling engine", engine.cycles, engine.mac_idle_cycles, engine.ca_adds

@@ -11,6 +11,7 @@ cd "$(dirname "$0")/.."
 
 cargo build --release --offline
 cargo test -q --offline
+cargo fmt --check
 cargo clippy --all-targets --offline -- -D warnings
 
 echo "tier-1: OK"

@@ -63,7 +63,10 @@ fn all_zero_weights_compress_to_nearly_nothing() {
     let d = decompose(&w, 6).expect("zero weights decompose");
     let t = TernaryCoeffs::ternarize(&d.coeffs, 0.05).expect("zero coeffs ternarize");
     assert_eq!(t.nnz(), 0);
-    assert!(t.w_pos.iter().all(|&w| w > 0.0), "scales stay positive even for dead slices");
+    assert!(
+        t.w_pos.iter().all(|&w| w > 0.0),
+        "scales stay positive even for dead slices"
+    );
     assert!(d.reconstruct().all_close(&w, 1e-6));
 }
 

@@ -2,18 +2,24 @@
 //! energy model, exercised through the public facade API exactly as a
 //! downstream user would drive it.
 
-use escalate::algo::pipeline::CompressionConfig;
 use escalate::algo::compress_model_artifacts;
+use escalate::algo::pipeline::CompressionConfig;
 use escalate::energy::{layer_energy, model_energy, BufferCaps, UnitEnergy};
 use escalate::models::ModelProfile;
 use escalate::sim::{simulate_model, SimConfig, Workload, WorkloadMode};
 
-fn mobilenet_run() -> (escalate::sim::ModelStats, Vec<escalate::algo::CompressedLayer>) {
+fn mobilenet_run() -> (
+    escalate::sim::ModelStats,
+    Vec<escalate::algo::CompressedLayer>,
+) {
     let profile = ModelProfile::for_model("MobileNet").expect("known model");
-    let artifacts =
-        compress_model_artifacts(&profile, &CompressionConfig::default()).expect("compression succeeds");
+    let artifacts = compress_model_artifacts(&profile, &CompressionConfig::default())
+        .expect("compression succeeds");
     let workload = Workload::from_artifacts("MobileNet", &artifacts, &profile);
-    (simulate_model(&workload, &SimConfig::default(), 0), artifacts)
+    (
+        simulate_model(&workload, &SimConfig::default(), 0),
+        artifacts,
+    )
 }
 
 #[test]
@@ -43,8 +49,8 @@ fn dram_weight_traffic_equals_compressed_size() {
 #[test]
 fn mac_ops_respect_the_decomposed_compute_model() {
     let profile = ModelProfile::for_model("MobileNet").expect("known model");
-    let artifacts =
-        compress_model_artifacts(&profile, &CompressionConfig::default()).expect("compression succeeds");
+    let artifacts = compress_model_artifacts(&profile, &CompressionConfig::default())
+        .expect("compression succeeds");
     let workload = Workload::from_artifacts("MobileNet", &artifacts, &profile);
     let stats = simulate_model(&workload, &SimConfig::default(), 0);
     for (lw, s) in workload.layers.iter().zip(&stats.layers) {
@@ -63,7 +69,11 @@ fn energy_model_is_consistent_across_granularities() {
     let caps = BufferCaps::default();
     let units = UnitEnergy::table3();
     let total = model_energy(&stats, &caps, &units);
-    let summed: f64 = stats.layers.iter().map(|l| layer_energy(l, &caps, &units).total_pj()).sum();
+    let summed: f64 = stats
+        .layers
+        .iter()
+        .map(|l| layer_energy(l, &caps, &units).total_pj())
+        .sum();
     assert!((total.total_pj() - summed).abs() / summed < 1e-9);
     assert!(total.total_pj() > 0.0);
     // DRAM energy follows the Table 3 constant exactly.
@@ -73,8 +83,8 @@ fn energy_model_is_consistent_across_granularities() {
 #[test]
 fn simulation_is_deterministic_per_seed() {
     let profile = ModelProfile::for_model("MobileNet").expect("known model");
-    let artifacts =
-        compress_model_artifacts(&profile, &CompressionConfig::default()).expect("compression succeeds");
+    let artifacts = compress_model_artifacts(&profile, &CompressionConfig::default())
+        .expect("compression succeeds");
     let workload = Workload::from_artifacts("MobileNet", &artifacts, &profile);
     let a = simulate_model(&workload, &SimConfig::default(), 3);
     let b = simulate_model(&workload, &SimConfig::default(), 3);
@@ -89,7 +99,10 @@ fn simulation_is_deterministic_per_seed() {
 #[test]
 fn dsc_pairs_are_fused_into_single_units() {
     let (_, artifacts) = mobilenet_run();
-    let fused = artifacts.iter().filter(|a| a.fused_pointwise.is_some()).count();
+    let fused = artifacts
+        .iter()
+        .filter(|a| a.fused_pointwise.is_some())
+        .count();
     assert_eq!(fused, 13, "MobileNet has 13 dw+pw pairs");
     for a in &artifacts {
         if let Some(pw) = &a.fused_pointwise {

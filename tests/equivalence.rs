@@ -2,10 +2,10 @@
 //! quantized computation paths must all approximate the dense reference
 //! convolution, across layer shapes, strides, and paddings.
 
+use escalate::algo::decompose;
 use escalate::algo::dsc::{decompose_dsc, dsc_forward};
 use escalate::algo::quant::HybridQuantized;
 use escalate::algo::reorg::{forward_eq2, forward_eq3};
-use escalate::algo::decompose;
 use escalate::models::{synth, LayerShape};
 use escalate::tensor::conv::conv2d;
 
@@ -57,7 +57,10 @@ fn truncation_error_is_graceful_on_low_rank_weights() {
     let d2 = decompose(&w, 2).expect("decomposition succeeds");
     let (o2, _) = forward_eq3(&d2, &input, 1, 1);
     let e2 = direct.relative_error(&o2);
-    assert!(e2 > 1e-3 && e2 < 1.0, "rank-2 error should be lossy but bounded: {e2}");
+    assert!(
+        e2 > 1e-3 && e2 < 1.0,
+        "rank-2 error should be lossy but bounded: {e2}"
+    );
 }
 
 #[test]
@@ -77,8 +80,15 @@ fn hybrid_quantized_forward_is_bounded_and_qat_improves_it() {
     assert!(ptq_err < 1.0, "ternary PTQ error out of range: {ptq_err}");
 
     // ...and quantization-aware retraining tightens it.
-    let qat = retrain_coeffs(&d.coeffs, &QatConfig { epochs: 120, threshold: 0.0, ..QatConfig::default() })
-        .expect("retraining succeeds");
+    let qat = retrain_coeffs(
+        &d.coeffs,
+        &QatConfig {
+            epochs: 120,
+            threshold: 0.0,
+            ..QatConfig::default()
+        },
+    )
+    .expect("retraining succeeds");
     let mut dq = d.clone();
     dq.coeffs = qat.coeffs.dequantize();
     let (retrained, _) = forward_eq3(&dq, &input, 1, 1);
@@ -136,7 +146,10 @@ fn two_layer_chain_with_output_requantization() {
     let quantized = conv2d(&mid_q, &w2, 1, 1);
 
     let err = reference.relative_error(&quantized);
-    assert!(err < 0.02, "8-bit inter-layer requantization error too large: {err}");
+    assert!(
+        err < 0.02,
+        "8-bit inter-layer requantization error too large: {err}"
+    );
     // 4-bit requantization is visibly worse but still bounded.
     let (mid_q4, _) = requantize_output(&mid, 4).expect("valid bits");
     let q4 = conv2d(&mid_q4, &w2, 1, 1);
@@ -160,7 +173,10 @@ fn sparsified_coefficients_degrade_smoothly() {
         dq.coeffs = tern.dequantize();
         let (out, _) = forward_eq3(&dq, &input, 1, 1);
         let err = reference.relative_error(&out);
-        assert!(err >= last_err - 0.05, "error should not collapse as sparsity grows");
+        assert!(
+            err >= last_err - 0.05,
+            "error should not collapse as sparsity grows"
+        );
         last_err = err;
     }
 }

@@ -1,17 +1,16 @@
 //! Cross-crate property-based tests on randomized layer shapes.
 
+use escalate::algo::decompose;
 use escalate::algo::quant::{threshold_for_sparsity, TernaryCoeffs};
 use escalate::algo::reorg::{forward_eq2, forward_eq3};
-use escalate::algo::decompose;
 use escalate::models::{synth, LayerShape};
 use escalate::sim::workload::CoefMasks;
 use escalate::sim::{simulate_layer, LayerWorkload, SimConfig, WorkloadMode};
 use proptest::prelude::*;
 
 fn small_layer() -> impl Strategy<Value = LayerShape> {
-    (2usize..10, 2usize..12, 5usize..9, 1usize..3).prop_map(|(c, k, x, stride)| {
-        LayerShape::conv("prop", c, k, x, x, 3, stride, 1)
-    })
+    (2usize..10, 2usize..12, 5usize..9, 1usize..3)
+        .prop_map(|(c, k, x, stride)| LayerShape::conv("prop", c, k, x, x, 3, stride, 1))
 }
 
 proptest! {

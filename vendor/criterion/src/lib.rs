@@ -38,12 +38,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// Builds an id from a function name and a parameter value.
     pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
-        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
     }
 
     /// Builds an id from just a parameter value.
     pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
-        BenchmarkId { id: parameter.to_string() }
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
     }
 }
 
@@ -88,7 +92,8 @@ impl Bencher<'_> {
                     for _ in 0..iters {
                         black_box(routine());
                     }
-                    self.samples.push(start.elapsed().as_secs_f64() / iters as f64);
+                    self.samples
+                        .push(start.elapsed().as_secs_f64() / iters as f64);
                 }
             }
         }
@@ -131,7 +136,12 @@ fn run_one<F: FnMut(&mut Bencher)>(
     mut body: F,
 ) {
     let mut samples = Vec::new();
-    let mut bencher = Bencher { mode, samples: &mut samples, sample_size, measurement_time };
+    let mut bencher = Bencher {
+        mode,
+        samples: &mut samples,
+        sample_size,
+        measurement_time,
+    };
     body(&mut bencher);
     match mode {
         Mode::Smoke => println!("bench {id}: ok (smoke)"),
@@ -168,7 +178,10 @@ impl Default for Criterion {
         // First free argument (not a flag, not the binary path) is a
         // name filter, like upstream.
         let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
-        Criterion { mode: detect_mode(), filter }
+        Criterion {
+            mode: detect_mode(),
+            filter,
+        }
     }
 }
 
@@ -225,7 +238,13 @@ impl BenchmarkGroup<'_> {
     ) -> &mut Self {
         let full = format!("{}/{}", self.name, id);
         if self.criterion.selected(&full) {
-            run_one(&full, self.criterion.mode, self.sample_size, self.measurement_time, body);
+            run_one(
+                &full,
+                self.criterion.mode,
+                self.sample_size,
+                self.measurement_time,
+                body,
+            );
         }
         self
     }
@@ -286,7 +305,10 @@ mod tests {
 
     #[test]
     fn group_chain_compiles_and_runs() {
-        let mut c = Criterion { mode: Mode::Smoke, filter: None };
+        let mut c = Criterion {
+            mode: Mode::Smoke,
+            filter: None,
+        };
         let mut g = c.benchmark_group("g");
         g.sample_size(10);
         g.bench_function("a", |b| b.iter(|| black_box(1 + 1)));

@@ -88,13 +88,19 @@ pub mod collection {
     impl From<core::ops::Range<usize>> for SizeRange {
         fn from(r: core::ops::Range<usize>) -> Self {
             assert!(r.start < r.end, "empty collection size range");
-            SizeRange { lo: r.start, hi: r.end }
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
         }
     }
 
     impl From<core::ops::RangeInclusive<usize>> for SizeRange {
         fn from(r: core::ops::RangeInclusive<usize>) -> Self {
-            SizeRange { lo: *r.start(), hi: *r.end() + 1 }
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
         }
     }
 
@@ -107,7 +113,10 @@ pub mod collection {
 
     /// `Vec` strategy with lengths drawn from `size`.
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S> {
@@ -136,7 +145,10 @@ pub mod option {
     /// `Option` strategy that is `Some(inner)` with probability
     /// `probability`.
     pub fn weighted<S: Strategy>(probability: f64, inner: S) -> WeightedOption<S> {
-        assert!((0.0..=1.0).contains(&probability), "probability out of range");
+        assert!(
+            (0.0..=1.0).contains(&probability),
+            "probability out of range"
+        );
         WeightedOption { probability, inner }
     }
 
@@ -163,7 +175,9 @@ pub mod prelude {
     pub use crate::arbitrary::any;
     pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::{ProptestConfig, TestCaseError};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 
     /// Module alias so `prop::collection::vec(..)` etc. work after a glob
     /// import, as with upstream's prelude.

@@ -30,7 +30,11 @@ pub trait Strategy {
         Self: Sized,
         F: Fn(&Self::Value) -> bool,
     {
-        Filter { base: self, whence, f }
+        Filter {
+            base: self,
+            whence,
+            f,
+        }
     }
 
     /// Erases the concrete strategy type.
@@ -115,7 +119,10 @@ where
                 return v;
             }
         }
-        panic!("prop_filter rejected 1000 consecutive draws: {}", self.whence);
+        panic!(
+            "prop_filter rejected 1000 consecutive draws: {}",
+            self.whence
+        );
     }
 }
 

@@ -38,7 +38,10 @@ pub trait Rng: RngCore + Sized {
     ///
     /// Panics if `p` is not in `[0, 1]`.
     fn gen_bool(&mut self, p: f64) -> bool {
-        assert!((0.0..=1.0).contains(&p), "gen_bool probability {p} not in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability {p} not in [0, 1]"
+        );
         // 53 uniform mantissa bits in [0, 1); strictly below 1.0, so p = 1.0
         // always accepts and p = 0.0 always rejects.
         unit_f64(self.next_u64()) < p
@@ -122,7 +125,11 @@ impl SampleRange<f64> for core::ops::Range<f64> {
         assert!(self.start < self.end, "cannot sample from empty range");
         let v = self.start + (self.end - self.start) * unit_f64(rng.next_u64());
         // Guard against rounding up to the excluded endpoint.
-        if v >= self.end { self.start } else { v }
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
     }
 }
 
@@ -130,7 +137,11 @@ impl SampleRange<f32> for core::ops::Range<f32> {
     fn sample_single<R: RngCore>(self, rng: &mut R) -> f32 {
         assert!(self.start < self.end, "cannot sample from empty range");
         let v = self.start + (self.end - self.start) * unit_f32(rng.next_u32());
-        if v >= self.end { self.start } else { v }
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
     }
 }
 
@@ -214,8 +225,9 @@ mod tests {
             assert_eq!(a.gen_range(0u64..1_000_000), b.gen_range(0u64..1_000_000));
         }
         let mut c = StdRng::seed_from_u64(43);
-        let same: usize =
-            (0..100).filter(|_| a.gen_range(0u64..1_000_000) == c.gen_range(0u64..1_000_000)).count();
+        let same: usize = (0..100)
+            .filter(|_| a.gen_range(0u64..1_000_000) == c.gen_range(0u64..1_000_000))
+            .count();
         assert!(same < 5, "different seeds should diverge");
     }
 

@@ -44,7 +44,9 @@ fn default_threads() -> usize {
             }
         }
     }
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// Number of threads the global pool uses.
@@ -70,7 +72,9 @@ fn acquire_tokens(want: usize) -> usize {
             return 0;
         }
         let take = cur.min(want as isize);
-        if t.compare_exchange(cur, cur - take, Ordering::Relaxed, Ordering::Relaxed).is_ok() {
+        if t.compare_exchange(cur, cur - take, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+        {
             return take as usize;
         }
     }
@@ -125,11 +129,21 @@ impl ThreadPoolBuilder {
     /// Returns [`ThreadPoolBuildError`] if the pool was already configured
     /// or its token budget already materialized.
     pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
-        let requested = if self.num_threads == 0 { default_threads() } else { self.num_threads };
-        if CONFIGURED.compare_exchange(0, requested, Ordering::Relaxed, Ordering::Relaxed).is_err() {
+        let requested = if self.num_threads == 0 {
+            default_threads()
+        } else {
+            self.num_threads
+        };
+        if CONFIGURED
+            .compare_exchange(0, requested, Ordering::Relaxed, Ordering::Relaxed)
+            .is_err()
+        {
             return Err(ThreadPoolBuildError);
         }
-        if TOKENS.set(AtomicIsize::new(requested as isize - 1)).is_err() {
+        if TOKENS
+            .set(AtomicIsize::new(requested as isize - 1))
+            .is_err()
+        {
             return Err(ThreadPoolBuildError);
         }
         Ok(())
@@ -149,7 +163,10 @@ where
     if len <= 1 {
         return items.into_iter().map(f).collect();
     }
-    let extra = acquire_tokens(len.saturating_sub(1).min(current_num_threads().saturating_sub(1)));
+    let extra = acquire_tokens(
+        len.saturating_sub(1)
+            .min(current_num_threads().saturating_sub(1)),
+    );
     let _guard = TokenGuard(extra);
     if extra == 0 {
         return items.into_iter().map(f).collect();
@@ -307,7 +324,9 @@ impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
     type Iter = VecParIter<&'data T>;
 
     fn par_iter(&'data self) -> VecParIter<&'data T> {
-        VecParIter { items: self.iter().collect() }
+        VecParIter {
+            items: self.iter().collect(),
+        }
     }
 }
 
@@ -316,7 +335,9 @@ impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
     type Iter = VecParIter<&'data T>;
 
     fn par_iter(&'data self) -> VecParIter<&'data T> {
-        VecParIter { items: self.iter().collect() }
+        VecParIter {
+            items: self.iter().collect(),
+        }
     }
 }
 
