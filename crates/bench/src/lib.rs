@@ -28,13 +28,11 @@ pub const SEEDS_ENV: &str = "ESCALATE_SEEDS";
 
 /// Number of input seeds experiments average over: the `ESCALATE_SEEDS`
 /// environment variable when set (and positive), else
-/// [`DEFAULT_INPUT_SEEDS`]. The CLI's `--seeds` flag overrides both.
+/// [`DEFAULT_INPUT_SEEDS`]. An invalid value (garbage, `0`) earns a
+/// one-line stderr warning before the default applies — it is never
+/// swallowed silently. The CLI's `--seeds` flag overrides both.
 pub fn input_seeds() -> u64 {
-    std::env::var(SEEDS_ENV)
-        .ok()
-        .and_then(|v| v.trim().parse::<u64>().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or(DEFAULT_INPUT_SEEDS)
+    escalate_core::par::positive_env(SEEDS_ENV).unwrap_or(DEFAULT_INPUT_SEEDS)
 }
 
 /// One accelerator's averaged result on one model.
@@ -144,8 +142,50 @@ fn cache_key(model: &str, cfg: &CompressionConfig) -> CacheKey {
     )
 }
 
-fn artifact_cache() -> &'static Mutex<HashMap<CacheKey, Arc<Vec<CompressedLayer>>>> {
-    static CACHE: OnceLock<Mutex<HashMap<CacheKey, Arc<Vec<CompressedLayer>>>>> = OnceLock::new();
+/// Locks a mutex, recovering the data from a poisoned lock instead of
+/// cascading the panic: every value behind these locks is valid at every
+/// instant (a poisoned artifact slot is simply still empty), so one
+/// panicking compression must not take the whole harness down.
+fn lock_recover<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Per-key single-flight memoization. The first caller for `key` runs
+/// `compute()` while holding that key's slot lock, so concurrent callers
+/// for the same key block on the slot (not the whole map) and then read
+/// the finished value — the computation runs exactly once per key.
+/// Distinct keys never block each other beyond the brief map lookup.
+/// Errors are not cached (the slot stays empty; the next caller retries),
+/// and a panic inside `compute` poisons only that key's slot, which later
+/// callers recover from.
+///
+/// Returns the value plus whether it was a cache hit.
+fn single_flight<K, V, E>(
+    map: &Mutex<HashMap<K, Arc<Mutex<Option<V>>>>>,
+    key: K,
+    compute: impl FnOnce() -> Result<V, E>,
+) -> Result<(V, bool), E>
+where
+    K: std::hash::Hash + Eq,
+    V: Clone,
+{
+    let slot = {
+        let mut m = lock_recover(map);
+        Arc::clone(m.entry(key).or_default())
+    };
+    let mut guard = lock_recover(&slot);
+    if let Some(hit) = guard.as_ref() {
+        return Ok((hit.clone(), true));
+    }
+    let v = compute()?;
+    *guard = Some(v.clone());
+    Ok((v, false))
+}
+
+type ArtifactSlot = Arc<Mutex<Option<Arc<Vec<CompressedLayer>>>>>;
+
+fn artifact_cache() -> &'static Mutex<HashMap<CacheKey, ArtifactSlot>> {
+    static CACHE: OnceLock<Mutex<HashMap<CacheKey, ArtifactSlot>>> = OnceLock::new();
     CACHE.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
@@ -156,29 +196,33 @@ fn artifact_cache() -> &'static Mutex<HashMap<CacheKey, Arc<Vec<CompressedLayer>
 /// simulators re-run per seed and per accelerator; compression does not
 /// need to), so harnesses that revisit the same model — seed sweeps, the
 /// four-accelerator comparison, benchmark grids — go through this cache.
-/// The lock is held only around the map lookup/insert, not compression
-/// itself, so a rare duplicate compression of the same key can race; both
-/// produce identical artifacts (compression is deterministic) and one
-/// result wins.
+/// Concurrent first requests for the same key are single-flighted: one
+/// caller compresses while the others wait on that key's slot, so the
+/// expensive step never runs twice. Hits and misses are counted on the
+/// metrics recorder (`bench.cache_hits` / `bench.cache_misses`) when one
+/// is installed.
 ///
 /// # Errors
 ///
-/// Propagates compression failures (errors are not cached).
+/// Propagates compression failures (errors are not cached; a later call
+/// retries).
 pub fn compress_cached(
     profile: &ModelProfile,
     cfg: &CompressionConfig,
 ) -> Result<Arc<Vec<CompressedLayer>>, EscalateError> {
     let key = cache_key(profile.name, cfg);
-    if let Some(hit) = artifact_cache()
-        .lock()
-        .expect("artifact cache poisoned")
-        .get(&key)
-    {
-        return Ok(Arc::clone(hit));
-    }
-    let artifacts = Arc::new(compress_model_artifacts(profile, cfg)?);
-    let mut cache = artifact_cache().lock().expect("artifact cache poisoned");
-    Ok(Arc::clone(cache.entry(key).or_insert(artifacts)))
+    let (artifacts, hit) = single_flight(artifact_cache(), key, || {
+        compress_model_artifacts(profile, cfg).map(Arc::new)
+    })?;
+    escalate_obs::counter_add(
+        if hit {
+            "bench.cache_hits"
+        } else {
+            "bench.cache_misses"
+        },
+        1,
+    );
+    Ok(artifacts)
 }
 
 /// Averages per-seed results exactly as the historical sequential loop
@@ -222,6 +266,7 @@ pub fn run_accelerator(
     seeds: u64,
     threads: usize,
 ) -> AccelRun {
+    let _t = escalate_obs::span_labeled("bench.accelerator", acc.name());
     let units = UnitEnergy::table3();
     let simulate = |seed: u64| {
         let stats = acc.simulate(seed, threads);
@@ -270,6 +315,7 @@ pub fn run_model(
     sim_cfg: &SimConfig,
     seeds: u64,
 ) -> Result<ModelRun, EscalateError> {
+    let _t = escalate_obs::span_labeled("bench.model", profile.name);
     escalate_core::par::configure_threads(sim_cfg.threads);
     let artifacts = compress_cached(
         profile,
@@ -345,6 +391,73 @@ pub fn ratio(v: f64) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn input_seeds_ignores_invalid_env_with_warning() {
+        // One test covering set/invalid/zero/unset so the env mutations
+        // cannot race each other under the parallel test runner (this is
+        // the only test in the binary touching ESCALATE_SEEDS).
+        std::env::set_var(SEEDS_ENV, "7");
+        assert_eq!(input_seeds(), 7);
+        std::env::set_var(SEEDS_ENV, "lots");
+        assert_eq!(input_seeds(), DEFAULT_INPUT_SEEDS);
+        std::env::set_var(SEEDS_ENV, "0");
+        assert_eq!(input_seeds(), DEFAULT_INPUT_SEEDS);
+        std::env::remove_var(SEEDS_ENV);
+        assert_eq!(input_seeds(), DEFAULT_INPUT_SEEDS);
+    }
+
+    #[test]
+    fn single_flight_computes_once_across_threads() {
+        let map: Mutex<HashMap<u32, Arc<Mutex<Option<u64>>>>> = Mutex::new(HashMap::new());
+        let calls = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    let (v, _) = single_flight(&map, 1u32, || {
+                        calls.fetch_add(1, Ordering::SeqCst);
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                        Ok::<u64, ()>(42)
+                    })
+                    .unwrap();
+                    assert_eq!(v, 42);
+                });
+            }
+        });
+        assert_eq!(calls.load(Ordering::SeqCst), 1, "compute must run once");
+        let (_, hit) = single_flight(&map, 1u32, || Ok::<u64, ()>(0)).unwrap();
+        assert!(hit, "later calls must be hits");
+    }
+
+    #[test]
+    fn single_flight_does_not_cache_errors() {
+        let map: Mutex<HashMap<u32, Arc<Mutex<Option<u64>>>>> = Mutex::new(HashMap::new());
+        let err = single_flight(&map, 1u32, || Err::<u64, &str>("boom"));
+        assert_eq!(err.unwrap_err(), "boom");
+        let (v, hit) = single_flight(&map, 1u32, || Ok::<u64, &str>(7)).unwrap();
+        assert_eq!(v, 7);
+        assert!(!hit, "the retry must recompute, not read a cached error");
+    }
+
+    #[test]
+    fn single_flight_recovers_from_poisoned_slots() {
+        let map: Mutex<HashMap<u32, Arc<Mutex<Option<u64>>>>> = Mutex::new(HashMap::new());
+        let poison = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = single_flight(&map, 1u32, || -> Result<u64, ()> {
+                panic!("compression panicked mid-flight")
+            });
+        }));
+        assert!(poison.is_err());
+        // The panic poisoned key 1's slot; the next caller must recover
+        // and compute rather than propagate the old panic.
+        let (v, hit) = single_flight(&map, 1u32, || Ok::<u64, ()>(9)).unwrap();
+        assert_eq!(v, 9);
+        assert!(!hit);
+        // Unrelated keys were never affected.
+        let (v2, _) = single_flight(&map, 2u32, || Ok::<u64, ()>(11)).unwrap();
+        assert_eq!(v2, 11);
+    }
 
     #[test]
     fn bar_scales_and_clamps() {

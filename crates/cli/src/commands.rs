@@ -63,6 +63,8 @@ COMMANDS:
                        (default $ESCALATE_SEEDS or 10)
         --threads <N>  host threads (default $ESCALATE_THREADS or all
                        cores; 1 forces sequential; results are identical)
+        --metrics <FILE>  record counters/timings during the run and
+                       write a JSON run manifest (see DESIGN.md)
     sweep <MODEL>                  sweep M at a fixed MAC budget (Figure 12)
         --from <N> --to <N>        M range (default 4..8)
         --threads <N>  host threads (as for simulate)
@@ -196,18 +198,52 @@ fn cmd_compress(args: &ParsedArgs) -> Result<String, CliError> {
 }
 
 fn cmd_simulate(args: &ParsedArgs) -> Result<String, CliError> {
-    args.ensure_known(&["m", "seeds", "threads"])?;
+    args.ensure_known(&["m", "seeds", "threads", "metrics"])?;
     let p = model_arg(args)?;
     let m = args.get_or("m", 6usize)?;
     let seeds = args.get_or("seeds", input_seeds())?;
     let threads = args.get_or("threads", 0usize)?;
+    let metrics_path = args.options.get("metrics").cloned();
+    // A bare `--metrics` parses as the flag sentinel "true"; refuse it
+    // rather than silently writing a manifest to a file named `true`.
+    if metrics_path.as_deref() == Some("true") {
+        return Err(CliError::Args(ArgError::BadValue {
+            option: "metrics".into(),
+            value: "true".into(),
+            expected: "a file path (use ./true for a file literally named true)",
+        }));
+    }
     let mut cfg = if m == 6 {
         SimConfig::default()
     } else {
         SimConfig::default().with_m(m)
     };
     cfg.threads = threads;
-    let run = run_model(&p, &cfg, seeds).map_err(|e| CliError::Pipeline(e.to_string()))?;
+
+    // With --metrics, install a recorder for the duration of the run;
+    // without it the simulators take their zero-cost no-op path.
+    let registry = metrics_path.as_ref().map(|_| {
+        let r = std::sync::Arc::new(escalate_obs::Registry::new());
+        escalate_obs::install(std::sync::Arc::clone(&r));
+        r
+    });
+    let run = run_model(&p, &cfg, seeds);
+    if registry.is_some() {
+        escalate_obs::uninstall();
+    }
+    let run = run.map_err(|e| CliError::Pipeline(e.to_string()))?;
+    if let (Some(path), Some(reg)) = (&metrics_path, &registry) {
+        let json = crate::manifest::render_manifest(
+            "simulate",
+            p.name,
+            &cfg,
+            seeds,
+            &run,
+            &reg.snapshot(),
+        );
+        std::fs::write(path, json)
+            .map_err(|e| CliError::Pipeline(format!("cannot write {path}: {e}")))?;
+    }
     let mut out = format!(
         "{:<10} {:>12} {:>12} {:>12} {:>10} {:>10}\n",
         "design", "cycles", "latency(ms)", "energy(mJ)", "DRAM(MB)", "vs Eyeriss"
@@ -304,10 +340,12 @@ fn cmd_inspect(args: &ParsedArgs) -> Result<String, CliError> {
             m
         ));
     }
-    out.push_str(&format!(
-        "\ntotal: {:.2}x compression\n",
-        orig as f64 / comp.max(1) as f64
-    ));
+    out.push_str(
+        &match escalate_sim::checked_ratio(orig as u64, comp as u64) {
+            Some(r) => format!("\ntotal: {r:.2}x compression\n"),
+            None => "\ntotal: no compressed bits recorded\n".to_string(),
+        },
+    );
     Ok(out)
 }
 
@@ -370,10 +408,14 @@ fn cmd_validate(args: &ParsedArgs) -> Result<String, CliError> {
         "{:<22} {:>12} {:>14}\n",
         "detailed (stepped)", detailed.cycles, detailed.matched
     ));
+    let vs_engine = |cycles: u64| {
+        escalate_sim::checked_ratio(cycles, engine.cycles)
+            .map_or_else(|| "n/a".to_string(), |r| format!("{r:.2}"))
+    };
     out.push_str(&format!(
-        "\ntrace/engine = {:.2}, detailed/engine = {:.2}\n",
-        traced.cycles as f64 / engine.cycles.max(1) as f64,
-        detailed.cycles as f64 / engine.cycles.max(1) as f64,
+        "\ntrace/engine = {}, detailed/engine = {}\n",
+        vs_engine(traced.cycles),
+        vs_engine(detailed.cycles),
     ));
     Ok(out)
 }
@@ -468,6 +510,41 @@ mod tests {
         assert!(out.contains("compression"), "{out}");
         assert!(out.contains("dw1+pw1"));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn simulate_with_metrics_writes_a_manifest() {
+        let dir = std::env::temp_dir().join("escalate_cli_metrics_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("manifest.json");
+        let p = path.to_str().unwrap();
+        run(&["simulate", "MobileNet", "--seeds", "1", "--metrics", p]).unwrap();
+        let json = std::fs::read_to_string(&path).unwrap();
+        // Structure only: other tests in this binary run in parallel and
+        // may record onto the installed registry, so exact counter values
+        // are asserted by the sim crate's observer tests instead.
+        for needle in [
+            "\"schema\": \"escalate-run-manifest/v1\"",
+            "\"model\": \"MobileNet\"",
+            "\"seeds\": 1",
+            "\"accelerators\":",
+            "\"layers\":",
+            "\"metrics\":",
+            "sim.cycles",
+            "bench.model/MobileNet",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in manifest");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn simulate_rejects_bare_metrics_flag() {
+        let err = run(&["simulate", "MobileNet", "--seeds", "1", "--metrics"]).unwrap_err();
+        assert!(
+            err.to_string().contains("metrics"),
+            "expected a --metrics error, got: {err}"
+        );
     }
 
     #[test]

@@ -4,6 +4,7 @@
 
 mod args;
 mod commands;
+mod manifest;
 
 use std::process::ExitCode;
 

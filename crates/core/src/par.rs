@@ -21,13 +21,30 @@ pub const THREADS_ENV: &str = "ESCALATE_THREADS";
 /// What `configure_threads` resolved to (0 = not yet configured).
 static RESOLVED: AtomicUsize = AtomicUsize::new(0);
 
+/// Parses a positive-integer override from the environment.
+///
+/// `None` when `var` is unset. When it is set but not a positive integer
+/// (garbage, `0`, negative), prints a one-line warning to stderr and
+/// returns `None` so the caller falls back to its default — previously
+/// such values were silently swallowed, which made a typo'd
+/// `ESCALATE_THREADS=O8` indistinguishable from an unset one.
+pub fn positive_env(var: &str) -> Option<u64> {
+    let raw = std::env::var(var).ok()?;
+    let parsed = parse_positive(&raw);
+    if parsed.is_none() {
+        eprintln!("warning: ignoring {var}={raw:?}: expected a positive integer");
+    }
+    parsed
+}
+
+/// The pure parser behind [`positive_env`]: `Some(n)` for a positive
+/// integer (surrounding whitespace allowed), `None` otherwise.
+pub fn parse_positive(raw: &str) -> Option<u64> {
+    raw.trim().parse::<u64>().ok().filter(|&n| n > 0)
+}
+
 fn env_threads() -> Option<usize> {
-    std::env::var(THREADS_ENV)
-        .ok()?
-        .trim()
-        .parse::<usize>()
-        .ok()
-        .filter(|&n| n > 0)
+    positive_env(THREADS_ENV).map(|n| n as usize)
 }
 
 /// Resolves a requested thread count (`0` = auto) against the
@@ -83,6 +100,30 @@ mod tests {
     #[test]
     fn auto_resolves_to_positive() {
         assert!(resolve_threads(0) >= 1);
+    }
+
+    #[test]
+    fn parse_positive_accepts_only_positive_integers() {
+        assert_eq!(parse_positive("4"), Some(4));
+        assert_eq!(parse_positive(" 12 "), Some(12));
+        assert_eq!(parse_positive("0"), None);
+        assert_eq!(parse_positive("-3"), None);
+        assert_eq!(parse_positive("eight"), None);
+        assert_eq!(parse_positive(""), None);
+    }
+
+    #[test]
+    fn positive_env_warns_on_garbage_and_reads_valid_values() {
+        // One test (not several) so the env mutations cannot race each
+        // other under the parallel test runner; the variable names are
+        // unique to this test.
+        std::env::set_var("ESCALATE_PAR_TEST_BAD", "many");
+        assert_eq!(positive_env("ESCALATE_PAR_TEST_BAD"), None);
+        std::env::set_var("ESCALATE_PAR_TEST_ZERO", "0");
+        assert_eq!(positive_env("ESCALATE_PAR_TEST_ZERO"), None);
+        std::env::set_var("ESCALATE_PAR_TEST_OK", " 6 ");
+        assert_eq!(positive_env("ESCALATE_PAR_TEST_OK"), Some(6));
+        assert_eq!(positive_env("ESCALATE_PAR_TEST_UNSET"), None);
     }
 
     #[test]

@@ -207,10 +207,16 @@ pub fn compress_layer_artifact(
     target_sparsity: f64,
     seed: u64,
 ) -> Result<CompressedLayer, EscalateError> {
-    let w = synth::weights(layer, cfg.weight_rank, cfg.weight_noise, seed);
+    let w = {
+        let _t = escalate_obs::span("pipeline.synth");
+        synth::weights(layer, cfg.weight_rank, cfg.weight_noise, seed)
+    };
     let rs = layer.r * layer.s;
     let m = cfg.m.min(rs);
-    let d = decompose(&w, m)?;
+    let d = {
+        let _t = escalate_obs::span("pipeline.decompose");
+        decompose(&w, m)?
+    };
     let (stats, hybrid) = compress_decomposed(&layer.name, &w, &d, cfg, target_sparsity)?;
     Ok(CompressedLayer {
         shape: layer.clone(),
@@ -231,6 +237,7 @@ fn compress_decomposed(
 ) -> Result<(LayerCompression, HybridQuantized), EscalateError> {
     let t = threshold_for_sparsity(&d.coeffs, target_sparsity);
     let coeffs = if cfg.qat_epochs > 0 {
+        let _t = escalate_obs::span("pipeline.qat");
         retrain_coeffs(
             &d.coeffs,
             &QatConfig {
@@ -241,11 +248,13 @@ fn compress_decomposed(
         )?
         .coeffs
     } else {
+        let _t = escalate_obs::span("pipeline.quant");
         TernaryCoeffs::ternarize(&d.coeffs, t)?
     };
     let basis = QuantizedBasis::quantize(&d.basis);
     let hybrid = HybridQuantized { basis, coeffs };
 
+    let _t = escalate_obs::span("pipeline.reconstruct");
     let recon = hybrid.to_decomposed().reconstruct();
     let weight_error = if original.shape() == recon.shape() {
         original.relative_error(&recon)
@@ -285,7 +294,10 @@ fn compress_pointwise(
     let w = synth::weights(layer, 1, 1.0, seed); // rank is irrelevant at RS=1
     let coeffs3 = w.reshape(&[layer.k, layer.c, 1]);
     let t = threshold_for_sparsity(&coeffs3, target_sparsity);
-    let coeffs = TernaryCoeffs::ternarize(&coeffs3, t)?;
+    let coeffs = {
+        let _t = escalate_obs::span("pipeline.quant");
+        TernaryCoeffs::ternarize(&coeffs3, t)?
+    };
     let weight_error = coeffs3.relative_error(&coeffs.dequantize());
     let original_params = w.len();
     let coeff_nnz = coeffs.nnz();
@@ -390,7 +402,9 @@ pub fn compress_model_artifacts(
     profile: &ModelProfile,
     cfg: &CompressionConfig,
 ) -> Result<Vec<CompressedLayer>, EscalateError> {
+    let _t = escalate_obs::span_labeled("pipeline.compress_model", profile.name);
     let plan = plan_units(profile, cfg);
+    escalate_obs::counter_add("pipeline.units", plan.len() as u64);
     // Units are independent and deterministic (each derives its own seed),
     // so compress them on the global pool and reassemble in plan order.
     plan.par_iter()
@@ -519,7 +533,10 @@ fn compress_unit(
             let dw_w = synth::weights(dw, cfg.weight_rank, cfg.weight_noise, *seed);
             let pw_w = synth::pointwise_weights(pw.c, pw.k, *pw_seed);
             let m = cfg.m.min(dw.r * dw.s);
-            let d = decompose_dsc(&dw_w, &pw_w, m)?;
+            let d = {
+                let _t = escalate_obs::span("pipeline.decompose");
+                decompose_dsc(&dw_w, &pw_w, m)?
+            };
             // The "original" for accounting is the dw + pw pair.
             let orig_params = dw_w.len() + pw_w.as_slice().len();
             let orig = Tensor::from_vec(&[orig_params], {
@@ -543,7 +560,10 @@ fn compress_unit(
         } => {
             let dw_w = synth::weights(layer, cfg.weight_rank, cfg.weight_noise, *seed);
             let m = cfg.m.min(layer.r * layer.s);
-            let (ce, basis) = crate::decompose::decompose_depthwise(&dw_w, m)?;
+            let (ce, basis) = {
+                let _t = escalate_obs::span("pipeline.decompose");
+                crate::decompose::decompose_depthwise(&dw_w, m)?
+            };
             let coeffs = Tensor::from_vec(&[layer.c, 1, m], ce.as_slice().to_vec());
             let d = Decomposed {
                 basis,

@@ -1,0 +1,197 @@
+//! Fixed-footprint log₂ histogram over `u64` samples.
+//!
+//! Values land in bucket `⌊log₂ v⌋ + 1` (zero in bucket 0), so the whole
+//! `u64` range fits in 65 buckets with no allocation per observation —
+//! the property that lets per-position simulation events feed histograms
+//! without touching the heap.
+
+/// Number of buckets: one for zero plus one per possible `⌊log₂ v⌋`.
+pub const BUCKETS: usize = 65;
+
+/// A log₂-bucketed histogram with exact count/sum/min/max.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+/// Bucket index of a value: 0 for 0, else `⌊log₂ v⌋ + 1`.
+fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        (64 - v.leading_zeros()) as usize
+    }
+}
+
+/// Inclusive upper bound of a bucket (the quantile estimate it reports).
+fn bucket_upper(idx: usize) -> u64 {
+    if idx == 0 {
+        0
+    } else if idx >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << idx) - 1
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn observe(&mut self, v: u64) {
+        self.buckets[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample, or 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample value, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing quantile `q ∈ [0, 1]` — an
+    /// upper estimate within a factor of 2 (the bucket width). Returns 0
+    /// when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper(idx).min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_defined() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn buckets_cover_the_u64_range() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(bucket_upper(1), 1);
+        assert_eq!(bucket_upper(2), 3);
+        assert_eq!(bucket_upper(64), u64::MAX);
+    }
+
+    #[test]
+    fn stats_track_samples() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 5, 9, 1024] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1039);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 1024);
+        assert!((h.mean() - 207.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_are_upper_bucket_bounds() {
+        let mut h = Histogram::new();
+        for _ in 0..99 {
+            h.observe(3);
+        }
+        h.observe(1000);
+        // p50 of 99×3 + 1×1000 lands in the [2,3] bucket.
+        assert_eq!(h.quantile(0.5), 3);
+        // p100 is clamped to the observed max.
+        assert_eq!(h.quantile(1.0), 1000);
+    }
+
+    #[test]
+    fn merge_sums_everything() {
+        let mut a = Histogram::new();
+        a.observe(2);
+        let mut b = Histogram::new();
+        b.observe(7);
+        b.observe(0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum(), 9);
+        assert_eq!(a.min(), 0);
+        assert_eq!(a.max(), 7);
+    }
+}

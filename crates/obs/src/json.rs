@@ -1,0 +1,232 @@
+//! Minimal JSON writer (the workspace's dependency policy forbids external
+//! crates, so manifests are emitted by hand through this one serializer —
+//! correct escaping and comma placement in a single place).
+
+/// An append-only JSON writer with automatic comma placement.
+///
+/// Calls must follow JSON's grammar (a `key` before every value inside an
+/// object, no `key` inside arrays); the writer tracks nesting depth and
+/// whether a separator is due, nothing more.
+///
+/// # Examples
+///
+/// ```
+/// use escalate_obs::JsonWriter;
+///
+/// let mut w = JsonWriter::new();
+/// w.begin_object();
+/// w.key("name");
+/// w.string("a \"quoted\" value");
+/// w.key("items");
+/// w.begin_array();
+/// w.u64(1);
+/// w.u64(2);
+/// w.end_array();
+/// w.end_object();
+/// assert_eq!(
+///     w.finish(),
+///     "{\"name\": \"a \\\"quoted\\\" value\", \"items\": [1, 2]}"
+/// );
+/// ```
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    out: String,
+    /// One entry per open container: `true` when the next value needs a
+    /// leading comma.
+    needs_comma: Vec<bool>,
+}
+
+impl JsonWriter {
+    /// A writer with an empty buffer.
+    pub fn new() -> Self {
+        JsonWriter::default()
+    }
+
+    /// Consumes the writer, returning the JSON text.
+    pub fn finish(self) -> String {
+        self.out
+    }
+
+    fn separate(&mut self) {
+        if let Some(due) = self.needs_comma.last_mut() {
+            if *due {
+                self.out.push_str(", ");
+            }
+            *due = true;
+        }
+    }
+
+    /// Opens an object (`{`).
+    pub fn begin_object(&mut self) {
+        self.separate();
+        self.out.push('{');
+        self.needs_comma.push(false);
+    }
+
+    /// Closes the innermost object (`}`).
+    pub fn end_object(&mut self) {
+        self.needs_comma.pop();
+        self.out.push('}');
+    }
+
+    /// Opens an array (`[`).
+    pub fn begin_array(&mut self) {
+        self.separate();
+        self.out.push('[');
+        self.needs_comma.push(false);
+    }
+
+    /// Closes the innermost array (`]`).
+    pub fn end_array(&mut self) {
+        self.needs_comma.pop();
+        self.out.push(']');
+    }
+
+    /// Writes an object key. The following call writes its value.
+    pub fn key(&mut self, k: &str) {
+        self.separate();
+        escape_into(&mut self.out, k);
+        self.out.push_str(": ");
+        // The value after a key is part of the same member: suppress the
+        // comma the value emitter would otherwise insert.
+        if let Some(due) = self.needs_comma.last_mut() {
+            *due = false;
+        }
+    }
+
+    /// Writes a string value.
+    pub fn string(&mut self, v: &str) {
+        self.separate();
+        escape_into(&mut self.out, v);
+        if let Some(due) = self.needs_comma.last_mut() {
+            *due = true;
+        }
+    }
+
+    /// Writes an unsigned integer value.
+    pub fn u64(&mut self, v: u64) {
+        self.separate();
+        self.out.push_str(&v.to_string());
+    }
+
+    /// Writes a float value (JSON has no NaN/∞ — they serialize as null).
+    pub fn f64(&mut self, v: f64) {
+        self.separate();
+        if v.is_finite() {
+            // Enough digits to round-trip f64, without trailing noise.
+            let s = format!("{v}");
+            self.out.push_str(&s);
+        } else {
+            self.out.push_str("null");
+        }
+    }
+
+    /// Writes a boolean value.
+    pub fn bool(&mut self, v: bool) {
+        self.separate();
+        self.out.push_str(if v { "true" } else { "false" });
+    }
+
+    /// Convenience: `key` + string value.
+    pub fn field_str(&mut self, k: &str, v: &str) {
+        self.key(k);
+        self.string(v);
+    }
+
+    /// Convenience: `key` + integer value.
+    pub fn field_u64(&mut self, k: &str, v: u64) {
+        self.key(k);
+        self.u64(v);
+    }
+
+    /// Convenience: `key` + float value.
+    pub fn field_f64(&mut self, k: &str, v: f64) {
+        self.key(k);
+        self.f64(v);
+    }
+
+    /// Convenience: `key` + boolean value.
+    pub fn field_bool(&mut self, k: &str, v: bool) {
+        self.key(k);
+        self.bool(v);
+    }
+}
+
+/// Appends `s` as a JSON string literal (quotes included).
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_structures_place_commas() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_u64("a", 1);
+        w.key("b");
+        w.begin_array();
+        w.u64(1);
+        w.begin_object();
+        w.field_bool("x", true);
+        w.end_object();
+        w.string("s");
+        w.end_array();
+        w.field_f64("c", 2.5);
+        w.end_object();
+        assert_eq!(
+            w.finish(),
+            "{\"a\": 1, \"b\": [1, {\"x\": true}, \"s\"], \"c\": 2.5}"
+        );
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut w = JsonWriter::new();
+        w.begin_array();
+        w.string("line\nbreak \"q\" \\ \u{1}");
+        w.end_array();
+        assert_eq!(w.finish(), "[\"line\\nbreak \\\"q\\\" \\\\ \\u0001\"]");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut w = JsonWriter::new();
+        w.begin_array();
+        w.f64(f64::NAN);
+        w.f64(f64::INFINITY);
+        w.f64(1.0);
+        w.end_array();
+        assert_eq!(w.finish(), "[null, null, 1]");
+    }
+
+    #[test]
+    fn empty_containers() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("a");
+        w.begin_array();
+        w.end_array();
+        w.key("o");
+        w.begin_object();
+        w.end_object();
+        w.end_object();
+        assert_eq!(w.finish(), "{\"a\": [], \"o\": {}}");
+    }
+}

@@ -167,15 +167,22 @@ pub struct SliceEvent<'a> {
 }
 
 /// Instrumentation hook for the simulation core: implementors receive
-/// every per-position CA cost (sampled and trace-driven fidelities) and
-/// every cycle-stepped slice trace (detailed fidelity). All methods
-/// default to no-ops, so observers implement only what they record.
+/// every per-position CA cost (sampled and trace-driven fidelities),
+/// every cycle-stepped slice trace (detailed fidelity), and the finished
+/// per-layer stats (sampled and trace-driven fidelities, dense-fallback
+/// layers included). All methods default to no-ops, so observers
+/// implement only what they record.
 pub trait SimObserver {
     /// Called once per simulated (channel, position) pair.
     fn on_position(&mut self, _ev: &PositionEvent) {}
 
     /// Called once per cycle-stepped (channel, slice) run.
     fn on_slice(&mut self, _ev: &SliceEvent) {}
+
+    /// Called once per finished layer with the stats the simulation
+    /// returns — exactly the values callers see, so observer-side totals
+    /// reconcile with [`crate::stats::ModelStats`] count-for-count.
+    fn on_layer(&mut self, _stats: &LayerStats) {}
 }
 
 /// The do-nothing observer the plain entry points use.

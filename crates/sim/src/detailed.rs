@@ -48,7 +48,10 @@ pub fn simulate_layer_detailed(
     cfg: &SimConfig,
     ifm: &Tensor,
 ) -> Result<DetailedStats, SimError> {
-    simulate_layer_detailed_observed(lw, cfg, ifm, &mut NoopObserver)
+    match crate::observe::ObsObserver::from_global() {
+        Some(mut obs) => simulate_layer_detailed_observed(lw, cfg, ifm, &mut obs),
+        None => simulate_layer_detailed_observed(lw, cfg, ifm, &mut NoopObserver),
+    }
 }
 
 /// [`simulate_layer_detailed`] with a [`SimObserver`] receiving every

@@ -27,19 +27,29 @@ const SAMPLE_POSITIONS: usize = 48;
 ///
 /// `seed` controls the synthetic activation draw (the paper averages over
 /// 10 random inputs; callers pass different seeds and average).
+///
+/// When a process-global metrics recorder is installed
+/// (`escalate_obs::install`), the run's events flow into it through an
+/// [`crate::observe::ObsObserver`]; with none installed this is exactly
+/// the zero-cost [`NoopObserver`] path. The observer only reads the event
+/// stream, so results are bit-identical either way.
 pub fn simulate_layer(lw: &LayerWorkload, cfg: &SimConfig, seed: u64) -> LayerStats {
-    simulate_layer_observed(lw, cfg, seed, &mut NoopObserver)
+    match crate::observe::ObsObserver::from_global() {
+        Some(mut obs) => simulate_layer_observed(lw, cfg, seed, &mut obs),
+        None => simulate_layer_observed(lw, cfg, seed, &mut NoopObserver),
+    }
 }
 
 /// [`simulate_layer`] with a [`SimObserver`] receiving every sampled
-/// position's CA cost.
+/// position's CA cost and the finished layer stats (the explicit observer
+/// is used as-is; the global recorder is not consulted).
 pub fn simulate_layer_observed(
     lw: &LayerWorkload,
     cfg: &SimConfig,
     seed: u64,
     obs: &mut dyn SimObserver,
 ) -> LayerStats {
-    match &lw.mode {
+    let stats = match &lw.mode {
         WorkloadMode::Dense => simulate_dense(&lw.shape, cfg, lw.weight_bytes),
         WorkloadMode::Decomposed(_) => {
             let ctx = LayerContext::new(lw, cfg).expect("decomposed mode checked above");
@@ -64,7 +74,9 @@ pub fn simulate_layer_observed(
                 },
             )
         }
-    }
+    };
+    obs.on_layer(&stats);
+    stats
 }
 
 /// Simulates a whole model: ESCALATE as an [`Accelerator`], folded through

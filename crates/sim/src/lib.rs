@@ -43,9 +43,12 @@
 //! masks come from (Bernoulli draws vs a real feature map);
 //! [`context::run_positions`] is the one inner loop and
 //! [`context::assemble_stats`] the one extrapolation into
-//! [`LayerStats`]; [`context::SimObserver`] hooks per-position and
-//! per-slice events for instrumentation. Invalid inputs surface as typed
-//! [`error::SimError`]s.
+//! [`LayerStats`]; [`context::SimObserver`] hooks per-position,
+//! per-slice, and per-layer events for instrumentation — the
+//! [`observe::ObsObserver`] adapter turns that stream into `escalate-obs`
+//! counters/histograms, and the plain entry points route through it
+//! automatically whenever a process-global recorder is installed. Invalid
+//! inputs surface as typed [`error::SimError`]s.
 //!
 //! On top sits the object-safe [`Accelerator`] trait ([`accel`]):
 //! a model-bound simulator exposing `num_layers`/`simulate_layer`, with
@@ -88,6 +91,7 @@ pub mod fallback;
 pub mod htree;
 pub mod mac;
 pub mod masks;
+pub mod observe;
 pub mod psum;
 pub mod slice;
 pub mod stats;
@@ -100,5 +104,6 @@ pub use context::{LayerContext, NoopObserver, SimObserver};
 pub use engine::{simulate_layer, simulate_model};
 pub use error::SimError;
 pub use masks::MaskSource;
-pub use stats::{LayerStats, ModelStats};
+pub use observe::ObsObserver;
+pub use stats::{checked_ratio, LayerStats, ModelStats};
 pub use workload::{LayerWorkload, Workload, WorkloadMode};

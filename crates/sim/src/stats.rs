@@ -1,5 +1,26 @@
 //! Simulation statistics: cycles, operation counts, and memory traffic.
 
+/// A rate guarded against non-positive and non-finite values: anything
+/// that would make a division blow up (zero, negative, NaN, infinity) is
+/// clamped to a tiny positive floor. One helper so every per-rate method
+/// ([`ModelStats::latency_ms`], [`ModelStats::pipelined_cycles`]) guards
+/// the same way instead of each hand-rolling (or forgetting) the check.
+fn guarded_rate(rate: f64) -> f64 {
+    if rate.is_finite() {
+        rate.max(1e-9)
+    } else {
+        1e-9
+    }
+}
+
+/// Ratio of two counters with an honest denominator: `None` when the
+/// denominator is zero instead of a silently-inflated `den.max(1)` value
+/// that masks a true zero. Comparison code (fidelity checks, validation
+/// reports) decides explicitly what a zero baseline means for it.
+pub fn checked_ratio(num: u64, den: u64) -> Option<f64> {
+    (den != 0).then(|| num as f64 / den as f64)
+}
+
 /// DRAM traffic of one layer, in bytes.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DramTraffic {
@@ -125,8 +146,12 @@ impl ModelStats {
     }
 
     /// Inference latency in milliseconds at the given frequency.
+    ///
+    /// A non-positive or non-finite frequency is clamped to a tiny
+    /// positive floor rather than producing `inf`/`NaN` latencies that
+    /// poison every downstream mean.
     pub fn latency_ms(&self, frequency_mhz: f64) -> f64 {
-        self.total_cycles() as f64 / (frequency_mhz * 1e3)
+        self.total_cycles() as f64 / guarded_rate(frequency_mhz * 1e3)
     }
 
     /// Cycles under cross-layer double buffering: the next layer's weights
@@ -137,7 +162,7 @@ impl ModelStats {
     pub fn pipelined_cycles(&self, dram_bytes_per_cycle: f64) -> u64 {
         let compute: u64 = self.layers.iter().map(|l| l.cycles).sum();
         let dram =
-            (self.total_dram().total() as f64 / dram_bytes_per_cycle.max(1e-9)).ceil() as u64;
+            (self.total_dram().total() as f64 / guarded_rate(dram_bytes_per_cycle)).ceil() as u64;
         compute.max(dram)
     }
 }
@@ -193,6 +218,54 @@ mod tests {
         assert_eq!(m.total_mac_ops(), 6);
         assert_eq!(m.total_dram().total(), 18);
         assert!((m.latency_ms(800.0) - 60.0 / 800_000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_is_finite_for_degenerate_frequencies() {
+        let m = ModelStats {
+            model_name: "x".into(),
+            layers: vec![LayerStats {
+                cycles: 1000,
+                ..LayerStats::default()
+            }],
+        };
+        for f in [0.0, -800.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let ms = m.latency_ms(f);
+            assert!(ms.is_finite(), "frequency {f}: latency {ms}");
+            assert!(ms >= 0.0, "frequency {f}: latency {ms}");
+        }
+        // Sane inputs are unaffected by the guard.
+        assert!((m.latency_ms(800.0) - 1000.0 / 800_000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pipelined_cycles_guards_degenerate_bandwidth() {
+        let m = ModelStats {
+            model_name: "x".into(),
+            layers: vec![LayerStats {
+                cycles: 10,
+                dram: DramTraffic {
+                    weights: 100,
+                    ifm: 0,
+                    ofm: 0,
+                },
+                ..LayerStats::default()
+            }],
+        };
+        // Zero/NaN bandwidth degenerates to "DRAM dominates", not a panic
+        // or a nonsense cast of inf to u64.
+        for bw in [0.0, -4.0, f64::NAN] {
+            assert!(m.pipelined_cycles(bw) >= m.total_cycles());
+        }
+        assert_eq!(m.pipelined_cycles(10.0), 10);
+    }
+
+    #[test]
+    fn checked_ratio_reports_zero_denominators() {
+        assert_eq!(checked_ratio(6, 3), Some(2.0));
+        assert_eq!(checked_ratio(0, 3), Some(0.0));
+        assert_eq!(checked_ratio(6, 0), None);
+        assert_eq!(checked_ratio(0, 0), None);
     }
 
     #[test]

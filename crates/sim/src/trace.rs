@@ -36,12 +36,19 @@ pub use crate::masks::position_masks;
 ///
 /// Returns a [`SimError`] if the workload is not decomposed, or the
 /// feature map's shape disagrees with the workload's.
+///
+/// As with the sampled engine, an installed process-global metrics
+/// recorder receives the run's events; otherwise this is the zero-cost
+/// no-op path.
 pub fn simulate_layer_traced(
     lw: &LayerWorkload,
     cfg: &SimConfig,
     ifm: &Tensor,
 ) -> Result<LayerStats, SimError> {
-    simulate_layer_traced_observed(lw, cfg, ifm, &mut NoopObserver)
+    match crate::observe::ObsObserver::from_global() {
+        Some(mut obs) => simulate_layer_traced_observed(lw, cfg, ifm, &mut obs),
+        None => simulate_layer_traced_observed(lw, cfg, ifm, &mut NoopObserver),
+    }
 }
 
 /// [`simulate_layer_traced`] with a [`SimObserver`] receiving every
@@ -79,7 +86,7 @@ pub fn simulate_layer_traced_observed(
         .map(|s| s.size_bits(8) as u64)
         .sum::<u64>()
         .div_ceil(8);
-    Ok(assemble_stats(
+    let stats = assemble_stats(
         &ctx,
         cfg,
         &agg,
@@ -87,7 +94,9 @@ pub fn simulate_layer_traced_observed(
             nnz_act_bytes,
             ifm_bytes,
         },
-    ))
+    );
+    obs.on_layer(&stats);
+    Ok(stats)
 }
 
 #[cfg(test)]
@@ -155,7 +164,8 @@ mod tests {
         // Matched-pair estimates within 20% (both fidelities now walk the
         // same stratified channel sample; the randomness differs — real
         // spatially-correlated map vs Bernoulli draws).
-        let ratio = traced.ca_adds as f64 / sampled.ca_adds.max(1) as f64;
+        let ratio = crate::stats::checked_ratio(traced.ca_adds, sampled.ca_adds)
+            .expect("sampled run matched zero pairs");
         assert!((0.8..1.25).contains(&ratio), "ca_adds ratio {ratio}");
     }
 

@@ -81,8 +81,10 @@ fn detailed_idle_accounting_is_consistent() {
     let (fast, ifm_f) = workload(32, 16, 6, 0.95, 0.7);
     let db = simulate_layer_detailed(&bound, &cfg, &ifm_b).expect("valid trace inputs");
     let df = simulate_layer_detailed(&fast, &cfg, &ifm_f).expect("valid trace inputs");
-    let idle_rate_bound = db.mac_idle_cycles as f64 / db.cycles.max(1) as f64;
-    let idle_rate_fast = df.mac_idle_cycles as f64 / df.cycles.max(1) as f64;
+    let idle_rate_bound = escalate_sim::checked_ratio(db.mac_idle_cycles, db.cycles)
+        .expect("stream-bound run completed in zero cycles");
+    let idle_rate_fast = escalate_sim::checked_ratio(df.mac_idle_cycles, df.cycles)
+        .expect("mac-bound run completed in zero cycles");
     assert!(
         idle_rate_bound > idle_rate_fast,
         "stream-bound layers must idle more: {idle_rate_bound} vs {idle_rate_fast}"

@@ -104,7 +104,8 @@ fn partial_sampling_stays_close_to_exact_counts() {
     };
     let sampled = simulate_layer_traced(&lw, &sampled_cfg, &ifm).expect("valid trace");
     let exact = simulate_layer_traced(&lw, &exact_cfg, &ifm).expect("valid trace");
-    let ratio = sampled.ca_adds as f64 / exact.ca_adds.max(1) as f64;
+    let ratio = escalate_sim::checked_ratio(sampled.ca_adds, exact.ca_adds)
+        .expect("exact run matched zero pairs");
     assert!(
         (0.7..1.4).contains(&ratio),
         "sampled {} vs exact {} (ratio {ratio:.2})",

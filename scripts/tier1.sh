@@ -11,6 +11,10 @@ cd "$(dirname "$0")/.."
 
 cargo build --release --offline
 cargo test -q --offline
+# The observability crate is dependency-free and cheap: exercise its full
+# test matrix (unit + doc tests) explicitly so a workspace-level filter
+# can never silently drop it.
+cargo test -q --offline -p escalate-obs
 cargo fmt --check
 cargo clippy --all-targets --offline -- -D warnings
 
