@@ -1,0 +1,126 @@
+//! Criterion microbenchmark for the Dilution-Concentration position walk:
+//! the scalar reference (`position_cost_scalar`) against the word-parallel
+//! `PositionKernel`, uncached and memoized, on a dense-activation /
+//! sparse-coefficient MobileNet-shaped layer (the regime the ESCALATE
+//! paper optimizes: ~95% coefficient sparsity meeting mostly-nonzero
+//! activations). `scripts/tier1.sh` runs this in criterion test mode
+//! (`-- --test`) so the bench executes in CI; `cargo bench --bench
+//! position_kernel` measures it.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use escalate_sim::ca::{position_cost_scalar, CaScratch, PositionKernel};
+use escalate_sim::SimConfig;
+
+/// Input channels of the benchmarked layer (a mid-network MobileNet
+/// pointwise shape: multi-word masks).
+const C: usize = 256;
+const M: usize = 6;
+/// Positions per walk — matches the sampled engine's per-channel walk
+/// length so one iteration is one realistic channel visit.
+const POSITIONS: usize = 48;
+
+/// Deterministic splitmix64 — mask material without RNG dependencies.
+fn splitmix(seed: &mut u64) -> u64 {
+    *seed = seed.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *seed;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// A `C`-channel mask with roughly `keep_per_mille`/1000 bits set.
+fn mask(seed: &mut u64, keep_per_mille: u64) -> Vec<u64> {
+    let words = C.div_ceil(64);
+    (0..words)
+        .map(|_| {
+            let mut w = 0u64;
+            for b in 0..64 {
+                if splitmix(seed) % 1000 < keep_per_mille {
+                    w |= 1 << b;
+                }
+            }
+            w
+        })
+        .collect()
+}
+
+struct WalkInput {
+    coef: Vec<Vec<u64>>,
+    acts: Vec<Vec<u64>>,
+}
+
+fn walk_input() -> WalkInput {
+    let mut seed = 0x5eed_c0de_u64;
+    // ~95% sparse coefficients, ~90% dense activations.
+    let coef: Vec<Vec<u64>> = (0..M).map(|_| mask(&mut seed, 50)).collect();
+    let acts: Vec<Vec<u64>> = (0..POSITIONS).map(|_| mask(&mut seed, 900)).collect();
+    WalkInput { coef, acts }
+}
+
+fn bench_position_walk(c: &mut Criterion) {
+    let input = walk_input();
+    let refs: Vec<&[u64]> = input.coef.iter().map(Vec::as_slice).collect();
+    let cfg = SimConfig::default();
+
+    // The three paths must agree before we time them — a benchmark of a
+    // wrong kernel is worse than no benchmark.
+    {
+        let mut scratch = CaScratch::new(&cfg);
+        let mut kernel = PositionKernel::new(&cfg);
+        kernel.bind(C, refs.iter().copied());
+        for act in &input.acts {
+            let scalar = position_cost_scalar(&cfg, C, act, &refs, &mut scratch);
+            assert_eq!(kernel.cost_uncached(act), scalar);
+            assert_eq!(kernel.cost(act), scalar);
+        }
+    }
+
+    let mut g = c.benchmark_group("position_walk");
+    g.sample_size(30);
+
+    let mut scratch = CaScratch::new(&cfg);
+    g.bench_function("scalar", |b| {
+        b.iter(|| {
+            let mut total = 0u64;
+            for act in &input.acts {
+                total +=
+                    position_cost_scalar(&cfg, C, black_box(act), &refs, &mut scratch).ca_cycles;
+            }
+            total
+        })
+    });
+
+    let mut kernel = PositionKernel::new(&cfg);
+    g.bench_function("word_parallel", |b| {
+        b.iter(|| {
+            kernel.bind(C, refs.iter().copied());
+            let mut total = 0u64;
+            for act in &input.acts {
+                total += kernel.cost_uncached(black_box(act)).ca_cycles;
+            }
+            total
+        })
+    });
+
+    // The memoized walk re-binds per iteration like run_positions does per
+    // channel, so this measures realistic cold-memo behavior on distinct
+    // masks plus one warm repeat of the walk (trace-driven runs revisit
+    // identical masks constantly).
+    g.bench_function("word_parallel_memo", |b| {
+        b.iter(|| {
+            kernel.bind(C, refs.iter().copied());
+            let mut total = 0u64;
+            for _ in 0..2 {
+                for act in &input.acts {
+                    total += kernel.cost(black_box(act)).ca_cycles;
+                }
+            }
+            total
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_position_walk);
+criterion_main!(benches);

@@ -8,9 +8,22 @@
 //! concentration buffer, and reduces them through the adder tree. The CA
 //! time for the position is the maximum of the bus streaming time and the
 //! slowest CA's concentration drain.
+//!
+//! Two implementations produce the identical [`PositionCost`]:
+//!
+//! - [`position_cost_scalar`] walks activation bits one at a time and runs
+//!   the full [`dilute_into`] + [`ConcentrationBuffer`] machinery for
+//!   every (basis, word) pair — the reference model, kept for
+//!   differential testing;
+//! - [`PositionKernel`] is the word-parallel production path: per-channel
+//!   invariants (coefficient-union mask, per-basis masks) are bound once,
+//!   chunk-skipping and match counts come from popcount arithmetic over
+//!   whole words, empty-intersection words skip dilution entirely, and a
+//!   per-channel memo table short-circuits repeated activation masks.
+//!   `tests/kernel_diff.rs` pins the two byte-for-byte equal.
 
 use crate::config::SimConfig;
-use escalate_sparse::{dilute_into, ConcentrationBuffer, DilutionInput};
+use escalate_sparse::{dilute_into, gather_bits, ConcentrationBuffer, DilutionInput};
 
 /// Unit activation values: the timing model only cares which positions are
 /// nonzero, so every nonzero activation streams as `1.0`.
@@ -18,7 +31,7 @@ static UNIT_ACTS: [f32; 64] = [1.0; 64];
 /// All-positive coefficient signs (sign bits are irrelevant to timing).
 static NO_SIGNS: [bool; 64] = [false; 64];
 
-/// Reusable scratch state for [`position_cost_with`]: the concentration
+/// Reusable scratch state for [`position_cost_scalar`]: the concentration
 /// buffer and the diluted-slot buffer, so the per-position hot loop
 /// allocates nothing after warm-up.
 ///
@@ -70,19 +83,22 @@ pub fn position_cost(
     act_mask: &[u64],
     coef_masks: &[&[u64]],
 ) -> PositionCost {
-    position_cost_with(cfg, c, act_mask, coef_masks, &mut CaScratch::new(cfg))
+    position_cost_scalar(cfg, c, act_mask, coef_masks, &mut CaScratch::new(cfg))
 }
 
-/// [`position_cost`] with caller-owned scratch buffers, for hot loops that
-/// evaluate many positions: reusing a [`CaScratch`] across calls makes the
-/// per-position work allocation-free. Results are identical to
+/// The scalar reference implementation of [`position_cost`] with
+/// caller-owned scratch buffers: activation bits are walked one at a time
+/// and every (basis, word) pair runs the full dilution + concentration
+/// machinery. [`PositionKernel`] is the word-parallel production path;
+/// this function is retained as the ground truth it is differentially
+/// tested against (`tests/kernel_diff.rs`). Results are identical to
 /// [`position_cost`].
 ///
 /// # Panics
 ///
 /// Panics if the mask word counts disagree with `c`, or (in debug builds)
 /// if `scratch` was built from a config with a different bus width.
-pub fn position_cost_with(
+pub fn position_cost_scalar(
     cfg: &SimConfig,
     c: usize,
     act_mask: &[u64],
@@ -138,6 +154,12 @@ pub fn position_cost_with(
             fetched_chunks += 1;
         }
     }
+    // A position always costs at least one bus cycle, even when every
+    // chunk was skipped: the sparse maps themselves stream ahead of the
+    // values, so the CA spends a cycle discovering there is nothing to
+    // fetch. This ≥ 1 floor is intentional and pinned by
+    // `all_chunks_skipped_costs_the_one_cycle_floor`; the word-parallel
+    // kernel preserves it exactly.
     let stream_cycles = fetched_chunks.max(1);
 
     let mut matched = 0u64;
@@ -179,6 +201,369 @@ pub fn position_cost_with(
     }
 }
 
+/// Linear-probe length before the memo gives up on a (over-)full table and
+/// simply recomputes without caching. Bounds the worst-case probe cost.
+const MEMO_PROBE_LIMIT: usize = 16;
+
+/// Flat open-addressed memo of `act_mask → PositionCost` for one bound
+/// (layer, channel): within that scope the coefficient masks are fixed, so
+/// the cost is a pure function of the activation mask words. Keys are
+/// compared word-for-word (never hash-only), so a hit is exact by
+/// construction — the memo can change speed, never results.
+#[derive(Debug, Clone)]
+struct Memo {
+    /// Slot count (a power of two), or 0 when memoization is disabled.
+    cap: usize,
+    /// Key width in words (rebound per channel).
+    words: usize,
+    occupied: Vec<bool>,
+    /// `cap × words` key storage, flat — no per-probe allocation.
+    keys: Vec<u64>,
+    vals: Vec<PositionCost>,
+}
+
+/// Result of probing the memo for a key.
+enum Probe {
+    /// Key present at this slot.
+    Hit(usize),
+    /// Key absent; this free slot can take it.
+    Free(usize),
+    /// Probe window exhausted without a hit or a free slot.
+    Full,
+}
+
+impl Memo {
+    fn new(capacity: usize) -> Memo {
+        let cap = if capacity == 0 {
+            0
+        } else {
+            capacity.next_power_of_two()
+        };
+        Memo {
+            cap,
+            words: 0,
+            occupied: vec![false; cap],
+            keys: Vec::new(),
+            vals: vec![PositionCost::default(); cap],
+        }
+    }
+
+    /// Drops every entry and sizes keys for `words`-word masks. Called on
+    /// every channel rebind: the memo is only valid while the coefficient
+    /// masks are fixed.
+    fn clear(&mut self, words: usize) {
+        if self.cap == 0 {
+            return;
+        }
+        if self.words != words {
+            self.words = words;
+            self.keys = vec![0u64; self.cap * words];
+        }
+        self.occupied.fill(false);
+    }
+
+    /// FNV-1a folded over the mask words. For single-word keys (`c ≤ 64`)
+    /// this is one xor-multiply — the fast path the common layer sizes hit.
+    fn hash(&self, key: &[u64]) -> u64 {
+        const OFFSET: u64 = 0xcbf29ce484222325;
+        const PRIME: u64 = 0x100000001b3;
+        if let [w] = key {
+            return (OFFSET ^ w).wrapping_mul(PRIME);
+        }
+        key.iter().fold(OFFSET, |h, &w| (h ^ w).wrapping_mul(PRIME))
+    }
+
+    fn probe(&self, key: &[u64]) -> Probe {
+        let mask = self.cap - 1;
+        let mut i = (self.hash(key) as usize) & mask;
+        for _ in 0..MEMO_PROBE_LIMIT.min(self.cap) {
+            if !self.occupied[i] {
+                return Probe::Free(i);
+            }
+            let stored = &self.keys[i * self.words..(i + 1) * self.words];
+            if stored == key {
+                return Probe::Hit(i);
+            }
+            i = (i + 1) & mask;
+        }
+        Probe::Full
+    }
+
+    fn insert(&mut self, slot: usize, key: &[u64], val: PositionCost) {
+        self.occupied[slot] = true;
+        self.keys[slot * self.words..(slot + 1) * self.words].copy_from_slice(key);
+        self.vals[slot] = val;
+    }
+}
+
+/// The word-parallel position-cost kernel: the production implementation
+/// of the Dilution-Concentration cycle model, result-identical to
+/// [`position_cost_scalar`].
+///
+/// A kernel is built once per config ([`PositionKernel::new`]) and rebound
+/// per (layer, output channel) ([`PositionKernel::bind`]); binding hoists
+/// everything the per-position loop would otherwise re-derive:
+///
+/// 1. **Loop-invariant hoisting** — the coefficient-union mask (`OR` over
+///    the `M` bases, per word) and a private flat copy of the per-basis
+///    masks are computed once per channel;
+/// 2. **Word-parallel fast paths** — chunk-skipping is popcount arithmetic
+///    over `act & union` per word (never per bit), `matched` is
+///    `popcount(act & coef)` directly, dilution is skipped for words with
+///    empty intersection (their holes are accounted through
+///    [`ConcentrationBuffer::push_holes`]) and whole bases with an empty
+///    position-wide intersection skip the concentration drain entirely
+///    (all-hole streams drain zero rows);
+/// 3. **Per-channel memoization** — the cost is a pure function of the
+///    activation mask while the channel is bound, so a flat
+///    open-addressed memo (single-`u64` key for `c ≤ 64`, FNV-of-words
+///    otherwise; exact word-for-word key compare) short-circuits repeated
+///    masks. The memo is dropped on every [`PositionKernel::bind`].
+///
+/// [`PositionKernel::memo_hits`]/[`PositionKernel::memo_misses`] count
+/// across binds (callers snapshot deltas per layer).
+#[derive(Debug, Clone)]
+pub struct PositionKernel {
+    bus: usize,
+    look_ahead: usize,
+    look_aside: usize,
+    memo_capacity: usize,
+    c: usize,
+    words: usize,
+    m: usize,
+    /// Flat `m × words` copy of the bound channel's coefficient masks.
+    coef: Vec<u64>,
+    /// Per-word OR over the `m` coefficient masks.
+    union_mask: Vec<u64>,
+    buf: ConcentrationBuffer,
+    memo: Memo,
+    memo_hits: u64,
+    memo_misses: u64,
+}
+
+impl PositionKernel {
+    /// Creates an unbound kernel for simulations under `cfg`. Call
+    /// [`PositionKernel::bind`] before [`PositionKernel::cost`].
+    pub fn new(cfg: &SimConfig) -> PositionKernel {
+        let bus = cfg.bus_elems().max(1);
+        PositionKernel {
+            bus,
+            look_ahead: cfg.look_ahead,
+            look_aside: cfg.look_aside,
+            memo_capacity: cfg.memo_capacity,
+            c: 0,
+            words: 0,
+            m: 0,
+            coef: Vec::new(),
+            union_mask: Vec::new(),
+            buf: ConcentrationBuffer::new(bus, cfg.look_ahead, cfg.look_aside),
+            memo: Memo::new(cfg.memo_capacity),
+            memo_hits: 0,
+            memo_misses: 0,
+        }
+    }
+
+    /// Whether this kernel was built from an equivalent config (same bus
+    /// width, concentration windows, and memo capacity) and can be reused
+    /// for simulations under `cfg` without reconstruction.
+    pub fn matches(&self, cfg: &SimConfig) -> bool {
+        self.bus == cfg.bus_elems().max(1)
+            && self.look_ahead == cfg.look_ahead
+            && self.look_aside == cfg.look_aside
+            && self.memo_capacity == cfg.memo_capacity
+    }
+
+    /// Binds the kernel to one (layer, channel): copies the `M` coefficient
+    /// masks, computes their per-word union, and drops the memo (its
+    /// entries were only valid for the previous channel's masks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a mask's word count disagrees with `c`.
+    pub fn bind<'m>(&mut self, c: usize, coef_masks: impl IntoIterator<Item = &'m [u64]>) {
+        let words = c.div_ceil(64);
+        self.c = c;
+        self.words = words;
+        self.coef.clear();
+        self.union_mask.clear();
+        self.union_mask.resize(words, 0);
+        let mut m = 0usize;
+        for cm in coef_masks {
+            assert_eq!(cm.len(), words, "coefficient mask word count");
+            for (u, &w) in self.union_mask.iter_mut().zip(cm) {
+                *u |= w;
+            }
+            self.coef.extend_from_slice(cm);
+            m += 1;
+        }
+        self.m = m;
+        self.memo.clear(words);
+    }
+
+    /// Memo hits accumulated since construction.
+    pub fn memo_hits(&self) -> u64 {
+        self.memo_hits
+    }
+
+    /// Memo misses accumulated since construction (memoization disabled
+    /// counts every position as a miss).
+    pub fn memo_misses(&self) -> u64 {
+        self.memo_misses
+    }
+
+    /// The cost of one position under the bound channel's masks, consulting
+    /// the memo first. Results are identical to
+    /// [`PositionKernel::cost_uncached`] — and to the scalar reference —
+    /// because memo hits require an exact key match.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `act_mask` disagrees with the bound channel width or has
+    /// bits at or above `c`.
+    pub fn cost(&mut self, act_mask: &[u64]) -> PositionCost {
+        if self.memo.cap == 0 {
+            self.memo_misses += 1;
+            return self.cost_uncached(act_mask);
+        }
+        assert_eq!(act_mask.len(), self.words, "activation mask word count");
+        match self.memo.probe(act_mask) {
+            Probe::Hit(i) => {
+                self.memo_hits += 1;
+                self.memo.vals[i]
+            }
+            Probe::Free(i) => {
+                self.memo_misses += 1;
+                let cost = self.cost_uncached(act_mask);
+                self.memo.insert(i, act_mask, cost);
+                cost
+            }
+            Probe::Full => {
+                self.memo_misses += 1;
+                self.cost_uncached(act_mask)
+            }
+        }
+    }
+
+    /// The word-parallel cost computation, bypassing the memo.
+    ///
+    /// # Panics
+    ///
+    /// See [`PositionKernel::cost`].
+    pub fn cost_uncached(&mut self, act_mask: &[u64]) -> PositionCost {
+        let words = self.words;
+        assert_eq!(act_mask.len(), words, "activation mask word count");
+        if words > 0 {
+            let tail = self.c - (words - 1) * 64;
+            if tail < 64 {
+                assert_eq!(
+                    act_mask[words - 1] >> tail,
+                    0,
+                    "activation map has bits beyond width"
+                );
+            }
+        }
+        let bus = self.bus;
+
+        // Chunk-skipping by rank arithmetic: activation bit number `r`
+        // (counting set bits across all words) lands in chunk `r / bus`,
+        // and a chunk is fetched iff it holds at least one bit of
+        // `act ∩ union`. Needed bits are visited in rank order, so chunk
+        // indices are non-decreasing and deduplication is one compare.
+        let mut fetched_chunks = 0u64;
+        let mut last_chunk = u64::MAX; // sentinel: no chunk fetched yet
+        let mut base = 0usize; // rank of this word's first activation bit
+        let mut nz_words = 0u64;
+        for (wi, &aw) in act_mask.iter().enumerate() {
+            if aw == 0 {
+                continue;
+            }
+            nz_words += 1;
+            let cnt = aw.count_ones() as usize;
+            let needed = aw & self.union_mask[wi];
+            if needed == aw {
+                // Every activation bit of this word is needed: the chunk
+                // range [base/bus, (base+cnt-1)/bus] is fetched wholesale.
+                let clo = (base / bus) as u64;
+                let chi = ((base + cnt - 1) / bus) as u64;
+                let lo = if last_chunk == u64::MAX {
+                    clo
+                } else {
+                    clo.max(last_chunk + 1)
+                };
+                if chi >= lo {
+                    fetched_chunks += chi - lo + 1;
+                    last_chunk = chi;
+                }
+            } else if needed != 0 {
+                let mut bits = needed;
+                while bits != 0 {
+                    let b = bits.trailing_zeros();
+                    bits &= bits - 1;
+                    let rank = (aw & ((1u64 << b) - 1)).count_ones() as usize;
+                    let chunk = ((base + rank) / bus) as u64;
+                    if chunk != last_chunk {
+                        fetched_chunks += 1;
+                        last_chunk = chunk;
+                    }
+                }
+            }
+            base += cnt;
+        }
+        // Same ≥ 1 floor as the scalar path: a position always costs at
+        // least one bus cycle (see position_cost_scalar).
+        let stream_cycles = fetched_chunks.max(1);
+
+        let mut matched = 0u64;
+        let mut worst_conc = 0u64;
+        for mi in 0..self.m {
+            let cw = &self.coef[mi * words..(mi + 1) * words];
+            // `matched` per basis is pure popcount arithmetic; a basis
+            // whose intersection with the whole position is empty streams
+            // only holes, and an all-hole stream drains zero rows — skip
+            // its concentration entirely.
+            let mut basis_matched = 0u64;
+            for (&aw, &w) in act_mask.iter().zip(cw) {
+                basis_matched += (aw & w).count_ones() as u64;
+            }
+            matched += basis_matched;
+            if basis_matched == 0 {
+                continue;
+            }
+            self.buf.reset();
+            for (&aw, &w) in act_mask.iter().zip(cw) {
+                if aw == 0 {
+                    continue;
+                }
+                let inter = aw & w;
+                let cnt = aw.count_ones() as usize;
+                if inter == 0 {
+                    // Dilution word-skip: an empty intersection dilutes to
+                    // all holes — account for them without the gathers.
+                    self.buf.push_holes(cnt);
+                } else {
+                    // The filter mask over compressed activations is the
+                    // intersection gathered at the activation positions —
+                    // exactly dilution's filter, without the slot stream.
+                    let filter = gather_bits(inter, aw);
+                    self.buf.push_unit_mask(filter, cnt);
+                }
+            }
+            let (_, stats) = self.buf.drain_sum();
+            worst_conc = worst_conc.max(stats.rows_drained as u64);
+        }
+
+        PositionCost {
+            ca_cycles: stream_cycles.max(worst_conc).max(1),
+            matched,
+            // One dilution gather pass per (basis, nonzero word), exactly
+            // as the scalar path counts them — including skipped words and
+            // skipped bases, whose gathers the hardware still schedules.
+            gather_passes: nz_words * self.m as u64,
+            stream_cycles,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -187,13 +572,32 @@ mod tests {
         SimConfig::default()
     }
 
+    /// Runs the same inputs through the scalar path, the kernel, and the
+    /// memoized kernel (twice, to exercise the hit path) and requires all
+    /// answers equal. Returns the agreed cost.
+    fn cost_all_paths(
+        cfg: &SimConfig,
+        c: usize,
+        act: &[u64],
+        coef_masks: &[&[u64]],
+    ) -> PositionCost {
+        let scalar = position_cost(cfg, c, act, coef_masks);
+        let mut kernel = PositionKernel::new(cfg);
+        kernel.bind(c, coef_masks.iter().copied());
+        assert_eq!(kernel.cost_uncached(act), scalar, "word-parallel kernel");
+        assert_eq!(kernel.cost(act), scalar, "memo miss path");
+        assert_eq!(kernel.cost(act), scalar, "memo hit path");
+        assert_eq!(kernel.memo_hits(), 1);
+        scalar
+    }
+
     #[test]
     fn dense_position_is_bus_bound() {
         // All 64 channels nonzero, all coefficients nonzero: 64 activations
         // over a 16-wide bus = 4 cycles, and the adder tree matches.
         let act = [u64::MAX];
         let coef = [u64::MAX];
-        let cost = position_cost(&cfg(), 64, &act, &[&coef, &coef]);
+        let cost = cost_all_paths(&cfg(), 64, &act, &[&coef, &coef]);
         assert_eq!(cost.stream_cycles, 4);
         assert_eq!(cost.ca_cycles, 4);
         assert_eq!(cost.matched, 128); // 64 per CA × 2 CAs
@@ -203,10 +607,27 @@ mod tests {
     fn empty_activations_cost_one_cycle() {
         let act = [0u64];
         let coef = [u64::MAX];
-        let cost = position_cost(&cfg(), 64, &act, &[&coef]);
+        let cost = cost_all_paths(&cfg(), 64, &act, &[&coef]);
         assert_eq!(cost.ca_cycles, 1);
         assert_eq!(cost.matched, 0);
         assert_eq!(cost.gather_passes, 0);
+    }
+
+    #[test]
+    fn all_chunks_skipped_costs_the_one_cycle_floor() {
+        // Nonzero activations whose intersection with *every* basis is
+        // empty: every chunk is skipped, yet the position still costs one
+        // bus cycle — the ≥ 1 floor is intentional (the sparse maps stream
+        // ahead of the values, so discovering "nothing to fetch" takes a
+        // cycle). Behavior-pinning regression for the fast path.
+        let act = [0x0000_0000_FFFF_FFFFu64];
+        let hi = [0xFFFF_FFFF_0000_0000u64];
+        let zero = [0u64];
+        let cost = cost_all_paths(&cfg(), 64, &act, &[&hi, &zero, &hi]);
+        assert_eq!(cost.stream_cycles, 1);
+        assert_eq!(cost.ca_cycles, 1);
+        assert_eq!(cost.matched, 0);
+        assert_eq!(cost.gather_passes, 3); // one per (basis, nonzero word)
     }
 
     #[test]
@@ -214,8 +635,8 @@ mod tests {
         let act = [u64::MAX];
         let sparse_coef = [0x0101_0101_0101_0101u64]; // 8 of 64
         let dense_coef = [u64::MAX];
-        let s = position_cost(&cfg(), 64, &act, &[&sparse_coef]);
-        let d = position_cost(&cfg(), 64, &act, &[&dense_coef]);
+        let s = cost_all_paths(&cfg(), 64, &act, &[&sparse_coef]);
+        let d = cost_all_paths(&cfg(), 64, &act, &[&dense_coef]);
         assert_eq!(s.stream_cycles, d.stream_cycles);
         assert!(s.matched < d.matched);
         assert!(s.ca_cycles <= d.ca_cycles);
@@ -226,7 +647,7 @@ mod tests {
         // 128 channels, half nonzero activations.
         let act = [0xAAAA_AAAA_AAAA_AAAAu64; 2];
         let coef = [u64::MAX; 2];
-        let cost = position_cost(&cfg(), 128, &act, &[&coef]);
+        let cost = cost_all_paths(&cfg(), 128, &act, &[&coef]);
         assert_eq!(cost.matched, 64);
         assert_eq!(cost.stream_cycles, 4); // 64 nonzeros / 16 per cycle
     }
@@ -236,8 +657,8 @@ mod tests {
         let act = [u64::MAX];
         let dense = [u64::MAX];
         let empty = [0u64];
-        let mixed = position_cost(&cfg(), 64, &act, &[&dense, &empty]);
-        let only_dense = position_cost(&cfg(), 64, &act, &[&dense]);
+        let mixed = cost_all_paths(&cfg(), 64, &act, &[&dense, &empty]);
+        let only_dense = cost_all_paths(&cfg(), 64, &act, &[&dense]);
         assert_eq!(mixed.ca_cycles, only_dense.ca_cycles);
     }
 
@@ -253,9 +674,64 @@ mod tests {
         ];
         for (act, coef) in &patterns {
             let fresh = position_cost(&cfg, 128, act, &[&coef[..], &coef[..]]);
-            let reused = position_cost_with(&cfg, 128, act, &[&coef[..], &coef[..]], &mut scratch);
+            let reused =
+                position_cost_scalar(&cfg, 128, act, &[&coef[..], &coef[..]], &mut scratch);
             assert_eq!(fresh, reused);
         }
+    }
+
+    #[test]
+    fn rebinding_drops_the_memo_and_changes_answers() {
+        let cfg = cfg();
+        let mut kernel = PositionKernel::new(&cfg);
+        let act = [0x0F0F_0F0F_0F0F_0F0Fu64];
+        let dense = [u64::MAX];
+        kernel.bind(64, [&dense[..]]);
+        let with_dense = kernel.cost(&act);
+        assert_eq!(with_dense.matched, 32);
+        // Rebinding to a disjoint basis must invalidate the cached entry.
+        let disjoint = [0xF0F0_F0F0_F0F0_F0F0u64];
+        kernel.bind(64, [&disjoint[..]]);
+        let with_disjoint = kernel.cost(&act);
+        assert_eq!(with_disjoint.matched, 0);
+        assert_eq!(kernel.memo_hits(), 0, "stale hit across bind");
+        assert_eq!(kernel.memo_misses(), 2);
+    }
+
+    #[test]
+    fn memo_disabled_still_matches() {
+        let cfg = SimConfig {
+            memo_capacity: 0,
+            ..cfg()
+        };
+        let act = [0xDEAD_BEEF_0BAD_F00Du64, 0x1234];
+        let coef = [0xFF00_FF00_FF00_FF00u64, 0x0FF0];
+        let scalar = position_cost(&cfg, 78, &[act[0], act[1] & 0x3FFF], &[&coef[..]]);
+        let mut kernel = PositionKernel::new(&cfg);
+        kernel.bind(78, [&coef[..]]);
+        let a = [act[0], act[1] & 0x3FFF];
+        assert_eq!(kernel.cost(&a), scalar);
+        assert_eq!(kernel.cost(&a), scalar);
+        assert_eq!(kernel.memo_hits(), 0);
+        assert_eq!(kernel.memo_misses(), 2);
+    }
+
+    #[test]
+    fn memo_overflow_degrades_to_recompute() {
+        // Capacity 1 (rounded to 1 slot): the second distinct mask cannot
+        // be cached, but answers must stay correct.
+        let cfg = SimConfig {
+            memo_capacity: 1,
+            ..cfg()
+        };
+        let coef = [u64::MAX];
+        let mut kernel = PositionKernel::new(&cfg);
+        kernel.bind(64, [&coef[..]]);
+        let masks = [[0x1u64], [0x3u64], [0x7u64], [0x1u64], [0x3u64]];
+        for m in &masks {
+            assert_eq!(kernel.cost(m), position_cost(&cfg, 64, m, &[&coef]));
+        }
+        assert!(kernel.memo_hits() >= 1, "repeat of the cached mask hits");
     }
 
     #[test]
@@ -264,5 +740,14 @@ mod tests {
         let act = [0u64; 2];
         let coef = [0u64];
         let _ = position_cost(&cfg(), 64, &act, &[&coef]);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond width")]
+    fn kernel_rejects_bits_beyond_c() {
+        let mut kernel = PositionKernel::new(&cfg());
+        let coef = [u64::MAX];
+        kernel.bind(40, [&coef[..]]);
+        let _ = kernel.cost_uncached(&[1u64 << 45]);
     }
 }

@@ -21,7 +21,7 @@
 //!   events flow to instrumentation without touching the hot path's
 //!   structure.
 
-use crate::ca::{position_cost_with, CaScratch, PositionCost};
+use crate::ca::{PositionCost, PositionKernel};
 use crate::config::SimConfig;
 use crate::dataflow::Mapping;
 use crate::error::SimError;
@@ -31,6 +31,7 @@ use crate::slice::SliceTrace;
 use crate::stats::{DramTraffic, LayerStats, SramTraffic};
 use crate::workload::{CoefMasks, LayerWorkload, WorkloadMode};
 use escalate_tensor::Tensor;
+use std::cell::RefCell;
 
 /// Per-layer derived state of the Basis-First mapping, built once and
 /// shared by every fidelity. This is the *only* place `rs`, [`MacRow`],
@@ -179,6 +180,11 @@ pub trait SimObserver {
     /// Called once per cycle-stepped (channel, slice) run.
     fn on_slice(&mut self, _ev: &SliceEvent) {}
 
+    /// Called once per finished channel × position walk with the folded
+    /// aggregate — the hook through which kernel-level statistics (memo
+    /// hits/misses) reach instrumentation.
+    fn on_walk(&mut self, _agg: &PositionAggregate) {}
+
     /// Called once per finished layer with the stats the simulation
     /// returns — exactly the values callers see, so observer-side totals
     /// reconcile with [`crate::stats::ModelStats`] count-for-count.
@@ -212,11 +218,29 @@ pub struct PositionAggregate {
     pub sampled_channels: usize,
     /// Positions walked per channel.
     pub positions_per_channel: usize,
+    /// Position costs answered from the kernel's memo during this walk.
+    pub memo_hits: u64,
+    /// Position costs computed by the kernel during this walk (with
+    /// memoization disabled, every position counts here).
+    pub memo_misses: u64,
+}
+
+thread_local! {
+    // One PositionKernel per host thread, reused across layers (and
+    // across whole simulations) as long as the config's kernel-relevant
+    // knobs are unchanged — `bind` resets all per-channel state, so the
+    // reuse cannot leak state between layers and results stay
+    // bit-identical at any thread count.
+    static KERNEL_CACHE: RefCell<Option<PositionKernel>> = const { RefCell::new(None) };
 }
 
 /// Walks `sampled_k × source.positions()` through the bit-exact CA cost
 /// model, allocating nothing per position. This is the one inner loop
 /// every fidelity that aggregates per-position costs drives.
+///
+/// Uses a thread-local [`PositionKernel`] (rebuilt only when `cfg`'s
+/// kernel-relevant knobs change); [`run_positions_with`] is the same walk
+/// against a caller-owned kernel.
 pub fn run_positions(
     ctx: &LayerContext,
     cfg: &SimConfig,
@@ -224,23 +248,48 @@ pub fn run_positions(
     source: &mut MaskSource,
     obs: &mut dyn SimObserver,
 ) -> PositionAggregate {
+    KERNEL_CACHE.with(|cell| {
+        let mut slot = cell.borrow_mut();
+        let kernel = match slot.as_mut() {
+            Some(k) if k.matches(cfg) => k,
+            _ => slot.insert(PositionKernel::new(cfg)),
+        };
+        run_positions_with(ctx, cfg, sampled_k, source, obs, kernel)
+    })
+}
+
+/// [`run_positions`] against a caller-owned [`PositionKernel`] (which must
+/// have been built from an equivalent config). The kernel's memo counters
+/// accumulate across calls; the aggregate reports this walk's deltas.
+pub fn run_positions_with(
+    ctx: &LayerContext,
+    cfg: &SimConfig,
+    sampled_k: &[usize],
+    source: &mut MaskSource,
+    obs: &mut dyn SimObserver,
+    kernel: &mut PositionKernel,
+) -> PositionAggregate {
+    assert!(kernel.matches(cfg), "kernel built from a different config");
+    let _span = escalate_obs::span("ca.kernel");
     let sp = source.positions();
+    let hits0 = kernel.memo_hits();
+    let misses0 = kernel.memo_misses();
     let mut agg = PositionAggregate {
         sampled_channels: sampled_k.len(),
         positions_per_channel: sp,
         ..PositionAggregate::default()
     };
-    // Buffers reused across every sampled (channel, position) pair.
-    let mut coef_masks: Vec<&[u64]> = Vec::with_capacity(ctx.m);
+    // The activation-mask buffer is reused across every sampled
+    // (channel, position) pair; all channel-invariant work (coefficient
+    // mask copies, union mask, memo reset) happens once per channel in
+    // `bind`.
     let mut buf = vec![0u64; ctx.words];
-    let mut scratch = CaScratch::new(cfg);
     for &k in sampled_k {
-        coef_masks.clear();
-        coef_masks.extend((0..ctx.m).map(|mi| ctx.masks.mask(k, mi)));
+        kernel.bind(ctx.c, (0..ctx.m).map(|mi| ctx.masks.mask(k, mi)));
         let mut k_pos_cycles = 0.0f64;
         for p in 0..sp {
             let act = source.mask(p, &mut buf);
-            let cost = position_cost_with(cfg, ctx.c, act, &coef_masks, &mut scratch);
+            let cost = kernel.cost(act);
             let pos_cycles = ctx.mac_row.position_cycles(cost.ca_cycles);
             k_pos_cycles += pos_cycles as f64;
             agg.sum_matched += cost.matched as f64;
@@ -258,6 +307,9 @@ pub fn run_positions(
         let block_time = mean_pos * ctx.positions_per_slice() as f64;
         agg.max_block_time = agg.max_block_time.max(block_time);
     }
+    agg.memo_hits = kernel.memo_hits() - hits0;
+    agg.memo_misses = kernel.memo_misses() - misses0;
+    obs.on_walk(&agg);
     agg
 }
 

@@ -99,6 +99,7 @@ pub mod trace;
 pub mod workload;
 
 pub use accel::{Accelerator, Escalate};
+pub use ca::{PositionCost, PositionKernel};
 pub use config::SimConfig;
 pub use context::{LayerContext, NoopObserver, SimObserver};
 pub use engine::{simulate_layer, simulate_model};

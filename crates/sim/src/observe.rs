@@ -29,12 +29,14 @@
 //!   skipped entirely (no coefficient matched any streamed activation);
 //! - `sim.buffer_stall_cycles` — cycles the detailed fidelity's streaming
 //!   front end stalled on full concentration buffers (buffer conflicts);
-//! - `sim.slices_stepped` — cycle-stepped (channel, slice) runs.
+//! - `sim.slices_stepped` — cycle-stepped (channel, slice) runs;
+//! - `ca.memo_hits` / `ca.memo_misses` — position costs answered from the
+//!   kernel's per-channel memo vs computed (from per-walk aggregates).
 //!
 //! Histograms: `sim.position_ca_cycles` (CA cycles per walked position)
 //! and `sim.layer_cycles` (cycles per layer).
 
-use crate::context::{PositionEvent, SimObserver, SliceEvent};
+use crate::context::{PositionAggregate, PositionEvent, SimObserver, SliceEvent};
 use crate::stats::LayerStats;
 use escalate_obs::{Histogram, Registry};
 use std::sync::Arc;
@@ -53,6 +55,8 @@ pub struct ObsObserver {
     skip_positions: u64,
     stall_cycles: u64,
     slices: u64,
+    memo_hits: u64,
+    memo_misses: u64,
     ca_cycles: Histogram,
 }
 
@@ -66,6 +70,8 @@ impl ObsObserver {
             skip_positions: 0,
             stall_cycles: 0,
             slices: 0,
+            memo_hits: 0,
+            memo_misses: 0,
             ca_cycles: Histogram::new(),
         }
     }
@@ -88,6 +94,8 @@ impl ObsObserver {
             ("sim.ca_skip_positions", &mut self.skip_positions),
             ("sim.buffer_stall_cycles", &mut self.stall_cycles),
             ("sim.slices_stepped", &mut self.slices),
+            ("ca.memo_hits", &mut self.memo_hits),
+            ("ca.memo_misses", &mut self.memo_misses),
         ] {
             if *v > 0 {
                 reg.counter_add(name, *v);
@@ -112,6 +120,13 @@ impl SimObserver for ObsObserver {
     fn on_slice(&mut self, ev: &SliceEvent) {
         self.slices += 1;
         self.stall_cycles += ev.trace.stream_stall_cycles;
+    }
+
+    fn on_walk(&mut self, agg: &PositionAggregate) {
+        // One walk per (layer, seed): batch locally like the per-position
+        // events and flush with them.
+        self.memo_hits += agg.memo_hits;
+        self.memo_misses += agg.memo_misses;
     }
 
     fn on_layer(&mut self, stats: &LayerStats) {

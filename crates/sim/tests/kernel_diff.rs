@@ -1,0 +1,190 @@
+//! Differential suite: the word-parallel [`PositionKernel`] (with and
+//! without its memo) against the scalar reference
+//! [`position_cost_scalar`], byte-for-byte equal [`PositionCost`]s across
+//! random channel counts, mask patterns, concentration windows, and bus
+//! widths — including multi-word channels and the empty/dense extremes.
+//!
+//! This is the contract the kernel's three fast-path layers rest on (see
+//! DESIGN.md, "the sampled-fidelity hot path"): any divergence here is a
+//! correctness bug, not a tolerance question.
+
+use escalate_sim::ca::{position_cost_scalar, CaScratch, PositionKernel};
+use escalate_sim::engine::simulate_layer;
+use escalate_sim::trace::simulate_layer_traced;
+use escalate_sim::workload::{CoefMasks, LayerWorkload, WorkloadMode};
+use escalate_sim::SimConfig;
+use escalate_tensor::Tensor;
+use proptest::prelude::*;
+
+/// Expands raw u64 material into a `⌈c/64⌉`-word mask with no bits at or
+/// above `c`, applying a density `style`: 0 = raw, 1 = sparsified
+/// (self-AND with a rotation), 2 = empty, 3 = dense (all ones).
+fn mask_words(raw: &[u64], c: usize, style: u8) -> Vec<u64> {
+    let words = c.div_ceil(64);
+    let mut v: Vec<u64> = raw
+        .iter()
+        .cycle()
+        .take(words)
+        .map(|&w| match style {
+            0 => w,
+            1 => w & w.rotate_left(13),
+            2 => 0,
+            _ => u64::MAX,
+        })
+        .collect();
+    let tail = c - (words - 1) * 64;
+    if tail < 64 {
+        *v.last_mut().expect("words >= 1") &= (1u64 << tail) - 1;
+    }
+    v
+}
+
+fn config(la: usize, ls: usize, bus_bytes: usize, memo: usize) -> SimConfig {
+    SimConfig {
+        look_ahead: la,
+        look_aside: ls,
+        input_bus_bytes: bus_bytes,
+        memo_capacity: memo,
+        ..SimConfig::default()
+    }
+}
+
+proptest! {
+    /// One position, every path: scalar, kernel uncached, kernel through a
+    /// cold memo, kernel through a warm memo — all byte-for-byte equal.
+    #[test]
+    fn kernel_matches_scalar_on_any_position(
+        c in 1usize..200,
+        m in 1usize..7,
+        raw_act in prop::collection::vec(any::<u64>(), 3),
+        raw_coef in prop::collection::vec(any::<u64>(), 18),
+        styles in (0u8..4, 0u8..4),
+        windows in (0usize..8, 0usize..3),
+        bus_bytes in 1usize..33,
+        memo in prop_oneof![Just(0usize), Just(1), Just(8), Just(2048)],
+    ) {
+        let (act_style, coef_style) = styles;
+        let (la, ls) = windows;
+        let cfg = config(la, ls, bus_bytes, memo);
+        let act = mask_words(&raw_act, c, act_style);
+        let coef_rows: Vec<Vec<u64>> = (0..m)
+            .map(|mi| mask_words(&raw_coef[mi * 3..mi * 3 + 3], c, coef_style))
+            .collect();
+        let refs: Vec<&[u64]> = coef_rows.iter().map(Vec::as_slice).collect();
+
+        let scalar = position_cost_scalar(&cfg, c, &act, &refs, &mut CaScratch::new(&cfg));
+        let mut kernel = PositionKernel::new(&cfg);
+        kernel.bind(c, refs.iter().copied());
+        prop_assert_eq!(kernel.cost_uncached(&act), scalar);
+        prop_assert_eq!(kernel.cost(&act), scalar);
+        prop_assert_eq!(kernel.cost(&act), scalar);
+        if memo > 0 {
+            prop_assert_eq!(kernel.memo_hits(), 1, "second memoized call must hit");
+        }
+    }
+
+    /// A stream of positions through one bound kernel (the run_positions
+    /// usage pattern): every answer — hit, miss, or probe-window overflow —
+    /// equals a fresh scalar evaluation. Repeated masks in the stream
+    /// exercise the hit path; tiny capacities exercise the overflow path.
+    #[test]
+    fn memoized_streams_match_scalar(
+        c in 1usize..150,
+        m in 1usize..7,
+        raw_coef in prop::collection::vec(any::<u64>(), 18),
+        raw_acts in prop::collection::vec(prop::collection::vec(any::<u64>(), 3), 1..12),
+        act_style in 0u8..2,
+        memo in prop_oneof![Just(0usize), Just(2), Just(2048)],
+    ) {
+        let cfg = config(4, 1, 16, memo);
+        let coef_rows: Vec<Vec<u64>> = (0..m)
+            .map(|mi| mask_words(&raw_coef[mi * 3..mi * 3 + 3], c, 1))
+            .collect();
+        let refs: Vec<&[u64]> = coef_rows.iter().map(Vec::as_slice).collect();
+        let mut kernel = PositionKernel::new(&cfg);
+        kernel.bind(c, refs.iter().copied());
+        let mut scratch = CaScratch::new(&cfg);
+        for (i, raw) in raw_acts.iter().enumerate() {
+            // Repeat every other mask to guarantee stream-internal dupes.
+            let raw = if i % 2 == 1 { &raw_acts[i - 1] } else { raw };
+            let act = mask_words(raw, c, act_style);
+            let scalar = position_cost_scalar(&cfg, c, &act, &refs, &mut scratch);
+            prop_assert_eq!(kernel.cost(&act), scalar);
+        }
+    }
+
+    /// Rebinding the kernel to a different channel (the per-channel loop in
+    /// run_positions) never leaks state: after any bind sequence, answers
+    /// still equal the scalar reference for the currently-bound masks.
+    #[test]
+    fn rebind_sequences_stay_exact(
+        c in 1usize..100,
+        raw in prop::collection::vec(any::<u64>(), 12),
+        binds in prop::collection::vec(0usize..4, 2..5),
+    ) {
+        let cfg = config(4, 1, 16, 64);
+        let mut kernel = PositionKernel::new(&cfg);
+        let act = mask_words(&raw[..2], c, 0);
+        let mut scratch = CaScratch::new(&cfg);
+        for &b in &binds {
+            let coef_rows: Vec<Vec<u64>> = (0..2)
+                .map(|mi| mask_words(&raw[2 + 2 * (b + mi)..4 + 2 * (b + mi)], c, 1))
+                .collect();
+            let refs: Vec<&[u64]> = coef_rows.iter().map(Vec::as_slice).collect();
+            kernel.bind(c, refs.iter().copied());
+            let scalar = position_cost_scalar(&cfg, c, &act, &refs, &mut scratch);
+            prop_assert_eq!(kernel.cost(&act), scalar);
+            prop_assert_eq!(kernel.cost(&act), scalar);
+        }
+    }
+}
+
+fn workload(c: usize, k: usize, x: usize) -> LayerWorkload {
+    use escalate_core::quant::TernaryCoeffs;
+    use escalate_models::LayerShape;
+    let m = 6;
+    let coeffs = Tensor::from_fn(&[k, c, m], |i| {
+        let h = (i[0] * 7919 + i[1] * 104729 + i[2] * 1299709) % 1000;
+        if h < 900 {
+            0.0
+        } else if h % 2 == 0 {
+            1.0
+        } else {
+            -1.0
+        }
+    });
+    let t = TernaryCoeffs::ternarize(&coeffs, 0.0).unwrap();
+    LayerWorkload {
+        name: format!("kd{c}x{k}"),
+        shape: LayerShape::conv("t", c, k, x, x, 3, 1, 1),
+        out_channels: k,
+        mode: WorkloadMode::Decomposed(CoefMasks::from_ternary(&t)),
+        act_sparsity: 0.5,
+        out_sparsity: 0.5,
+        weight_bytes: 1000,
+    }
+}
+
+/// End-to-end pin: whole-layer stats are bit-identical with the memo at
+/// its default capacity, a tiny colliding capacity, and disabled — for
+/// both the sampled and the trace-driven fidelity.
+#[test]
+fn layer_stats_identical_across_memo_capacities() {
+    let lw = workload(96, 32, 12);
+    let ifm = escalate_models::synth::activations(&lw.shape, 0.5, 11);
+    let base = SimConfig::default();
+    let sampled = simulate_layer(&lw, &base, 7);
+    let traced = simulate_layer_traced(&lw, &base, &ifm).unwrap();
+    for memo in [0usize, 2, 64] {
+        let cfg = SimConfig {
+            memo_capacity: memo,
+            ..base
+        };
+        assert_eq!(simulate_layer(&lw, &cfg, 7), sampled, "memo={memo}");
+        assert_eq!(
+            simulate_layer_traced(&lw, &cfg, &ifm).unwrap(),
+            traced,
+            "memo={memo}"
+        );
+    }
+}

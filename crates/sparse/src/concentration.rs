@@ -113,18 +113,87 @@ impl ConcentrationBuffer {
     pub fn push_slots(&mut self, slots: &[Option<f32>]) {
         for &slot in slots {
             if self.cursor == 0 {
-                let row = match self.free.pop() {
-                    Some(mut row) => {
-                        row.fill(None);
-                        row
-                    }
-                    None => vec![None; self.width],
-                };
-                self.rows.push_back(row);
+                self.open_row();
             }
             let last = self.rows.back_mut().expect("row was just pushed");
             last[self.cursor] = slot;
             self.cursor = (self.cursor + 1) % self.width;
+        }
+    }
+
+    /// Appends a fresh all-hole row, recycling drained storage.
+    fn open_row(&mut self) {
+        let row = match self.free.pop() {
+            Some(mut row) => {
+                row.fill(None);
+                row
+            }
+            None => vec![None; self.width],
+        };
+        self.rows.push_back(row);
+    }
+
+    /// Pushes `n` hole slots: bit-exact equivalent of
+    /// `push_slots(&[None; n])`, but costs `O(n / width)` row operations
+    /// instead of `O(n)` slot writes.
+    ///
+    /// This is the dilution word-skip entry point: when a chunk's
+    /// activation/coefficient intersection is empty, every diluted slot is
+    /// a hole, so callers can skip the dilution gathers entirely and
+    /// account for the stream's holes here. The holes still occupy buffer
+    /// slots — they shape row packing and the look-ahead donor distances —
+    /// so the drain model stays identical to the full dilution path.
+    pub fn push_holes(&mut self, mut n: usize) {
+        while n > 0 {
+            if self.cursor == 0 {
+                self.open_row();
+            }
+            let take = (self.width - self.cursor).min(n);
+            self.cursor = (self.cursor + take) % self.width;
+            n -= take;
+        }
+    }
+
+    /// Pushes `n` unit-valued slots where slot `j` is `Some(1.0)` when bit
+    /// `j` of `mask` is set and a hole otherwise: the timing-model
+    /// equivalent of diluting a chunk of `n` unit activations whose filter
+    /// mask is `mask`, writing only the `popcount(mask)` survivors.
+    ///
+    /// The drained *statistics* are bit-exact with the full dilution path
+    /// because concentration only reads the `Some`/`None` pattern; the
+    /// drained *sum* may differ in sign (dilution attaches coefficient
+    /// signs to survivors, this entry point pushes `+1.0`), so it is for
+    /// cost models that discard the sum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 64` or `mask` has bits at or above `n`.
+    pub fn push_unit_mask(&mut self, mask: u64, n: usize) {
+        assert!(n <= 64, "unit-mask chunks are at most 64 slots");
+        let limit = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+        assert_eq!(mask & !limit, 0, "filter mask has bits beyond the chunk");
+        let mut j = 0usize;
+        while j < n {
+            if self.cursor == 0 {
+                self.open_row();
+            }
+            let take = (self.width - self.cursor).min(n - j);
+            let keep = if take >= 64 {
+                u64::MAX
+            } else {
+                (1u64 << take) - 1
+            };
+            let mut bits = (mask >> j) & keep;
+            if bits != 0 {
+                let row = self.rows.back_mut().expect("row was just pushed");
+                while bits != 0 {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    row[self.cursor + b] = Some(1.0);
+                }
+            }
+            self.cursor = (self.cursor + take) % self.width;
+            j += take;
         }
     }
 
@@ -356,6 +425,63 @@ mod tests {
         fresh.push_slots(&slots);
         assert_eq!(again, fresh.drain_sum());
         assert_eq!(again, first);
+    }
+
+    #[test]
+    fn push_holes_matches_push_slots() {
+        for &(width, la, ls) in &[(4usize, 2usize, 1usize), (2, 0, 0), (16, 4, 1), (3, 1, 2)] {
+            for &n in &[0usize, 1, 2, 3, 5, 16, 33, 64, 100] {
+                let mut fast = ConcentrationBuffer::new(width, la, ls);
+                let mut slow = ConcentrationBuffer::new(width, la, ls);
+                // Interleave holes between real chunks so row structure and
+                // donor distances are exercised, not just empty drains.
+                let lead: Vec<Option<f32>> = (0..width + 1).map(|i| Some(i as f32)).collect();
+                fast.push_slots(&lead);
+                slow.push_slots(&lead);
+                fast.push_holes(n);
+                slow.push_slots(&vec![None; n]);
+                let tail = [Some(7.0), None, Some(8.0)];
+                fast.push_slots(&tail);
+                slow.push_slots(&tail);
+                assert_eq!(fast.pending_rows(), slow.pending_rows(), "w={width} n={n}");
+                assert_eq!(fast.drain_sum(), slow.drain_sum(), "w={width} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn push_unit_mask_matches_push_slots_pattern() {
+        for &(width, la, ls) in &[(4usize, 2usize, 1usize), (2, 1, 0), (16, 4, 1)] {
+            for &(mask, n) in &[
+                (0u64, 5usize),
+                (0b1, 1),
+                (0b1010_1100, 8),
+                (u64::MAX, 64),
+                (0x8000_0000_0000_0001, 64),
+                (0x00FF_00FF, 32),
+            ] {
+                let mut fast = ConcentrationBuffer::new(width, la, ls);
+                let mut slow = ConcentrationBuffer::new(width, la, ls);
+                // Offset the cursor so chunks straddle row boundaries.
+                fast.push_slots(&[Some(9.0)]);
+                slow.push_slots(&[Some(9.0)]);
+                fast.push_unit_mask(mask, n);
+                let slots: Vec<Option<f32>> = (0..n)
+                    .map(|j| if mask >> j & 1 == 1 { Some(1.0) } else { None })
+                    .collect();
+                slow.push_slots(&slots);
+                let (_, fs) = fast.drain_sum();
+                let (_, ss) = slow.drain_sum();
+                assert_eq!(fs, ss, "w={width} mask={mask:#x} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond the chunk")]
+    fn unit_mask_bits_beyond_chunk_panic() {
+        let mut buf = ConcentrationBuffer::new(4, 2, 1);
+        buf.push_unit_mask(0b100, 2);
     }
 
     #[test]

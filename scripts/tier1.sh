@@ -9,13 +9,21 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --release --offline
-cargo test -q --offline
+# `--workspace` everywhere: the root manifest is both a package (the
+# `escalate` facade) and the workspace, so bare `cargo build`/`cargo test`
+# would cover only the facade and silently skip every member crate's
+# binaries and test targets.
+cargo build --release --offline --workspace
+cargo test -q --offline --workspace
 # The observability crate is dependency-free and cheap: exercise its full
 # test matrix (unit + doc tests) explicitly so a workspace-level filter
 # can never silently drop it.
 cargo test -q --offline -p escalate-obs
+# Criterion's `--test` mode runs each kernel benchmark once, unmeasured:
+# a smoke check that the scalar/word-parallel differential assertion and
+# the bench wiring stay green without paying for real measurement.
+cargo bench --offline -p escalate-bench --bench position_kernel -- --test
 cargo fmt --check
-cargo clippy --all-targets --offline -- -D warnings
+cargo clippy --all-targets --offline --workspace -- -D warnings
 
 echo "tier-1: OK"
