@@ -1,76 +1,8 @@
-//! Extension study: per-layer adaptive basis counts (PENNI's energy-
-//! threshold rank selection) versus the paper's fixed `M = 6`.
-//!
-//! The fixed-M design keeps the hardware mapping static (every slice has
-//! exactly `M` CA-MAC pairs); adaptive selection shows how much model
-//! size the fixed choice leaves on the table, which is the §6.1
-//! trade-off viewed from the algorithm side.
-//!
-//! Usage: `cargo run --release -p escalate-bench --bin adaptive_m`
+//! Thin wrapper over the experiment registry entry `adaptive_m`.
+//! See `report --list` (or `escalate report --list`) for the full set.
 
-use escalate_core::decompose::{decompose, decompose_adaptive};
-use escalate_core::pipeline::ternary_storage_bits;
-use escalate_core::quant::{
-    threshold_for_sparsity, HybridQuantized, QuantizedBasis, TernaryCoeffs,
-};
-use escalate_models::{synth, ModelProfile};
+use std::process::ExitCode;
 
-fn main() {
-    let profile = ModelProfile::for_model("ResNet18").expect("known model");
-    let model = profile.model();
-    println!("Adaptive per-layer M (99% energy) vs fixed M = 6, ResNet18:");
-    println!();
-    println!(
-        "{:<20} {:>4} {:>6} {:>10} {:>10} {:>9} {:>9}",
-        "Layer", "Mad", "Mfix", "bits(ad)", "bits(fix)", "err(ad)", "err(fix)"
-    );
-    let conv: Vec<_> = model
-        .conv_layers()
-        .filter(|l| l.is_decomposable() && l.c > 3)
-        .collect();
-    let n = conv.len();
-    let mut total_ad = 0usize;
-    let mut total_fix = 0usize;
-    for (i, layer) in conv.iter().enumerate() {
-        let w = synth::weights(layer, 6, 0.05, synth::layer_seed(42, i, 0));
-        let target = profile.layer_coeff_sparsity(i, n);
-
-        let quantize = |d: &escalate_core::Decomposed| {
-            let t = threshold_for_sparsity(&d.coeffs, target);
-            let coeffs = TernaryCoeffs::ternarize(&d.coeffs, t).expect("valid threshold");
-            let basis = QuantizedBasis::quantize(&d.basis);
-            let h = HybridQuantized { basis, coeffs };
-            let bits = h.basis.size_bits() + ternary_storage_bits(&h.coeffs);
-            let err = w.relative_error(&h.to_decomposed().reconstruct());
-            (bits, err)
-        };
-
-        let ad = decompose_adaptive(&w, 0.99).expect("decomposition succeeds");
-        let fix = decompose(&w, 6.min(layer.r * layer.s)).expect("decomposition succeeds");
-        let (bits_ad, err_ad) = quantize(&ad);
-        let (bits_fix, err_fix) = quantize(&fix);
-        total_ad += bits_ad;
-        total_fix += bits_fix;
-        println!(
-            "{:<20} {:>4} {:>6} {:>10} {:>10} {:>9.3} {:>9.3}",
-            layer.name,
-            ad.m(),
-            fix.m(),
-            bits_ad,
-            bits_fix,
-            err_ad,
-            err_fix
-        );
-    }
-    println!();
-    println!(
-        "total: adaptive {:.3} MB vs fixed {:.3} MB ({:+.1}%)",
-        total_ad as f64 / 8.0 / 1048576.0,
-        total_fix as f64 / 8.0 / 1048576.0,
-        100.0 * (total_ad as f64 - total_fix as f64) / total_fix as f64
-    );
-    println!();
-    println!("Adaptive selection shrinks layers whose kernels are effectively low-rank;");
-    println!("the hardware cost is a per-layer reconfiguration of the CA-MAC mapping,");
-    println!("which the fixed-M design deliberately avoids (§6.1).");
+fn main() -> ExitCode {
+    escalate_bench::experiments::run_bin("adaptive_m")
 }

@@ -1,56 +1,8 @@
-//! Regenerates the §6.3 discussion data point: on a sparse-aware
-//! accelerator, a large redundant model (sparse VGG16) can outrun a
-//! modern compact model (sparse MobileNetV2) at similar accuracy — the
-//! paper measures sparse VGG16 as 1.5× faster than sparse MobileNetV2.
-//!
-//! Usage: `cargo run --release -p escalate-bench --bin discussion`
+//! Thin wrapper over the experiment registry entry `discussion`.
+//! See `report --list` (or `escalate report --list`) for the full set.
 
-use escalate_bench::{compress, run_escalate};
-use escalate_core::pipeline::{accuracy_proxy, CompressionConfig};
-use escalate_core::ModelCompression;
-use escalate_models::ModelProfile;
-use escalate_sim::SimConfig;
+use std::process::ExitCode;
 
-fn main() {
-    let cfg = SimConfig::default();
-    println!("Section 6.3: redundant-but-sparse vs compact models on ESCALATE");
-    println!();
-    println!(
-        "{:<12} {:>10} {:>12} {:>12} {:>12} {:>11}",
-        "Model", "dense MB", "comp. MB", "latency(ms)", "energy(mJ)", "proxy top-1"
-    );
-    let mut latencies = Vec::new();
-    for name in ["VGG16", "MobileNetV2"] {
-        let profile = ModelProfile::for_model(name).expect("known model");
-        let artifacts =
-            compress(&profile, &CompressionConfig::default()).expect("compression succeeds");
-        let stats = ModelCompression {
-            model_name: name.to_string(),
-            layers: artifacts.iter().map(|a| a.stats.clone()).collect(),
-        };
-        let run = run_escalate(&profile, &artifacts, &cfg, 5);
-        let latency = run.cycles / (cfg.frequency_mhz * 1e3);
-        println!(
-            "{:<12} {:>10.2} {:>12.3} {:>12.4} {:>12.3} {:>11.2}",
-            name,
-            profile.model().conv_size_mb_fp32(),
-            stats.compressed_size_mb(),
-            latency,
-            run.energy_pj * 1e-9,
-            accuracy_proxy(profile.baseline_top1, stats.mean_weight_error()),
-        );
-        latencies.push(latency);
-    }
-    println!();
-    println!(
-        "sparse VGG16 is {:.2}x {} than sparse MobileNetV2 (paper: 1.5x faster at a",
-        (latencies[1] / latencies[0]).max(latencies[0] / latencies[1]),
-        if latencies[0] < latencies[1] {
-            "faster"
-        } else {
-            "slower"
-        },
-    );
-    println!("0.5%-accuracy gap). Compact models are designed for dense edge processors");
-    println!("and leave little sparsity for a sparse-aware accelerator to harvest (§6.3).");
+fn main() -> ExitCode {
+    escalate_bench::experiments::run_bin("discussion")
 }

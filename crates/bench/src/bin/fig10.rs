@@ -1,44 +1,8 @@
-//! Regenerates **Figure 10**: the inference energy breakdown of ESCALATE
-//! on all six models (DRAM, input buffer, MAC rows, dilution,
-//! concentration, activation staging, coefficient+psum buffers). The
-//! output buffer is omitted, as in the paper, because its share is
-//! negligible.
-//!
-//! Usage: `cargo run --release -p escalate-bench --bin fig10`
+//! Thin wrapper over the experiment registry entry `fig10`.
+//! See `report --list` (or `escalate report --list`) for the full set.
 
-use escalate_bench::{input_seeds, run_model};
-use escalate_models::ModelProfile;
-use escalate_sim::SimConfig;
+use std::process::ExitCode;
 
-fn main() {
-    let cfg = SimConfig::default();
-    println!("Figure 10: ESCALATE inference energy breakdown (% of total)");
-    println!();
-    println!(
-        "{:<12} {:>9} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>10}",
-        "Model", "DRAM", "InBuf", "MAC", "Dilut", "Concen", "ActBuf", "Cf+Ps", "total(uJ)"
-    );
-    for profile in ModelProfile::all() {
-        let run = run_model(&profile, &cfg, input_seeds()).expect("simulation succeeds");
-        let e = &run.escalate.energy;
-        let total = e.total_pj();
-        let pct = |v: f64| 100.0 * v / total;
-        println!(
-            "{:<12} {:>8.1}% {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}% {:>10.1}",
-            profile.name,
-            pct(e.dram_pj),
-            pct(e.input_buf_pj),
-            pct(e.mac_pj),
-            pct(e.dilution_pj),
-            pct(e.concentration_pj),
-            pct(e.act_buf_pj),
-            pct(e.coef_psum_pj),
-            total * 1e-6,
-        );
-    }
-    println!();
-    println!("Expected shape (paper): psum/coef buffers dominate buffer energy on shallow");
-    println!("models (VGG16, ResNet18) via dense read-modify-write; input reads dominate");
-    println!("on deep 1x1-heavy models (ResNet152, MobileNetV2); DRAM weight traffic is");
-    println!("nearly eliminated on CIFAR models.");
+fn main() -> ExitCode {
+    escalate_bench::experiments::run_bin("fig10")
 }

@@ -1,60 +1,8 @@
-//! Companion to Figure 10: the ESCALATE energy breakdown resolved per
-//! layer for one model, showing *where* in the network each component's
-//! share comes from (the paper discusses shallow-vs-deep divergence at
-//! the model level; this view localizes it).
-//!
-//! Usage: `cargo run --release -p escalate-bench --bin fig10_layers [MODEL]`
+//! Thin wrapper over the experiment registry entry `fig10_layers`.
+//! See `report --list` (or `escalate report --list`) for the full set.
 
-use escalate_bench::{compress, escalate_layer_energies, run_escalate};
-use escalate_core::pipeline::CompressionConfig;
-use escalate_models::ModelProfile;
-use escalate_sim::SimConfig;
+use std::process::ExitCode;
 
-fn main() {
-    let name = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "ResNet18".to_string());
-    let profile = ModelProfile::for_model(&name).unwrap_or_else(|| panic!("unknown model {name}"));
-    let cfg = SimConfig::default();
-    let artifacts =
-        compress(&profile, &CompressionConfig::default()).expect("compression succeeds");
-    let run = run_escalate(&profile, &artifacts, &cfg, 1);
-    let layers = escalate_layer_energies(&run, &cfg);
-
-    println!(
-        "Per-layer ESCALATE energy breakdown, {} (% of the layer's energy)",
-        profile.name
-    );
-    println!();
-    println!(
-        "{:<22} {:>10} {:>7} {:>7} {:>7} {:>7} {:>7}",
-        "layer", "total(uJ)", "DRAM", "MAC", "Dilut", "Concen", "bufs"
-    );
-    for (layer_name, e) in &layers {
-        let total = e.total_pj();
-        let pct = |v: f64| 100.0 * v / total.max(1e-12);
-        let bufs = e.input_buf_pj + e.coef_psum_pj + e.act_buf_pj + e.output_buf_pj;
-        println!(
-            "{:<22} {:>10.2} {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}%",
-            layer_name,
-            total * 1e-6,
-            pct(e.dram_pj),
-            pct(e.mac_pj),
-            pct(e.dilution_pj),
-            pct(e.concentration_pj),
-            pct(bufs),
-        );
-    }
-    let model_total: f64 = layers.iter().map(|(_, e)| e.total_pj()).sum();
-    println!();
-    println!(
-        "model total: {:.1} uJ over {} layers",
-        model_total * 1e-6,
-        layers.len()
-    );
-    println!();
-    println!("Early wide-map layers are DRAM-lean and logic-dominated; layers whose");
-    println!("compressed inputs exceed the distributed buffers (re-streamed IFMs) and");
-    println!("the dense-fallback first layer carry the DRAM share — the layer-resolved");
-    println!("view behind the model-level Figure 10 bars.");
+fn main() -> ExitCode {
+    escalate_bench::experiments::run_bin("fig10_layers")
 }

@@ -1,74 +1,8 @@
-//! Regenerates **Figure 11**: layer-wise sparsity and speedup over Eyeriss
-//! for ResNet18 (the paper's subject), for all four accelerators. Pass a
-//! model name as the first argument to analyze a different network.
-//!
-//! Usage: `cargo run --release -p escalate-bench --bin fig11 [MODEL]`
+//! Thin wrapper over the experiment registry entry `fig11`.
+//! See `report --list` (or `escalate report --list`) for the full set.
 
-use escalate_baselines::{BaselineWorkload, Eyeriss, LayerModel, Scnn, SparTen};
-use escalate_bench::compress;
-use escalate_core::pipeline::CompressionConfig;
-use escalate_models::ModelProfile;
-use escalate_sim::{simulate_model, SimConfig, Workload};
+use std::process::ExitCode;
 
-fn main() {
-    let cfg = SimConfig::default();
-    let name = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "ResNet18".to_string());
-    let profile = ModelProfile::for_model(&name).unwrap_or_else(|| panic!("unknown model {name}"));
-    let artifacts =
-        compress(&profile, &CompressionConfig::default()).expect("compression succeeds");
-    let workload = Workload::from_artifacts(profile.name, &artifacts, &profile);
-    let esc = simulate_model(&workload, &cfg, 0);
-
-    let bw = BaselineWorkload::for_profile(&profile);
-    let eye = Eyeriss::default().simulate(&bw, 0);
-    let scnn = Scnn::default().simulate(&bw, 0);
-    let sparten = SparTen::default().simulate(&bw, 0);
-
-    println!(
-        "Figure 11: layer-wise speedup over Eyeriss, {} ({})",
-        profile.name, profile.dataset
-    );
-    println!();
-    println!(
-        "{:<20} {:>5} {:>5} {:>7} {:>9} {:>9} {:>9} {:>9}",
-        "Layer", "C", "K", "spar%", "SCNN", "SparTen", "ESCALATE", "C/M limit"
-    );
-    // The per-layer comparison requires unfused layer lists (ESCALATE
-    // fuses dw+pw pairs on the MobileNets).
-    assert_eq!(
-        esc.layers.len(),
-        eye.layers.len(),
-        "{} fuses DSC pairs; layer-wise comparison needs an unfused model",
-        profile.name
-    );
-    let conv: Vec<_> = profile.model().conv_layers().cloned().collect();
-    let n = conv.len();
-    for (i, layer) in conv.iter().enumerate() {
-        let e_cycles = eye.layers[i].cycles as f64;
-        let esc_l = &esc.layers[i];
-        let spar = profile.layer_coeff_sparsity(i, n) * 100.0;
-        let cm = layer.c as f64 / cfg.m as f64;
-        println!(
-            "{:<20} {:>5} {:>5} {:>6.1}% {:>8.2}x {:>8.2}x {:>8.2}x {:>8.1}x{}",
-            layer.name,
-            layer.c,
-            layer.k,
-            spar,
-            e_cycles / scnn.layers[i].cycles as f64,
-            e_cycles / sparten.layers[i].cycles as f64,
-            e_cycles / esc_l.cycles as f64,
-            cm,
-            if esc_l.fallback {
-                "  (dense fallback)"
-            } else {
-                ""
-            },
-        );
-    }
-    println!();
-    println!("Expected shape (paper): ESCALATE slower than Eyeriss on the first layer");
-    println!("(dense fallback); within the first three blocks ESCALATE approaches the C/M");
-    println!("limit; SCNN leads in early (large-map) layers, SparTen in late (deep) ones.");
+fn main() -> ExitCode {
+    escalate_bench::experiments::run_bin("fig11")
 }

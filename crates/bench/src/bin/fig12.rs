@@ -1,50 +1,8 @@
-//! Regenerates **Figure 12**: the accuracy / latency / energy trade-off as
-//! the number of basis kernels `M` varies, with `l` shrunk to keep the
-//! multiplier budget constant (ResNet18 and ResNet50).
-//!
-//! Usage: `cargo run --release -p escalate-bench --bin fig12`
+//! Thin wrapper over the experiment registry entry `fig12`.
+//! See `report --list` (or `escalate report --list`) for the full set.
 
-use escalate_bench::{compress, run_escalate};
-use escalate_core::pipeline::{accuracy_proxy, CompressionConfig};
-use escalate_core::ModelCompression;
-use escalate_models::ModelProfile;
-use escalate_sim::SimConfig;
+use std::process::ExitCode;
 
-fn main() {
-    println!("Figure 12: accuracy and latency/energy trade-off vs M (l keeps MAC budget)");
-    for model in ["ResNet18", "ResNet50"] {
-        let profile = ModelProfile::for_model(model).expect("known model");
-        println!();
-        println!("{model}:");
-        println!(
-            "{:<4} {:<4} {:>12} {:>12} {:>12} {:>11}",
-            "M", "l", "proxy top-1", "latency(ms)", "energy(mJ)", "comp(x)"
-        );
-        for m in 4..=8usize {
-            let sim_cfg = SimConfig::default().with_m(m);
-            let cfg = CompressionConfig {
-                m,
-                ..CompressionConfig::default()
-            };
-            let artifacts = compress(&profile, &cfg).expect("compression succeeds");
-            let stats = ModelCompression {
-                model_name: model.to_string(),
-                layers: artifacts.iter().map(|a| a.stats.clone()).collect(),
-            };
-            let run = run_escalate(&profile, &artifacts, &sim_cfg, 3);
-            println!(
-                "{:<4} {:<4} {:>12.2} {:>12.3} {:>12.3} {:>11.1}",
-                m,
-                sim_cfg.l,
-                accuracy_proxy(profile.baseline_top1, stats.mean_weight_error()),
-                run.cycles / (sim_cfg.frequency_mhz * 1e3),
-                run.energy_pj * 1e-9,
-                stats.compression_ratio(),
-            );
-        }
-    }
-    println!();
-    println!("Expected shape (paper): accuracy rises with M; a larger M shrinks l (row");
-    println!("parallelism), increasing latency; energy changes little, dominated by the");
-    println!("off-chip-access change from the l-dependent input buffering.");
+fn main() -> ExitCode {
+    escalate_bench::experiments::run_bin("fig12")
 }

@@ -1,44 +1,8 @@
-//! Regenerates **Figure 13**: MAC idle-cycle fraction and coefficient
-//! sparsity per layer of MobileNet (ImageNet).
-//!
-//! Usage: `cargo run --release -p escalate-bench --bin fig13`
+//! Thin wrapper over the experiment registry entry `fig13`.
+//! See `report --list` (or `escalate report --list`) for the full set.
 
-use escalate_bench::{bar, compress};
-use escalate_core::pipeline::CompressionConfig;
-use escalate_models::ModelProfile;
-use escalate_sim::{simulate_model, SimConfig, Workload};
+use std::process::ExitCode;
 
-fn main() {
-    let cfg = SimConfig::default();
-    let profile = ModelProfile::for_model("MobileNet").expect("known model");
-    let artifacts =
-        compress(&profile, &CompressionConfig::default()).expect("compression succeeds");
-    let workload = Workload::from_artifacts("MobileNet", &artifacts, &profile);
-    let stats = simulate_model(&workload, &cfg, 0);
-
-    println!("Figure 13: MAC idle cycles and coefficient sparsity per MobileNet layer");
-    println!();
-    println!("{:<16} {:>8} {:>8}  idle", "Layer", "spar%", "idle%");
-    for (a, l) in artifacts.iter().zip(&stats.layers) {
-        let spar = a.stats.coeff_sparsity() * 100.0;
-        let idle = l.mac_idle_fraction() * 100.0;
-        println!(
-            "{:<16} {:>7.1}% {:>7.1}%  |{}",
-            l.name,
-            spar,
-            idle,
-            bar(idle, 100.0, 30)
-        );
-    }
-    let total_idle: u64 = stats.layers.iter().map(|l| l.mac_idle_cycles).sum();
-    let total_slots: u64 = stats.layers.iter().map(|l| l.mac_cycle_slots).sum();
-    println!();
-    println!(
-        "overall idle fraction: {:.1}%",
-        100.0 * total_idle as f64 / total_slots.max(1) as f64
-    );
-    println!();
-    println!("Expected shape (paper): denser coefficient slices make the CA the");
-    println!("bottleneck, so idle MACs track (1 - sparsity); ImageNet's moderate");
-    println!("sparsity leaves substantial idle fractions, unlike the CIFAR models.");
+fn main() -> ExitCode {
+    escalate_bench::experiments::run_bin("fig13")
 }

@@ -1,69 +1,8 @@
-//! Regenerates **Figure 8**: normalized speedup and energy efficiency
-//! (over Eyeriss) of ESCALATE, SCNN and SparTen on all six models.
-//!
-//! Usage: `cargo run --release -p escalate-bench --bin fig8`
+//! Thin wrapper over the experiment registry entry `fig8`.
+//! See `report --list` (or `escalate report --list`) for the full set.
 
-use escalate_bench::{input_seeds, ratio, run_model};
-use escalate_models::ModelProfile;
-use escalate_sim::SimConfig;
+use std::process::ExitCode;
 
-fn main() {
-    let cfg = SimConfig::default();
-    let mut speedups = Vec::new();
-    let mut effs = Vec::new();
-
-    println!("Figure 8: normalized speedup / energy efficiency over Eyeriss");
-    println!();
-    println!(
-        "{:<12} | {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9}",
-        "Model", "SCNN", "SparTen", "ESCALATE", "SCNN", "SparTen", "ESCALATE"
-    );
-    println!(
-        "{:<12} | {:^29} | {:^29}",
-        "", "speedup", "energy efficiency"
-    );
-    println!("{}", "-".repeat(78));
-    for profile in ModelProfile::all() {
-        let run = run_model(&profile, &cfg, input_seeds()).expect("simulation succeeds");
-        let s = [
-            run.speedup_over_eyeriss(&run.scnn),
-            run.speedup_over_eyeriss(&run.sparten),
-            run.speedup_over_eyeriss(&run.escalate),
-        ];
-        let e = [
-            run.efficiency_over_eyeriss(&run.scnn),
-            run.efficiency_over_eyeriss(&run.sparten),
-            run.efficiency_over_eyeriss(&run.escalate),
-        ];
-        println!(
-            "{:<12} | {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9}",
-            profile.name,
-            ratio(s[0]),
-            ratio(s[1]),
-            ratio(s[2]),
-            ratio(e[0]),
-            ratio(e[1]),
-            ratio(e[2]),
-        );
-        speedups.push(s);
-        effs.push(e);
-    }
-    println!("{}", "-".repeat(78));
-    let geo = |i: usize, v: &[[f64; 3]]| -> f64 {
-        (v.iter().map(|r| r[i].ln()).sum::<f64>() / v.len() as f64).exp()
-    };
-    println!(
-        "{:<12} | {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9}",
-        "geomean",
-        ratio(geo(0, &speedups)),
-        ratio(geo(1, &speedups)),
-        ratio(geo(2, &speedups)),
-        ratio(geo(0, &effs)),
-        ratio(geo(1, &effs)),
-        ratio(geo(2, &effs)),
-    );
-    println!();
-    println!("Paper reference (means): ESCALATE speedup 17.9x over Eyeriss, 3.5x over SCNN,");
-    println!("2.16x over SparTen; energy efficiency 8.3x over Eyeriss, 5.19x over SCNN,");
-    println!("3.78x over SparTen.");
+fn main() -> ExitCode {
+    escalate_bench::experiments::run_bin("fig8")
 }

@@ -1,52 +1,8 @@
-//! Regenerates **Figure 9**: DRAM accesses of the baseline accelerators
-//! normalized to ESCALATE, on all six models.
-//!
-//! Usage: `cargo run --release -p escalate-bench --bin fig9`
+//! Thin wrapper over the experiment registry entry `fig9`.
+//! See `report --list` (or `escalate report --list`) for the full set.
 
-use escalate_bench::{bar, input_seeds, run_model};
-use escalate_models::ModelProfile;
-use escalate_sim::SimConfig;
+use std::process::ExitCode;
 
-fn main() {
-    let cfg = SimConfig::default();
-    println!("Figure 9: DRAM accesses normalized to ESCALATE (higher = more traffic)");
-    println!();
-    println!(
-        "{:<12} {:>9} {:>9} {:>9} {:>10}",
-        "Model", "Eyeriss", "SCNN", "SparTen", "ESCALATE"
-    );
-    let mut ratios = Vec::new();
-    for profile in ModelProfile::all() {
-        let run = run_model(&profile, &cfg, input_seeds()).expect("simulation succeeds");
-        let r = [
-            run.dram_vs_escalate(&run.eyeriss),
-            run.dram_vs_escalate(&run.scnn),
-            run.dram_vs_escalate(&run.sparten),
-        ];
-        println!(
-            "{:<12} {:>8.2}x {:>8.2}x {:>8.2}x {:>9.2}x   |{}",
-            profile.name,
-            r[0],
-            r[1],
-            r[2],
-            1.0,
-            bar(r[0], 40.0, 30)
-        );
-        ratios.push(r);
-    }
-    let geo = |i: usize| -> f64 {
-        (ratios.iter().map(|r| r[i].ln()).sum::<f64>() / ratios.len() as f64).exp()
-    };
-    println!("{}", "-".repeat(60));
-    println!(
-        "{:<12} {:>8.2}x {:>8.2}x {:>8.2}x",
-        "geomean",
-        geo(0),
-        geo(1),
-        geo(2)
-    );
-    println!();
-    println!("Paper reference (means): Eyeriss 18.1x, SCNN 5.3x, SparTen 9.4x the DRAM");
-    println!("accesses of ESCALATE; CIFAR models show the big reductions, ImageNet");
-    println!("models are similar or favor the baselines.");
+fn main() -> ExitCode {
+    escalate_bench::experiments::run_bin("fig9")
 }

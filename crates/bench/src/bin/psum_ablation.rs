@@ -1,73 +1,8 @@
-//! Ablation: partial-sum bank conflicts under the Basis-First scatter
-//! (paper §4.1).
-//!
-//! The paper deliberately adds no conflict-avoidance hardware at the psum
-//! buffer ("the output accumulation is not at the critical path ... we do
-//! not attempt to reduce bank conflicts"). This study replays the MAC
-//! rows' scatter pattern — `M` MACs each walking the `R·S` offsets of one
-//! output position per service window — against banked psum buffers of
-//! different widths and reports the serialization factor, confirming the
-//! decision: even 4 banks keep the factor well under the slack the MAC
-//! service time provides.
-//!
-//! Usage: `cargo run --release -p escalate-bench --bin psum_ablation`
+//! Thin wrapper over the experiment registry entry `psum_ablation`.
+//! See `report --list` (or `escalate report --list`) for the full set.
 
-use escalate_sim::psum::{scatter_addresses, PsumBanks};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use std::process::ExitCode;
 
-fn main() {
-    let m = 6usize; // MACs per slice
-    let (r, s) = (3usize, 3usize);
-    let out_width = 32usize; // output-row buffer width
-    let positions = 2048usize;
-
-    println!("Psum bank-conflict factor under the Basis-First scatter");
-    println!("({m} MACs x {r}x{s} kernels, {out_width}-wide output rows, {positions} positions)");
-    println!();
-    println!(
-        "{:>6} {:>12} {:>12} {:>16}",
-        "banks", "accesses", "cycles", "conflict factor"
-    );
-    for banks in [2usize, 4, 8, 16, 32] {
-        let mut p = PsumBanks::new(banks, (r + 1) * out_width / banks + 1);
-        let mut rng = StdRng::seed_from_u64(11);
-        for _ in 0..positions {
-            // Each MAC owns one intermediate element at a random column of
-            // the row; per service cycle, the M MACs each write one of
-            // their R·S scatter targets.
-            let offsets: Vec<Vec<usize>> = (0..m)
-                .map(|_| {
-                    let dy = rng.gen_range(0..out_width - s + 1);
-                    scatter_addresses(0, dy, r, s, out_width)
-                })
-                .collect();
-            // The MACs' service windows are phase-staggered (their CA
-            // elements complete at different cycles), so MAC j walks its
-            // scatter offsets shifted by j.
-            for step in 0..r * s {
-                let group: Vec<(usize, f32)> = offsets
-                    .iter()
-                    .enumerate()
-                    .filter_map(|(j, o)| o.get((step + j) % o.len()).map(|&a| (a, 1.0)))
-                    .collect();
-                p.issue(&group);
-            }
-            let _ = p.drain();
-        }
-        let st = p.stats();
-        println!(
-            "{:>6} {:>12} {:>12} {:>15.2}x",
-            banks,
-            st.accesses,
-            st.cycles(),
-            st.conflict_factor()
-        );
-    }
-    println!();
-    println!("With a factor f, the psum stage needs f*R*S cycles per position against");
-    println!("the slice's max(CA, R*S) pace. Stream-bound layers (CA of 14-29 cycles on");
-    println!("the ImageNet models) absorb f up to ~2-3 for free, and the accumulation");
-    println!("sits behind a write queue rather than in the MAC issue path — the paper's");
-    println!("rationale for leaving the psum buffer unoptimized (4.1).");
+fn main() -> ExitCode {
+    escalate_bench::experiments::run_bin("psum_ablation")
 }

@@ -1,64 +1,8 @@
-//! Ablation: Eq. (2) vs Eq. (3) computation order (paper §3.1).
-//!
-//! Measures, per ResNet18 layer shape, the intermediate-feature-map
-//! footprint and the wall-clock of the two orders of decomposed
-//! convolution. The reorganization (Eq. 3) is the ESCALATE algorithm's
-//! first contribution: it shrinks the intermediate state from `C·M`
-//! output-sized maps to `M` input-sized maps.
-//!
-//! Usage: `cargo run --release -p escalate-bench --bin reorg_ablation`
+//! Thin wrapper over the experiment registry entry `reorg_ablation`.
+//! See `report --list` (or `escalate report --list`) for the full set.
 
-use escalate_core::decompose;
-use escalate_core::reorg::{forward_eq2, forward_eq3, intermediate_footprint};
-use escalate_models::{synth, ModelProfile};
-use std::time::Instant;
+use std::process::ExitCode;
 
-fn main() {
-    let profile = ModelProfile::for_model("ResNet18").expect("known model");
-    println!("Eq.(2) vs Eq.(3): intermediate footprint (elements) and forward time");
-    println!();
-    println!(
-        "{:<20} {:>5} {:>5} {:>12} {:>12} {:>9} {:>9} {:>8}",
-        "Layer", "C", "K", "inter eq2", "inter eq3", "eq2(ms)", "eq3(ms)", "agree"
-    );
-    // Scale the spatial size down so the dense reference runs quickly; the
-    // footprint ratio C·M/M is spatial-size independent.
-    for (i, layer) in profile
-        .model()
-        .conv_layers()
-        .filter(|l| l.is_decomposable())
-        .take(9)
-        .enumerate()
-    {
-        let mut l = layer.clone();
-        l.x = l.x.min(16);
-        l.y = l.y.min(16);
-        let w = synth::weights(&l, 6, 0.05, synth::layer_seed(7, i, 0));
-        let d = decompose(&w, 6.min(l.r * l.s)).expect("decomposition succeeds");
-        let input = synth::activations(&l, 0.5, i as u64);
-
-        let t2 = Instant::now();
-        let (o2, i2) = forward_eq2(&d, &input, l.stride, l.pad);
-        let t2 = t2.elapsed();
-        let t3 = Instant::now();
-        let (o3, i3) = forward_eq3(&d, &input, l.stride, l.pad);
-        let t3 = t3.elapsed();
-        let (f2, f3) = intermediate_footprint(&d, l.x, l.y, l.stride, l.pad);
-        assert_eq!((i2, i3), (f2, f3), "footprint helper must match execution");
-
-        println!(
-            "{:<20} {:>5} {:>5} {:>12} {:>12} {:>9.2} {:>9.2} {:>8}",
-            l.name,
-            l.c,
-            l.k,
-            i2,
-            i3,
-            t2.as_secs_f64() * 1e3,
-            t3.as_secs_f64() * 1e3,
-            if o2.all_close(&o3, 1e-2) { "yes" } else { "NO" },
-        );
-    }
-    println!();
-    println!("Eq.(3) holds only M maps live (vs C·M), enabling stream processing; both");
-    println!("orders produce identical outputs (distributivity of convolution).");
+fn main() -> ExitCode {
+    escalate_bench::experiments::run_bin("reorg_ablation")
 }

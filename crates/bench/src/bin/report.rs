@@ -1,0 +1,9 @@
+//! The experiment-registry runner: list, run, export (`--json`),
+//! regenerate (`--update`) or regression-check (`--check`) the golden
+//! corpus under `results/`. See `crate::experiments::runner` for usage.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    escalate_bench::experiments::report_main(std::env::args().skip(1))
+}

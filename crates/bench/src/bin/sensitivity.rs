@@ -1,54 +1,8 @@
-//! Sensitivity study (§5.2.1's caveat): "Since the result is also related
-//! to the activation sparsity, the result may vary with different input
-//! samples." Quantifies (a) the run-to-run variance over random input
-//! seeds at fixed sparsity, and (b) the sweep over activation-sparsity
-//! levels.
-//!
-//! Usage: `cargo run --release -p escalate-bench --bin sensitivity`
+//! Thin wrapper over the experiment registry entry `sensitivity`.
+//! See `report --list` (or `escalate report --list`) for the full set.
 
-use escalate_bench::compress;
-use escalate_core::pipeline::CompressionConfig;
-use escalate_models::ModelProfile;
-use escalate_sim::{simulate_model, SimConfig, Workload};
+use std::process::ExitCode;
 
-fn main() {
-    let cfg = SimConfig::default();
-    let profile = ModelProfile::for_model("ResNet18").expect("known model");
-    let artifacts =
-        compress(&profile, &CompressionConfig::default()).expect("compression succeeds");
-    let workload = Workload::from_artifacts("ResNet18", &artifacts, &profile);
-
-    // (a) Input-sample variance at the profile's sparsity.
-    let cycles: Vec<f64> = (0..10u64)
-        .map(|seed| simulate_model(&workload, &cfg, seed).total_cycles() as f64)
-        .collect();
-    let mean = cycles.iter().sum::<f64>() / cycles.len() as f64;
-    let var = cycles.iter().map(|c| (c - mean).powi(2)).sum::<f64>() / cycles.len() as f64;
-    let cv = var.sqrt() / mean;
-    println!("ResNet18, 10 random input samples at profile sparsity:");
-    println!(
-        "  mean {mean:.0} cycles, coefficient of variation {:.2}%",
-        cv * 100.0
-    );
-    println!();
-
-    // (b) Activation-sparsity sweep (all layers forced to one level).
-    println!(
-        "{:>14} {:>12} {:>14}",
-        "act sparsity", "cycles", "vs profile"
-    );
-    for sa in [0.0f64, 0.2, 0.4, 0.6, 0.8] {
-        let mut w = workload.clone();
-        for l in w.layers.iter_mut() {
-            l.act_sparsity = sa;
-            l.out_sparsity = sa;
-        }
-        let c = simulate_model(&w, &cfg, 0).total_cycles() as f64;
-        println!("{:>13.0}% {:>12.0} {:>13.2}x", sa * 100.0, c, mean / c);
-    }
-    println!();
-    println!("Denser activations lengthen the CA streams (and the DRAM traffic), so");
-    println!("cycles fall monotonically with activation sparsity; the per-sample");
-    println!("variance at a fixed level stays within a few percent, which is why the");
-    println!("paper's 10-sample averages are stable.");
+fn main() -> ExitCode {
+    escalate_bench::experiments::run_bin("sensitivity")
 }

@@ -1,55 +1,8 @@
-//! Regenerates **Table 1**: compression results of the ESCALATE algorithm
-//! on all six evaluated models, next to the paper's reported numbers.
-//!
-//! Usage: `cargo run --release -p escalate-bench --bin table1`
-//!
-//! Accuracy cannot be measured without a training stack; the "err" column
-//! reports the parameter-weighted weight-space relative error of the
-//! compressed model and "proxy top-1" applies the documented monotone
-//! mapping (see EXPERIMENTS.md).
+//! Thin wrapper over the experiment registry entry `table1`.
+//! See `report --list` (or `escalate report --list`) for the full set.
 
-use escalate_core::compress_model;
-use escalate_core::pipeline::{accuracy_proxy, CompressionConfig};
-use escalate_models::ModelProfile;
+use std::process::ExitCode;
 
-fn main() {
-    let cfg = CompressionConfig::default();
-    println!(
-        "Table 1: ESCALATE compression results (M = {}, t from per-layer sparsity targets)",
-        cfg.m
-    );
-    println!();
-    println!(
-        "{:<12} {:>9} {:>10} {:>10} {:>9} {:>9} {:>8} {:>8} {:>11} {:>11}",
-        "Model",
-        "CONV(MB)",
-        "comp(MB)",
-        "Comp.(x)",
-        "Spar.(%)",
-        "Prun.(%)",
-        "err",
-        "proxy",
-        "paperComp",
-        "paperSpar"
-    );
-    for profile in ModelProfile::all() {
-        let model = profile.model();
-        let result = compress_model(&profile, &cfg).expect("compression succeeds");
-        let proxy = accuracy_proxy(profile.baseline_top1, result.mean_weight_error());
-        println!(
-            "{:<12} {:>9.2} {:>10.3} {:>10.2} {:>9.2} {:>9.2} {:>8.3} {:>8.2} {:>11.2} {:>11.2}",
-            profile.name,
-            model.conv_size_mb_fp32(),
-            result.compressed_size_mb(),
-            result.compression_ratio(),
-            result.coeff_sparsity() * 100.0,
-            result.pruning_ratio() * 100.0,
-            result.mean_weight_error(),
-            proxy,
-            profile.paper_compression,
-            profile.coeff_sparsity * 100.0,
-        );
-    }
-    println!();
-    println!("paperComp/paperSpar: the paper's Table 1 'Ours' rows for comparison.");
+fn main() -> ExitCode {
+    escalate_bench::experiments::run_bin("table1")
 }

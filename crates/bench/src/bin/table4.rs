@@ -1,54 +1,8 @@
-//! Reprints **Table 4** (power and area of one PE block, TSMC 65 nm) from
-//! the synthesis-derived component model, together with the Table 2
-//! configuration the numbers correspond to and the whole-chip estimate.
-//!
-//! Usage: `cargo run --release -p escalate-bench --bin table4`
+//! Thin wrapper over the experiment registry entry `table4`.
+//! See `report --list` (or `escalate report --list`) for the full set.
 
-use escalate_energy::area::{PeBlockArea, COMPONENTS, TOTAL_AREA_MM2, TOTAL_POWER_MW};
-use escalate_sim::SimConfig;
+use std::process::ExitCode;
 
-fn main() {
-    let cfg = SimConfig::default();
-    println!("Table 2: ESCALATE configuration");
-    println!("  M = {}   N_PE = {}   l = {}", cfg.m, cfg.n_pe, cfg.l);
-    println!(
-        "  input bus {} B, precision {} bit, buffers: input {} KB, coef {} B, output {} KB, psum {} KB, act {} B",
-        cfg.input_bus_bytes,
-        cfg.precision_bits,
-        cfg.input_buf_bytes / 1024,
-        cfg.coef_buf_bytes,
-        cfg.output_buf_bytes / 1024,
-        cfg.psum_buf_bytes / 1024,
-        cfg.act_buf_bytes,
-    );
-    println!(
-        "  {} multipliers total, {} MHz",
-        cfg.total_macs(),
-        cfg.frequency_mhz
-    );
-    println!();
-    println!("Table 4: power and area estimation of one PE block (65 nm)");
-    println!();
-    println!(
-        "{:<20} {:>10} {:>10}",
-        "Component", "Area(mm2)", "Power(mW)"
-    );
-    for c in COMPONENTS {
-        println!("{:<20} {:>10.4} {:>10.2}", c.name, c.area_mm2, c.power_mw);
-    }
-    let total = PeBlockArea::from_components();
-    println!(
-        "{:<20} {:>10.4} {:>10.2}",
-        "Total", total.area_mm2, total.power_mw
-    );
-    assert!((total.area_mm2 - TOTAL_AREA_MM2).abs() < 1e-3);
-    assert!((total.power_mw - TOTAL_POWER_MW).abs() < 1e-2);
-    println!();
-    let chip = PeBlockArea::chip(cfg.n_pe);
-    println!(
-        "Whole accelerator ({} blocks): {:.2} mm2, {:.2} W",
-        cfg.n_pe,
-        chip.area_mm2,
-        chip.power_mw / 1000.0
-    );
+fn main() -> ExitCode {
+    escalate_bench::experiments::run_bin("table4")
 }

@@ -1,0 +1,330 @@
+//! The `report` runner: one driver for the whole experiment registry.
+//!
+//! ```text
+//! report --list                 # enumerate the registry
+//! report fig8 table4            # run named experiments, text to stdout
+//! report --all                  # run every golden experiment
+//! report --json fig8            # JSON (escalate-report/v1) instead of text
+//! report --out DIR --all        # one file per experiment instead of stdout
+//! report --all --update         # regenerate the results/ golden corpus
+//! report --all --check          # diff against results/, nonzero on drift
+//! ```
+//!
+//! `--check`/`--update` operate on the golden corpus under `results/`
+//! (override with `--results DIR` or `ESCALATE_RESULTS_DIR`); experiments
+//! whose output is timing-dependent ([`Experiment::golden`] is `false`)
+//! are skipped by `--all`, `--check` and `--update` but still runnable by
+//! name. Arguments after `--` are forwarded to the experiments verbatim
+//! (e.g. `report fig11 -- MobileNet`).
+
+use super::{find, registry, ExpContext, ExpError, Experiment};
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Parsed command line of the `report` runner.
+#[derive(Debug, Default, Clone)]
+pub struct ReportOptions {
+    /// List the registry and exit.
+    pub list: bool,
+    /// Expand to every golden experiment.
+    pub all: bool,
+    /// Render JSON (`escalate-report/v1`) instead of text.
+    pub json: bool,
+    /// Compare rendered text against the golden corpus; report drift.
+    pub check: bool,
+    /// Rewrite the golden corpus from fresh runs.
+    pub update: bool,
+    /// Write one file per experiment into this directory instead of stdout.
+    pub out_dir: Option<PathBuf>,
+    /// Golden corpus directory (default: `results/` next to the workspace
+    /// root, or `ESCALATE_RESULTS_DIR`).
+    pub results_dir: Option<PathBuf>,
+    /// Explicitly named experiments, in request order.
+    pub names: Vec<String>,
+    /// Positional arguments forwarded to the experiments (after `--`).
+    pub args: Vec<String>,
+}
+
+impl ReportOptions {
+    /// Parses runner arguments (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message for unknown flags, missing flag values, or
+    /// contradictory modes (`--check --update`).
+    pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Self, String> {
+        let mut opts = ReportOptions::default();
+        let mut it = argv.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--list" => opts.list = true,
+                "--all" => opts.all = true,
+                "--json" => opts.json = true,
+                "--check" => opts.check = true,
+                "--update" => opts.update = true,
+                "--out" => {
+                    let dir = it.next().ok_or("--out requires a directory")?;
+                    opts.out_dir = Some(PathBuf::from(dir));
+                }
+                "--results" => {
+                    let dir = it.next().ok_or("--results requires a directory")?;
+                    opts.results_dir = Some(PathBuf::from(dir));
+                }
+                "--" => {
+                    opts.args.extend(it);
+                    break;
+                }
+                flag if flag.starts_with('-') => {
+                    return Err(format!("unknown flag {flag:?} (see report --list)"));
+                }
+                name => opts.names.push(name.to_string()),
+            }
+        }
+        if opts.check && opts.update {
+            return Err("--check and --update are mutually exclusive".into());
+        }
+        if !opts.list && !opts.all && opts.names.is_empty() {
+            return Err("nothing to do: name experiments, or pass --all or --list".into());
+        }
+        Ok(opts)
+    }
+
+    /// The golden corpus directory: `--results`, else
+    /// `ESCALATE_RESULTS_DIR`, else `results/` at the workspace root.
+    pub fn resolve_results_dir(&self) -> PathBuf {
+        if let Some(dir) = &self.results_dir {
+            return dir.clone();
+        }
+        if let Ok(dir) = std::env::var("ESCALATE_RESULTS_DIR") {
+            if !dir.is_empty() {
+                return PathBuf::from(dir);
+            }
+        }
+        PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../results"))
+    }
+}
+
+/// Resolves the experiment set a parsed command line selects.
+fn select(opts: &ReportOptions) -> Result<Vec<&'static dyn Experiment>, ExpError> {
+    let mut exps: Vec<&'static dyn Experiment> = Vec::new();
+    if opts.all {
+        exps.extend(registry().iter().copied().filter(|e| e.golden()));
+    }
+    for name in &opts.names {
+        let exp = find(name).ok_or_else(|| {
+            ExpError::Msg(format!("unknown experiment {name:?} (see report --list)"))
+        })?;
+        if (opts.check || opts.update) && !exp.golden() {
+            return Err(ExpError::Msg(format!(
+                "{name} is not golden-checked (timing-dependent output)"
+            )));
+        }
+        if !exps.iter().any(|e| e.name() == exp.name()) {
+            exps.push(exp);
+        }
+    }
+    Ok(exps)
+}
+
+/// Reports the first diverging line of a drifted golden check.
+fn first_drift(expected: &str, actual: &str) -> String {
+    for (i, (e, a)) in expected.lines().zip(actual.lines()).enumerate() {
+        if e != a {
+            return format!("first drift at line {}:\n  - {e}\n  + {a}", i + 1);
+        }
+    }
+    let (el, al) = (expected.lines().count(), actual.lines().count());
+    format!("line counts differ: golden {el}, current {al}")
+}
+
+/// Drives the registry per `opts`, writing report output to `out`.
+/// Returns `true` when everything (including any `--check`) passed.
+///
+/// # Errors
+///
+/// Returns an [`ExpError`] when an experiment fails or a file cannot be
+/// read or written. Golden drift is a `false` return, not an error.
+pub fn run_report(opts: &ReportOptions, out: &mut dyn Write) -> Result<bool, ExpError> {
+    if opts.list {
+        writeln!(
+            out,
+            "{:<16} {:<18} {:<6} summary",
+            "name", "paper anchor", "golden"
+        )?;
+        for e in registry() {
+            writeln!(
+                out,
+                "{:<16} {:<18} {:<6} {}",
+                e.name(),
+                e.paper_anchor(),
+                if e.golden() { "yes" } else { "no" },
+                e.summary()
+            )?;
+        }
+        return Ok(true);
+    }
+
+    let exps = select(opts)?;
+    let ctx = ExpContext {
+        args: opts.args.clone(),
+        ..ExpContext::default()
+    };
+    if let Some(dir) = &opts.out_dir {
+        std::fs::create_dir_all(dir)?;
+    }
+    let results_dir = opts.resolve_results_dir();
+    if opts.update {
+        std::fs::create_dir_all(&results_dir)?;
+    }
+
+    let mut clean = true;
+    for (i, exp) in exps.iter().enumerate() {
+        let table = exp.run(&ctx)?;
+        let text = table.render_text();
+        if opts.check {
+            let golden_path = results_dir.join(format!("{}.txt", exp.name()));
+            match std::fs::read_to_string(&golden_path) {
+                Ok(golden) if golden == text => {
+                    writeln!(out, "ok    {}", exp.name())?;
+                }
+                Ok(golden) => {
+                    clean = false;
+                    writeln!(out, "DRIFT {}", exp.name())?;
+                    writeln!(out, "{}", first_drift(&golden, &text))?;
+                }
+                Err(e) => {
+                    clean = false;
+                    writeln!(out, "DRIFT {} (no golden: {e})", exp.name())?;
+                }
+            }
+        } else if opts.update {
+            let golden_path = results_dir.join(format!("{}.txt", exp.name()));
+            std::fs::write(&golden_path, &text)?;
+            writeln!(out, "updated {}", golden_path.display())?;
+        } else if let Some(dir) = &opts.out_dir {
+            let ext = if opts.json { "json" } else { "txt" };
+            let path = dir.join(format!("{}.{ext}", exp.name()));
+            let body = if opts.json { table.render_json() } else { text };
+            std::fs::write(&path, body)?;
+            writeln!(out, "wrote {}", path.display())?;
+        } else if opts.json {
+            out.write_all(table.render_json().as_bytes())?;
+            writeln!(out)?;
+        } else {
+            if i > 0 {
+                writeln!(out)?;
+            }
+            out.write_all(text.as_bytes())?;
+        }
+    }
+    if opts.check {
+        writeln!(
+            out,
+            "{}: {} experiment(s) checked against {}",
+            if clean { "PASS" } else { "FAIL" },
+            exps.len(),
+            results_dir.display()
+        )?;
+    }
+    Ok(clean)
+}
+
+/// Entry point shared by the `report` binary and `escalate report`:
+/// parses `argv` (without the program name) and maps failures and golden
+/// drift to a nonzero exit.
+pub fn report_main<I: IntoIterator<Item = String>>(argv: I) -> std::process::ExitCode {
+    let opts = match ReportOptions::parse(argv) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("usage: report [--list] [--all] [--json] [--check | --update] [--out DIR] [--results DIR] [NAME ...] [-- ARGS]");
+            eprintln!("error: {msg}");
+            return std::process::ExitCode::from(2);
+        }
+    };
+    let mut stdout = std::io::stdout().lock();
+    match run_report(&opts, &mut stdout) {
+        Ok(true) => std::process::ExitCode::SUCCESS,
+        Ok(false) => std::process::ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_rejects_unknown_flags_and_empty_invocations() {
+        assert!(ReportOptions::parse(["--bogus".to_string()]).is_err());
+        assert!(ReportOptions::parse(Vec::new()).is_err());
+        assert!(
+            ReportOptions::parse(["--check".into(), "--update".into(), "--all".into()]).is_err()
+        );
+    }
+
+    #[test]
+    fn parse_collects_names_flags_and_forwarded_args() {
+        let o = ReportOptions::parse(
+            [
+                "--json",
+                "fig8",
+                "table4",
+                "--out",
+                "/tmp/x",
+                "--",
+                "MobileNet",
+            ]
+            .map(String::from),
+        )
+        .expect("valid");
+        assert!(o.json && !o.all && !o.check);
+        assert_eq!(o.names, ["fig8", "table4"]);
+        assert_eq!(o.out_dir.as_deref(), Some(std::path::Path::new("/tmp/x")));
+        assert_eq!(o.args, ["MobileNet"]);
+    }
+
+    #[test]
+    fn select_skips_non_golden_under_all_but_rejects_them_by_name() {
+        let all = ReportOptions {
+            all: true,
+            check: true,
+            ..ReportOptions::default()
+        };
+        let exps = select(&all).expect("select");
+        assert!(exps.iter().all(|e| e.golden()));
+        assert_eq!(exps.len(), registry().iter().filter(|e| e.golden()).count());
+
+        let by_name = ReportOptions {
+            check: true,
+            names: vec!["bench_sim".into()],
+            ..ReportOptions::default()
+        };
+        assert!(select(&by_name).is_err());
+    }
+
+    #[test]
+    fn list_names_every_experiment() {
+        let opts = ReportOptions {
+            list: true,
+            ..ReportOptions::default()
+        };
+        let mut buf = Vec::new();
+        assert!(run_report(&opts, &mut buf).expect("list"));
+        let text = String::from_utf8(buf).expect("utf8");
+        for e in registry() {
+            assert!(text.contains(e.name()), "{} missing from --list", e.name());
+        }
+    }
+
+    #[test]
+    fn first_drift_pinpoints_the_line() {
+        let msg = first_drift("a\nb\nc\n", "a\nX\nc\n");
+        assert!(msg.contains("line 2"), "{msg}");
+        assert!(msg.contains("- b") && msg.contains("+ X"), "{msg}");
+        let msg = first_drift("a\n", "a\nb\n");
+        assert!(msg.contains("line counts differ"), "{msg}");
+    }
+}

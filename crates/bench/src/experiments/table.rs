@@ -1,0 +1,259 @@
+//! The structured output of one experiment: exact text lines (the golden
+//! corpus under `results/` is byte-for-byte these lines) plus typed
+//! records that render as JSON through [`escalate_obs::JsonWriter`].
+//!
+//! An experiment's `run` builds its output once; the renderers never
+//! recompute anything. Text fidelity is the contract that makes
+//! `report --check` a regression gate: the lines a [`Table`] holds are
+//! exactly what the historical standalone binaries printed.
+
+use escalate_obs::JsonWriter;
+
+/// Schema identifier of the JSON rendering, bumped on incompatible
+/// layout changes (sibling of `escalate-run-manifest/v1`).
+pub const REPORT_SCHEMA: &str = "escalate-report/v1";
+
+/// One typed value inside a [`Record`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cell {
+    /// A string value.
+    Str(String),
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A float (non-finite values render as JSON `null`).
+    F64(f64),
+    /// A boolean.
+    Bool(bool),
+}
+
+impl From<&str> for Cell {
+    fn from(v: &str) -> Self {
+        Cell::Str(v.to_string())
+    }
+}
+impl From<String> for Cell {
+    fn from(v: String) -> Self {
+        Cell::Str(v)
+    }
+}
+impl From<u64> for Cell {
+    fn from(v: u64) -> Self {
+        Cell::U64(v)
+    }
+}
+impl From<usize> for Cell {
+    fn from(v: usize) -> Self {
+        Cell::U64(v as u64)
+    }
+}
+impl From<i64> for Cell {
+    fn from(v: i64) -> Self {
+        Cell::I64(v)
+    }
+}
+impl From<f64> for Cell {
+    fn from(v: f64) -> Self {
+        Cell::F64(v)
+    }
+}
+impl From<bool> for Cell {
+    fn from(v: bool) -> Self {
+        Cell::Bool(v)
+    }
+}
+
+/// One structured row: ordered `(field, value)` pairs.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Record {
+    /// Field name → typed value, in insertion order.
+    pub fields: Vec<(String, Cell)>,
+}
+
+impl Record {
+    /// Builds a record from `(name, value)` pairs.
+    pub fn new<I, K, V>(fields: I) -> Self
+    where
+        I: IntoIterator<Item = (K, V)>,
+        K: Into<String>,
+        V: Into<Cell>,
+    {
+        Record {
+            fields: fields
+                .into_iter()
+                .map(|(k, v)| (k.into(), v.into()))
+                .collect(),
+        }
+    }
+}
+
+/// The rendered output of one experiment.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    /// Registry name of the producing experiment (e.g. `"fig8"`).
+    pub experiment: String,
+    /// Paper anchor (e.g. `"Figure 8"`, `"§6.3"`).
+    pub paper_anchor: String,
+    /// Exact output lines, without trailing newlines.
+    lines: Vec<String>,
+    /// Structured rows for the JSON rendering.
+    pub records: Vec<Record>,
+}
+
+impl Table {
+    /// An empty table tagged with its experiment and paper anchor.
+    pub fn new(experiment: &str, paper_anchor: &str) -> Self {
+        Table {
+            experiment: experiment.to_string(),
+            paper_anchor: paper_anchor.to_string(),
+            ..Table::default()
+        }
+    }
+
+    /// Appends one text line (what the binary historically `println!`ed).
+    pub fn line(&mut self, line: impl Into<String>) {
+        self.lines.push(line.into());
+    }
+
+    /// Appends an empty line.
+    pub fn blank(&mut self) {
+        self.lines.push(String::new());
+    }
+
+    /// Appends a structured record.
+    pub fn push_record(&mut self, record: Record) {
+        self.records.push(record);
+    }
+
+    /// The text lines rendered so far.
+    pub fn lines(&self) -> &[String] {
+        &self.lines
+    }
+
+    /// Renders the exact text the historical binary printed: every line
+    /// followed by `\n` (so the document ends with one trailing newline,
+    /// matching `println!` semantics).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for l in &self.lines {
+            out.push_str(l);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the structured JSON document
+    /// (`escalate-report/v1`-schema'd, escaping via [`JsonWriter`]).
+    pub fn render_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        self.write_json(&mut w);
+        w.finish()
+    }
+
+    /// Writes this table as one JSON object onto an open writer (used by
+    /// multi-experiment reports to emit an array of tables).
+    pub fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        w.field_str("schema", REPORT_SCHEMA);
+        w.field_str("experiment", &self.experiment);
+        w.field_str("paper_anchor", &self.paper_anchor);
+        w.key("records");
+        w.begin_array();
+        for r in &self.records {
+            w.begin_object();
+            for (k, v) in &r.fields {
+                w.key(k);
+                match v {
+                    Cell::Str(s) => w.string(s),
+                    Cell::U64(n) => w.u64(*n),
+                    Cell::I64(n) => {
+                        if *n < 0 {
+                            // JsonWriter has no i64 emitter; negative
+                            // integers are exact in f64 far beyond any
+                            // value an experiment records.
+                            w.f64(*n as f64);
+                        } else {
+                            w.u64(*n as u64);
+                        }
+                    }
+                    Cell::F64(x) => w.f64(*x),
+                    Cell::Bool(b) => w.bool(*b),
+                }
+            }
+            w.end_object();
+        }
+        w.end_array();
+        w.key("text");
+        w.begin_array();
+        for l in &self.lines {
+            w.string(l);
+        }
+        w.end_array();
+        w.end_object();
+    }
+}
+
+/// `tline!(table, "fmt", args…)` — the registry's `println!`: formats and
+/// appends one line to a [`Table`].
+#[macro_export]
+macro_rules! tline {
+    ($t:expr) => { $t.blank() };
+    ($t:expr, $($arg:tt)*) => { $t.line(format!($($arg)*)) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_rendering_matches_println_semantics() {
+        let mut t = Table::new("x", "Figure 0");
+        t.line("a");
+        t.blank();
+        t.line("b");
+        assert_eq!(t.render_text(), "a\n\nb\n");
+    }
+
+    #[test]
+    fn empty_table_renders_empty_text() {
+        assert_eq!(Table::new("x", "y").render_text(), "");
+    }
+
+    #[test]
+    fn json_escapes_quotes_newlines_and_controls() {
+        let mut t = Table::new("esc", "§9 \"quoted\"");
+        t.line("tab\there \"q\" \\ and \u{1}");
+        t.push_record(Record::new([("name", Cell::from("line\nbreak"))]));
+        let json = t.render_json();
+        assert!(json.contains("\"paper_anchor\": \"§9 \\\"quoted\\\"\""));
+        assert!(json.contains("\"tab\\there \\\"q\\\" \\\\ and \\u0001\""));
+        assert!(json.contains("\"name\": \"line\\nbreak\""));
+    }
+
+    #[test]
+    fn json_renders_every_cell_type() {
+        let mut t = Table::new("cells", "Table 0");
+        t.push_record(Record::new([
+            ("s", Cell::from("v")),
+            ("u", Cell::from(3u64)),
+            ("i", Cell::I64(-2)),
+            ("f", Cell::from(1.5)),
+            ("nan", Cell::F64(f64::NAN)),
+            ("b", Cell::from(true)),
+        ]));
+        let json = t.render_json();
+        assert!(json.contains("\"schema\": \"escalate-report/v1\""));
+        assert!(json.contains(
+            "{\"s\": \"v\", \"u\": 3, \"i\": -2, \"f\": 1.5, \"nan\": null, \"b\": true}"
+        ));
+    }
+
+    #[test]
+    fn tline_formats_like_println() {
+        let mut t = Table::new("m", "a");
+        tline!(t, "{:<4} {:>6.2}", "x", 1.234);
+        tline!(t);
+        assert_eq!(t.lines(), &["x      1.23".to_string(), String::new()]);
+    }
+}

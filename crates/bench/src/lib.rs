@@ -9,6 +9,8 @@
 //! accelerator workloads, running all four simulators over multiple input
 //! seeds, and attaching energy breakdowns.
 
+pub mod experiments;
+
 use escalate_baselines::{BaselineSim, BaselineWorkload, Eyeriss, LayerModel, Scnn, SparTen};
 use escalate_core::pipeline::CompressionConfig;
 use escalate_core::{compress_model_artifacts, CompressedLayer, EscalateError};
@@ -46,9 +48,11 @@ pub struct AccelRun {
     pub dram_bytes: f64,
     /// Mean total energy (pJ).
     pub energy_pj: f64,
-    /// Full stats of the first seed (for layer-wise figures).
+    /// Full stats of the **first seed only** — kept for layer-wise figures,
+    /// which need one concrete per-layer trace, not a mean of traces.
     pub stats: ModelStats,
-    /// Energy breakdown of the first seed.
+    /// Component-wise mean energy breakdown over the input seeds; its
+    /// components sum to [`AccelRun::energy_pj`].
     pub energy: EnergyBreakdown,
 }
 
@@ -225,28 +229,46 @@ pub fn compress_cached(
     Ok(artifacts)
 }
 
-/// Averages per-seed results exactly as the historical sequential loop
-/// did: seeds are simulated in parallel (order-preserving), then the f64
-/// sums fold in ascending seed order, so the mean is bit-identical for
-/// any thread count.
+/// Averages per-seed results: seeds are simulated in parallel
+/// (order-preserving), then every f64 sum — totals *and* the energy
+/// breakdown, component by component — folds in ascending seed order, so
+/// the mean is bit-identical for any thread count. Only `stats` is not a
+/// mean: it keeps the first seed's per-layer trace (see [`AccelRun`]).
 fn average_runs(name: String, per_seed: Vec<(ModelStats, EnergyBreakdown)>) -> AccelRun {
     let n = per_seed.len() as f64;
     let mut cycles = 0.0;
     let mut dram = 0.0;
     let mut energy = 0.0;
+    let mut bd = EnergyBreakdown::default();
     for (stats, e) in &per_seed {
         cycles += stats.total_cycles() as f64;
         dram += stats.total_dram().total() as f64;
         energy += e.total_pj();
+        bd.dram_pj += e.dram_pj;
+        bd.mac_pj += e.mac_pj;
+        bd.concentration_pj += e.concentration_pj;
+        bd.dilution_pj += e.dilution_pj;
+        bd.input_buf_pj += e.input_buf_pj;
+        bd.coef_psum_pj += e.coef_psum_pj;
+        bd.act_buf_pj += e.act_buf_pj;
+        bd.output_buf_pj += e.output_buf_pj;
     }
-    let (stats, energy_bd) = per_seed.into_iter().next().expect("at least one seed ran");
+    bd.dram_pj /= n;
+    bd.mac_pj /= n;
+    bd.concentration_pj /= n;
+    bd.dilution_pj /= n;
+    bd.input_buf_pj /= n;
+    bd.coef_psum_pj /= n;
+    bd.act_buf_pj /= n;
+    bd.output_buf_pj /= n;
+    let (stats, _) = per_seed.into_iter().next().expect("at least one seed ran");
     AccelRun {
         name,
         cycles: cycles / n,
         dram_bytes: dram / n,
         energy_pj: energy / n,
         stats,
-        energy: energy_bd,
+        energy: bd,
     }
 }
 
@@ -267,6 +289,13 @@ pub fn run_accelerator(
     threads: usize,
 ) -> AccelRun {
     let _t = escalate_obs::span_labeled("bench.accelerator", acc.name());
+    if seeds == 0 {
+        // Same policy as `positive_env`: clamp, but never silently.
+        eprintln!(
+            "warning: {}: seeds=0 requested; running 1 seed (a mean needs at least one sample)",
+            acc.name()
+        );
+    }
     let units = UnitEnergy::table3();
     let simulate = |seed: u64| {
         let stats = acc.simulate(seed, threads);
@@ -370,6 +399,17 @@ pub fn escalate_layer_energies(
         .iter()
         .map(|l| (l.name.clone(), layer_energy(l, &caps, &units)))
         .collect()
+}
+
+/// Geometric mean of `vals`, folded in slice order (so callers that build
+/// the slice in model order reproduce the historical per-binary closures
+/// bit for bit). The empty product is 1.0; a single element is returned
+/// unchanged (up to `exp(ln(x))` rounding).
+pub fn geomean(vals: &[f64]) -> f64 {
+    if vals.is_empty() {
+        return 1.0;
+    }
+    (vals.iter().map(|v| v.ln()).sum::<f64>() / vals.len() as f64).exp()
 }
 
 /// Renders a simple ASCII bar of `value` scaled so `max` fills `width`.

@@ -17,6 +17,9 @@ pub enum CliError {
     UnknownModel(String),
     /// The compression/simulation pipeline failed.
     Pipeline(String),
+    /// `escalate report --check` found golden drift; the payload is the
+    /// already-rendered check report.
+    Drift(String),
 }
 
 impl std::fmt::Display for CliError {
@@ -30,6 +33,7 @@ impl std::fmt::Display for CliError {
                 )
             }
             CliError::Pipeline(e) => write!(f, "pipeline failure: {e}"),
+            CliError::Drift(report) => write!(f, "golden drift detected:\n{report}"),
         }
     }
 }
@@ -70,6 +74,15 @@ COMMANDS:
         --threads <N>  host threads (as for simulate)
     characterize <MODEL>           compute/traffic structure per layer
         --m <N>        basis kernels for the C/M bound (default 6)
+    report [NAME ...]              drive the experiment registry (tables,
+                                   figures, ablations)
+        --list         enumerate the registered experiments
+        --all          every golden (deterministic) experiment
+        --json         emit escalate-report/v1 JSON instead of text
+        --check        diff against the results/ golden corpus
+        --update       regenerate the results/ golden corpus
+        --out <DIR>    one file per experiment instead of stdout
+        --results <DIR> golden corpus location (default results/)
     inspect <FILE>                 summarize a saved .esca artifact
     validate <MODEL>               cross-check the three simulator
                                    fidelities on one layer
@@ -108,6 +121,7 @@ pub fn dispatch(args: &ParsedArgs) -> Result<String, CliError> {
         "simulate" => cmd_simulate(args),
         "sweep" => cmd_sweep(args),
         "characterize" => cmd_characterize(args),
+        "report" => cmd_report(args),
         "inspect" => cmd_inspect(args),
         "validate" => cmd_validate(args),
         other => Err(CliError::Args(ArgError::BadValue {
@@ -115,6 +129,48 @@ pub fn dispatch(args: &ParsedArgs) -> Result<String, CliError> {
             value: other.into(),
             expected: "one of models|compress|simulate|sweep|help",
         })),
+    }
+}
+
+fn cmd_report(args: &ParsedArgs) -> Result<String, CliError> {
+    args.ensure_known(&["list", "all", "json", "check", "update", "out", "results"])?;
+    // Rebuild a runner argv so `escalate report` and the standalone
+    // `report` binary share one parser (and its validation). The generic
+    // CLI parser eats the token after a bare flag as its value
+    // (`report --check table4` parses as check="table4"), so a non-"true"
+    // value on a boolean flag is really the flag plus an experiment name.
+    let mut argv: Vec<String> = Vec::new();
+    for flag in ["list", "all", "json", "check", "update"] {
+        if let Some(v) = args.options.get(flag) {
+            argv.push(format!("--{flag}"));
+            if v != "true" {
+                argv.push(v.clone());
+            }
+        }
+    }
+    for key in ["out", "results"] {
+        if let Some(v) = args.options.get(key).filter(|v| *v != "true") {
+            argv.push(format!("--{key}"));
+            argv.push(v.clone());
+        }
+    }
+    argv.extend(args.positional.iter().cloned());
+    let opts = escalate_bench::experiments::ReportOptions::parse(argv).map_err(|msg| {
+        CliError::Args(ArgError::BadValue {
+            option: "report".into(),
+            value: msg,
+            expected: "a report invocation (see `escalate help`)",
+        })
+    })?;
+    let mut buf = Vec::new();
+    let clean = escalate_bench::experiments::run_report(&opts, &mut buf)
+        .map_err(|e| CliError::Pipeline(e.to_string()))?;
+    let text = String::from_utf8(buf)
+        .map_err(|e| CliError::Pipeline(format!("report produced non-UTF-8 output: {e}")))?;
+    if clean {
+        Ok(text)
+    } else {
+        Err(CliError::Drift(text))
     }
 }
 
@@ -559,6 +615,33 @@ mod tests {
         let out = run(&["characterize", "MobileNet"]).unwrap();
         assert!(out.contains("DSC MAC share"));
         assert!(out.contains("dw1"));
+    }
+
+    #[test]
+    fn report_list_enumerates_the_registry() {
+        let out = run(&["report", "--list"]).unwrap();
+        for name in ["table1", "fig8", "fig13", "bench_sim"] {
+            assert!(out.contains(name), "{name} missing:\n{out}");
+        }
+    }
+
+    #[test]
+    fn report_flag_before_name_keeps_the_name() {
+        // The generic parser turns `--check table4` into check="table4";
+        // cmd_report must restore both the flag and the experiment name.
+        let e = run(&["report", "--check", "table4", "--results", "/nonexistent"]).unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("golden drift"), "{msg}");
+        assert!(msg.contains("DRIFT table4"), "{msg}");
+        assert!(msg.contains("1 experiment(s) checked"), "{msg}");
+    }
+
+    #[test]
+    fn report_rejects_empty_and_unknown_invocations() {
+        let e = run(&["report"]).unwrap_err();
+        assert!(e.to_string().contains("nothing to do"), "{e}");
+        let e = run(&["report", "fig99"]).unwrap_err();
+        assert!(e.to_string().contains("fig99"), "{e}");
     }
 
     #[test]

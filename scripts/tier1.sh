@@ -23,6 +23,11 @@ cargo test -q --offline -p escalate-obs
 # a smoke check that the scalar/word-parallel differential assertion and
 # the bench wiring stay green without paying for real measurement.
 cargo bench --offline -p escalate-bench --bench position_kernel -- --test
+# Golden-diff regression check over the sub-second experiments: drift in
+# the committed results/ corpus fails the gate (full-corpus checks run in
+# crates/bench/tests/report.rs and via `report --check --all`).
+./target/release/report --check \
+  table4 rs_mapping buffer_ablation ca_ablation encoding_sweep psum_ablation
 cargo fmt --check
 cargo clippy --all-targets --offline --workspace -- -D warnings
 
