@@ -1,14 +1,15 @@
 //! Criterion microbenchmark for the Dilution-Concentration position walk:
 //! the scalar reference (`position_cost_scalar`) against the word-parallel
-//! `PositionKernel`, uncached and memoized, on a dense-activation /
-//! sparse-coefficient MobileNet-shaped layer (the regime the ESCALATE
-//! paper optimizes: ~95% coefficient sparsity meeting mostly-nonzero
-//! activations). `scripts/tier1.sh` runs this in criterion test mode
-//! (`-- --test`) so the bench executes in CI; `cargo bench --bench
-//! position_kernel` measures it.
+//! `PositionKernel`, one position at a time and batched (`cost_batch`), on
+//! a dense-activation / sparse-coefficient MobileNet-shaped layer (the
+//! regime the ESCALATE paper optimizes: ~95% coefficient sparsity meeting
+//! mostly-nonzero activations). `scripts/tier1.sh` runs this in criterion
+//! test mode (`-- --test`) so the bench executes in CI; `cargo bench
+//! --bench position_kernel` measures it (add `--features escalate-sim/simd`
+//! for the `std::arch` dispatch).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use escalate_sim::ca::{position_cost_scalar, CaScratch, PositionKernel};
+use escalate_sim::ca::{position_cost_scalar, CaScratch, PositionKernel, MAX_BATCH};
 use escalate_sim::SimConfig;
 
 /// Input channels of the benchmarked layer (a mid-network MobileNet
@@ -47,6 +48,9 @@ fn mask(seed: &mut u64, keep_per_mille: u64) -> Vec<u64> {
 struct WalkInput {
     coef: Vec<Vec<u64>>,
     acts: Vec<Vec<u64>>,
+    /// The same positions packed `MAX_BATCH` masks at a time for
+    /// `cost_batch`.
+    acts_flat: Vec<u64>,
 }
 
 fn walk_input() -> WalkInput {
@@ -54,24 +58,38 @@ fn walk_input() -> WalkInput {
     // ~95% sparse coefficients, ~90% dense activations.
     let coef: Vec<Vec<u64>> = (0..M).map(|_| mask(&mut seed, 50)).collect();
     let acts: Vec<Vec<u64>> = (0..POSITIONS).map(|_| mask(&mut seed, 900)).collect();
-    WalkInput { coef, acts }
+    let acts_flat: Vec<u64> = acts.iter().flatten().copied().collect();
+    WalkInput {
+        coef,
+        acts,
+        acts_flat,
+    }
 }
 
 fn bench_position_walk(c: &mut Criterion) {
     let input = walk_input();
     let refs: Vec<&[u64]> = input.coef.iter().map(Vec::as_slice).collect();
     let cfg = SimConfig::default();
+    let words = C.div_ceil(64);
 
-    // The three paths must agree before we time them — a benchmark of a
+    // Every timed path must agree before we time it — a benchmark of a
     // wrong kernel is worse than no benchmark.
     {
         let mut scratch = CaScratch::new(&cfg);
         let mut kernel = PositionKernel::new(&cfg);
         kernel.bind(C, refs.iter().copied());
-        for act in &input.acts {
+        let mut batched = vec![Default::default(); MAX_BATCH];
+        for (p, act) in input.acts.iter().enumerate() {
             let scalar = position_cost_scalar(&cfg, C, act, &refs, &mut scratch);
-            assert_eq!(kernel.cost_uncached(act), scalar);
             assert_eq!(kernel.cost(act), scalar);
+            let (chunk, off) = (p / MAX_BATCH, p % MAX_BATCH);
+            let n = MAX_BATCH.min(POSITIONS - chunk * MAX_BATCH);
+            kernel.cost_batch(
+                &input.acts_flat[chunk * MAX_BATCH * words..(chunk * MAX_BATCH + n) * words],
+                n,
+                &mut batched,
+            );
+            assert_eq!(batched[off], scalar);
         }
     }
 
@@ -90,30 +108,39 @@ fn bench_position_walk(c: &mut Criterion) {
         })
     });
 
+    // One position at a time through the kernel, re-binding per iteration
+    // like run_positions does per channel.
     let mut kernel = PositionKernel::new(&cfg);
     g.bench_function("word_parallel", |b| {
         b.iter(|| {
             kernel.bind(C, refs.iter().copied());
             let mut total = 0u64;
             for act in &input.acts {
-                total += kernel.cost_uncached(black_box(act)).ca_cycles;
+                total += kernel.cost(black_box(act)).ca_cycles;
             }
             total
         })
     });
 
-    // The memoized walk re-binds per iteration like run_positions does per
-    // channel, so this measures realistic cold-memo behavior on distinct
-    // masks plus one warm repeat of the walk (trace-driven runs revisit
-    // identical masks constantly).
-    g.bench_function("word_parallel_memo", |b| {
+    // The production walk: MAX_BATCH positions per pass over the bound
+    // coefficient words.
+    let mut costs = vec![Default::default(); MAX_BATCH];
+    g.bench_function("batched", |b| {
         b.iter(|| {
             kernel.bind(C, refs.iter().copied());
             let mut total = 0u64;
-            for _ in 0..2 {
-                for act in &input.acts {
-                    total += kernel.cost(black_box(act)).ca_cycles;
+            let mut p = 0usize;
+            while p < POSITIONS {
+                let n = MAX_BATCH.min(POSITIONS - p);
+                kernel.cost_batch(
+                    black_box(&input.acts_flat[p * words..(p + n) * words]),
+                    n,
+                    &mut costs,
+                );
+                for cost in &costs[..n] {
+                    total += cost.ca_cycles;
                 }
+                p += n;
             }
             total
         })

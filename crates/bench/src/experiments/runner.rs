@@ -17,7 +17,8 @@
 //! name. Arguments after `--` are forwarded to the experiments verbatim
 //! (e.g. `report fig11 -- MobileNet`).
 
-use super::{find, registry, ExpContext, ExpError, Experiment};
+use super::{find, registry, ExpContext, ExpError, Experiment, Table};
+use rayon::prelude::*;
 use std::io::Write;
 use std::path::PathBuf;
 
@@ -177,9 +178,23 @@ pub fn run_report(opts: &ReportOptions, out: &mut dyn Write) -> Result<bool, Exp
         std::fs::create_dir_all(&results_dir)?;
     }
 
+    // Experiments are independent, so a multi-experiment selection runs
+    // them across the thread pool; the expensive shared step (model
+    // compression) is single-flighted behind the artifact cache, so
+    // concurrent experiments block on one compression instead of
+    // repeating it. Collection is order-preserving and all rendering
+    // below stays sequential in request order, so stdout, per-file
+    // output, and golden checks are byte-identical to a serial run (the
+    // first failure in request order is the one reported).
+    let tables: Vec<Result<Table, ExpError>> = if exps.len() > 1 {
+        exps.par_iter().map(|exp| exp.run(&ctx)).collect()
+    } else {
+        exps.iter().map(|exp| exp.run(&ctx)).collect()
+    };
+
     let mut clean = true;
-    for (i, exp) in exps.iter().enumerate() {
-        let table = exp.run(&ctx)?;
+    for (i, (exp, table)) in exps.iter().zip(tables).enumerate() {
+        let table = table?;
         let text = table.render_text();
         if opts.check {
             let golden_path = results_dir.join(format!("{}.txt", exp.name()));

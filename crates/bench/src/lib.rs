@@ -48,9 +48,13 @@ pub struct AccelRun {
     pub dram_bytes: f64,
     /// Mean total energy (pJ).
     pub energy_pj: f64,
-    /// Full stats of the **first seed only** — kept for layer-wise figures,
-    /// which need one concrete per-layer trace, not a mean of traces.
-    pub stats: ModelStats,
+    /// Full per-layer stats of the **first seed only** — deliberately not
+    /// a mean: layer-wise figures need one concrete per-layer trace
+    /// (integer cycle/traffic counts of a real run), and a component-wise
+    /// average of traces would be a trace of no run at all. The field name
+    /// says so; the seed-averaged scalars live in
+    /// [`AccelRun::cycles`]/[`AccelRun::dram_bytes`]/[`AccelRun::energy_pj`].
+    pub first_seed_stats: ModelStats,
     /// Component-wise mean energy breakdown over the input seeds; its
     /// components sum to [`AccelRun::energy_pj`].
     pub energy: EnergyBreakdown,
@@ -232,8 +236,9 @@ pub fn compress_cached(
 /// Averages per-seed results: seeds are simulated in parallel
 /// (order-preserving), then every f64 sum — totals *and* the energy
 /// breakdown, component by component — folds in ascending seed order, so
-/// the mean is bit-identical for any thread count. Only `stats` is not a
-/// mean: it keeps the first seed's per-layer trace (see [`AccelRun`]).
+/// the mean is bit-identical for any thread count. Only
+/// `first_seed_stats` is not a mean: it keeps the first seed's per-layer
+/// trace (see [`AccelRun`]).
 fn average_runs(name: String, per_seed: Vec<(ModelStats, EnergyBreakdown)>) -> AccelRun {
     let n = per_seed.len() as f64;
     let mut cycles = 0.0;
@@ -261,13 +266,13 @@ fn average_runs(name: String, per_seed: Vec<(ModelStats, EnergyBreakdown)>) -> A
     bd.coef_psum_pj /= n;
     bd.act_buf_pj /= n;
     bd.output_buf_pj /= n;
-    let (stats, _) = per_seed.into_iter().next().expect("at least one seed ran");
+    let (first_seed_stats, _) = per_seed.into_iter().next().expect("at least one seed ran");
     AccelRun {
         name,
         cycles: cycles / n,
         dram_bytes: dram / n,
         energy_pj: energy / n,
-        stats,
+        first_seed_stats,
         energy: bd,
     }
 }
@@ -394,7 +399,7 @@ pub fn escalate_layer_energies(
 ) -> Vec<(String, EnergyBreakdown)> {
     let caps = BufferCaps::from_config(sim_cfg);
     let units = UnitEnergy::table3();
-    run.stats
+    run.first_seed_stats
         .layers
         .iter()
         .map(|l| (l.name.clone(), layer_energy(l, &caps, &units)))
@@ -497,6 +502,37 @@ mod tests {
         // Unrelated keys were never affected.
         let (v2, _) = single_flight(&map, 2u32, || Ok::<u64, ()>(11)).unwrap();
         assert_eq!(v2, 11);
+    }
+
+    #[test]
+    fn average_runs_averages_scalars_and_keeps_first_seed_trace() {
+        use escalate_sim::LayerStats;
+        let seed_stats = |cycles: u64| ModelStats {
+            model_name: "m".into(),
+            layers: vec![LayerStats {
+                name: "l0".into(),
+                cycles,
+                ..LayerStats::default()
+            }],
+        };
+        let energy = |mac_pj: f64| EnergyBreakdown {
+            mac_pj,
+            ..EnergyBreakdown::default()
+        };
+        let run = average_runs(
+            "acc".into(),
+            vec![
+                (seed_stats(100), energy(10.0)),
+                (seed_stats(300), energy(30.0)),
+            ],
+        );
+        // Scalars are true means over the seeds...
+        assert_eq!(run.cycles, 200.0);
+        assert_eq!(run.energy_pj, 20.0);
+        assert_eq!(run.energy.mac_pj, 20.0);
+        // ...while the per-layer trace is the first seed's, verbatim — the
+        // field name documents exactly that.
+        assert_eq!(run.first_seed_stats.layers[0].cycles, 100);
     }
 
     #[test]

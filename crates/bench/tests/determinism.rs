@@ -55,7 +55,11 @@ fn parallel_run_model_matches_sequential() {
         (&seq.scnn, &par.scnn),
         (&seq.sparten, &par.sparten),
     ] {
-        assert_eq!(s.stats, p.stats, "{}: per-layer stats diverged", s.name);
+        assert_eq!(
+            s.first_seed_stats, p.first_seed_stats,
+            "{}: per-layer stats diverged",
+            s.name
+        );
         assert_eq!(s.cycles, p.cycles, "{}: mean cycles diverged", s.name);
         assert_eq!(
             s.dram_bytes, p.dram_bytes,
@@ -82,7 +86,7 @@ fn generic_runner_is_bit_identical_across_thread_counts() {
     let seq = run_accelerator(acc, &caps, 3, 1);
     let par = run_accelerator(acc, &caps, 3, 0);
     assert_eq!(
-        seq.stats, par.stats,
+        seq.first_seed_stats, par.first_seed_stats,
         "generic runner: per-layer stats diverged"
     );
     assert_eq!(
@@ -102,7 +106,7 @@ fn generic_runner_is_bit_identical_across_thread_counts() {
     let one = run_accelerator(acc, &caps, 1, 1);
     let direct = acc.simulate(0, 1);
     assert_eq!(
-        one.stats, direct,
+        one.first_seed_stats, direct,
         "provided Accelerator::simulate diverged from runner"
     );
 }

@@ -148,8 +148,8 @@ fn average_runs_averages_the_energy_breakdown_not_just_totals() {
     let one = run_accelerator(&FakeAccel, &caps, 1, 1);
     assert!(two.energy_pj > one.energy_pj, "mean must exceed seed 0");
     assert!(two.energy.dram_pj > one.energy.dram_pj);
-    // `stats` stays the first seed (layer-wise figures rely on it).
-    assert_eq!(two.stats, one.stats);
+    // `first_seed_stats` stays the first seed (layer-wise figures rely on it).
+    assert_eq!(two.first_seed_stats, one.first_seed_stats);
 }
 
 #[test]
@@ -159,7 +159,7 @@ fn run_accelerator_clamps_zero_seeds_to_one_with_a_warning() {
     // what must hold is the documented clamp: seeds=0 behaves as 1 seed.
     let zero = run_accelerator(&FakeAccel, &caps, 0, 1);
     let one = run_accelerator(&FakeAccel, &caps, 1, 1);
-    assert_eq!(zero.stats, one.stats);
+    assert_eq!(zero.first_seed_stats, one.first_seed_stats);
     assert!((zero.cycles - one.cycles).abs() < f64::EPSILON);
     assert!((zero.energy_pj - one.energy_pj).abs() < f64::EPSILON);
 }

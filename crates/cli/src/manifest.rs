@@ -63,7 +63,7 @@ pub fn render_manifest(
 
     w.key("layers");
     w.begin_array();
-    for l in &run.escalate.stats.layers {
+    for l in &run.escalate.first_seed_stats.layers {
         w.begin_object();
         w.field_str("name", &l.name);
         w.field_u64("cycles", l.cycles);
@@ -96,7 +96,7 @@ mod tests {
             cycles: 100.0,
             dram_bytes: 200.0,
             energy_pj: 300.0,
-            stats: ModelStats {
+            first_seed_stats: ModelStats {
                 model_name: "m".into(),
                 layers: vec![LayerStats {
                     name: "l1".into(),

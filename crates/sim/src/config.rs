@@ -62,14 +62,6 @@ pub struct SimConfig {
     /// RNG seeding. This knob configures the host simulator, not the
     /// modeled hardware.
     pub threads: usize,
-    /// Capacity (entries, rounded up to a power of two) of the per-channel
-    /// position-cost memo the word-parallel kernel consults — within one
-    /// (layer, channel) the coefficient masks are fixed, so the cost is a
-    /// pure function of the activation mask and repeated masks can be
-    /// answered from the table. `0` disables memoization. Results are
-    /// bit-identical at any capacity (hits require an exact key match).
-    /// This knob configures the host simulator, not the modeled hardware.
-    pub memo_capacity: usize,
 }
 
 impl Default for SimConfig {
@@ -91,7 +83,6 @@ impl Default for SimConfig {
             dram_bytes_per_cycle: 64.0,
             sample_channels: 8,
             threads: 0,
-            memo_capacity: 2048,
         }
     }
 }

@@ -21,7 +21,7 @@
 //!   events flow to instrumentation without touching the hot path's
 //!   structure.
 
-use crate::ca::{PositionCost, PositionKernel};
+use crate::ca::{LayerPlan, PositionCost, PositionKernel, MAX_BATCH};
 use crate::config::SimConfig;
 use crate::dataflow::Mapping;
 use crate::error::SimError;
@@ -181,8 +181,8 @@ pub trait SimObserver {
     fn on_slice(&mut self, _ev: &SliceEvent) {}
 
     /// Called once per finished channel × position walk with the folded
-    /// aggregate — the hook through which kernel-level statistics (memo
-    /// hits/misses) reach instrumentation.
+    /// aggregate — the hook through which kernel-level statistics (layer
+    /// plan compiles/reuses) reach instrumentation.
     fn on_walk(&mut self, _agg: &PositionAggregate) {}
 
     /// Called once per finished layer with the stats the simulation
@@ -218,11 +218,12 @@ pub struct PositionAggregate {
     pub sampled_channels: usize,
     /// Positions walked per channel.
     pub positions_per_channel: usize,
-    /// Position costs answered from the kernel's memo during this walk.
-    pub memo_hits: u64,
-    /// Position costs computed by the kernel during this walk (with
-    /// memoization disabled, every position counts here).
-    pub memo_misses: u64,
+    /// 1 when this walk compiled a fresh [`LayerPlan`], 0 when it reused
+    /// the kernel's installed plan.
+    pub plan_compiles: u64,
+    /// 1 when this walk reused the kernel's installed [`LayerPlan`]
+    /// (verified word-for-word by [`LayerPlan::matches`]).
+    pub plan_reuses: u64,
 }
 
 thread_local! {
@@ -239,8 +240,10 @@ thread_local! {
 /// every fidelity that aggregates per-position costs drives.
 ///
 /// Uses a thread-local [`PositionKernel`] (rebuilt only when `cfg`'s
-/// kernel-relevant knobs change); [`run_positions_with`] is the same walk
-/// against a caller-owned kernel.
+/// kernel-relevant knobs change), which also caches the compiled
+/// [`LayerPlan`] — repeated walks of the same layer (seed sweeps,
+/// fidelity comparisons) reuse the plan instead of recompiling it;
+/// [`run_positions_with`] is the same walk against a caller-owned kernel.
 pub fn run_positions(
     ctx: &LayerContext,
     cfg: &SimConfig,
@@ -259,8 +262,12 @@ pub fn run_positions(
 }
 
 /// [`run_positions`] against a caller-owned [`PositionKernel`] (which must
-/// have been built from an equivalent config). The kernel's memo counters
-/// accumulate across calls; the aggregate reports this walk's deltas.
+/// have been built from an equivalent config). Compiles a [`LayerPlan`]
+/// for the sampled channels — or reuses the kernel's installed plan when
+/// it matches word-for-word — and walks positions in batches of
+/// [`MAX_BATCH`]; the per-position fold order (and hence every f64
+/// accumulation feeding [`assemble_stats`]) is identical to a
+/// one-position-at-a-time walk.
 pub fn run_positions_with(
     ctx: &LayerContext,
     cfg: &SimConfig,
@@ -272,43 +279,60 @@ pub fn run_positions_with(
     assert!(kernel.matches(cfg), "kernel built from a different config");
     let _span = escalate_obs::span("ca.kernel");
     let sp = source.positions();
-    let hits0 = kernel.memo_hits();
-    let misses0 = kernel.memo_misses();
     let mut agg = PositionAggregate {
         sampled_channels: sampled_k.len(),
         positions_per_channel: sp,
         ..PositionAggregate::default()
     };
-    // The activation-mask buffer is reused across every sampled
-    // (channel, position) pair; all channel-invariant work (coefficient
-    // mask copies, union mask, memo reset) happens once per channel in
-    // `bind`.
-    let mut buf = vec![0u64; ctx.words];
-    for &k in sampled_k {
-        kernel.bind(ctx.c, (0..ctx.m).map(|mi| ctx.masks.mask(k, mi)));
+    let mask = |k: usize, mi: usize| ctx.masks.mask(k, mi);
+    if kernel
+        .plan()
+        .is_some_and(|p| p.matches(ctx.c, ctx.m, sampled_k, mask))
+    {
+        agg.plan_reuses = 1;
+    } else {
+        kernel.install_plan(LayerPlan::build(ctx.c, ctx.m, sampled_k, mask));
+        agg.plan_compiles = 1;
+    }
+    // The batch buffers are reused across every sampled channel; all
+    // channel-invariant work (coefficient copies, union masks, skip
+    // tables) was precomputed by the plan, so `bind_planned` is a few
+    // memcpys.
+    let mut batch = vec![0u64; MAX_BATCH * ctx.words];
+    let mut costs = [PositionCost::default(); MAX_BATCH];
+    for (idx, &k) in sampled_k.iter().enumerate() {
+        kernel.bind_planned(idx);
         let mut k_pos_cycles = 0.0f64;
-        for p in 0..sp {
-            let act = source.mask(p, &mut buf);
-            let cost = kernel.cost(act);
-            let pos_cycles = ctx.mac_row.position_cycles(cost.ca_cycles);
-            k_pos_cycles += pos_cycles as f64;
-            agg.sum_matched += cost.matched as f64;
-            agg.sum_gather += cost.gather_passes as f64;
-            agg.sum_idle += ctx.mac_row.idle_cycles(cost.ca_cycles) as f64;
-            obs.on_position(&PositionEvent {
-                channel: k,
-                position: p,
-                cost: &cost,
-                mac_row_cycles: pos_cycles,
-            });
+        let mut p = 0usize;
+        while p < sp {
+            let n = MAX_BATCH.min(sp - p);
+            for b in 0..n {
+                // Masks are materialized in position order, so Bernoulli
+                // sources consume their RNG stream exactly as the
+                // unbatched walk did.
+                source.mask_into(p + b, &mut batch[b * ctx.words..(b + 1) * ctx.words]);
+            }
+            kernel.cost_batch(&batch[..n * ctx.words], n, &mut costs);
+            for (b, cost) in costs.iter().enumerate().take(n) {
+                let pos_cycles = ctx.mac_row.position_cycles(cost.ca_cycles);
+                k_pos_cycles += pos_cycles as f64;
+                agg.sum_matched += cost.matched as f64;
+                agg.sum_gather += cost.gather_passes as f64;
+                agg.sum_idle += ctx.mac_row.idle_cycles(cost.ca_cycles) as f64;
+                obs.on_position(&PositionEvent {
+                    channel: k,
+                    position: p + b,
+                    cost,
+                    mac_row_cycles: pos_cycles,
+                });
+            }
+            p += n;
         }
         let mean_pos = k_pos_cycles / sp as f64;
         agg.sum_pos_cycles += mean_pos;
         let block_time = mean_pos * ctx.positions_per_slice() as f64;
         agg.max_block_time = agg.max_block_time.max(block_time);
     }
-    agg.memo_hits = kernel.memo_hits() - hits0;
-    agg.memo_misses = kernel.memo_misses() - misses0;
     obs.on_walk(&agg);
     agg
 }

@@ -93,13 +93,15 @@ pub mod mac;
 pub mod masks;
 pub mod observe;
 pub mod psum;
+#[cfg(feature = "simd")]
+pub mod simd;
 pub mod slice;
 pub mod stats;
 pub mod trace;
 pub mod workload;
 
 pub use accel::{Accelerator, Escalate};
-pub use ca::{PositionCost, PositionKernel};
+pub use ca::{LayerPlan, PositionCost, PositionKernel, MAX_BATCH};
 pub use config::SimConfig;
 pub use context::{LayerContext, NoopObserver, SimObserver};
 pub use engine::{simulate_layer, simulate_model};

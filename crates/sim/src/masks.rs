@@ -120,6 +120,24 @@ impl<'a> MaskSource<'a> {
             MaskSource::Trace { masks } => &masks[pos],
         }
     }
+
+    /// [`MaskSource::mask`], materialized into `buf` unconditionally — the
+    /// form the batched position walk uses to pack several masks
+    /// back-to-back. Bernoulli sources consume exactly the same RNG
+    /// stream as [`MaskSource::mask`]; trace sources copy the stored
+    /// words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf` is shorter than the mask's word count.
+    pub fn mask_into(&mut self, pos: usize, buf: &mut [u64]) {
+        match self {
+            MaskSource::Bernoulli {
+                rng, c, keep_prob, ..
+            } => draw_act_mask_into(rng, *c, *keep_prob, buf),
+            MaskSource::Trace { masks } => buf.copy_from_slice(&masks[pos]),
+        }
+    }
 }
 
 /// Draws a Bernoulli activation mask into a caller-owned buffer. Consumes

@@ -30,8 +30,9 @@
 //! - `sim.buffer_stall_cycles` — cycles the detailed fidelity's streaming
 //!   front end stalled on full concentration buffers (buffer conflicts);
 //! - `sim.slices_stepped` — cycle-stepped (channel, slice) runs;
-//! - `ca.memo_hits` / `ca.memo_misses` — position costs answered from the
-//!   kernel's per-channel memo vs computed (from per-walk aggregates).
+//! - `ca.plan_compiles` / `ca.plan_reuses` — channel × position walks
+//!   that compiled a fresh kernel [`crate::ca::LayerPlan`] vs reused the
+//!   cached one (from per-walk aggregates).
 //!
 //! Histograms: `sim.position_ca_cycles` (CA cycles per walked position)
 //! and `sim.layer_cycles` (cycles per layer).
@@ -55,8 +56,8 @@ pub struct ObsObserver {
     skip_positions: u64,
     stall_cycles: u64,
     slices: u64,
-    memo_hits: u64,
-    memo_misses: u64,
+    plan_compiles: u64,
+    plan_reuses: u64,
     ca_cycles: Histogram,
 }
 
@@ -70,8 +71,8 @@ impl ObsObserver {
             skip_positions: 0,
             stall_cycles: 0,
             slices: 0,
-            memo_hits: 0,
-            memo_misses: 0,
+            plan_compiles: 0,
+            plan_reuses: 0,
             ca_cycles: Histogram::new(),
         }
     }
@@ -94,8 +95,8 @@ impl ObsObserver {
             ("sim.ca_skip_positions", &mut self.skip_positions),
             ("sim.buffer_stall_cycles", &mut self.stall_cycles),
             ("sim.slices_stepped", &mut self.slices),
-            ("ca.memo_hits", &mut self.memo_hits),
-            ("ca.memo_misses", &mut self.memo_misses),
+            ("ca.plan_compiles", &mut self.plan_compiles),
+            ("ca.plan_reuses", &mut self.plan_reuses),
         ] {
             if *v > 0 {
                 reg.counter_add(name, *v);
@@ -125,8 +126,8 @@ impl SimObserver for ObsObserver {
     fn on_walk(&mut self, agg: &PositionAggregate) {
         // One walk per (layer, seed): batch locally like the per-position
         // events and flush with them.
-        self.memo_hits += agg.memo_hits;
-        self.memo_misses += agg.memo_misses;
+        self.plan_compiles += agg.plan_compiles;
+        self.plan_reuses += agg.plan_reuses;
     }
 
     fn on_layer(&mut self, stats: &LayerStats) {

@@ -315,6 +315,197 @@ impl ConcentrationBuffer {
     }
 }
 
+/// A bitmask twin of [`ConcentrationBuffer`] for cost-only streams: rows
+/// are `u64` occupancy masks instead of `Vec<Option<f32>>`, so pushing and
+/// draining are word operations with no per-slot storage. It models
+/// exactly the unit-mask/hole streams the timing kernel feeds
+/// ([`ConcentrationBuffer::push_unit_mask`] / `push_holes`) and returns
+/// only what that kernel consumes: the drained-row count.
+///
+/// The drain semantics — per-column donor search order (look-ahead rows
+/// first, then look-aside at distance 1..=`look_aside`, column−d before
+/// column+d, per row), empty-row compaction after each head pop, all-hole
+/// rows costing nothing — replicate [`ConcentrationBuffer::drain_sum`]
+/// decision for decision, so `rows_drained` is bit-identical; the
+/// differential tests below pin this over random push sequences.
+///
+/// Only widths up to 64 columns are supported (one word per row); callers
+/// with wider adder trees fall back to [`ConcentrationBuffer`].
+#[derive(Debug, Clone)]
+pub struct MaskConcentration {
+    width: usize,
+    look_ahead: usize,
+    look_aside: usize,
+    /// Occupancy mask per row, oldest first (index 0 is the head).
+    rows: Vec<u64>,
+    /// Column cursor for folding incoming slots, as in the slot buffer.
+    cursor: usize,
+}
+
+impl MaskConcentration {
+    /// Creates a bitmask buffer feeding an adder tree of `width` columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or exceeds 64.
+    pub fn new(width: usize, look_ahead: usize, look_aside: usize) -> Self {
+        assert!(width > 0, "adder tree width must be positive");
+        assert!(width <= 64, "bitmask rows hold at most 64 columns");
+        MaskConcentration {
+            width,
+            look_ahead,
+            look_aside,
+            rows: Vec::new(),
+            cursor: 0,
+        }
+    }
+
+    /// Adder-tree width this buffer feeds.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Clears buffered rows and the fold cursor, keeping the row storage.
+    pub fn reset(&mut self) {
+        self.rows.clear();
+        self.cursor = 0;
+    }
+
+    /// Pushes `n` hole slots — the counterpart of
+    /// [`ConcentrationBuffer::push_holes`].
+    pub fn push_holes(&mut self, mut n: usize) {
+        while n > 0 {
+            if self.cursor == 0 {
+                self.rows.push(0);
+            }
+            let take = (self.width - self.cursor).min(n);
+            self.cursor = (self.cursor + take) % self.width;
+            n -= take;
+        }
+    }
+
+    /// Pushes `n` slots where slot `j` is occupied when bit `j` of `mask`
+    /// is set — the counterpart of
+    /// [`ConcentrationBuffer::push_unit_mask`], folding whole bit spans
+    /// into the row words instead of writing slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 64` or `mask` has bits at or above `n`.
+    pub fn push_mask(&mut self, mask: u64, n: usize) {
+        assert!(n <= 64, "unit-mask chunks are at most 64 slots");
+        let limit = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+        assert_eq!(mask & !limit, 0, "filter mask has bits beyond the chunk");
+        let mut j = 0usize;
+        while j < n {
+            if self.cursor == 0 {
+                self.rows.push(0);
+            }
+            let take = (self.width - self.cursor).min(n - j);
+            let keep = if take >= 64 {
+                u64::MAX
+            } else {
+                (1u64 << take) - 1
+            };
+            let bits = (mask >> j) & keep;
+            if bits != 0 {
+                let last = self.rows.last_mut().expect("row was just pushed");
+                *last |= bits << self.cursor;
+            }
+            self.cursor = (self.cursor + take) % self.width;
+            j += take;
+        }
+    }
+
+    /// Number of buffered rows not yet drained.
+    pub fn pending_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Concentrates and drains every buffered row, returning how many rows
+    /// the adder tree consumed — bit-identical to
+    /// [`ConcentrationStats::rows_drained`] of a [`ConcentrationBuffer`]
+    /// fed the same hole/mask stream.
+    pub fn drain(&mut self) -> usize {
+        let full = if self.width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.width) - 1
+        };
+        let mut drained = 0usize;
+        let mut start = 0usize; // head index into `rows` (drained prefix)
+        while start < self.rows.len() {
+            let live = &mut self.rows[start..];
+            let depth = live.len().min(1 + self.look_ahead);
+            if depth > 1 {
+                // Donors available anywhere below the head? When the union
+                // of the window rows is empty no hole can be filled, and
+                // the whole fill loop is skipped.
+                let mut avail = 0u64;
+                for &r in &live[1..depth] {
+                    avail |= r;
+                }
+                if avail != 0 {
+                    // A hole is worth visiting only if some donor bit can
+                    // reach it: same column, or within look-aside range.
+                    let mut reach = avail;
+                    for d in 1..=self.look_aside {
+                        reach |= (avail << d) | (avail >> d);
+                    }
+                    let mut holes = !live[0] & full & reach;
+                    'hole: while holes != 0 {
+                        let col = holes.trailing_zeros() as usize;
+                        holes &= holes - 1;
+                        // Look-ahead: same column, nearest row first.
+                        for r in 1..depth {
+                            if live[r] >> col & 1 == 1 {
+                                live[r] &= !(1u64 << col);
+                                live[0] |= 1u64 << col;
+                                continue 'hole;
+                            }
+                        }
+                        // Look-aside: per row, distance 1..=ls, col−d
+                        // before col+d — the slot buffer's exact order.
+                        for r in 1..depth {
+                            for d in 1..=self.look_aside {
+                                if col >= d && live[r] >> (col - d) & 1 == 1 {
+                                    live[r] &= !(1u64 << (col - d));
+                                    live[0] |= 1u64 << col;
+                                    continue 'hole;
+                                }
+                                if col + d < self.width && live[r] >> (col + d) & 1 == 1 {
+                                    live[r] &= !(1u64 << (col + d));
+                                    live[0] |= 1u64 << col;
+                                    continue 'hole;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            let head = live[0];
+            if head != 0 {
+                drained += 1;
+            }
+            start += 1;
+            // Compact rows drained empty by donations, exactly like the
+            // slot buffer recycles all-None rows after each head pop.
+            let mut w = start;
+            for r in start..self.rows.len() {
+                let row = self.rows[r];
+                if row != 0 {
+                    self.rows[w] = row;
+                    w += 1;
+                }
+            }
+            self.rows.truncate(w);
+        }
+        self.rows.clear();
+        self.cursor = 0;
+        drained
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -482,6 +673,107 @@ mod tests {
     fn unit_mask_bits_beyond_chunk_panic() {
         let mut buf = ConcentrationBuffer::new(4, 2, 1);
         buf.push_unit_mask(0b100, 2);
+    }
+
+    /// Feeds the same hole/unit-mask stream to a slot buffer and a bitmask
+    /// buffer and requires the drained-row counts to agree.
+    fn diff_drain(width: usize, la: usize, ls: usize, ops: &[(u64, usize)]) {
+        let mut slots = ConcentrationBuffer::new(width, la, ls);
+        let mut bits = MaskConcentration::new(width, la, ls);
+        for &(mask, n) in ops {
+            if mask == 0 {
+                slots.push_holes(n);
+                bits.push_holes(n);
+            } else {
+                slots.push_unit_mask(mask, n);
+                bits.push_mask(mask, n);
+            }
+        }
+        let before = slots.stats().rows_drained;
+        let (_, stats) = slots.drain_sum();
+        assert_eq!(
+            bits.drain(),
+            stats.rows_drained - before,
+            "w={width} la={la} ls={ls} ops={ops:?}"
+        );
+    }
+
+    #[test]
+    fn bitmask_buffer_matches_slot_buffer_on_patterns() {
+        diff_drain(16, 4, 1, &[(0b1011, 4), (0, 7), (0xFFFF, 16), (0, 40)]);
+        diff_drain(4, 2, 1, &[(0, 3), (1, 1), (0, 9), (0b11, 2)]);
+        diff_drain(1, 0, 0, &[(1, 1), (0, 5), (1, 1)]);
+        diff_drain(64, 8, 2, &[(u64::MAX, 64), (0, 64), (0xF0F0, 16)]);
+        diff_drain(16, 0, 3, &[(0x8001, 16), (0, 2), (0x7, 3)]);
+        // All-hole stream: zero rows either way.
+        diff_drain(8, 4, 1, &[(0, 100)]);
+    }
+
+    #[test]
+    fn bitmask_buffer_matches_slot_buffer_randomized() {
+        // Deterministic LCG so the sweep needs no rand dependency.
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state
+        };
+        for trial in 0..300 {
+            let width = 1 + (next() % 64) as usize;
+            let la = (next() % 6) as usize;
+            let ls = (next() % 3) as usize;
+            let ops: Vec<(u64, usize)> = (0..(1 + next() % 12))
+                .map(|_| {
+                    let n = 1 + (next() % 64) as usize;
+                    let limit = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+                    // Sparse-ish masks (self-AND) with occasional all-hole runs.
+                    let mask = if next() % 4 == 0 {
+                        0
+                    } else {
+                        next() & next() & limit
+                    };
+                    (mask, n)
+                })
+                .collect();
+            let _ = trial;
+            diff_drain(width, la, ls, &ops);
+        }
+    }
+
+    #[test]
+    fn bitmask_buffer_reset_and_reuse_matches_fresh() {
+        let ops = [(0b1010u64, 4usize), (0, 6), (0xFF, 8)];
+        let mut reused = MaskConcentration::new(6, 3, 1);
+        reused.push_mask(0x1, 2);
+        reused.reset();
+        for &(mask, n) in &ops {
+            if mask == 0 {
+                reused.push_holes(n);
+            } else {
+                reused.push_mask(mask, n);
+            }
+        }
+        let mut fresh = MaskConcentration::new(6, 3, 1);
+        for &(mask, n) in &ops {
+            if mask == 0 {
+                fresh.push_holes(n);
+            } else {
+                fresh.push_mask(mask, n);
+            }
+        }
+        assert_eq!(reused.pending_rows(), fresh.pending_rows());
+        assert_eq!(reused.drain(), fresh.drain());
+        // Drained buffers are empty and reusable without reset.
+        assert_eq!(reused.pending_rows(), 0);
+        reused.push_mask(0b11, 2);
+        assert_eq!(reused.drain(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64 columns")]
+    fn bitmask_buffer_rejects_wide_trees() {
+        let _ = MaskConcentration::new(65, 4, 1);
     }
 
     #[test]

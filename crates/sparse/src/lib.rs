@@ -29,7 +29,7 @@ pub mod rolling;
 pub mod sparsemap;
 
 pub use bitgather::{gather_bits, gather_bits_butterfly, GATHER_STAGES_64};
-pub use concentration::{ConcentrationBuffer, ConcentrationStats};
+pub use concentration::{ConcentrationBuffer, ConcentrationStats, MaskConcentration};
 pub use dilution::{dilute, dilute_into, DilutedChunk, DilutionInput, DilutionOutcome};
 pub use maskpipe::{MaskPipeline, MaskWindow, PositionMaps};
 pub use rolling::RollingMask;

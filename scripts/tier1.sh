@@ -15,14 +15,22 @@ cd "$(dirname "$0")/.."
 # binaries and test targets.
 cargo build --release --offline --workspace
 cargo test -q --offline --workspace
+# The `simd` feature compiles the std::arch batch-kernel path; dispatch
+# is at runtime (is_x86_feature_detected!), so this build+test pass is
+# safe on hosts without the intrinsics — it just takes the portable
+# fallback there. The kernel_diff proptests force the fast path off and
+# on to pin the two monomorphizations byte-identical.
+cargo test -q --offline -p escalate-sim --features simd
 # The observability crate is dependency-free and cheap: exercise its full
 # test matrix (unit + doc tests) explicitly so a workspace-level filter
 # can never silently drop it.
 cargo test -q --offline -p escalate-obs
 # Criterion's `--test` mode runs each kernel benchmark once, unmeasured:
-# a smoke check that the scalar/word-parallel differential assertion and
-# the bench wiring stay green without paying for real measurement.
-cargo bench --offline -p escalate-bench --bench position_kernel -- --test
+# a smoke check that the scalar/word-parallel/batched differential
+# assertion and the bench wiring stay green without paying for real
+# measurement (with the simd dispatch compiled in).
+cargo bench --offline -p escalate-bench --bench position_kernel \
+  --features escalate-sim/simd -- --test
 # Golden-diff regression check over the sub-second experiments: drift in
 # the committed results/ corpus fails the gate (full-corpus checks run in
 # crates/bench/tests/report.rs and via `report --check --all`).
@@ -30,5 +38,6 @@ cargo bench --offline -p escalate-bench --bench position_kernel -- --test
   table4 rs_mapping buffer_ablation ca_ablation encoding_sweep psum_ablation
 cargo fmt --check
 cargo clippy --all-targets --offline --workspace -- -D warnings
+cargo clippy --all-targets --offline -p escalate-sim --features simd -- -D warnings
 
 echo "tier-1: OK"

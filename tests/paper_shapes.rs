@@ -83,8 +83,8 @@ fn vgg16_dram_reduction() {
 fn resnet18_layerwise_shape() {
     let profile = ModelProfile::for_model("ResNet18").expect("known model");
     let run = run_model(&profile, &SimConfig::default(), 1).expect("simulation succeeds");
-    let esc = &run.escalate.stats.layers;
-    let eye = &run.eyeriss.stats.layers;
+    let esc = &run.escalate.first_seed_stats.layers;
+    let eye = &run.eyeriss.first_seed_stats.layers;
     assert!(esc[0].fallback, "first layer uses the dense fallback");
     let first_speedup = eye[0].cycles as f64 / esc[0].cycles as f64;
     assert!(
@@ -116,14 +116,14 @@ fn mac_idle_tracks_sparsity() {
     let run = run_model(&mobilenet, &SimConfig::default(), 1).expect("simulation succeeds");
     let idle: u64 = run
         .escalate
-        .stats
+        .first_seed_stats
         .layers
         .iter()
         .map(|l| l.mac_idle_cycles)
         .sum();
     let slots: u64 = run
         .escalate
-        .stats
+        .first_seed_stats
         .layers
         .iter()
         .map(|l| l.mac_cycle_slots)
@@ -135,14 +135,14 @@ fn mac_idle_tracks_sparsity() {
     let run = run_model(&resnet18, &SimConfig::default(), 1).expect("simulation succeeds");
     let idle: u64 = run
         .escalate
-        .stats
+        .first_seed_stats
         .layers
         .iter()
         .map(|l| l.mac_idle_cycles)
         .sum();
     let slots: u64 = run
         .escalate
-        .stats
+        .first_seed_stats
         .layers
         .iter()
         .map(|l| l.mac_cycle_slots)
