@@ -1,4 +1,5 @@
-//! The `report` runner: one driver for the whole experiment registry.
+//! The `report` runner: one driver for the whole experiment registry,
+//! built on the shared run-plan layer (`crate::plan`).
 //!
 //! ```text
 //! report --list                 # enumerate the registry
@@ -10,15 +11,23 @@
 //! report --all --check          # diff against results/, nonzero on drift
 //! ```
 //!
+//! The selected experiments form a [`ReportPlan`] (one work unit per
+//! experiment); `plan::execute` fans the units out over the thread pool
+//! with an order-preserving collect, and one of four [`UnitSink`]s
+//! renders the outputs sequentially in request order — so stdout,
+//! per-file output, and golden checks are byte-identical to a serial run
+//! (and the first failure in request order is the one reported).
+//!
 //! `--check`/`--update` operate on the golden corpus under `results/`
 //! (override with `--results DIR` or `ESCALATE_RESULTS_DIR`); experiments
 //! whose output is timing-dependent ([`Experiment::golden`] is `false`)
 //! are skipped by `--all`, `--check` and `--update` but still runnable by
-//! name. Arguments after `--` are forwarded to the experiments verbatim
+//! name. Flags accept both `--key value` and `--key=value`. Arguments
+//! after `--` are forwarded to the experiments verbatim
 //! (e.g. `report fig11 -- MobileNet`).
 
-use super::{find, registry, ExpContext, ExpError, Experiment, Table};
-use rayon::prelude::*;
+use super::{find, registry, ExpContext, ExpError, Experiment};
+use crate::plan::{self, RunPlan, UnitOutput, UnitSink, WorkUnit};
 use std::io::Write;
 use std::path::PathBuf;
 
@@ -47,36 +56,56 @@ pub struct ReportOptions {
 }
 
 impl ReportOptions {
-    /// Parses runner arguments (without the program name).
+    /// Parses runner arguments (without the program name). Valued flags
+    /// accept both `--out DIR` and `--out=DIR`.
     ///
     /// # Errors
     ///
-    /// Returns a usage message for unknown flags, missing flag values, or
-    /// contradictory modes (`--check --update`).
+    /// Returns a usage message for unknown flags, missing flag values,
+    /// values on boolean flags, or contradictory modes
+    /// (`--check --update`).
     pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Self, String> {
         let mut opts = ReportOptions::default();
         let mut it = argv.into_iter();
         while let Some(arg) = it.next() {
-            match arg.as_str() {
-                "--list" => opts.list = true,
-                "--all" => opts.all = true,
-                "--json" => opts.json = true,
-                "--check" => opts.check = true,
-                "--update" => opts.update = true,
+            // `--key=value` unfolds to the flag plus an inline value.
+            let (flag, inline) = match arg.split_once('=') {
+                Some((f, v)) if f.starts_with("--") => (f.to_string(), Some(v.to_string())),
+                _ => (arg, None),
+            };
+            let bool_flag = |dst: &mut bool| {
+                if inline.is_some() {
+                    return Err(format!("{flag} takes no value"));
+                }
+                *dst = true;
+                Ok(())
+            };
+            match flag.as_str() {
+                "--list" => bool_flag(&mut opts.list)?,
+                "--all" => bool_flag(&mut opts.all)?,
+                "--json" => bool_flag(&mut opts.json)?,
+                "--check" => bool_flag(&mut opts.check)?,
+                "--update" => bool_flag(&mut opts.update)?,
                 "--out" => {
-                    let dir = it.next().ok_or("--out requires a directory")?;
+                    let dir = match inline {
+                        Some(v) => v,
+                        None => it.next().ok_or("--out requires a directory")?,
+                    };
                     opts.out_dir = Some(PathBuf::from(dir));
                 }
                 "--results" => {
-                    let dir = it.next().ok_or("--results requires a directory")?;
+                    let dir = match inline {
+                        Some(v) => v,
+                        None => it.next().ok_or("--results requires a directory")?,
+                    };
                     opts.results_dir = Some(PathBuf::from(dir));
                 }
                 "--" => {
                     opts.args.extend(it);
                     break;
                 }
-                flag if flag.starts_with('-') => {
-                    return Err(format!("unknown flag {flag:?} (see report --list)"));
+                f if f.starts_with('-') => {
+                    return Err(format!("unknown flag {f:?} (see report --list)"));
                 }
                 name => opts.names.push(name.to_string()),
             }
@@ -138,6 +167,132 @@ fn first_drift(expected: &str, actual: &str) -> String {
     format!("line counts differ: golden {el}, current {al}")
 }
 
+/// Fixed master seed of the report plan — experiments derive their own
+/// randomness internally, but every work unit still carries a seed per
+/// the plan contract.
+const REPORT_PLAN_SEED: u64 = 0x5eca_1a7e_9e37_79b9;
+
+/// The experiment registry as a [`RunPlan`]: one work unit per selected
+/// experiment, keyed by registry name.
+struct ReportPlan {
+    exps: Vec<&'static dyn Experiment>,
+    ctx: ExpContext,
+}
+
+impl RunPlan for ReportPlan {
+    fn name(&self) -> &str {
+        "report"
+    }
+
+    fn units(&self) -> Result<Vec<WorkUnit>, ExpError> {
+        Ok(self
+            .exps
+            .iter()
+            .enumerate()
+            .map(|(i, e)| WorkUnit {
+                key: e.name().to_string(),
+                seed: plan::unit_seed(REPORT_PLAN_SEED, i as u64),
+                index: i,
+            })
+            .collect())
+    }
+
+    fn run_unit(&self, unit: &WorkUnit) -> Result<UnitOutput, ExpError> {
+        self.exps[unit.index]
+            .run(&self.ctx)
+            .map(UnitOutput::from_table)
+    }
+}
+
+/// `--check`: byte-diffs each experiment against its golden file.
+struct CheckSink<'w> {
+    out: &'w mut dyn Write,
+    results_dir: PathBuf,
+    clean: bool,
+}
+
+impl UnitSink for CheckSink<'_> {
+    fn write_unit(&mut self, unit: &WorkUnit, out: UnitOutput) -> Result<(), ExpError> {
+        let text = out.table.render_text();
+        let golden_path = self.results_dir.join(format!("{}.txt", unit.key));
+        match std::fs::read_to_string(&golden_path) {
+            Ok(golden) if golden == text => {
+                writeln!(self.out, "ok    {}", unit.key)?;
+            }
+            Ok(golden) => {
+                self.clean = false;
+                writeln!(self.out, "DRIFT {}", unit.key)?;
+                writeln!(self.out, "{}", first_drift(&golden, &text))?;
+            }
+            Err(e) => {
+                self.clean = false;
+                writeln!(self.out, "DRIFT {} (no golden: {e})", unit.key)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// `--update`: rewrites each experiment's golden file.
+struct UpdateSink<'w> {
+    out: &'w mut dyn Write,
+    results_dir: PathBuf,
+}
+
+impl UnitSink for UpdateSink<'_> {
+    fn write_unit(&mut self, unit: &WorkUnit, out: UnitOutput) -> Result<(), ExpError> {
+        let golden_path = self.results_dir.join(format!("{}.txt", unit.key));
+        std::fs::write(&golden_path, out.table.render_text())?;
+        writeln!(self.out, "updated {}", golden_path.display())?;
+        Ok(())
+    }
+}
+
+/// `--out DIR`: one text/JSON file per experiment.
+struct DirSink<'w> {
+    out: &'w mut dyn Write,
+    dir: PathBuf,
+    json: bool,
+}
+
+impl UnitSink for DirSink<'_> {
+    fn write_unit(&mut self, unit: &WorkUnit, out: UnitOutput) -> Result<(), ExpError> {
+        let ext = if self.json { "json" } else { "txt" };
+        let path = self.dir.join(format!("{}.{ext}", unit.key));
+        let body = if self.json {
+            out.table.render_json()
+        } else {
+            out.table.render_text()
+        };
+        std::fs::write(&path, body)?;
+        writeln!(self.out, "wrote {}", path.display())?;
+        Ok(())
+    }
+}
+
+/// Default mode: text (blank-line separated) or JSON documents on stdout.
+struct StreamSink<'w> {
+    out: &'w mut dyn Write,
+    json: bool,
+    written: usize,
+}
+
+impl UnitSink for StreamSink<'_> {
+    fn write_unit(&mut self, _unit: &WorkUnit, out: UnitOutput) -> Result<(), ExpError> {
+        if self.json {
+            self.out.write_all(out.table.render_json().as_bytes())?;
+            writeln!(self.out)?;
+        } else {
+            if self.written > 0 {
+                writeln!(self.out)?;
+            }
+            self.out.write_all(out.table.render_text().as_bytes())?;
+        }
+        self.written += 1;
+        Ok(())
+    }
+}
+
 /// Drives the registry per `opts`, writing report output to `out`.
 /// Returns `true` when everything (including any `--check`) passed.
 ///
@@ -166,6 +321,7 @@ pub fn run_report(opts: &ReportOptions, out: &mut dyn Write) -> Result<bool, Exp
     }
 
     let exps = select(opts)?;
+    let selected = exps.len();
     let ctx = ExpContext {
         args: opts.args.clone(),
         ..ExpContext::default()
@@ -177,70 +333,50 @@ pub fn run_report(opts: &ReportOptions, out: &mut dyn Write) -> Result<bool, Exp
     if opts.update {
         std::fs::create_dir_all(&results_dir)?;
     }
+    let plan = ReportPlan { exps, ctx };
 
-    // Experiments are independent, so a multi-experiment selection runs
-    // them across the thread pool; the expensive shared step (model
-    // compression) is single-flighted behind the artifact cache, so
-    // concurrent experiments block on one compression instead of
-    // repeating it. Collection is order-preserving and all rendering
-    // below stays sequential in request order, so stdout, per-file
-    // output, and golden checks are byte-identical to a serial run (the
-    // first failure in request order is the one reported).
-    let tables: Vec<Result<Table, ExpError>> = if exps.len() > 1 {
-        exps.par_iter().map(|exp| exp.run(&ctx)).collect()
-    } else {
-        exps.iter().map(|exp| exp.run(&ctx)).collect()
-    };
-
-    let mut clean = true;
-    for (i, (exp, table)) in exps.iter().zip(tables).enumerate() {
-        let table = table?;
-        let text = table.render_text();
-        if opts.check {
-            let golden_path = results_dir.join(format!("{}.txt", exp.name()));
-            match std::fs::read_to_string(&golden_path) {
-                Ok(golden) if golden == text => {
-                    writeln!(out, "ok    {}", exp.name())?;
-                }
-                Ok(golden) => {
-                    clean = false;
-                    writeln!(out, "DRIFT {}", exp.name())?;
-                    writeln!(out, "{}", first_drift(&golden, &text))?;
-                }
-                Err(e) => {
-                    clean = false;
-                    writeln!(out, "DRIFT {} (no golden: {e})", exp.name())?;
-                }
-            }
-        } else if opts.update {
-            let golden_path = results_dir.join(format!("{}.txt", exp.name()));
-            std::fs::write(&golden_path, &text)?;
-            writeln!(out, "updated {}", golden_path.display())?;
-        } else if let Some(dir) = &opts.out_dir {
-            let ext = if opts.json { "json" } else { "txt" };
-            let path = dir.join(format!("{}.{ext}", exp.name()));
-            let body = if opts.json { table.render_json() } else { text };
-            std::fs::write(&path, body)?;
-            writeln!(out, "wrote {}", path.display())?;
-        } else if opts.json {
-            out.write_all(table.render_json().as_bytes())?;
-            writeln!(out)?;
-        } else {
-            if i > 0 {
-                writeln!(out)?;
-            }
-            out.write_all(text.as_bytes())?;
-        }
-    }
-    if opts.check {
+    let clean = if opts.check {
+        let clean = {
+            let mut sink = CheckSink {
+                out: &mut *out,
+                results_dir: results_dir.clone(),
+                clean: true,
+            };
+            plan::execute(&plan, &mut sink)?;
+            sink.clean
+        };
         writeln!(
             out,
             "{}: {} experiment(s) checked against {}",
             if clean { "PASS" } else { "FAIL" },
-            exps.len(),
+            selected,
             results_dir.display()
         )?;
-    }
+        clean
+    } else if opts.update {
+        let mut sink = UpdateSink {
+            out: &mut *out,
+            results_dir,
+        };
+        plan::execute(&plan, &mut sink)?;
+        true
+    } else if let Some(dir) = &opts.out_dir {
+        let mut sink = DirSink {
+            out: &mut *out,
+            dir: dir.clone(),
+            json: opts.json,
+        };
+        plan::execute(&plan, &mut sink)?;
+        true
+    } else {
+        let mut sink = StreamSink {
+            out: &mut *out,
+            json: opts.json,
+            written: 0,
+        };
+        plan::execute(&plan, &mut sink)?;
+        true
+    };
     Ok(clean)
 }
 
@@ -302,6 +438,26 @@ mod tests {
     }
 
     #[test]
+    fn parse_accepts_key_equals_value_forms() {
+        let o =
+            ReportOptions::parse(["--out=/tmp/x", "--results=/tmp/r", "fig8"].map(String::from))
+                .expect("valid");
+        assert_eq!(o.out_dir.as_deref(), Some(std::path::Path::new("/tmp/x")));
+        assert_eq!(
+            o.results_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/r"))
+        );
+        assert_eq!(o.names, ["fig8"]);
+        // Boolean flags reject inline values instead of swallowing them.
+        let e = ReportOptions::parse(["--check=yes".to_string()]).unwrap_err();
+        assert!(e.contains("takes no value"), "{e}");
+        // A directory value containing '=' survives (only the first '='
+        // splits).
+        let o = ReportOptions::parse(["--out=/tmp/a=b", "fig8"].map(String::from)).expect("valid");
+        assert_eq!(o.out_dir.as_deref(), Some(std::path::Path::new("/tmp/a=b")));
+    }
+
+    #[test]
     fn select_skips_non_golden_under_all_but_rejects_them_by_name() {
         let all = ReportOptions {
             all: true,
@@ -318,6 +474,24 @@ mod tests {
             ..ReportOptions::default()
         };
         assert!(select(&by_name).is_err());
+    }
+
+    #[test]
+    fn report_plan_units_mirror_the_selection_order() {
+        let exps = select(&ReportOptions {
+            names: vec!["fig8".into(), "table4".into()],
+            ..ReportOptions::default()
+        })
+        .expect("select");
+        let plan = ReportPlan {
+            exps,
+            ctx: ExpContext::default(),
+        };
+        let units = plan.units().expect("units");
+        let keys: Vec<&str> = units.iter().map(|u| u.key.as_str()).collect();
+        assert_eq!(keys, ["fig8", "table4"]);
+        assert_ne!(units[0].seed, units[1].seed);
+        assert_eq!(units[1].index, 1);
     }
 
     #[test]

@@ -8,8 +8,16 @@
 //! holds the common plumbing: compressing a model, building the
 //! accelerator workloads, running all four simulators over multiple input
 //! seeds, and attaching energy breakdowns.
+//!
+//! Orchestration lives in two layers: [`plan`] is the shared run-plan
+//! machinery (work-unit enumeration, deterministic parallel execution,
+//! output sinks with JSONL resume), and [`experiments`]/[`sweep`] are its
+//! two consumers — the paper's experiment registry and the design-space
+//! sweep behind `escalate sweep`.
 
 pub mod experiments;
+pub mod plan;
+pub mod sweep;
 
 use escalate_baselines::{BaselineSim, BaselineWorkload, Eyeriss, LayerModel, Scnn, SparTen};
 use escalate_core::pipeline::CompressionConfig;

@@ -1,0 +1,192 @@
+//! The append-only JSONL stream sink with resume support.
+//!
+//! On open, the sink reads any existing records from the file and indexes
+//! them by their `"key"` field; [`crate::plan::execute`] then skips every
+//! unit whose key is already recorded, and newly executed units append
+//! their records in unit order. Because appends happen in unit order and
+//! earlier lines are never rewritten, an interrupted run followed by a
+//! resumed one produces a file byte-identical to an uninterrupted cold
+//! run — the property `scripts/tier1.sh`'s smoke sweep asserts.
+//!
+//! Resume granularity is per unit and all-or-nothing: a unit should emit
+//! one line (the sweep does), or accept that a crash between two of its
+//! lines records it partially and a resume skips the remainder. Lines
+//! without a parseable `"key"` (e.g. the torn tail line of a killed
+//! process) are kept in the file but never match a unit key, so the
+//! interrupted unit simply re-runs and re-appends.
+
+use super::{ExpError, UnitOutput, UnitSink, WorkUnit};
+use escalate_obs::jsonl::{json_string_field, read_lines, JsonlWriter};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+/// Append-only JSONL sink: recorded keys are skipped on re-run, new
+/// records are appended and flushed line-by-line.
+#[derive(Debug)]
+pub struct JsonlSink {
+    path: PathBuf,
+    writer: JsonlWriter,
+    /// Key → that key's record lines (prior runs *and* this one).
+    records: HashMap<String, Vec<String>>,
+    appended: usize,
+}
+
+impl JsonlSink {
+    /// Opens (or creates) the stream at `path` and indexes its existing
+    /// records by `"key"`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures.
+    pub fn open(path: &Path) -> std::io::Result<JsonlSink> {
+        let mut records: HashMap<String, Vec<String>> = HashMap::new();
+        for line in read_lines(path)? {
+            if let Some(key) = json_string_field(&line, "key") {
+                records.entry(key).or_default().push(line);
+            }
+        }
+        Ok(JsonlSink {
+            path: path.to_path_buf(),
+            writer: JsonlWriter::append_to(path)?,
+            records,
+            appended: 0,
+        })
+    }
+
+    /// The stream's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Records appended by *this* run (excludes resumed ones).
+    pub fn appended(&self) -> usize {
+        self.appended
+    }
+
+    /// The record lines held for `key` (resumed or appended), if any.
+    pub fn lines_for(&self, key: &str) -> Option<&[String]> {
+        self.records.get(key).map(Vec::as_slice)
+    }
+}
+
+impl UnitSink for JsonlSink {
+    fn recorded(&self, key: &str) -> bool {
+        self.records.contains_key(key)
+    }
+
+    fn write_unit(&mut self, unit: &WorkUnit, out: UnitOutput) -> Result<(), ExpError> {
+        for line in out.jsonl {
+            debug_assert_eq!(
+                json_string_field(&line, "key").as_deref(),
+                Some(unit.key.as_str()),
+                "JSONL records must carry their unit's key for resume"
+            );
+            self.writer.append(&line)?;
+            self.records.entry(unit.key.clone()).or_default().push(line);
+            self.appended += 1;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{execute, unit_seed, RunPlan};
+    use crate::tline;
+
+    /// A plan whose units each append one keyed JSONL record.
+    struct Stream {
+        n: usize,
+    }
+
+    impl RunPlan for Stream {
+        fn name(&self) -> &str {
+            "stream"
+        }
+
+        fn units(&self) -> Result<Vec<WorkUnit>, ExpError> {
+            Ok((0..self.n)
+                .map(|i| WorkUnit {
+                    key: format!("k{i}"),
+                    seed: unit_seed(9, i as u64),
+                    index: i,
+                })
+                .collect())
+        }
+
+        fn run_unit(&self, unit: &WorkUnit) -> Result<UnitOutput, ExpError> {
+            let mut w = escalate_obs::JsonWriter::new();
+            w.begin_object();
+            w.field_str("key", &unit.key);
+            w.field_u64("seed", unit.seed);
+            w.end_object();
+            let mut t = crate::experiments::Table::new("stream", "test");
+            tline!(t, "{}", unit.key);
+            Ok(UnitOutput {
+                table: t,
+                jsonl: vec![w.finish()],
+            })
+        }
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("escalate_plan_jsonl_tests");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        dir.join(name)
+    }
+
+    #[test]
+    fn interrupted_stream_resumes_to_the_cold_run_bytes() {
+        let cold = tmp("cold.jsonl");
+        let resumed = tmp("resumed.jsonl");
+        std::fs::remove_file(&cold).ok();
+        std::fs::remove_file(&resumed).ok();
+
+        let plan = Stream { n: 4 };
+        let mut sink = JsonlSink::open(&cold).expect("open");
+        let s = execute(&plan, &mut sink).expect("cold run");
+        assert_eq!((s.ran, s.skipped), (4, 0));
+        drop(sink);
+        let cold_bytes = std::fs::read(&cold).expect("cold bytes");
+
+        // "Interrupt": keep only the first two records, then resume.
+        let prefix: String = String::from_utf8(cold_bytes.clone())
+            .expect("utf8")
+            .lines()
+            .take(2)
+            .map(|l| format!("{l}\n"))
+            .collect();
+        std::fs::write(&resumed, prefix).expect("truncate");
+        let mut sink = JsonlSink::open(&resumed).expect("reopen");
+        assert!(sink.recorded("k0") && sink.recorded("k1"));
+        assert!(!sink.recorded("k2"));
+        let s = execute(&plan, &mut sink).expect("resumed run");
+        assert_eq!((s.ran, s.skipped), (2, 2), "exactly the recorded keys");
+        assert_eq!(sink.appended(), 2);
+        drop(sink);
+        assert_eq!(
+            std::fs::read(&resumed).expect("resumed bytes"),
+            cold_bytes,
+            "resume must reproduce the cold run byte-for-byte"
+        );
+
+        // A second resume is a no-op.
+        let mut sink = JsonlSink::open(&resumed).expect("reopen");
+        let s = execute(&plan, &mut sink).expect("no-op run");
+        assert_eq!((s.ran, s.skipped), (0, 4));
+        std::fs::remove_file(&cold).ok();
+        std::fs::remove_file(&resumed).ok();
+    }
+
+    #[test]
+    fn torn_tail_lines_do_not_count_as_recorded() {
+        let path = tmp("torn.jsonl");
+        // A record plus a torn (unterminated) tail from a killed writer.
+        std::fs::write(&path, "{\"key\": \"k0\", \"seed\": 1}\n{\"key\": \"k1").expect("write");
+        let sink = JsonlSink::open(&path).expect("open");
+        assert!(sink.recorded("k0"));
+        assert!(!sink.recorded("k1"), "a torn line must re-run, not resume");
+        std::fs::remove_file(&path).ok();
+    }
+}

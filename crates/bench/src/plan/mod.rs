@@ -1,0 +1,310 @@
+//! The shared run-plan layer: one machinery for "enumerate work units,
+//! run them deterministically in parallel, render to a sink".
+//!
+//! The experiment registry (paper figures), the design-space sweep, and
+//! any future consumer (a served job queue, a pipelined-schedule study)
+//! are the same shape: a [`RunPlan`] enumerates [`WorkUnit`]s — each
+//! carrying a stable key and its own deterministic seed — [`execute`]
+//! fans the pending units out over the global thread pool with an
+//! order-preserving collect (so output is byte-identical to a serial
+//! run at any thread count, the same contract as `core::par`), and a
+//! [`UnitSink`] consumes the outputs *sequentially in unit order*. Sinks
+//! decide what persistence means: an in-memory [`TableSink`] behind the
+//! `report` renderers (text and `escalate-report/v1` JSON), the golden
+//! check/update sinks of the report runner, or the append-only
+//! [`jsonl::JsonlSink`] whose [`UnitSink::recorded`] set makes a run
+//! resumable — already-recorded unit keys are skipped, not re-run.
+//!
+//! Failure semantics mirror the historical report runner: every pending
+//! unit runs to completion, then outputs are fed to the sink in unit
+//! order and the first failing unit *in that order* aborts the feed —
+//! earlier units' sink effects persist, later ones are discarded.
+
+pub mod jsonl;
+
+pub use jsonl::JsonlSink;
+
+use crate::experiments::{ExpError, Table};
+use rayon::prelude::*;
+
+/// One schedulable unit of work inside a [`RunPlan`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkUnit {
+    /// Stable identity of the unit: the resume key a sink records, and
+    /// the name failures are reported under. Two runs of the same plan
+    /// with the same inputs must enumerate the same keys.
+    pub key: String,
+    /// The unit's own deterministic seed (derive via [`unit_seed`]); what
+    /// makes a unit reproducible independently of which other units run.
+    pub seed: u64,
+    /// Position in the plan's enumeration order (the order sinks see).
+    pub index: usize,
+}
+
+/// What one executed unit hands to the sink.
+#[derive(Debug, Clone, Default)]
+pub struct UnitOutput {
+    /// Structured table fragment (text lines + typed records) — the
+    /// report renderers consume this.
+    pub table: Table,
+    /// Stream records (one complete JSON object per line) for JSONL
+    /// sinks. Each line should carry a `"key"` field equal to the unit's
+    /// key so a later run can resume past it.
+    pub jsonl: Vec<String>,
+}
+
+impl UnitOutput {
+    /// An output that is just a table (the experiment-registry case).
+    pub fn from_table(table: Table) -> UnitOutput {
+        UnitOutput {
+            table,
+            jsonl: Vec::new(),
+        }
+    }
+}
+
+/// A plan: work-unit enumeration separated from per-unit execution.
+///
+/// Implementations must be pure in the harness sense: `run_unit` derives
+/// everything from the unit (key/seed/index) and the plan's own
+/// configuration, never from execution order — that is what lets
+/// [`execute`] fan units out in parallel and lets a resumed run skip
+/// recorded units without changing the survivors.
+pub trait RunPlan: Sync {
+    /// Plan name, for error messages and logs.
+    fn name(&self) -> &str;
+
+    /// Enumerates the plan's units, in sink order.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ExpError`] when the plan's inputs are invalid.
+    fn units(&self) -> Result<Vec<WorkUnit>, ExpError>;
+
+    /// Runs one unit.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ExpError`] on pipeline failures.
+    fn run_unit(&self, unit: &WorkUnit) -> Result<UnitOutput, ExpError>;
+}
+
+/// Consumes executed units, sequentially in unit order.
+pub trait UnitSink {
+    /// Whether `key` is already recorded — recorded units are skipped by
+    /// [`execute`] (the resume path). Default: nothing is recorded.
+    fn recorded(&self, _key: &str) -> bool {
+        false
+    }
+
+    /// Writes one unit's output.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ExpError`] when the sink cannot persist the output.
+    fn write_unit(&mut self, unit: &WorkUnit, out: UnitOutput) -> Result<(), ExpError>;
+}
+
+/// What [`execute`] did: how many units ran vs. resumed past.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecSummary {
+    /// Units that executed this run.
+    pub ran: usize,
+    /// Units skipped because the sink had already recorded their keys.
+    pub skipped: usize,
+}
+
+/// Derives a work unit's seed from a plan-level master seed and the
+/// unit's enumeration index (splitmix64 finalizer): sample `i` draws the
+/// same seed whether the plan enumerates 2 units or 2000, and regardless
+/// of which units a resumed run skips.
+pub fn unit_seed(master: u64, index: u64) -> u64 {
+    let mut z = master ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Drives a plan into a sink: enumerate, drop units the sink already
+/// recorded, run the rest (in parallel when there is more than one — the
+/// collect is order-preserving, so the sink feed and therefore every
+/// rendered byte is identical to a serial run), then feed outputs to the
+/// sink in unit order.
+///
+/// # Errors
+///
+/// Returns the first failing unit's error *in unit order* (outputs of
+/// earlier units have already reached the sink), or the sink's own write
+/// failure.
+pub fn execute(plan: &dyn RunPlan, sink: &mut dyn UnitSink) -> Result<ExecSummary, ExpError> {
+    let units = plan.units()?;
+    let mut pending: Vec<&WorkUnit> = Vec::with_capacity(units.len());
+    let mut skipped = 0usize;
+    for unit in &units {
+        if sink.recorded(&unit.key) {
+            skipped += 1;
+        } else {
+            pending.push(unit);
+        }
+    }
+    let outputs: Vec<Result<UnitOutput, ExpError>> = if pending.len() > 1 {
+        pending.par_iter().map(|u| plan.run_unit(u)).collect()
+    } else {
+        pending.iter().map(|u| plan.run_unit(u)).collect()
+    };
+    let ran = pending.len();
+    for (unit, output) in pending.into_iter().zip(outputs) {
+        sink.write_unit(unit, output?)?;
+    }
+    Ok(ExecSummary { ran, skipped })
+}
+
+/// A sink that accumulates every unit's table in unit order — the
+/// in-memory backend of the report renderers.
+#[derive(Debug, Default)]
+pub struct TableSink {
+    /// Collected tables, in unit order.
+    pub tables: Vec<Table>,
+}
+
+impl UnitSink for TableSink {
+    fn write_unit(&mut self, _unit: &WorkUnit, out: UnitOutput) -> Result<(), ExpError> {
+        self.tables.push(out.table);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tline;
+
+    /// A cheap deterministic plan: unit i renders one line derived from
+    /// its own seed.
+    struct Toy {
+        n: usize,
+        master: u64,
+    }
+
+    impl RunPlan for Toy {
+        fn name(&self) -> &str {
+            "toy"
+        }
+
+        fn units(&self) -> Result<Vec<WorkUnit>, ExpError> {
+            Ok((0..self.n)
+                .map(|i| WorkUnit {
+                    key: format!("u{i}"),
+                    seed: unit_seed(self.master, i as u64),
+                    index: i,
+                })
+                .collect())
+        }
+
+        fn run_unit(&self, unit: &WorkUnit) -> Result<UnitOutput, ExpError> {
+            if unit.key == "u-poison" {
+                return Err(ExpError::Msg("poisoned unit".into()));
+            }
+            let mut t = Table::new("toy", "test");
+            tline!(t, "{} -> {:016x}", unit.key, unit.seed);
+            Ok(UnitOutput::from_table(t))
+        }
+    }
+
+    #[test]
+    fn unit_seeds_are_stable_and_distinct() {
+        let a: Vec<u64> = (0..64).map(|i| unit_seed(42, i)).collect();
+        let b: Vec<u64> = (0..64).map(|i| unit_seed(42, i)).collect();
+        assert_eq!(a, b, "same master + index must reproduce");
+        let mut dedup = a.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), a.len(), "64 units drew a colliding seed");
+        assert_ne!(unit_seed(1, 0), unit_seed(2, 0), "master seed matters");
+    }
+
+    #[test]
+    fn execute_preserves_unit_order_in_the_sink() {
+        let plan = Toy { n: 8, master: 7 };
+        let mut sink = TableSink::default();
+        let summary = execute(&plan, &mut sink).expect("runs");
+        assert_eq!(summary, ExecSummary { ran: 8, skipped: 0 });
+        let rendered: Vec<String> = sink.tables.iter().map(|t| t.lines()[0].clone()).collect();
+        for (i, line) in rendered.iter().enumerate() {
+            assert!(line.starts_with(&format!("u{i} ->")), "{line}");
+        }
+    }
+
+    /// A sink that pretends some keys are already recorded.
+    struct Skipping {
+        have: Vec<String>,
+        inner: TableSink,
+    }
+
+    impl UnitSink for Skipping {
+        fn recorded(&self, key: &str) -> bool {
+            self.have.iter().any(|k| k == key)
+        }
+
+        fn write_unit(&mut self, unit: &WorkUnit, out: UnitOutput) -> Result<(), ExpError> {
+            self.inner.write_unit(unit, out)
+        }
+    }
+
+    #[test]
+    fn execute_skips_exactly_the_recorded_keys() {
+        let plan = Toy { n: 5, master: 3 };
+        let mut sink = Skipping {
+            have: vec!["u1".into(), "u3".into()],
+            inner: TableSink::default(),
+        };
+        let summary = execute(&plan, &mut sink).expect("runs");
+        assert_eq!(summary, ExecSummary { ran: 3, skipped: 2 });
+        let keys: Vec<&str> = sink
+            .inner
+            .tables
+            .iter()
+            .map(|t| t.lines()[0].split_whitespace().next().expect("key"))
+            .collect();
+        assert_eq!(keys, ["u0", "u2", "u4"], "survivors keep their order");
+    }
+
+    struct Poisoned;
+
+    impl RunPlan for Poisoned {
+        fn name(&self) -> &str {
+            "poisoned"
+        }
+
+        fn units(&self) -> Result<Vec<WorkUnit>, ExpError> {
+            Ok(["u0", "u-poison", "u2"]
+                .iter()
+                .enumerate()
+                .map(|(i, k)| WorkUnit {
+                    key: (*k).into(),
+                    seed: unit_seed(0, i as u64),
+                    index: i,
+                })
+                .collect())
+        }
+
+        fn run_unit(&self, unit: &WorkUnit) -> Result<UnitOutput, ExpError> {
+            if unit.key == "u-poison" {
+                return Err(ExpError::Msg("poisoned unit".into()));
+            }
+            let mut t = Table::new("p", "t");
+            tline!(t, "{}", unit.key);
+            Ok(UnitOutput::from_table(t))
+        }
+    }
+
+    #[test]
+    fn first_failure_in_unit_order_aborts_after_earlier_writes() {
+        let mut sink = TableSink::default();
+        let err = execute(&Poisoned, &mut sink).expect_err("must fail");
+        assert!(err.to_string().contains("poisoned unit"));
+        // u0 (before the failure) reached the sink; u2 (after) did not.
+        assert_eq!(sink.tables.len(), 1);
+        assert_eq!(sink.tables[0].lines()[0], "u0");
+    }
+}

@@ -1,0 +1,576 @@
+//! The design-space sweep behind `escalate sweep`: the second consumer of
+//! the [`crate::plan`] layer (the first is the experiment registry).
+//!
+//! The sweep samples accelerator design points — `M`, PE count, input bus
+//! width, the four buffer capacities, and the host `sample_channels`
+//! fidelity knob — from declared ranges, runs each point through the
+//! ESCALATE simulator on each requested zoo network, and streams one
+//! JSONL record per `(network, sample)` to an append-only file. Sampling
+//! is deterministic: sample `i` derives its own seed via
+//! [`plan::unit_seed`] from the master seed, so the same command line
+//! enumerates the same design points at any thread count, and a resumed
+//! run (the [`plan::JsonlSink`] skips already-recorded keys) appends
+//! exactly the missing records — byte-identical to an uninterrupted run.
+//!
+//! The summary is always computed from the *parsed stream* (resumed and
+//! fresh records alike), so a cold run and a resumed one render the same
+//! Pareto frontier: per network, the sampled points not strictly
+//! dominated on (cycles, energy, area).
+
+use crate::experiments::ExpError;
+use crate::plan::{self, JsonlSink, RunPlan, UnitOutput, WorkUnit};
+use escalate_core::pipeline::CompressionConfig;
+use escalate_models::ModelProfile;
+use escalate_obs::{json_f64_field, json_string_field, json_u64_field, JsonWriter};
+use escalate_sim::DesignPoint;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Schema identifier of one sweep stream record (sibling of
+/// `escalate-report/v1`).
+pub const SWEEP_SCHEMA: &str = "escalate-sweep/v1";
+
+/// Candidate input bus widths (bytes).
+const BUS_CHOICES: [usize; 4] = [8, 16, 32, 64];
+/// Candidate per-buffer input-buffer capacities (bytes).
+const INPUT_BUF_CHOICES: [usize; 3] = [4096, 8192, 16384];
+/// Candidate coefficient-buffer capacities (bytes).
+const COEF_BUF_CHOICES: [usize; 3] = [256, 512, 1024];
+/// Candidate partial-sum-buffer capacities (bytes).
+const PSUM_BUF_CHOICES: [usize; 3] = [1024, 2048, 4096];
+/// Candidate output-buffer capacities (bytes).
+const OUTPUT_BUF_CHOICES: [usize; 3] = [2048, 4096, 8192];
+/// Candidate `sample_channels` fidelity settings.
+const SAMPLE_CH_CHOICES: [usize; 3] = [4, 8, 16];
+
+/// What `escalate sweep` was asked to do.
+#[derive(Debug, Clone)]
+pub struct SweepOptions {
+    /// Zoo networks to evaluate every sampled point on (sweep positional
+    /// arguments; default: the full evaluated zoo).
+    pub networks: Vec<String>,
+    /// Design points sampled per network (`--samples`).
+    pub samples: usize,
+    /// Master seed the per-sample seeds derive from (`--seed`).
+    pub master_seed: u64,
+    /// Input seeds averaged per simulation (`--seeds`).
+    pub input_seeds: u64,
+    /// Host threads (`--threads`; `0` = auto).
+    pub threads: usize,
+    /// JSONL stream path (`--out`); appended to on resume.
+    pub out: PathBuf,
+    /// Inclusive range of `M` (`--m A..B`).
+    pub m_range: (usize, usize),
+    /// Inclusive range of PE counts (`--pe A..B`); only powers of two in
+    /// the range are sampled.
+    pub pe_range: (usize, usize),
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions {
+            networks: ModelProfile::all().iter().map(|p| p.name.into()).collect(),
+            samples: 8,
+            master_seed: 42,
+            input_seeds: 2,
+            threads: 0,
+            out: PathBuf::from("sweep.jsonl"),
+            m_range: (4, 8),
+            pe_range: (8, 64),
+        }
+    }
+}
+
+/// Parses an inclusive `A..B` range (e.g. `--m 4..8`).
+///
+/// # Errors
+///
+/// Returns a usage message when the syntax or ordering is invalid.
+pub fn parse_range(s: &str) -> Result<(usize, usize), String> {
+    let (lo, hi) = s
+        .split_once("..")
+        .ok_or_else(|| format!("expected an inclusive range like 4..8, got {s:?}"))?;
+    let lo: usize = lo
+        .trim()
+        .parse()
+        .map_err(|_| format!("bad range start {lo:?}"))?;
+    let hi: usize = hi
+        .trim()
+        .parse()
+        .map_err(|_| format!("bad range end {hi:?}"))?;
+    if lo == 0 || lo > hi {
+        return Err(format!("range must satisfy 1 <= A <= B, got {lo}..{hi}"));
+    }
+    Ok((lo, hi))
+}
+
+/// A tiny splitmix64 stream for drawing one design point from one seed.
+struct SplitMix(u64);
+
+impl SplitMix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn pick(&mut self, options: &[usize]) -> usize {
+        options[(self.next() % options.len() as u64) as usize]
+    }
+
+    fn in_range(&mut self, (lo, hi): (usize, usize)) -> usize {
+        lo + (self.next() % (hi - lo + 1) as u64) as usize
+    }
+}
+
+/// Powers of two inside the inclusive PE range.
+fn pe_choices((lo, hi): (usize, usize)) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut p = 1usize;
+    while p <= hi {
+        if p >= lo {
+            out.push(p);
+        }
+        p *= 2;
+    }
+    out
+}
+
+/// Draws sample `i`'s design point from its derived seed. The draw
+/// depends only on the seed and the declared ranges — never on which
+/// other samples run — so resumed runs reproduce the same grid.
+fn sample_point(seed: u64, opts: &SweepOptions, pes: &[usize]) -> DesignPoint {
+    let mut rng = SplitMix(seed);
+    DesignPoint {
+        m: rng.in_range(opts.m_range),
+        n_pe: rng.pick(pes),
+        input_bus_bytes: rng.pick(&BUS_CHOICES),
+        input_buf_bytes: rng.pick(&INPUT_BUF_CHOICES),
+        coef_buf_bytes: rng.pick(&COEF_BUF_CHOICES),
+        psum_buf_bytes: rng.pick(&PSUM_BUF_CHOICES),
+        output_buf_bytes: rng.pick(&OUTPUT_BUF_CHOICES),
+        sample_channels: rng.pick(&SAMPLE_CH_CHOICES),
+    }
+}
+
+/// One evaluated `(network, design point)` — the record a stream line
+/// round-trips.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepRecord {
+    /// Resume key (`{network}/s{sample:03}-{seed:016x}-n{input_seeds}`).
+    pub key: String,
+    /// Zoo network name.
+    pub network: String,
+    /// Sample index within the sweep.
+    pub sample: u64,
+    /// The sample's derived seed.
+    pub seed: u64,
+    /// The sampled design point.
+    pub point: DesignPoint,
+    /// Input seeds averaged.
+    pub input_seeds: u64,
+    /// Mean total cycles.
+    pub cycles: f64,
+    /// Mean DRAM traffic in MB.
+    pub dram_mb: f64,
+    /// Mean total energy in mJ.
+    pub energy_mj: f64,
+    /// Modeled chip area in mm².
+    pub area_mm2: f64,
+}
+
+impl SweepRecord {
+    /// Renders the record as one `escalate-sweep/v1` JSON line.
+    pub fn to_json_line(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_str("schema", SWEEP_SCHEMA);
+        w.field_str("key", &self.key);
+        w.field_str("network", &self.network);
+        w.field_u64("sample", self.sample);
+        w.field_u64("seed", self.seed);
+        w.field_u64("m", self.point.m as u64);
+        w.field_u64("n_pe", self.point.n_pe as u64);
+        w.field_u64("input_bus_bytes", self.point.input_bus_bytes as u64);
+        w.field_u64("input_buf_bytes", self.point.input_buf_bytes as u64);
+        w.field_u64("coef_buf_bytes", self.point.coef_buf_bytes as u64);
+        w.field_u64("psum_buf_bytes", self.point.psum_buf_bytes as u64);
+        w.field_u64("output_buf_bytes", self.point.output_buf_bytes as u64);
+        w.field_u64("sample_channels", self.point.sample_channels as u64);
+        w.field_u64("input_seeds", self.input_seeds);
+        w.field_f64("cycles", self.cycles);
+        w.field_f64("dram_mb", self.dram_mb);
+        w.field_f64("energy_mj", self.energy_mj);
+        w.field_f64("area_mm2", self.area_mm2);
+        w.end_object();
+        w.finish()
+    }
+
+    /// Parses one stream line back into a record (`None` on any missing
+    /// or mistyped field — e.g. a torn tail line).
+    pub fn from_json_line(line: &str) -> Option<SweepRecord> {
+        if json_string_field(line, "schema")? != SWEEP_SCHEMA {
+            return None;
+        }
+        let u = |k: &str| json_u64_field(line, k);
+        Some(SweepRecord {
+            key: json_string_field(line, "key")?,
+            network: json_string_field(line, "network")?,
+            sample: u("sample")?,
+            seed: u("seed")?,
+            point: DesignPoint {
+                m: u("m")? as usize,
+                n_pe: u("n_pe")? as usize,
+                input_bus_bytes: u("input_bus_bytes")? as usize,
+                input_buf_bytes: u("input_buf_bytes")? as usize,
+                coef_buf_bytes: u("coef_buf_bytes")? as usize,
+                psum_buf_bytes: u("psum_buf_bytes")? as usize,
+                output_buf_bytes: u("output_buf_bytes")? as usize,
+                sample_channels: u("sample_channels")? as usize,
+            },
+            input_seeds: u("input_seeds")?,
+            cycles: json_f64_field(line, "cycles")?,
+            dram_mb: json_f64_field(line, "dram_mb")?,
+            energy_mj: json_f64_field(line, "energy_mj")?,
+            area_mm2: json_f64_field(line, "area_mm2")?,
+        })
+    }
+}
+
+/// The sweep grid as a [`RunPlan`]: networks outer, samples inner, so the
+/// stream groups each network's records together. Sample `i` draws the
+/// same design point on every network (same derived seed), which is what
+/// makes per-network frontiers comparable.
+pub struct SweepPlan {
+    opts: SweepOptions,
+}
+
+impl SweepPlan {
+    /// Wraps validated options (validation itself happens in `units`).
+    pub fn new(opts: SweepOptions) -> SweepPlan {
+        SweepPlan { opts }
+    }
+
+    fn key(&self, network: &str, sample: usize, seed: u64) -> String {
+        // The key pins everything that changes the record's bytes:
+        // network, sample index, the derived seed (covers master seed and
+        // ranges only through the draw — the seed alone already
+        // distinguishes master seeds), and the input-seed count.
+        format!(
+            "{network}/s{sample:03}-{seed:016x}-n{}",
+            self.opts.input_seeds
+        )
+    }
+}
+
+impl RunPlan for SweepPlan {
+    fn name(&self) -> &str {
+        "sweep"
+    }
+
+    fn units(&self) -> Result<Vec<WorkUnit>, ExpError> {
+        if self.opts.samples == 0 {
+            return Err(ExpError::Msg("--samples must be positive".into()));
+        }
+        if pe_choices(self.opts.pe_range).is_empty() {
+            return Err(ExpError::Msg(format!(
+                "no power-of-two PE count in {}..{}",
+                self.opts.pe_range.0, self.opts.pe_range.1
+            )));
+        }
+        let mut units = Vec::with_capacity(self.opts.networks.len() * self.opts.samples);
+        for (ni, network) in self.opts.networks.iter().enumerate() {
+            if ModelProfile::for_model(network).is_none() {
+                return Err(ExpError::Msg(format!(
+                    "unknown network {network:?} (see escalate models)"
+                )));
+            }
+            for s in 0..self.opts.samples {
+                let seed = plan::unit_seed(self.opts.master_seed, s as u64);
+                units.push(WorkUnit {
+                    key: self.key(network, s, seed),
+                    seed,
+                    index: ni * self.opts.samples + s,
+                });
+            }
+        }
+        Ok(units)
+    }
+
+    fn run_unit(&self, unit: &WorkUnit) -> Result<UnitOutput, ExpError> {
+        let sample = unit.index % self.opts.samples;
+        let network = &self.opts.networks[unit.index / self.opts.samples];
+        let profile = ModelProfile::for_model(network)
+            .ok_or_else(|| ExpError::Msg(format!("unknown network {network:?}")))?;
+        let pes = pe_choices(self.opts.pe_range);
+        let point = sample_point(unit.seed, &self.opts, &pes);
+        let mut cfg = point.to_config();
+        cfg.threads = self.opts.threads;
+        let artifacts = crate::compress_cached(
+            &profile,
+            &CompressionConfig {
+                m: cfg.m,
+                ..CompressionConfig::default()
+            },
+        )?;
+        let run = crate::run_escalate(&profile, &artifacts, &cfg, self.opts.input_seeds);
+        let record = SweepRecord {
+            key: unit.key.clone(),
+            network: network.clone(),
+            sample: sample as u64,
+            seed: unit.seed,
+            point,
+            input_seeds: self.opts.input_seeds,
+            cycles: run.cycles,
+            dram_mb: run.dram_bytes / 1e6,
+            energy_mj: run.energy_pj / 1e9,
+            area_mm2: escalate_energy::chip_area_mm2(&cfg),
+        };
+        let mut table = crate::experiments::Table::new("sweep", "design-space sweep");
+        crate::tline!(
+            table,
+            "{}: cycles {:.0}, energy {:.3} mJ, area {:.2} mm2",
+            unit.key,
+            record.cycles,
+            record.energy_mj,
+            record.area_mm2
+        );
+        Ok(UnitOutput {
+            table,
+            jsonl: vec![record.to_json_line()],
+        })
+    }
+}
+
+/// Indices of the Pareto-optimal points when minimizing every coordinate
+/// of `(cycles, energy, area)`: a point survives unless some other point
+/// is no worse on all three and strictly better on at least one.
+pub fn pareto_indices(points: &[(f64, f64, f64)]) -> Vec<usize> {
+    let dominates = |a: &(f64, f64, f64), b: &(f64, f64, f64)| {
+        a.0 <= b.0 && a.1 <= b.1 && a.2 <= b.2 && (a.0 < b.0 || a.1 < b.1 || a.2 < b.2)
+    };
+    (0..points.len())
+        .filter(|&i| !points.iter().any(|p| dominates(p, &points[i])))
+        .collect()
+}
+
+/// Renders one network's Pareto frontier table (rows sorted by cycles).
+fn render_frontier(
+    out: &mut dyn Write,
+    network: &str,
+    records: &[SweepRecord],
+) -> std::io::Result<()> {
+    let metrics: Vec<(f64, f64, f64)> = records
+        .iter()
+        .map(|r| (r.cycles, r.energy_mj, r.area_mm2))
+        .collect();
+    let mut frontier = pareto_indices(&metrics);
+    frontier.sort_by(|&a, &b| {
+        records[a]
+            .cycles
+            .total_cmp(&records[b].cycles)
+            .then(records[a].sample.cmp(&records[b].sample))
+    });
+    writeln!(
+        out,
+        "Pareto frontier - {network} ({} of {} sampled point(s), minimizing cycles/energy/area)",
+        frontier.len(),
+        records.len()
+    )?;
+    writeln!(
+        out,
+        "{:>6} {:>3} {:>5} {:>4} {:>7} {:>5} {:>5} {:>7} {:>3} {:>12} {:>10} {:>9}",
+        "sample",
+        "m",
+        "n_pe",
+        "bus",
+        "in_buf",
+        "coef",
+        "psum",
+        "out_buf",
+        "ch",
+        "cycles",
+        "energy_mj",
+        "area_mm2"
+    )?;
+    for &i in &frontier {
+        let r = &records[i];
+        writeln!(
+            out,
+            "{:>6} {:>3} {:>5} {:>4} {:>7} {:>5} {:>5} {:>7} {:>3} {:>12.0} {:>10.3} {:>9.2}",
+            r.sample,
+            r.point.m,
+            r.point.n_pe,
+            r.point.input_bus_bytes,
+            r.point.input_buf_bytes,
+            r.point.coef_buf_bytes,
+            r.point.psum_buf_bytes,
+            r.point.output_buf_bytes,
+            r.point.sample_channels,
+            r.cycles,
+            r.energy_mj,
+            r.area_mm2
+        )?;
+    }
+    Ok(())
+}
+
+/// Runs (or resumes) a sweep: executes the grid through the shared plan
+/// layer with the JSONL sink, then renders each network's Pareto
+/// frontier from the full parsed stream — so a resumed run prints
+/// exactly what the uninterrupted run would have.
+///
+/// # Errors
+///
+/// Returns an [`ExpError`] on invalid options, simulation failures, or
+/// stream I/O failures.
+pub fn run_sweep(opts: &SweepOptions, out: &mut dyn Write) -> Result<(), ExpError> {
+    escalate_core::par::configure_threads(opts.threads);
+    let plan = SweepPlan::new(opts.clone());
+    let units = plan.units()?; // validate before touching the stream
+    let mut sink = JsonlSink::open(&opts.out)?;
+    let summary = plan::execute(&plan, &mut sink)?;
+    writeln!(
+        out,
+        "sweep: {} sample(s) ran, {} resumed -> {}",
+        summary.ran,
+        summary.skipped,
+        sink.path().display()
+    )?;
+    for network in &opts.networks {
+        let mut records = Vec::with_capacity(opts.samples);
+        for unit in units
+            .iter()
+            .filter(|u| u.key.starts_with(&format!("{network}/")))
+        {
+            let lines = sink.lines_for(&unit.key).ok_or_else(|| {
+                ExpError::Msg(format!("stream is missing a record for {}", unit.key))
+            })?;
+            for line in lines {
+                records.push(SweepRecord::from_json_line(line).ok_or_else(|| {
+                    ExpError::Msg(format!("unparseable stream record for {}", unit.key))
+                })?);
+            }
+        }
+        writeln!(out)?;
+        render_frontier(out, network, &records)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_range_accepts_inclusive_ranges_only() {
+        assert_eq!(parse_range("4..8"), Ok((4, 8)));
+        assert_eq!(parse_range("6..6"), Ok((6, 6)));
+        assert!(parse_range("8..4").is_err(), "reversed");
+        assert!(parse_range("0..4").is_err(), "zero start");
+        assert!(parse_range("4-8").is_err(), "wrong separator");
+        assert!(parse_range("a..b").is_err(), "not numbers");
+    }
+
+    #[test]
+    fn pe_choices_are_the_powers_of_two_in_range() {
+        assert_eq!(pe_choices((8, 64)), [8, 16, 32, 64]);
+        assert_eq!(pe_choices((9, 31)), [16]);
+        assert!(pe_choices((33, 63)).is_empty());
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_in_range() {
+        let opts = SweepOptions::default();
+        let pes = pe_choices(opts.pe_range);
+        for s in 0..64u64 {
+            let seed = plan::unit_seed(opts.master_seed, s);
+            let a = sample_point(seed, &opts, &pes);
+            let b = sample_point(seed, &opts, &pes);
+            assert_eq!(a, b, "same seed must redraw the same point");
+            assert!(a.m >= opts.m_range.0 && a.m <= opts.m_range.1);
+            assert!(pes.contains(&a.n_pe));
+            assert!(BUS_CHOICES.contains(&a.input_bus_bytes));
+            assert!(INPUT_BUF_CHOICES.contains(&a.input_buf_bytes));
+        }
+        // Distinct seeds explore the space (not a constant draw).
+        let pts: Vec<DesignPoint> = (0..16)
+            .map(|s| sample_point(plan::unit_seed(42, s), &opts, &pes))
+            .collect();
+        assert!(pts.iter().any(|p| p != &pts[0]), "sampler never varied");
+    }
+
+    #[test]
+    fn sweep_units_group_by_network_and_share_sample_seeds() {
+        let opts = SweepOptions {
+            networks: vec!["MobileNet".into(), "VGG16".into()],
+            samples: 3,
+            ..SweepOptions::default()
+        };
+        let units = SweepPlan::new(opts).units().expect("units");
+        assert_eq!(units.len(), 6);
+        assert!(units[0].key.starts_with("MobileNet/s000"));
+        assert!(units[3].key.starts_with("VGG16/s000"));
+        // Sample i draws the same seed on every network.
+        assert_eq!(units[0].seed, units[3].seed);
+        assert_ne!(units[0].seed, units[1].seed);
+        assert_eq!(units[4].index, 4);
+    }
+
+    #[test]
+    fn sweep_units_reject_bad_inputs() {
+        let unknown = SweepOptions {
+            networks: vec!["NotANet".into()],
+            ..SweepOptions::default()
+        };
+        assert!(SweepPlan::new(unknown).units().is_err());
+        let no_pe = SweepOptions {
+            pe_range: (33, 63),
+            ..SweepOptions::default()
+        };
+        assert!(SweepPlan::new(no_pe).units().is_err());
+        let no_samples = SweepOptions {
+            samples: 0,
+            ..SweepOptions::default()
+        };
+        assert!(SweepPlan::new(no_samples).units().is_err());
+    }
+
+    #[test]
+    fn sweep_records_round_trip_through_jsonl() {
+        let rec = SweepRecord {
+            key: "MobileNet/s001-00000000deadbeef-n2".into(),
+            network: "MobileNet".into(),
+            sample: 1,
+            seed: 0xdead_beef,
+            point: DesignPoint::table2(),
+            input_seeds: 2,
+            cycles: 123456.0,
+            dram_mb: 12.5,
+            energy_mj: 3.25,
+            area_mm2: 7.5,
+        };
+        let line = rec.to_json_line();
+        assert!(line.contains("\"schema\": \"escalate-sweep/v1\""));
+        assert_eq!(SweepRecord::from_json_line(&line), Some(rec));
+        assert_eq!(SweepRecord::from_json_line("{\"key\": \"torn"), None);
+        let wrong_schema = line.replace("escalate-sweep/v1", "escalate-other/v9");
+        assert_eq!(SweepRecord::from_json_line(&wrong_schema), None);
+    }
+
+    #[test]
+    fn pareto_keeps_exactly_the_undominated_points() {
+        let pts = [
+            (10.0, 5.0, 2.0), // frontier (fastest)
+            (20.0, 1.0, 3.0), // frontier (lowest energy)
+            (15.0, 6.0, 2.5), // dominated by #0
+            (10.0, 5.0, 2.0), // duplicate of #0: neither strictly dominates
+            (25.0, 2.0, 1.0), // frontier (smallest)
+        ];
+        assert_eq!(pareto_indices(&pts), [0, 1, 3, 4]);
+        assert!(pareto_indices(&[]).is_empty());
+        assert_eq!(pareto_indices(&[(1.0, 1.0, 1.0)]), [0]);
+    }
+}

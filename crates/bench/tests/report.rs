@@ -42,6 +42,27 @@ fn report_check_round_trips_fig8_and_table1() {
     assert!(clean, "golden drift:\n{out}");
 }
 
+// Pins `report --all --check` — the whole golden corpus through the
+// run-plan executor — in one invocation, exactly what the CI gate runs
+// via the release binary.
+#[test]
+#[ignore = "many minutes under the dev profile; tier1.sh runs the release `report --all --check`"]
+fn report_all_check_round_trips_the_full_corpus() {
+    let opts = ReportOptions {
+        all: true,
+        check: true,
+        ..ReportOptions::default()
+    };
+    let mut buf = Vec::new();
+    let clean = experiments::run_report(&opts, &mut buf).expect("report --all --check runs");
+    let out = String::from_utf8(buf).expect("utf8");
+    assert!(clean, "golden drift:\n{out}");
+    assert!(
+        out.contains("PASS: 18 experiment(s) checked"),
+        "expected the 18-experiment epilogue:\n{out}"
+    );
+}
+
 #[test]
 fn report_update_then_check_round_trips_in_a_fresh_dir() {
     let dir = std::env::temp_dir().join("escalate_report_roundtrip");

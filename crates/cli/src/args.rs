@@ -66,11 +66,19 @@ impl ParsedArgs {
         let mut iter = args.into_iter().map(Into::into).peekable();
         while let Some(a) = iter.next() {
             if let Some(key) = a.strip_prefix("--") {
-                let value = match iter.peek() {
-                    Some(v) if !v.starts_with("--") => iter.next().expect("peeked value exists"),
-                    _ => "true".to_string(),
-                };
-                out.options.insert(key.to_string(), value);
+                if let Some((k, v)) = key.split_once('=') {
+                    // `--key=value`: the value is inline (and may itself
+                    // contain `=`, start with `-`, or be empty).
+                    out.options.insert(k.to_string(), v.to_string());
+                } else {
+                    let value = match iter.peek() {
+                        Some(v) if !v.starts_with("--") => {
+                            iter.next().expect("peeked value exists")
+                        }
+                        _ => "true".to_string(),
+                    };
+                    out.options.insert(key.to_string(), value);
+                }
             } else if out.command.is_empty() {
                 out.command = a;
             } else {
@@ -168,5 +176,32 @@ mod tests {
         let a = ParsedArgs::parse(["x", "--fast", "--m", "5"]).unwrap();
         assert!(a.flag("fast"));
         assert_eq!(a.get_or("m", 0usize).unwrap(), 5);
+    }
+
+    #[test]
+    fn key_equals_value_parses_like_the_spaced_form() {
+        let a = ParsedArgs::parse(["simulate", "ResNet18", "--m=7", "--seeds=2"]).unwrap();
+        assert_eq!(a.get_or("m", 6usize).unwrap(), 7);
+        assert_eq!(a.get_or("seeds", 10u64).unwrap(), 2);
+        assert_eq!(a.positional, vec!["ResNet18"]);
+    }
+
+    #[test]
+    fn equals_values_may_contain_dashes_equals_or_nothing() {
+        // `-5` would be eaten as a value by the spaced form too, but the
+        // `=` form is the only unambiguous spelling for values starting
+        // with `--`.
+        let a = ParsedArgs::parse(["x", "--offset=-5", "--path=a=b", "--empty="]).unwrap();
+        assert_eq!(a.get_or("offset", 0i64).unwrap(), -5);
+        assert_eq!(a.options.get("path").map(String::as_str), Some("a=b"));
+        assert_eq!(a.options.get("empty").map(String::as_str), Some(""));
+        assert!(!a.flag("empty"), "an explicit empty value is not a flag");
+    }
+
+    #[test]
+    fn equals_form_does_not_eat_the_next_token() {
+        let a = ParsedArgs::parse(["x", "--m=7", "next"]).unwrap();
+        assert_eq!(a.get_or("m", 0usize).unwrap(), 7);
+        assert_eq!(a.positional, vec!["next"]);
     }
 }

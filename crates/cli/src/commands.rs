@@ -69,9 +69,20 @@ COMMANDS:
                        cores; 1 forces sequential; results are identical)
         --metrics <FILE>  record counters/timings during the run and
                        write a JSON run manifest (see DESIGN.md)
-    sweep <MODEL>                  sweep M at a fixed MAC budget (Figure 12)
-        --from <N> --to <N>        M range (default 4..8)
+    sweep [MODEL ...]              sample the accelerator design space
+                                   (M, PEs, bus, buffers) and stream one
+                                   JSONL record per point, then print the
+                                   energy x cycles x area Pareto frontier
+                                   per network (default: all six models)
+        --samples <N>  design points per network (default 8)
+        --seed <N>     master sample seed (default 42)
+        --seeds <N>    input samples averaged per point (default 2)
+        --m <A..B>     inclusive M range (default 4..8)
+        --pe <A..B>    PE-count range; powers of two sampled (default 8..64)
+        --out <FILE>   JSONL stream (default sweep.jsonl); re-running the
+                       same sweep resumes it — recorded points are skipped
         --threads <N>  host threads (as for simulate)
+                       (the fixed-MAC-budget M sweep is `report fig12`)
     characterize <MODEL>           compute/traffic structure per layer
         --m <N>        basis kernels for the C/M bound (default 6)
     report [NAME ...]              drive the experiment registry (tables,
@@ -319,47 +330,50 @@ fn cmd_simulate(args: &ParsedArgs) -> Result<String, CliError> {
 }
 
 fn cmd_sweep(args: &ParsedArgs) -> Result<String, CliError> {
-    args.ensure_known(&["from", "to", "seeds", "threads"])?;
-    let p = model_arg(args)?;
-    let from = args.get_or("from", 4usize)?;
-    let to = args.get_or("to", 8usize)?;
-    let seeds = args.get_or("seeds", 3u64)?;
-    let threads = args.get_or("threads", 0usize)?;
-    if from == 0 || to < from {
-        return Err(CliError::Args(ArgError::BadValue {
-            option: "from/to".into(),
-            value: format!("{from}..{to}"),
-            expected: "a nonempty ascending range",
-        }));
+    use escalate_bench::sweep::{parse_range, run_sweep, SweepOptions};
+    args.ensure_known(&["samples", "seed", "seeds", "m", "pe", "out", "threads"])?;
+    let mut opts = SweepOptions::default();
+    if !args.positional.is_empty() {
+        opts.networks = args.positional.clone();
     }
-    let mut out = format!(
-        "{:<3} {:<3} {:>12} {:>12} {:>11} {:>12}\n",
-        "M", "l", "latency(ms)", "energy(mJ)", "comp(x)", "proxy top-1"
-    );
-    for m in from..=to {
-        let mut sim_cfg = SimConfig::default().with_m(m);
-        sim_cfg.threads = threads;
-        let cfg = CompressionConfig {
-            m,
-            ..CompressionConfig::default()
-        };
-        let artifacts = compress(&p, &cfg).map_err(|e| CliError::Pipeline(e.to_string()))?;
-        let stats = ModelCompression {
-            model_name: p.name.to_string(),
-            layers: artifacts.iter().map(|a| a.stats.clone()).collect(),
-        };
-        let run = escalate_bench::run_escalate(&p, &artifacts, &sim_cfg, seeds);
-        out.push_str(&format!(
-            "{:<3} {:<3} {:>12.4} {:>12.4} {:>11.1} {:>12.2}\n",
-            m,
-            sim_cfg.l,
-            run.cycles / (sim_cfg.frequency_mhz * 1e3),
-            run.energy_pj * 1e-9,
-            stats.compression_ratio(),
-            accuracy_proxy(p.baseline_top1, stats.mean_weight_error()),
-        ));
+    opts.samples = args.get_or("samples", opts.samples)?;
+    opts.master_seed = args.get_or("seed", opts.master_seed)?;
+    opts.input_seeds = args.get_or("seeds", opts.input_seeds)?;
+    opts.threads = args.get_or("threads", opts.threads)?;
+    if let Some(v) = args.options.get("m") {
+        opts.m_range = parse_range(v).map_err(|msg| {
+            CliError::Args(ArgError::BadValue {
+                option: "m".into(),
+                value: msg,
+                expected: "an inclusive range like 4..8",
+            })
+        })?;
     }
-    Ok(out)
+    if let Some(v) = args.options.get("pe") {
+        opts.pe_range = parse_range(v).map_err(|msg| {
+            CliError::Args(ArgError::BadValue {
+                option: "pe".into(),
+                value: msg,
+                expected: "an inclusive range like 8..64",
+            })
+        })?;
+    }
+    if let Some(path) = args.options.get("out") {
+        // A bare `--out` parses as the flag sentinel "true"; refuse it
+        // rather than silently streaming to a file named `true`.
+        if path == "true" {
+            return Err(CliError::Args(ArgError::BadValue {
+                option: "out".into(),
+                value: "true".into(),
+                expected: "a file path (use ./true for a file literally named true)",
+            }));
+        }
+        opts.out = std::path::PathBuf::from(path);
+    }
+    let mut buf = Vec::new();
+    run_sweep(&opts, &mut buf).map_err(|e| CliError::Pipeline(e.to_string()))?;
+    String::from_utf8(buf)
+        .map_err(|e| CliError::Pipeline(format!("sweep produced non-UTF-8 output: {e}")))
 }
 
 fn cmd_inspect(args: &ParsedArgs) -> Result<String, CliError> {
@@ -645,8 +659,42 @@ mod tests {
     }
 
     #[test]
-    fn sweep_rejects_bad_range() {
-        let e = run(&["sweep", "MobileNet", "--from", "8", "--to", "4"]).unwrap_err();
-        assert!(e.to_string().contains("ascending"));
+    fn sweep_rejects_bad_inputs() {
+        let e = run(&["sweep", "MobileNet", "--m", "8..4"]).unwrap_err();
+        assert!(e.to_string().contains("1 <= A <= B"), "{e}");
+        let e = run(&["sweep", "MobileNet", "--pe", "nope"]).unwrap_err();
+        assert!(e.to_string().contains("inclusive range"), "{e}");
+        let e = run(&["sweep", "MobileNet", "--out"]).unwrap_err();
+        assert!(e.to_string().contains("--out"), "{e}");
+        let e = run(&["sweep", "NotANet", "--samples", "1"]).unwrap_err();
+        assert!(e.to_string().contains("NotANet"), "{e}");
+    }
+
+    #[test]
+    fn sweep_streams_then_resumes_without_rerunning() {
+        let dir = std::env::temp_dir().join("escalate_cli_sweep_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sweep.jsonl");
+        std::fs::remove_file(&path).ok();
+        let p = path.to_str().unwrap();
+        let line = ["sweep", "MobileNet", "--samples=1", "--seeds=1", "--out", p];
+        let cold = run(&line).unwrap();
+        assert!(cold.contains("1 sample(s) ran, 0 resumed"), "{cold}");
+        assert!(
+            cold.contains("Pareto frontier - MobileNet (1 of 1"),
+            "{cold}"
+        );
+        // Re-running the same sweep resumes: nothing re-runs, and the
+        // frontier (computed from the parsed stream) is identical.
+        let resumed = run(&line).unwrap();
+        assert!(resumed.contains("0 sample(s) ran, 1 resumed"), "{resumed}");
+        let frontier = |s: &str| {
+            s.lines()
+                .skip(1)
+                .map(str::to_string)
+                .collect::<Vec<String>>()
+        };
+        assert_eq!(frontier(&cold), frontier(&resumed));
+        std::fs::remove_file(&path).ok();
     }
 }

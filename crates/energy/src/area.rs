@@ -80,6 +80,65 @@ pub fn component_pj_per_cycle(power_mw: f64, frequency_mhz: f64) -> f64 {
     power_mw / frequency_mhz * 1000.0
 }
 
+/// Large-SRAM area density derived from Table 4's Coef.&Psum entry
+/// (0.0538 mm² for 512 B + 5 × 2048 B = 10.75 KB at 65 nm): the price the
+/// sweep's area model puts on the input/output buffer macros that sit
+/// outside the synthesized PE block.
+pub const SRAM_MM2_PER_KB: f64 = 0.0538 / 10.75;
+
+/// First-order area scaling used by the design-space sweep.
+///
+/// Table 4 synthesizes exactly one design point (Table 2); a sweep over
+/// (`M`, `N_PE`, bus width, buffer capacities) needs area *trends*, so
+/// each component is scaled linearly in the structural quantity it
+/// physically tracks, anchored to reproduce the Table 4 block exactly at
+/// the default configuration:
+///
+/// - Activation Buffer — per-slice staging capacity (`l × act_buf`),
+/// - MAC Row — multiplier count per block (`M × l`),
+/// - Dilution — slice count `l` (one dilution unit per slice),
+/// - Concentration — `l ×` bus elements (the matching network's width),
+/// - Coef.&Psum Buffer — its capacity (`coef_buf + l × psum_buf`).
+///
+/// Whole-chip area is `N_PE` scaled blocks plus the distributed
+/// input/output buffer macros priced at [`SRAM_MM2_PER_KB`]. A linear
+/// model is deliberately coarse (no periphery floors, no wiring
+/// overhead), but it is monotone in every dimension the sweep explores,
+/// which is what a Pareto frontier needs.
+pub fn scaled_block_area_mm2(cfg: &escalate_sim::SimConfig) -> f64 {
+    let d = escalate_sim::SimConfig::default();
+    let scale = |q: f64, q0: f64| q / q0;
+    let factors = [
+        scale(
+            (cfg.l * cfg.act_buf_bytes) as f64,
+            (d.l * d.act_buf_bytes) as f64,
+        ),
+        scale((cfg.m * cfg.l) as f64, (d.m * d.l) as f64),
+        scale(cfg.l as f64, d.l as f64),
+        scale(
+            (cfg.l * cfg.bus_elems()) as f64,
+            (d.l * d.bus_elems()) as f64,
+        ),
+        scale(
+            (cfg.coef_buf_bytes + cfg.l * cfg.psum_buf_bytes) as f64,
+            (d.coef_buf_bytes + d.l * d.psum_buf_bytes) as f64,
+        ),
+    ];
+    COMPONENTS
+        .iter()
+        .zip(factors)
+        .map(|(c, f)| c.area_mm2 * f)
+        .sum()
+}
+
+/// Whole-accelerator area estimate for an arbitrary configuration:
+/// `N_PE` scaled PE blocks ([`scaled_block_area_mm2`]) plus the
+/// input/output buffer SRAM priced at [`SRAM_MM2_PER_KB`].
+pub fn chip_area_mm2(cfg: &escalate_sim::SimConfig) -> f64 {
+    let sram_kb = (cfg.total_input_buf_bytes() + cfg.output_buf_bytes) as f64 / 1024.0;
+    cfg.n_pe as f64 * scaled_block_area_mm2(cfg) + sram_kb * SRAM_MM2_PER_KB
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -121,5 +180,43 @@ mod tests {
         // 17.77 mW at 800 MHz ≈ 22.2 pJ per cycle.
         let e = component_pj_per_cycle(17.77, 800.0);
         assert!((e - 22.2125).abs() < 1e-3);
+    }
+
+    #[test]
+    fn scaled_block_reproduces_table4_at_the_default_config() {
+        let cfg = escalate_sim::SimConfig::default();
+        let scaled = scaled_block_area_mm2(&cfg);
+        let base = PeBlockArea::from_components().area_mm2;
+        assert!((scaled - base).abs() < 1e-12, "scaled {scaled} vs {base}");
+    }
+
+    #[test]
+    fn chip_area_is_monotone_in_the_swept_dimensions() {
+        let base = escalate_sim::SimConfig::default();
+        let a0 = chip_area_mm2(&base);
+        assert!(a0 > 0.0);
+        let grow = |f: &dyn Fn(&mut escalate_sim::SimConfig)| {
+            let mut c = base;
+            f(&mut c);
+            chip_area_mm2(&c)
+        };
+        assert!(grow(&|c| c.m = 8) > a0, "more basis kernels cost area");
+        assert!(grow(&|c| c.n_pe = 64) > a0, "more PEs cost area");
+        assert!(grow(&|c| c.input_bus_bytes = 32) > a0, "wider bus");
+        assert!(grow(&|c| c.input_buf_bytes = 16 * 1024) > a0, "bigger SRAM");
+        assert!(grow(&|c| c.psum_buf_bytes = 4096) > a0, "bigger psum");
+        assert!(grow(&|c| c.output_buf_bytes = 8192) > a0, "bigger output");
+    }
+
+    #[test]
+    fn chip_area_halves_ish_with_half_the_pes() {
+        let base = escalate_sim::SimConfig::default();
+        let mut half = base;
+        half.n_pe = 16;
+        // Blocks halve; the shared SRAM term does not.
+        let full_blocks = 32.0 * scaled_block_area_mm2(&base);
+        let half_blocks = 16.0 * scaled_block_area_mm2(&half);
+        assert!((half_blocks * 2.0 - full_blocks).abs() < 1e-9);
+        assert!(chip_area_mm2(&half) > half_blocks);
     }
 }

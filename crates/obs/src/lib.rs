@@ -46,10 +46,12 @@
 
 pub mod histogram;
 pub mod json;
+pub mod jsonl;
 pub mod registry;
 
 pub use histogram::Histogram;
 pub use json::JsonWriter;
+pub use jsonl::{json_f64_field, json_string_field, json_u64_field, JsonlWriter};
 pub use registry::{Registry, Snapshot, SpanStats, SpanTimer};
 
 use std::sync::{Arc, RwLock};

@@ -118,6 +118,82 @@ impl SimConfig {
     }
 }
 
+/// One sampled point of the accelerator design space: the dimensions the
+/// `escalate sweep` engine explores, with everything else pinned to the
+/// Table 2 defaults. `l` stays at its default — the sweep varies the
+/// multiplier budget through `m` and `n_pe` directly, so area and
+/// throughput move together instead of being renormalized away (the
+/// fixed-budget `M`↔`l` trade-off is Figure 12's separate study, see
+/// [`SimConfig::with_m`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DesignPoint {
+    /// Basis kernels / CA-MAC pairs per slice (`M`).
+    pub m: usize,
+    /// PE blocks (`N_PE`).
+    pub n_pe: usize,
+    /// Input bus width in bytes.
+    pub input_bus_bytes: usize,
+    /// Per-buffer capacity of each distributed input buffer (bytes).
+    pub input_buf_bytes: usize,
+    /// Per-block coefficient buffer (bytes).
+    pub coef_buf_bytes: usize,
+    /// Per-slice partial-sum buffer (bytes).
+    pub psum_buf_bytes: usize,
+    /// Output buffer (bytes).
+    pub output_buf_bytes: usize,
+    /// Host-fidelity knob: output channels the sampled walk covers.
+    pub sample_channels: usize,
+}
+
+impl DesignPoint {
+    /// The paper's design point (Table 2).
+    pub fn table2() -> DesignPoint {
+        let cfg = SimConfig::default();
+        DesignPoint {
+            m: cfg.m,
+            n_pe: cfg.n_pe,
+            input_bus_bytes: cfg.input_bus_bytes,
+            input_buf_bytes: cfg.input_buf_bytes,
+            coef_buf_bytes: cfg.coef_buf_bytes,
+            psum_buf_bytes: cfg.psum_buf_bytes,
+            output_buf_bytes: cfg.output_buf_bytes,
+            sample_channels: cfg.sample_channels,
+        }
+    }
+
+    /// Materializes the sampled point as a full simulator configuration
+    /// (Table 2 defaults for every dimension the sweep does not explore).
+    ///
+    /// # Panics
+    ///
+    /// Panics when any sampled dimension is zero — a zero-wide bus or
+    /// empty buffer is a sampler bug, not a simulable design.
+    pub fn to_config(self) -> SimConfig {
+        assert!(
+            self.m > 0
+                && self.n_pe > 0
+                && self.input_bus_bytes > 0
+                && self.input_buf_bytes > 0
+                && self.coef_buf_bytes > 0
+                && self.psum_buf_bytes > 0
+                && self.output_buf_bytes > 0
+                && self.sample_channels > 0,
+            "degenerate design point: {self:?}"
+        );
+        SimConfig {
+            m: self.m,
+            n_pe: self.n_pe,
+            input_bus_bytes: self.input_bus_bytes,
+            input_buf_bytes: self.input_buf_bytes,
+            coef_buf_bytes: self.coef_buf_bytes,
+            psum_buf_bytes: self.psum_buf_bytes,
+            output_buf_bytes: self.output_buf_bytes,
+            sample_channels: self.sample_channels,
+            ..SimConfig::default()
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -158,5 +234,49 @@ mod tests {
     #[test]
     fn cycle_time_at_800mhz() {
         assert!((SimConfig::default().cycle_ns() - 1.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table2_design_point_materializes_the_default_config() {
+        assert_eq!(DesignPoint::table2().to_config(), SimConfig::default());
+    }
+
+    #[test]
+    fn design_point_overrides_only_the_explored_dimensions() {
+        let p = DesignPoint {
+            m: 4,
+            n_pe: 64,
+            input_bus_bytes: 32,
+            input_buf_bytes: 4096,
+            coef_buf_bytes: 1024,
+            psum_buf_bytes: 4096,
+            output_buf_bytes: 8192,
+            sample_channels: 16,
+        };
+        let cfg = p.to_config();
+        assert_eq!(cfg.m, 4);
+        assert_eq!(cfg.n_pe, 64);
+        assert_eq!(cfg.input_bus_bytes, 32);
+        assert_eq!(cfg.input_buf_bytes, 4096);
+        assert_eq!(cfg.coef_buf_bytes, 1024);
+        assert_eq!(cfg.psum_buf_bytes, 4096);
+        assert_eq!(cfg.output_buf_bytes, 8192);
+        assert_eq!(cfg.sample_channels, 16);
+        // Unexplored dimensions stay at Table 2.
+        let d = SimConfig::default();
+        assert_eq!(cfg.l, d.l);
+        assert_eq!(cfg.look_ahead, d.look_ahead);
+        assert_eq!(cfg.frequency_mhz, d.frequency_mhz);
+        assert_eq!(cfg.act_buf_bytes, d.act_buf_bytes);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate design point")]
+    fn zero_dimension_design_points_are_rejected() {
+        DesignPoint {
+            m: 0,
+            ..DesignPoint::table2()
+        }
+        .to_config();
     }
 }

@@ -102,7 +102,7 @@ pub mod workload;
 
 pub use accel::{Accelerator, Escalate};
 pub use ca::{LayerPlan, PositionCost, PositionKernel, MAX_BATCH};
-pub use config::SimConfig;
+pub use config::{DesignPoint, SimConfig};
 pub use context::{LayerContext, NoopObserver, SimObserver};
 pub use engine::{simulate_layer, simulate_model};
 pub use error::SimError;

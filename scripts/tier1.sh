@@ -31,11 +31,25 @@ cargo test -q --offline -p escalate-obs
 # measurement (with the simd dispatch compiled in).
 cargo bench --offline -p escalate-bench --bench position_kernel \
   --features escalate-sim/simd -- --test
-# Golden-diff regression check over the sub-second experiments: drift in
-# the committed results/ corpus fails the gate (full-corpus checks run in
-# crates/bench/tests/report.rs and via `report --check --all`).
-./target/release/report --check \
-  table4 rs_mapping buffer_ablation ca_ablation encoding_sweep psum_ablation
+# Golden-diff regression check over the full corpus: all 18 golden
+# experiments must stay byte-identical to the committed results/ files
+# (~75 s in release on a single core; the per-experiment dev-profile
+# round-trips live in crates/bench/tests/report.rs).
+./target/release/report --all --check
+# Resumable design-space sweep smoke: run a tiny grid, "interrupt" it by
+# keeping only the first record, resume from the stream, and require the
+# resumed stream to be byte-identical to the cold run — with an identical
+# Pareto summary (it is recomputed from the parsed stream either way).
+SWEEP_DIR="$(mktemp -d)"
+trap 'rm -rf "$SWEEP_DIR"' EXIT
+./target/release/escalate sweep MobileNet --samples 3 --seeds 1 \
+  --out "$SWEEP_DIR/cold.jsonl" > "$SWEEP_DIR/cold.txt"
+head -n 1 "$SWEEP_DIR/cold.jsonl" > "$SWEEP_DIR/resumed.jsonl"
+./target/release/escalate sweep MobileNet --samples 3 --seeds 1 \
+  --out "$SWEEP_DIR/resumed.jsonl" > "$SWEEP_DIR/resumed.txt"
+cmp "$SWEEP_DIR/cold.jsonl" "$SWEEP_DIR/resumed.jsonl"
+grep -q "2 sample(s) ran, 1 resumed" "$SWEEP_DIR/resumed.txt"
+diff <(tail -n +2 "$SWEEP_DIR/cold.txt") <(tail -n +2 "$SWEEP_DIR/resumed.txt")
 cargo fmt --check
 cargo clippy --all-targets --offline --workspace -- -D warnings
 cargo clippy --all-targets --offline -p escalate-sim --features simd -- -D warnings
