@@ -15,10 +15,13 @@
 //! two consumers — the paper's experiment registry and the design-space
 //! sweep behind `escalate sweep`.
 
+pub mod cache;
 pub mod experiments;
 pub mod plan;
+pub mod render;
 pub mod sweep;
 
+use cache::SingleFlightCache;
 use escalate_baselines::{BaselineSim, BaselineWorkload, Eyeriss, LayerModel, Scnn, SparTen};
 use escalate_core::pipeline::CompressionConfig;
 use escalate_core::{compress_model_artifacts, CompressedLayer, EscalateError};
@@ -26,8 +29,7 @@ use escalate_energy::{layer_energy, model_energy, BufferCaps, EnergyBreakdown, U
 use escalate_models::ModelProfile;
 use escalate_sim::{Accelerator, Escalate, ModelStats, SimConfig, Workload};
 use rayon::prelude::*;
-use std::collections::HashMap;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock};
 
 /// Default number of random input samples averaged per experiment (the
 /// paper uses 10; see §5.2.1).
@@ -158,51 +160,42 @@ fn cache_key(model: &str, cfg: &CompressionConfig) -> CacheKey {
     )
 }
 
-/// Locks a mutex, recovering the data from a poisoned lock instead of
-/// cascading the panic: every value behind these locks is valid at every
-/// instant (a poisoned artifact slot is simply still empty), so one
-/// panicking compression must not take the whole harness down.
-fn lock_recover<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+/// Environment variable bounding the artifact cache
+/// ([`DEFAULT_CACHE_CAP`] when unset; invalid/zero values warn and fall
+/// back, matching [`SEEDS_ENV`]).
+pub const CACHE_CAP_ENV: &str = "ESCALATE_CACHE_CAP";
+
+/// Default artifact-cache capacity: generous for one-shot grids (the full
+/// experiment registry visits far fewer distinct `(model, config)` pairs)
+/// while keeping a long-running daemon's memory bounded.
+pub const DEFAULT_CACHE_CAP: usize = 32;
+
+type ArtifactCache = SingleFlightCache<CacheKey, Arc<Vec<CompressedLayer>>>;
+
+fn artifact_cache() -> &'static ArtifactCache {
+    static CACHE: OnceLock<ArtifactCache> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        let cap = escalate_core::par::positive_env(CACHE_CAP_ENV)
+            .map_or(DEFAULT_CACHE_CAP, |v| v as usize);
+        SingleFlightCache::new(cap)
+    })
 }
 
-/// Per-key single-flight memoization. The first caller for `key` runs
-/// `compute()` while holding that key's slot lock, so concurrent callers
-/// for the same key block on the slot (not the whole map) and then read
-/// the finished value — the computation runs exactly once per key.
-/// Distinct keys never block each other beyond the brief map lookup.
-/// Errors are not cached (the slot stays empty; the next caller retries),
-/// and a panic inside `compute` poisons only that key's slot, which later
-/// callers recover from.
-///
-/// Returns the value plus whether it was a cache hit.
-fn single_flight<K, V, E>(
-    map: &Mutex<HashMap<K, Arc<Mutex<Option<V>>>>>,
-    key: K,
-    compute: impl FnOnce() -> Result<V, E>,
-) -> Result<(V, bool), E>
-where
-    K: std::hash::Hash + Eq,
-    V: Clone,
-{
-    let slot = {
-        let mut m = lock_recover(map);
-        Arc::clone(m.entry(key).or_default())
-    };
-    let mut guard = lock_recover(&slot);
-    if let Some(hit) = guard.as_ref() {
-        return Ok((hit.clone(), true));
+/// Re-bounds the process-wide artifact cache (`0` = unbounded), evicting
+/// down to the new capacity immediately; evictions are counted on the
+/// installed metrics recorder (`bench.cache_evictions`). Returns the
+/// number of entries evicted. The daemon's `--cache` flag lands here.
+pub fn set_artifact_cache_capacity(capacity: usize) -> u64 {
+    let evicted = artifact_cache().set_capacity(capacity);
+    if evicted > 0 {
+        escalate_obs::counter_add("bench.cache_evictions", evicted);
     }
-    let v = compute()?;
-    *guard = Some(v.clone());
-    Ok((v, false))
+    evicted
 }
 
-type ArtifactSlot = Arc<Mutex<Option<Arc<Vec<CompressedLayer>>>>>;
-
-fn artifact_cache() -> &'static Mutex<HashMap<CacheKey, ArtifactSlot>> {
-    static CACHE: OnceLock<Mutex<HashMap<CacheKey, ArtifactSlot>>> = OnceLock::new();
-    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+/// Resident entries in the process-wide artifact cache.
+pub fn artifact_cache_len() -> usize {
+    artifact_cache().len()
 }
 
 /// Compresses a model at most once per process for each distinct
@@ -214,9 +207,12 @@ fn artifact_cache() -> &'static Mutex<HashMap<CacheKey, ArtifactSlot>> {
 /// four-accelerator comparison, benchmark grids — go through this cache.
 /// Concurrent first requests for the same key are single-flighted: one
 /// caller compresses while the others wait on that key's slot, so the
-/// expensive step never runs twice. Hits and misses are counted on the
-/// metrics recorder (`bench.cache_hits` / `bench.cache_misses`) when one
-/// is installed.
+/// expensive step never runs twice. The cache is capacity-bounded
+/// ([`CACHE_CAP_ENV`], default [`DEFAULT_CACHE_CAP`]) with LRU eviction —
+/// a long-running daemon churning through configs stays at a fixed
+/// footprint. Hits, misses, and evictions are counted on the metrics
+/// recorder (`bench.cache_hits` / `bench.cache_misses` /
+/// `bench.cache_evictions`) when one is installed.
 ///
 /// # Errors
 ///
@@ -227,18 +223,20 @@ pub fn compress_cached(
     cfg: &CompressionConfig,
 ) -> Result<Arc<Vec<CompressedLayer>>, EscalateError> {
     let key = cache_key(profile.name, cfg);
-    let (artifacts, hit) = single_flight(artifact_cache(), key, || {
-        compress_model_artifacts(profile, cfg).map(Arc::new)
-    })?;
+    let look = artifact_cache()
+        .get_or_compute(key, || compress_model_artifacts(profile, cfg).map(Arc::new))?;
     escalate_obs::counter_add(
-        if hit {
+        if look.hit {
             "bench.cache_hits"
         } else {
             "bench.cache_misses"
         },
         1,
     );
-    Ok(artifacts)
+    if look.evicted > 0 {
+        escalate_obs::counter_add("bench.cache_evictions", look.evicted);
+    }
+    Ok(look.value)
 }
 
 /// Averages per-seed results: seeds are simulated in parallel
@@ -400,6 +398,61 @@ pub fn run_model(
     })
 }
 
+/// The four designs [`run_model`] compares, in the comparison table's row
+/// order (ESCALATE last).
+pub const ACCELERATOR_NAMES: [&str; 4] = ["Eyeriss", "SCNN", "SparTen", "ESCALATE"];
+
+/// Runs one of the four accelerators by name — the unit-sized slice of
+/// [`run_model`] for callers (the serve daemon's simulate plan) that fan
+/// the comparison out as independent work units. Each arm takes exactly
+/// the code path `run_model` takes for that design (artifact cache,
+/// baseline workload, buffer pricing), and every stage is
+/// order-preserving with per-seed RNGs, so assembling the four results
+/// into a [`ModelRun`] is bit-identical to one `run_model` call at any
+/// thread count.
+///
+/// # Errors
+///
+/// Propagates compression failures; an unknown name reports the valid
+/// set.
+pub fn run_accelerator_by_name(
+    name: &str,
+    profile: &ModelProfile,
+    sim_cfg: &SimConfig,
+    seeds: u64,
+) -> Result<AccelRun, EscalateError> {
+    escalate_core::par::configure_threads(sim_cfg.threads);
+    if name == "ESCALATE" {
+        let artifacts = compress_cached(
+            profile,
+            &CompressionConfig {
+                m: sim_cfg.m,
+                ..CompressionConfig::default()
+            },
+        )?;
+        return Ok(run_escalate(profile, &artifacts, sim_cfg, seeds));
+    }
+    let (eyeriss, scnn, sparten) = (Eyeriss::default(), Scnn::default(), SparTen::default());
+    let model: &dyn LayerModel = match name {
+        "Eyeriss" => &eyeriss,
+        "SCNN" => &scnn,
+        "SparTen" => &sparten,
+        other => {
+            return Err(EscalateError::Simulation {
+                what: format!("unknown accelerator {other:?} (expected {ACCELERATOR_NAMES:?})"),
+            })
+        }
+    };
+    let bw = BaselineWorkload::for_profile(profile);
+    let caps = BufferCaps::baseline(64 * 1024);
+    Ok(run_accelerator(
+        &BaselineSim::new(model, &bw),
+        &caps,
+        seeds,
+        sim_cfg.threads,
+    ))
+}
+
 /// Per-layer energy of one accelerator run (ESCALATE buffer pricing).
 pub fn escalate_layer_energies(
     run: &AccelRun,
@@ -444,7 +497,6 @@ pub fn ratio(v: f64) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn input_seeds_ignores_invalid_env_with_warning() {
@@ -459,57 +511,6 @@ mod tests {
         assert_eq!(input_seeds(), DEFAULT_INPUT_SEEDS);
         std::env::remove_var(SEEDS_ENV);
         assert_eq!(input_seeds(), DEFAULT_INPUT_SEEDS);
-    }
-
-    #[test]
-    fn single_flight_computes_once_across_threads() {
-        let map: Mutex<HashMap<u32, Arc<Mutex<Option<u64>>>>> = Mutex::new(HashMap::new());
-        let calls = AtomicUsize::new(0);
-        std::thread::scope(|s| {
-            for _ in 0..8 {
-                s.spawn(|| {
-                    let (v, _) = single_flight(&map, 1u32, || {
-                        calls.fetch_add(1, Ordering::SeqCst);
-                        std::thread::sleep(std::time::Duration::from_millis(20));
-                        Ok::<u64, ()>(42)
-                    })
-                    .unwrap();
-                    assert_eq!(v, 42);
-                });
-            }
-        });
-        assert_eq!(calls.load(Ordering::SeqCst), 1, "compute must run once");
-        let (_, hit) = single_flight(&map, 1u32, || Ok::<u64, ()>(0)).unwrap();
-        assert!(hit, "later calls must be hits");
-    }
-
-    #[test]
-    fn single_flight_does_not_cache_errors() {
-        let map: Mutex<HashMap<u32, Arc<Mutex<Option<u64>>>>> = Mutex::new(HashMap::new());
-        let err = single_flight(&map, 1u32, || Err::<u64, &str>("boom"));
-        assert_eq!(err.unwrap_err(), "boom");
-        let (v, hit) = single_flight(&map, 1u32, || Ok::<u64, &str>(7)).unwrap();
-        assert_eq!(v, 7);
-        assert!(!hit, "the retry must recompute, not read a cached error");
-    }
-
-    #[test]
-    fn single_flight_recovers_from_poisoned_slots() {
-        let map: Mutex<HashMap<u32, Arc<Mutex<Option<u64>>>>> = Mutex::new(HashMap::new());
-        let poison = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let _ = single_flight(&map, 1u32, || -> Result<u64, ()> {
-                panic!("compression panicked mid-flight")
-            });
-        }));
-        assert!(poison.is_err());
-        // The panic poisoned key 1's slot; the next caller must recover
-        // and compute rather than propagate the old panic.
-        let (v, hit) = single_flight(&map, 1u32, || Ok::<u64, ()>(9)).unwrap();
-        assert_eq!(v, 9);
-        assert!(!hit);
-        // Unrelated keys were never affected.
-        let (v2, _) = single_flight(&map, 2u32, || Ok::<u64, ()>(11)).unwrap();
-        assert_eq!(v2, 11);
     }
 
     #[test]
@@ -548,6 +549,25 @@ mod tests {
         assert_eq!(bar(5.0, 10.0, 10), "#####");
         assert_eq!(bar(20.0, 10.0, 10).len(), 10);
         assert_eq!(bar(1.0, 0.0, 10), "");
+    }
+
+    #[test]
+    fn accelerator_by_name_matches_run_model_bitwise() {
+        // The serve daemon fans the four designs out as independent work
+        // units through `run_accelerator_by_name`; its bit-identity claim
+        // against the one-shot `run_model` path is pinned here.
+        let profile = ModelProfile::for_model("MobileNet").unwrap();
+        let cfg = SimConfig::default();
+        let whole = run_model(&profile, &cfg, 2).unwrap();
+        let parts = [&whole.eyeriss, &whole.scnn, &whole.sparten, &whole.escalate];
+        for (name, expect) in ACCELERATOR_NAMES.iter().zip(parts) {
+            let run = run_accelerator_by_name(name, &profile, &cfg, 2).unwrap();
+            assert_eq!(run.name, expect.name);
+            assert_eq!(run.cycles.to_bits(), expect.cycles.to_bits(), "{name}");
+            assert_eq!(run.dram_bytes.to_bits(), expect.dram_bytes.to_bits());
+            assert_eq!(run.energy_pj.to_bits(), expect.energy_pj.to_bits());
+        }
+        assert!(run_accelerator_by_name("TPU", &profile, &cfg, 1).is_err());
     }
 
     #[test]

@@ -159,6 +159,150 @@ pub fn execute(plan: &dyn RunPlan, sink: &mut dyn UnitSink) -> Result<ExecSummar
     Ok(ExecSummary { ran, skipped })
 }
 
+/// Drives a plan into a sink like [`execute`], but feeds each unit to
+/// the sink *as soon as it (and every unit before it) has finished* —
+/// the streaming-consumer variant behind served jobs, where the sink is
+/// a client socket that should see records while later units still run.
+///
+/// The sink feed is still strictly in unit order, so every byte a sink
+/// sees is identical to [`execute`]'s batch feed (and to a serial run).
+/// Failure semantics differ deliberately: the first failing unit *in
+/// unit order* (or the first sink write failure) aborts the run early —
+/// in-flight units finish, but unclaimed units never start. A one-shot
+/// run wants every output it paid for; a streaming consumer is gone the
+/// moment the stream errors, so finishing the tail would be pure waste.
+///
+/// Units run on scoped worker threads sized to the global pool
+/// (`rayon::current_num_threads`), pulling units in enumeration order;
+/// nested parallelism inside `run_unit` still shares the global pool's
+/// token budget, so total concurrency stays bounded.
+///
+/// # Errors
+///
+/// Returns the first failing unit's error in unit order, or the sink's
+/// own write failure (earlier units' sink effects persist).
+///
+/// # Panics
+///
+/// Propagates a panicking `run_unit` after the remaining workers drain.
+pub fn execute_streaming(
+    plan: &dyn RunPlan,
+    sink: &mut dyn UnitSink,
+) -> Result<ExecSummary, ExpError> {
+    let units = plan.units()?;
+    let mut pending: Vec<&WorkUnit> = Vec::with_capacity(units.len());
+    let mut skipped = 0usize;
+    for unit in &units {
+        if sink.recorded(&unit.key) {
+            skipped += 1;
+        } else {
+            pending.push(unit);
+        }
+    }
+    let ran = pending.len();
+    if pending.len() <= 1 {
+        for unit in pending {
+            sink.write_unit(unit, plan.run_unit(unit)?)?;
+        }
+        return Ok(ExecSummary { ran, skipped });
+    }
+
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use std::sync::{Condvar, Mutex as StdMutex};
+
+    struct Shared {
+        /// One slot per pending unit, filled when that unit finishes.
+        slots: StdMutex<Vec<Option<Result<UnitOutput, ExpError>>>>,
+        /// Signals the feeder that a slot was filled.
+        ready: Condvar,
+        /// Next pending index a worker should claim.
+        next: AtomicUsize,
+        /// Set by the feeder on the first error: workers stop claiming.
+        abort: AtomicBool,
+    }
+
+    let shared = Shared {
+        slots: StdMutex::new((0..pending.len()).map(|_| None).collect()),
+        ready: Condvar::new(),
+        next: AtomicUsize::new(0),
+        abort: AtomicBool::new(false),
+    };
+    let workers = rayon::current_num_threads().clamp(1, pending.len());
+    let mut fed = Ok(());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                if shared.abort.load(Ordering::Relaxed) {
+                    break;
+                }
+                let i = shared.next.fetch_add(1, Ordering::Relaxed);
+                if i >= pending.len() {
+                    break;
+                }
+                // Fill the slot even if `run_unit` panics, so the feeder
+                // (waiting on this very slot) wakes up instead of
+                // deadlocking; the panic itself resurfaces at scope join.
+                struct FillOnUnwind<'a> {
+                    shared: &'a Shared,
+                    index: usize,
+                    armed: bool,
+                }
+                impl Drop for FillOnUnwind<'_> {
+                    fn drop(&mut self) {
+                        if !self.armed {
+                            return;
+                        }
+                        let mut slots = self
+                            .shared
+                            .slots
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
+                        slots[self.index] = Some(Err(ExpError::Msg("work unit panicked".into())));
+                        self.shared.ready.notify_all();
+                    }
+                }
+                let mut guard = FillOnUnwind {
+                    shared: &shared,
+                    index: i,
+                    armed: true,
+                };
+                let out = plan.run_unit(pending[i]);
+                guard.armed = false;
+                let mut slots = shared
+                    .slots
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                slots[i] = Some(out);
+                shared.ready.notify_all();
+            });
+        }
+        // The feeder: consume slots strictly in unit order.
+        for (i, unit) in pending.iter().enumerate() {
+            let out = {
+                let mut slots = shared
+                    .slots
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                loop {
+                    if let Some(out) = slots[i].take() {
+                        break out;
+                    }
+                    slots = shared
+                        .ready
+                        .wait(slots)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                }
+            };
+            fed = out.and_then(|o| sink.write_unit(unit, o));
+            if fed.is_err() {
+                shared.abort.store(true, Ordering::Relaxed);
+                break;
+            }
+        }
+    });
+    fed.map(|()| ExecSummary { ran, skipped })
+}
+
 /// A sink that accumulates every unit's table in unit order — the
 /// in-memory backend of the report renderers.
 #[derive(Debug, Default)]
@@ -306,5 +450,83 @@ mod tests {
         // u0 (before the failure) reached the sink; u2 (after) did not.
         assert_eq!(sink.tables.len(), 1);
         assert_eq!(sink.tables[0].lines()[0], "u0");
+    }
+
+    #[test]
+    fn streaming_feed_is_byte_identical_to_the_batch_feed() {
+        let plan = Toy { n: 16, master: 11 };
+        let mut batch = TableSink::default();
+        execute(&plan, &mut batch).expect("batch");
+        let mut streamed = TableSink::default();
+        let summary = execute_streaming(&plan, &mut streamed).expect("streaming");
+        assert_eq!(
+            summary,
+            ExecSummary {
+                ran: 16,
+                skipped: 0
+            }
+        );
+        let render = |s: &TableSink| -> Vec<String> {
+            s.tables.iter().map(|t| t.lines()[0].clone()).collect()
+        };
+        assert_eq!(render(&batch), render(&streamed));
+    }
+
+    #[test]
+    fn streaming_skips_recorded_keys_like_execute() {
+        let plan = Toy { n: 5, master: 3 };
+        let mut sink = Skipping {
+            have: vec!["u0".into(), "u4".into()],
+            inner: TableSink::default(),
+        };
+        let summary = execute_streaming(&plan, &mut sink).expect("runs");
+        assert_eq!(summary, ExecSummary { ran: 3, skipped: 2 });
+        let keys: Vec<&str> = sink
+            .inner
+            .tables
+            .iter()
+            .map(|t| t.lines()[0].split_whitespace().next().expect("key"))
+            .collect();
+        assert_eq!(keys, ["u1", "u2", "u3"]);
+    }
+
+    #[test]
+    fn streaming_aborts_on_the_first_failure_in_unit_order() {
+        let mut sink = TableSink::default();
+        let err = execute_streaming(&Poisoned, &mut sink).expect_err("must fail");
+        assert!(err.to_string().contains("poisoned unit"));
+        // u0 reached the sink before the failure; u2 never did.
+        assert_eq!(sink.tables.len(), 1);
+        assert_eq!(sink.tables[0].lines()[0], "u0");
+    }
+
+    /// A sink whose write fails on a chosen unit — exercises the abort
+    /// path where the *sink*, not the unit, errors mid-stream (the
+    /// disconnected-client case of a served job).
+    struct FailingSink {
+        fail_on: String,
+        written: Vec<String>,
+    }
+
+    impl UnitSink for FailingSink {
+        fn write_unit(&mut self, unit: &WorkUnit, _out: UnitOutput) -> Result<(), ExpError> {
+            if unit.key == self.fail_on {
+                return Err(ExpError::Msg(format!("sink lost {}", unit.key)));
+            }
+            self.written.push(unit.key.clone());
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn streaming_stops_feeding_after_a_sink_failure() {
+        let plan = Toy { n: 6, master: 5 };
+        let mut sink = FailingSink {
+            fail_on: "u2".into(),
+            written: Vec::new(),
+        };
+        let err = execute_streaming(&plan, &mut sink).expect_err("sink fails");
+        assert!(err.to_string().contains("sink lost u2"));
+        assert_eq!(sink.written, ["u0", "u1"], "writes stop at the failure");
     }
 }

@@ -31,6 +31,10 @@ pub enum ArgError {
     },
     /// An unknown option was passed.
     UnknownOption(String),
+    /// An option was given an explicit empty value (`--key=`).
+    EmptyValue(String),
+    /// An option appeared more than once.
+    DuplicateOption(String),
 }
 
 impl std::fmt::Display for ArgError {
@@ -45,6 +49,15 @@ impl std::fmt::Display for ArgError {
                 write!(f, "--{option}: expected {expected}, got {value:?}")
             }
             ArgError::UnknownOption(o) => write!(f, "unknown option --{o}"),
+            ArgError::EmptyValue(o) => {
+                write!(
+                    f,
+                    "--{o}= has an empty value; pass a value or drop the option"
+                )
+            }
+            ArgError::DuplicateOption(o) => {
+                write!(f, "--{o} given more than once; keep exactly one")
+            }
         }
     }
 }
@@ -54,9 +67,17 @@ impl std::error::Error for ArgError {}
 impl ParsedArgs {
     /// Parses raw arguments (without the program name).
     ///
+    /// Half-parsed configurations are hard errors, not silent fallbacks:
+    /// an explicit empty value (`--key=`) and a repeated option both
+    /// reject the whole line. A one-shot run would merely produce a
+    /// confusing result; a daemon started this way would serve it for its
+    /// whole lifetime.
+    ///
     /// # Errors
     ///
-    /// Returns [`ArgError::MissingCommand`] for an empty line.
+    /// Returns [`ArgError::MissingCommand`] for an empty line,
+    /// [`ArgError::EmptyValue`] for `--key=`, and
+    /// [`ArgError::DuplicateOption`] for a repeated option.
     pub fn parse<I, S>(args: I) -> Result<ParsedArgs, ArgError>
     where
         I: IntoIterator<Item = S>,
@@ -66,10 +87,13 @@ impl ParsedArgs {
         let mut iter = args.into_iter().map(Into::into).peekable();
         while let Some(a) = iter.next() {
             if let Some(key) = a.strip_prefix("--") {
-                if let Some((k, v)) = key.split_once('=') {
+                let (k, v) = if let Some((k, v)) = key.split_once('=') {
                     // `--key=value`: the value is inline (and may itself
-                    // contain `=`, start with `-`, or be empty).
-                    out.options.insert(k.to_string(), v.to_string());
+                    // contain `=` or start with `-`).
+                    if v.is_empty() {
+                        return Err(ArgError::EmptyValue(k.to_string()));
+                    }
+                    (k.to_string(), v.to_string())
                 } else {
                     let value = match iter.peek() {
                         Some(v) if !v.starts_with("--") => {
@@ -77,7 +101,10 @@ impl ParsedArgs {
                         }
                         _ => "true".to_string(),
                     };
-                    out.options.insert(key.to_string(), value);
+                    (key.to_string(), value)
+                };
+                if out.options.insert(k.clone(), v).is_some() {
+                    return Err(ArgError::DuplicateOption(k));
                 }
             } else if out.command.is_empty() {
                 out.command = a;
@@ -187,15 +214,35 @@ mod tests {
     }
 
     #[test]
-    fn equals_values_may_contain_dashes_equals_or_nothing() {
+    fn equals_values_may_contain_dashes_or_equals() {
         // `-5` would be eaten as a value by the spaced form too, but the
         // `=` form is the only unambiguous spelling for values starting
         // with `--`.
-        let a = ParsedArgs::parse(["x", "--offset=-5", "--path=a=b", "--empty="]).unwrap();
+        let a = ParsedArgs::parse(["x", "--offset=-5", "--path=a=b"]).unwrap();
         assert_eq!(a.get_or("offset", 0i64).unwrap(), -5);
         assert_eq!(a.options.get("path").map(String::as_str), Some("a=b"));
-        assert_eq!(a.options.get("empty").map(String::as_str), Some(""));
-        assert!(!a.flag("empty"), "an explicit empty value is not a flag");
+    }
+
+    #[test]
+    fn explicit_empty_values_are_hard_errors() {
+        // `--empty=` is never a usable value and never a flag — under the
+        // old parser it silently produced an option holding "", which a
+        // daemon would then serve forever. Reject the whole line.
+        let e = ParsedArgs::parse(["x", "--empty="]).unwrap_err();
+        assert_eq!(e, ArgError::EmptyValue("empty".to_string()));
+        assert!(e.to_string().contains("--empty="));
+    }
+
+    #[test]
+    fn duplicate_options_are_hard_errors() {
+        // Last-wins duplicates hide typos ("--m 5 ... --m 7" runs with 7
+        // and no warning); both spellings of the option count.
+        let e = ParsedArgs::parse(["x", "--m", "5", "--m", "7"]).unwrap_err();
+        assert_eq!(e, ArgError::DuplicateOption("m".to_string()));
+        let e = ParsedArgs::parse(["x", "--m=5", "--m", "7"]).unwrap_err();
+        assert_eq!(e, ArgError::DuplicateOption("m".to_string()));
+        let e = ParsedArgs::parse(["x", "--verbose", "--verbose"]).unwrap_err();
+        assert_eq!(e, ArgError::DuplicateOption("verbose".to_string()));
     }
 
     #[test]

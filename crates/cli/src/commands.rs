@@ -3,7 +3,7 @@
 use crate::args::{ArgError, ParsedArgs};
 use escalate_bench::{compress, input_seeds, run_model};
 use escalate_core::artifact::{read_artifacts, write_artifacts, LayerArtifact};
-use escalate_core::pipeline::{accuracy_proxy, CompressionConfig};
+use escalate_core::pipeline::CompressionConfig;
 use escalate_core::ModelCompression;
 use escalate_models::ModelProfile;
 use escalate_sim::SimConfig;
@@ -94,6 +94,29 @@ COMMANDS:
         --update       regenerate the results/ golden corpus
         --out <DIR>    one file per experiment instead of stdout
         --results <DIR> golden corpus location (default results/)
+    serve                          run the batching simulation daemon
+                                   (line-JSON over TCP on 127.0.0.1;
+                                   blocks until a shutdown request)
+        --port <N>     port to bind (default 0 = ephemeral)
+        --workers <N>  job worker threads (default 2)
+        --queue <N>    job queue capacity; a full queue answers
+                       rejected + retry_after_ms (default 8)
+        --cache <N>    artifact cache capacity override (entries)
+        --port-file <FILE>  write the bound port here (how scripts
+                       find an ephemerally-bound daemon)
+    submit <VERB> [ARG]            send one request to a running daemon
+                                   and print its response frames; VERB is
+                                   simulate|compress|report (ARG = model
+                                   or experiment) or metrics|ping|shutdown
+        --port <N>     daemon port, or --port-file <FILE> to read it
+        --m/--seeds/--qat/--seed/--layers  as for the one-shot verbs
+    loadgen                        drive an in-process daemon with a
+                                   seeded request mix and report latency
+        --jobs <N>     requests to send (default 24)
+        --seed <N>     schedule seed (default 42)
+        --workers <N>  daemon workers (default 2)
+        --queue <N>    daemon queue capacity (default 4)
+        --out <FILE>   write the escalate-serve-bench/v1 JSON report
     inspect <FILE>                 summarize a saved .esca artifact
     validate <MODEL>               cross-check the three simulator
                                    fidelities on one layer
@@ -135,6 +158,9 @@ pub fn dispatch(args: &ParsedArgs) -> Result<String, CliError> {
         "report" => cmd_report(args),
         "inspect" => cmd_inspect(args),
         "validate" => cmd_validate(args),
+        "serve" => cmd_serve(args),
+        "submit" => cmd_submit(args),
+        "loadgen" => cmd_loadgen(args),
         other => Err(CliError::Args(ArgError::BadValue {
             option: "COMMAND".into(),
             value: other.into(),
@@ -233,35 +259,13 @@ fn cmd_compress(args: &ParsedArgs) -> Result<String, CliError> {
         write_artifacts(std::io::BufWriter::new(file), &arts)
             .map_err(|e| CliError::Pipeline(e.to_string()))?;
     }
-    let mut out = String::new();
-    if args.flag("layers") {
-        out.push_str(&format!(
-            "{:<24} {:>10} {:>10} {:>8} {:>8}\n",
-            "layer", "params", "bits", "spar%", "ratio"
-        ));
-        for l in &result.layers {
-            out.push_str(&format!(
-                "{:<24} {:>10} {:>10} {:>7.1}% {:>7.1}x\n",
-                l.name,
-                l.original_params,
-                l.compressed_bits,
-                l.coeff_sparsity() * 100.0,
-                l.compression_ratio()
-            ));
-        }
-        out.push('\n');
-    }
-    out.push_str(&format!(
-        "{} (M={}): {:.2}x compression, {:.3} MB, {:.2}% sparsity, {:.2}% pruned, proxy top-1 {:.2}%\n",
+    Ok(escalate_bench::render::render_compress(
         p.name,
+        p.baseline_top1,
         cfg.m,
-        result.compression_ratio(),
-        result.compressed_size_mb(),
-        result.coeff_sparsity() * 100.0,
-        result.pruning_ratio() * 100.0,
-        accuracy_proxy(p.baseline_top1, result.mean_weight_error()),
-    ));
-    Ok(out)
+        &result,
+        args.flag("layers"),
+    ))
 }
 
 fn cmd_simulate(args: &ParsedArgs) -> Result<String, CliError> {
@@ -311,22 +315,7 @@ fn cmd_simulate(args: &ParsedArgs) -> Result<String, CliError> {
         std::fs::write(path, json)
             .map_err(|e| CliError::Pipeline(format!("cannot write {path}: {e}")))?;
     }
-    let mut out = format!(
-        "{:<10} {:>12} {:>12} {:>12} {:>10} {:>10}\n",
-        "design", "cycles", "latency(ms)", "energy(mJ)", "DRAM(MB)", "vs Eyeriss"
-    );
-    for r in [&run.eyeriss, &run.scnn, &run.sparten, &run.escalate] {
-        out.push_str(&format!(
-            "{:<10} {:>12.0} {:>12.4} {:>12.4} {:>10.2} {:>9.2}x\n",
-            r.name,
-            r.cycles,
-            r.cycles / (cfg.frequency_mhz * 1e3),
-            r.energy_pj * 1e-9,
-            r.dram_bytes / 1e6,
-            run.speedup_over_eyeriss(r),
-        ));
-    }
-    Ok(out)
+    Ok(escalate_bench::render::render_simulate(&run, &cfg))
 }
 
 fn cmd_sweep(args: &ParsedArgs) -> Result<String, CliError> {
@@ -512,6 +501,133 @@ fn cmd_characterize(args: &ParsedArgs) -> Result<String, CliError> {
         ch.dsc_mac_fraction() * 100.0
     ));
     Ok(out)
+}
+
+fn cmd_serve(args: &ParsedArgs) -> Result<String, CliError> {
+    args.ensure_known(&["port", "workers", "queue", "cache", "port-file"])?;
+    let opts = escalate_serve::ServeOptions {
+        port: args.get_or("port", 0u16)?,
+        workers: args.get_or("workers", 2usize)?,
+        queue: args.get_or("queue", 8usize)?,
+        cache: match args.options.get("cache") {
+            None => None,
+            Some(_) => Some(args.get_or("cache", 0usize)?),
+        },
+        port_file: args.options.get("port-file").map(std::path::PathBuf::from),
+    };
+    let handle = escalate_serve::start(opts).map_err(CliError::Pipeline)?;
+    let port = handle.port();
+    eprintln!("escalate serve: listening on 127.0.0.1:{port} (send a shutdown request to stop)");
+    let summary = handle.join().map_err(CliError::Pipeline)?;
+    Ok(format!(
+        "escalate serve: drained — {} jobs done, {} failed\n",
+        summary.jobs_done, summary.jobs_failed
+    ))
+}
+
+/// Resolves the daemon port for `submit`: `--port`, or `--port-file`
+/// written by an ephemerally-bound daemon.
+fn submit_port(args: &ParsedArgs) -> Result<u16, CliError> {
+    if args.options.contains_key("port") {
+        return args.get_or("port", 0u16).map_err(CliError::Args);
+    }
+    let Some(path) = args.options.get("port-file") else {
+        return Err(CliError::Args(ArgError::BadValue {
+            option: "port".into(),
+            value: "<missing>".into(),
+            expected: "--port <N> or --port-file <FILE>",
+        }));
+    };
+    let raw = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Pipeline(format!("cannot read port file {path}: {e}")))?;
+    raw.trim().parse().map_err(|_| {
+        CliError::Args(ArgError::BadValue {
+            option: "port-file".into(),
+            value: raw.trim().into(),
+            expected: "a file holding one port number",
+        })
+    })
+}
+
+fn cmd_submit(args: &ParsedArgs) -> Result<String, CliError> {
+    args.ensure_known(&["port", "port-file", "m", "seeds", "qat", "seed", "layers"])?;
+    let verb = args
+        .positional
+        .first()
+        .ok_or(CliError::Args(ArgError::BadValue {
+            option: "VERB".into(),
+            value: "<missing>".into(),
+            expected: "simulate|compress|report|metrics|ping|shutdown",
+        }))?;
+    let arg = |what: &'static str| {
+        args.positional
+            .get(1)
+            .cloned()
+            .ok_or(CliError::Args(ArgError::BadValue {
+                option: "ARG".into(),
+                value: "<missing>".into(),
+                expected: what,
+            }))
+    };
+    let req = match verb.as_str() {
+        "simulate" => escalate_serve::Request::Simulate {
+            model: arg("a model name")?,
+            m: args.get_or("m", 6usize)?,
+            seeds: args.get_or("seeds", 1u64)?,
+        },
+        "compress" => escalate_serve::Request::Compress {
+            model: arg("a model name")?,
+            m: args.get_or("m", 6usize)?,
+            qat: args.get_or("qat", 0usize)?,
+            seed: args.get_or("seed", 42u64)?,
+            layers: args.flag("layers"),
+        },
+        "report" => escalate_serve::Request::Report {
+            experiment: arg("an experiment name")?,
+        },
+        "metrics" => escalate_serve::Request::Metrics,
+        "ping" => escalate_serve::Request::Ping,
+        "shutdown" => escalate_serve::Request::Shutdown,
+        other => {
+            return Err(CliError::Args(ArgError::BadValue {
+                option: "VERB".into(),
+                value: other.into(),
+                expected: "simulate|compress|report|metrics|ping|shutdown",
+            }))
+        }
+    };
+    let port = submit_port(args)?;
+    let frames = escalate_serve::submit(port, &req)
+        .map_err(|e| CliError::Pipeline(format!("cannot reach 127.0.0.1:{port}: {e}")))?;
+    let mut out = frames.join("\n");
+    out.push('\n');
+    Ok(out)
+}
+
+fn cmd_loadgen(args: &ParsedArgs) -> Result<String, CliError> {
+    args.ensure_known(&["jobs", "seed", "workers", "queue", "out"])?;
+    let opts = escalate_serve::LoadgenOptions {
+        jobs: args.get_or("jobs", 24usize)?,
+        seed: args.get_or("seed", 42u64)?,
+        workers: args.get_or("workers", 2usize)?,
+        queue: args.get_or("queue", 4usize)?,
+        out: args.options.get("out").map(std::path::PathBuf::from),
+    };
+    let r = escalate_serve::run_loadgen(&opts).map_err(CliError::Pipeline)?;
+    Ok(format!(
+        "loadgen: {} jobs ({} done, {} failed, {} backpressure retries) in {:.0} ms\n\
+         latency p50 {:.1} ms, p99 {:.1} ms; {:.2} jobs/s ({} workers, queue {})\n",
+        r.jobs,
+        r.done,
+        r.failed,
+        r.retries,
+        r.wall_ms,
+        r.p50_ms,
+        r.p99_ms,
+        r.jobs_per_sec,
+        r.workers,
+        r.queue
+    ))
 }
 
 #[cfg(test)]

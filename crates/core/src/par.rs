@@ -37,6 +37,27 @@ pub fn positive_env(var: &str) -> Option<u64> {
     parsed
 }
 
+/// The strict variant of [`positive_env`] for long-running entry points:
+/// an invalid value is an error the caller must surface, not a warning
+/// followed by a silent fallback. A one-shot run tolerates a fallback; a
+/// daemon that starts with a half-parsed environment serves the wrong
+/// configuration for its whole lifetime.
+///
+/// `Ok(None)` when `var` is unset, `Ok(Some(n))` for a positive integer.
+///
+/// # Errors
+///
+/// A set-but-invalid value returns a user-facing message naming the
+/// variable and the offending value.
+pub fn strict_positive_env(var: &str) -> Result<Option<u64>, String> {
+    match std::env::var(var) {
+        Err(_) => Ok(None),
+        Ok(raw) => parse_positive(&raw).map(Some).ok_or_else(|| {
+            format!("{var}={raw:?}: expected a positive integer (refusing to fall back)")
+        }),
+    }
+}
+
 /// The pure parser behind [`positive_env`]: `Some(n)` for a positive
 /// integer (surrounding whitespace allowed), `None` otherwise.
 pub fn parse_positive(raw: &str) -> Option<u64> {
@@ -124,6 +145,18 @@ mod tests {
         std::env::set_var("ESCALATE_PAR_TEST_OK", " 6 ");
         assert_eq!(positive_env("ESCALATE_PAR_TEST_OK"), Some(6));
         assert_eq!(positive_env("ESCALATE_PAR_TEST_UNSET"), None);
+    }
+
+    #[test]
+    fn strict_positive_env_errors_instead_of_falling_back() {
+        // Unique variable names so the env mutations cannot race other
+        // tests under the parallel runner.
+        std::env::set_var("ESCALATE_PAR_STRICT_BAD", "O8");
+        let e = strict_positive_env("ESCALATE_PAR_STRICT_BAD").unwrap_err();
+        assert!(e.contains("ESCALATE_PAR_STRICT_BAD") && e.contains("O8"));
+        std::env::set_var("ESCALATE_PAR_STRICT_OK", "4");
+        assert_eq!(strict_positive_env("ESCALATE_PAR_STRICT_OK"), Ok(Some(4)));
+        assert_eq!(strict_positive_env("ESCALATE_PAR_STRICT_UNSET"), Ok(None));
     }
 
     #[test]

@@ -121,6 +121,15 @@ impl JsonWriter {
         }
     }
 
+    /// Writes a pre-rendered JSON value verbatim as the next value — for
+    /// embedding a record produced by another writer (a registry
+    /// snapshot, a unit record) without re-parsing it. The caller
+    /// guarantees `json` is a complete, valid JSON value.
+    pub fn raw(&mut self, json: &str) {
+        self.separate();
+        self.out.push_str(json);
+    }
+
     /// Writes a boolean value.
     pub fn bool(&mut self, v: bool) {
         self.separate();
@@ -214,6 +223,25 @@ mod tests {
         w.f64(1.0);
         w.end_array();
         assert_eq!(w.finish(), "[null, null, 1]");
+    }
+
+    #[test]
+    fn raw_embeds_prerendered_values_with_comma_placement() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_u64("a", 1);
+        w.key("b");
+        w.raw("{\"x\": 2}");
+        w.key("c");
+        w.begin_array();
+        w.raw("{\"y\": 3}");
+        w.raw("4");
+        w.end_array();
+        w.end_object();
+        assert_eq!(
+            w.finish(),
+            "{\"a\": 1, \"b\": {\"x\": 2}, \"c\": [{\"y\": 3}, 4]}"
+        );
     }
 
     #[test]

@@ -1,0 +1,503 @@
+//! The daemon: a TCP accept loop, a bounded job queue, and a pool of
+//! worker threads draining it through the run-plan layer.
+//!
+//! One thread per connection parses frames and answers control verbs
+//! inline; job verbs compile ([`CompiledJob::compile`]) and enqueue.
+//! The queue is bounded — a full queue answers `rejected` with a
+//! `retry_after_ms` hint instead of buffering unboundedly. `shutdown`
+//! stops the accept loop, drains every queued job, then confirms to the
+//! requester. A long-running daemon refuses to start on malformed
+//! tuning env vars (`ESCALATE_THREADS`/`ESCALATE_SEEDS`/
+//! `ESCALATE_CACHE_CAP`): a warn-and-fall-back default that would be a
+//! one-shot papercut silently misconfigures every job the daemon ever
+//! serves.
+
+use crate::job::CompiledJob;
+use crate::proto::{
+    frame_accepted, frame_done, frame_error, frame_metrics, frame_pong, frame_rejected,
+    frame_shutdown, frame_unit, parse_request, read_frame, write_frame, Request, RETRY_AFTER_MS,
+};
+use escalate_bench::experiments::ExpError;
+use escalate_bench::plan::{UnitOutput, UnitSink, WorkUnit};
+use escalate_bench::{CACHE_CAP_ENV, SEEDS_ENV};
+use escalate_core::par::{strict_positive_env, THREADS_ENV};
+use escalate_obs::Registry;
+use std::collections::VecDeque;
+use std::io::BufReader;
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+/// How the daemon is configured (CLI flags map onto this 1:1).
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Port to bind on 127.0.0.1; 0 picks an ephemeral port.
+    pub port: u16,
+    /// Worker threads draining the job queue.
+    pub workers: usize,
+    /// Job queue capacity; a full queue rejects with backpressure.
+    pub queue: usize,
+    /// Artifact cache capacity override (entries); `None` keeps the
+    /// process default.
+    pub cache: Option<usize>,
+    /// When set, the bound port is written here (as one decimal line) —
+    /// how scripts find an ephemerally-bound daemon.
+    pub port_file: Option<PathBuf>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            port: 0,
+            workers: 2,
+            queue: 8,
+            cache: None,
+            port_file: None,
+        }
+    }
+}
+
+/// What a completed daemon run did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Jobs that finished with a `done` frame.
+    pub jobs_done: u64,
+    /// Jobs that failed with an `error` frame.
+    pub jobs_failed: u64,
+}
+
+fn lock_recover<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Refuses to start when a tuning env var is set but malformed.
+fn audit_env() -> Result<(), String> {
+    for var in [THREADS_ENV, SEEDS_ENV, CACHE_CAP_ENV] {
+        strict_positive_env(var).map_err(|e| format!("refusing to start: {e}"))?;
+    }
+    Ok(())
+}
+
+/// One accepted job waiting for (or on) a worker.
+struct QueuedJob {
+    id: u64,
+    job: CompiledJob,
+    /// The submitting connection; the worker streams frames to it. The
+    /// mutex serializes frame writes with the connection thread (the
+    /// `accepted` frame is written under this lock *before* the job is
+    /// enqueued, so no unit frame can precede it).
+    stream: Arc<Mutex<TcpStream>>,
+}
+
+/// A bounded MPMC queue: `try_push` fails fast when full (backpressure),
+/// `pop` blocks until a job or close.
+struct JobQueue {
+    inner: Mutex<(VecDeque<QueuedJob>, bool)>,
+    ready: Condvar,
+    cap: usize,
+}
+
+impl JobQueue {
+    fn new(cap: usize) -> Self {
+        JobQueue {
+            inner: Mutex::new((VecDeque::new(), false)),
+            ready: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Enqueues; a full (or closed) queue consumes the job and returns
+    /// `None` — the caller answers `rejected` and the submitter retries
+    /// with a fresh submission. On success returns the queue depth
+    /// *including* the new job.
+    fn try_push(&self, job: QueuedJob) -> Option<usize> {
+        let mut inner = lock_recover(&self.inner);
+        if inner.1 || inner.0.len() >= self.cap {
+            return None;
+        }
+        inner.0.push_back(job);
+        let depth = inner.0.len();
+        drop(inner);
+        self.ready.notify_one();
+        Some(depth)
+    }
+
+    /// Blocks for the next job; `None` once closed *and* drained.
+    fn pop(&self) -> Option<QueuedJob> {
+        let mut inner = lock_recover(&self.inner);
+        loop {
+            if let Some(job) = inner.0.pop_front() {
+                return Some(job);
+            }
+            if inner.1 {
+                return None;
+            }
+            inner = self
+                .ready
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Stops accepting; blocked `pop`s return once the backlog drains.
+    fn close(&self) {
+        lock_recover(&self.inner).1 = true;
+        self.ready.notify_all();
+    }
+}
+
+/// Streams one `unit` frame per record down the submitting connection.
+/// A write failure (client gone) surfaces as [`ExpError::Io`], aborting
+/// the job early in `execute_streaming` — the daemon itself survives.
+struct SocketSink {
+    stream: Arc<Mutex<TcpStream>>,
+    job: u64,
+    units: u64,
+}
+
+impl UnitSink for SocketSink {
+    fn write_unit(&mut self, _unit: &WorkUnit, out: UnitOutput) -> Result<(), ExpError> {
+        let mut s = lock_recover(&self.stream);
+        for record in &out.jsonl {
+            write_frame(&mut *s, &frame_unit(self.job, record)).map_err(ExpError::Io)?;
+        }
+        self.units += 1;
+        Ok(())
+    }
+}
+
+struct Shared {
+    queue: JobQueue,
+    registry: Arc<Registry>,
+    shutting_down: AtomicBool,
+    next_job: AtomicU64,
+    jobs_done: AtomicU64,
+    jobs_failed: AtomicU64,
+    /// The connection that requested shutdown; it gets the final
+    /// `shutdown` frame after the queue drains.
+    shutdown_stream: Mutex<Option<Arc<Mutex<TcpStream>>>>,
+    port: u16,
+}
+
+/// A running daemon started in-process by [`start`].
+pub struct Handle {
+    port: u16,
+    thread: std::thread::JoinHandle<Result<ServeSummary, String>>,
+}
+
+impl Handle {
+    /// The bound port (useful with `ServeOptions::port == 0`).
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+
+    /// Waits for the daemon to exit (something must send `shutdown`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the daemon's startup/runtime error message.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from the daemon thread.
+    pub fn join(self) -> Result<ServeSummary, String> {
+        self.thread.join().expect("serve thread panicked")
+    }
+}
+
+/// Binds and runs the daemon on a background thread — the in-process
+/// form behind the load generator and the integration tests.
+///
+/// # Errors
+///
+/// Returns the bind/startup failure message.
+pub fn start(opts: ServeOptions) -> Result<Handle, String> {
+    audit_env()?;
+    let listener = TcpListener::bind(("127.0.0.1", opts.port))
+        .map_err(|e| format!("cannot bind 127.0.0.1:{}: {e}", opts.port))?;
+    let port = listener
+        .local_addr()
+        .map_err(|e| format!("cannot read bound address: {e}"))?
+        .port();
+    let thread = std::thread::Builder::new()
+        .name("escalate-serve".into())
+        .spawn(move || serve_on(listener, &opts))
+        .map_err(|e| format!("cannot spawn serve thread: {e}"))?;
+    Ok(Handle { port, thread })
+}
+
+/// Runs the daemon on an already-bound listener until a `shutdown`
+/// request drains it. Installs a fresh metrics registry for the run
+/// (restoring whatever was installed before on exit) and honours
+/// `opts.cache` / `opts.port_file`.
+///
+/// # Errors
+///
+/// Returns startup failures (env audit, port file) as messages; runtime
+/// per-connection failures are reported to that client and survived.
+pub fn serve_on(listener: TcpListener, opts: &ServeOptions) -> Result<ServeSummary, String> {
+    audit_env()?;
+    if let Some(cap) = opts.cache {
+        escalate_bench::set_artifact_cache_capacity(cap);
+    }
+    let port = listener
+        .local_addr()
+        .map_err(|e| format!("cannot read bound address: {e}"))?
+        .port();
+    if let Some(path) = &opts.port_file {
+        std::fs::write(path, format!("{port}\n"))
+            .map_err(|e| format!("cannot write port file {}: {e}", path.display()))?;
+    }
+
+    let registry = Arc::new(Registry::new());
+    let previous = escalate_obs::install(Arc::clone(&registry));
+
+    let shared = Arc::new(Shared {
+        queue: JobQueue::new(opts.queue),
+        registry: Arc::clone(&registry),
+        shutting_down: AtomicBool::new(false),
+        next_job: AtomicU64::new(1),
+        jobs_done: AtomicU64::new(0),
+        jobs_failed: AtomicU64::new(0),
+        shutdown_stream: Mutex::new(None),
+        port,
+    });
+
+    let workers: Vec<_> = (0..opts.workers.max(1))
+        .map(|i| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("escalate-serve-worker-{i}"))
+                .spawn(move || worker_loop(&shared))
+                .map_err(|e| format!("cannot spawn worker: {e}"))
+        })
+        .collect::<Result<_, _>>()?;
+
+    let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    for stream in listener.incoming() {
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let shared = Arc::clone(&shared);
+        if let Ok(h) = std::thread::Builder::new()
+            .name("escalate-serve-conn".into())
+            .spawn(move || handle_connection(stream, &shared))
+        {
+            conns.push(h);
+        }
+        conns.retain(|h| !h.is_finished());
+    }
+
+    // Drain: no new connections; finish every queued job, then confirm.
+    for h in conns {
+        let _ = h.join();
+    }
+    shared.queue.close();
+    for w in workers {
+        let _ = w.join();
+    }
+    let summary = ServeSummary {
+        jobs_done: shared.jobs_done.load(Ordering::SeqCst),
+        jobs_failed: shared.jobs_failed.load(Ordering::SeqCst),
+    };
+    if let Some(stream) = lock_recover(&shared.shutdown_stream).take() {
+        let mut s = lock_recover(&stream);
+        let _ = write_frame(&mut *s, &frame_shutdown(summary.jobs_done));
+    }
+
+    escalate_obs::uninstall();
+    if let Some(prev) = previous {
+        escalate_obs::install(prev);
+    }
+    if let Some(path) = &opts.port_file {
+        let _ = std::fs::remove_file(path);
+    }
+    Ok(summary)
+}
+
+/// Reads frames off one connection until EOF (or shutdown).
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    // Bound how long an idle connection can pin its thread once a drain
+    // starts; sub-second so shutdown isn't held hostage by idle clients.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let stream = Arc::new(Mutex::new(stream));
+
+    loop {
+        let frame = match read_frame(&mut reader) {
+            Ok(None) => break,
+            Ok(Some(f)) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                // Oversized line: the stream is desynchronized; report
+                // and drop the connection.
+                let mut s = lock_recover(&stream);
+                let _ = write_frame(&mut *s, &frame_error(None, &e.to_string()));
+                break;
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    break;
+                }
+                continue;
+            }
+            Err(_) => break,
+        };
+        escalate_obs::counter_add("serve.frames", 1);
+        let req = match parse_request(&frame) {
+            Ok(req) => req,
+            Err(msg) => {
+                escalate_obs::counter_add("serve.bad_requests", 1);
+                let mut s = lock_recover(&stream);
+                if write_frame(&mut *s, &frame_error(None, &msg)).is_err() {
+                    break;
+                }
+                continue;
+            }
+        };
+        match req {
+            Request::Ping => {
+                let mut s = lock_recover(&stream);
+                if write_frame(&mut *s, &frame_pong()).is_err() {
+                    break;
+                }
+            }
+            Request::Metrics => {
+                let json = shared.registry.to_json();
+                let mut s = lock_recover(&stream);
+                if write_frame(&mut *s, &frame_metrics(&json)).is_err() {
+                    break;
+                }
+            }
+            Request::Shutdown => {
+                *lock_recover(&shared.shutdown_stream) = Some(Arc::clone(&stream));
+                shared.shutting_down.store(true, Ordering::SeqCst);
+                // Wake the accept loop so it notices the flag.
+                let _ = TcpStream::connect(("127.0.0.1", shared.port));
+                break;
+            }
+            req => submit_job(&req, &stream, shared),
+        }
+    }
+}
+
+/// Compiles and enqueues one job verb, answering `accepted`, `rejected`,
+/// or `error` on the submitting connection.
+fn submit_job(req: &Request, stream: &Arc<Mutex<TcpStream>>, shared: &Shared) {
+    debug_assert!(req.is_job());
+    if shared.shutting_down.load(Ordering::SeqCst) {
+        let mut s = lock_recover(stream);
+        let _ = write_frame(&mut *s, &frame_rejected("shutting down", RETRY_AFTER_MS));
+        return;
+    }
+    let job = match CompiledJob::compile(req) {
+        Ok(job) => job,
+        Err(msg) => {
+            escalate_obs::counter_add("serve.bad_requests", 1);
+            let mut s = lock_recover(stream);
+            let _ = write_frame(&mut *s, &frame_error(None, &msg));
+            return;
+        }
+    };
+    let id = shared.next_job.fetch_add(1, Ordering::SeqCst);
+    let queued = QueuedJob {
+        id,
+        job,
+        stream: Arc::clone(stream),
+    };
+    // Hold the stream lock across enqueue + accepted-frame write: the
+    // worker's first unit frame needs this lock, so `accepted` always
+    // reaches the wire first even though the job is already visible.
+    let mut s = lock_recover(stream);
+    match shared.queue.try_push(queued) {
+        Some(depth) => {
+            escalate_obs::counter_add("serve.jobs_accepted", 1);
+            let _ = write_frame(&mut *s, &frame_accepted(id, depth));
+        }
+        None => {
+            escalate_obs::counter_add("serve.jobs_rejected", 1);
+            let _ = write_frame(&mut *s, &frame_rejected("queue full", RETRY_AFTER_MS));
+        }
+    }
+}
+
+/// One worker: pop, run, stream, report — until the queue closes.
+fn worker_loop(shared: &Shared) {
+    while let Some(queued) = shared.queue.pop() {
+        let verb = queued.job.verb();
+        let started = Instant::now();
+        let mut sink = SocketSink {
+            stream: Arc::clone(&queued.stream),
+            job: queued.id,
+            units: 0,
+        };
+        let result = {
+            let _span = escalate_obs::span_labeled("serve.job", verb);
+            queued.job.run(&mut sink)
+        };
+        let ms = started.elapsed().as_secs_f64() * 1e3;
+        match result {
+            Ok(output) => {
+                shared.jobs_done.fetch_add(1, Ordering::SeqCst);
+                escalate_obs::counter_add("serve.jobs_done", 1);
+                let mut s = lock_recover(&queued.stream);
+                let _ = write_frame(&mut *s, &frame_done(queued.id, sink.units, ms, &output));
+            }
+            Err(e) => {
+                shared.jobs_failed.fetch_add(1, Ordering::SeqCst);
+                escalate_obs::counter_add("serve.jobs_failed", 1);
+                let mut s = lock_recover(&queued.stream);
+                let _ = write_frame(&mut *s, &frame_error(Some(queued.id), &e.to_string()));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_queue_bounds_depth_and_drains_on_close() {
+        let q = JobQueue::new(1);
+        let stream = || {
+            // A connected pair via a throwaway listener.
+            let l = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+            let c = TcpStream::connect(l.local_addr().unwrap()).unwrap();
+            let _ = l.accept().unwrap();
+            Arc::new(Mutex::new(c))
+        };
+        let job = |id| QueuedJob {
+            id,
+            job: CompiledJob::compile(&Request::Report {
+                experiment: "table4".into(),
+            })
+            .unwrap(),
+            stream: stream(),
+        };
+        assert_eq!(q.try_push(job(1)), Some(1));
+        assert!(q.try_push(job(2)).is_none(), "cap 1 rejects the second");
+        q.close();
+        assert!(q.try_push(job(3)).is_none(), "closed queue rejects");
+        assert_eq!(q.pop().map(|j| j.id), Some(1), "backlog drains");
+        assert!(q.pop().is_none(), "then closed");
+    }
+
+    #[test]
+    fn env_audit_refuses_malformed_tuning_vars() {
+        // Serialized via a unique var name to avoid cross-test races.
+        std::env::set_var(THREADS_ENV, "zero");
+        let err = audit_env().unwrap_err();
+        std::env::remove_var(THREADS_ENV);
+        assert!(err.contains(THREADS_ENV), "{err}");
+        assert!(audit_env().is_ok());
+    }
+}

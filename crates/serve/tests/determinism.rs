@@ -1,0 +1,84 @@
+//! The served output must be byte-identical to the one-shot CLI's: a
+//! `simulate` job's `done.output` is exactly what `escalate simulate`
+//! prints, and the streamed unit records carry the same numbers.
+
+use escalate_bench::{render, run_model, ACCELERATOR_NAMES};
+use escalate_models::ModelProfile;
+use escalate_obs::jsonl::{json_f64_field, json_string_field};
+use escalate_serve::{start, submit, Request, ServeOptions};
+use escalate_sim::SimConfig;
+
+#[test]
+fn served_simulate_is_bit_identical_to_the_one_shot_cli() {
+    let model = "MobileNet";
+    let seeds = 2u64;
+
+    // The one-shot path: exactly what `escalate simulate MobileNet
+    // --seeds 2` renders (cmd_simulate = run_model + render_simulate).
+    let profile = ModelProfile::for_model(model).expect("model");
+    let cfg = SimConfig::default();
+    let expected_run = run_model(&profile, &cfg, seeds).expect("one-shot run");
+    let expected = render::render_simulate(&expected_run, &cfg);
+
+    // The served path.
+    let handle = start(ServeOptions::default()).expect("start");
+    let port = handle.port();
+    let frames = submit(
+        port,
+        &Request::Simulate {
+            model: model.into(),
+            m: 6,
+            seeds,
+        },
+    )
+    .expect("submit");
+    let shutdown = submit(port, &Request::Shutdown);
+    handle.join().expect("clean exit");
+    assert!(shutdown.is_ok());
+
+    let done = frames.last().expect("done frame");
+    assert_eq!(
+        json_string_field(done, "type").as_deref(),
+        Some("done"),
+        "{done}"
+    );
+    let output = json_string_field(done, "output").expect("output");
+    assert_eq!(
+        output, expected,
+        "served output must be byte-identical to the one-shot table"
+    );
+
+    // The streamed unit records carry the same numbers, in design order.
+    let units: Vec<&String> = frames
+        .iter()
+        .filter(|f| json_string_field(f, "type").as_deref() == Some("unit"))
+        .collect();
+    assert_eq!(units.len(), ACCELERATOR_NAMES.len());
+    let runs = [
+        &expected_run.eyeriss,
+        &expected_run.scnn,
+        &expected_run.sparten,
+        &expected_run.escalate,
+    ];
+    for (unit, run) in units.iter().zip(runs) {
+        assert_eq!(
+            json_string_field(unit, "name").as_deref(),
+            Some(run.name.as_str()),
+            "{unit}"
+        );
+        assert_eq!(
+            json_f64_field(unit, "mean_cycles")
+                .expect("cycles")
+                .to_bits(),
+            run.cycles.to_bits(),
+            "{unit}"
+        );
+        assert_eq!(
+            json_f64_field(unit, "mean_energy_pj")
+                .expect("energy")
+                .to_bits(),
+            run.energy_pj.to_bits(),
+            "{unit}"
+        );
+    }
+}

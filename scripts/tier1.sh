@@ -41,7 +41,8 @@ cargo bench --offline -p escalate-bench --bench position_kernel \
 # resumed stream to be byte-identical to the cold run — with an identical
 # Pareto summary (it is recomputed from the parsed stream either way).
 SWEEP_DIR="$(mktemp -d)"
-trap 'rm -rf "$SWEEP_DIR"' EXIT
+SERVE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SWEEP_DIR" "$SERVE_DIR"; kill "${SERVE_PID:-}" 2>/dev/null || true' EXIT
 ./target/release/escalate sweep MobileNet --samples 3 --seeds 1 \
   --out "$SWEEP_DIR/cold.jsonl" > "$SWEEP_DIR/cold.txt"
 head -n 1 "$SWEEP_DIR/cold.jsonl" > "$SWEEP_DIR/resumed.jsonl"
@@ -50,6 +51,28 @@ head -n 1 "$SWEEP_DIR/cold.jsonl" > "$SWEEP_DIR/resumed.jsonl"
 cmp "$SWEEP_DIR/cold.jsonl" "$SWEEP_DIR/resumed.jsonl"
 grep -q "2 sample(s) ran, 1 resumed" "$SWEEP_DIR/resumed.txt"
 diff <(tail -n +2 "$SWEEP_DIR/cold.txt") <(tail -n +2 "$SWEEP_DIR/resumed.txt")
+# Serve smoke: an ephemerally-bound daemon (port discovered via
+# --port-file), one job per verb through `escalate submit`, well-formed
+# escalate-run-manifest/v1 unit records, non-empty metrics, and a
+# graceful drain — every step timeout-bounded so a wedged daemon fails
+# the gate instead of hanging it.
+./target/release/escalate serve --port-file "$SERVE_DIR/port" \
+  > "$SERVE_DIR/serve.txt" 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do [ -s "$SERVE_DIR/port" ] && break; sleep 0.1; done
+[ -s "$SERVE_DIR/port" ]
+submit() { timeout 120 ./target/release/escalate submit "$@" --port-file "$SERVE_DIR/port"; }
+submit ping | grep -q '"type": "pong"'
+submit simulate MobileNet --seeds 1 > "$SERVE_DIR/simulate.txt"
+test "$(grep -c '"schema": "escalate-run-manifest/v1"' "$SERVE_DIR/simulate.txt")" -eq 4
+grep -q '"type": "done"' "$SERVE_DIR/simulate.txt"
+submit compress MobileNet | grep -q '"type": "done"'
+submit report table4 | grep -q '"type": "done"'
+submit metrics | grep -q '"serve.jobs_done": 3'
+submit shutdown | grep -q '"drained": true'
+for _ in $(seq 1 300); do kill -0 "$SERVE_PID" 2>/dev/null || break; sleep 0.1; done
+! kill -0 "$SERVE_PID" 2>/dev/null
+grep -q "drained — 3 jobs done, 0 failed" "$SERVE_DIR/serve.txt"
 cargo fmt --check
 cargo clippy --all-targets --offline --workspace -- -D warnings
 cargo clippy --all-targets --offline -p escalate-sim --features simd -- -D warnings
