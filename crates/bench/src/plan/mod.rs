@@ -87,6 +87,17 @@ pub trait RunPlan: Sync {
     ///
     /// Returns an [`ExpError`] on pipeline failures.
     fn run_unit(&self, unit: &WorkUnit) -> Result<UnitOutput, ExpError>;
+
+    /// Optionally reorders *execution* of the pending units (the ones the
+    /// sink has not recorded): returns a permutation of `0..pending.len()`
+    /// giving the order workers should claim work in, or `None` for
+    /// enumeration order. The sink feed always stays in unit order, so a
+    /// schedule changes cache locality — units sharing expensive derived
+    /// state run adjacently — but never a single output byte. A returned
+    /// vector that is not a permutation of `0..pending.len()` is ignored.
+    fn schedule(&self, _pending: &[&WorkUnit]) -> Option<Vec<usize>> {
+        None
+    }
 }
 
 /// Consumes executed units, sequentially in unit order.
@@ -125,11 +136,31 @@ pub fn unit_seed(master: u64, index: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Checks that `order` is a permutation of `0..n`.
+fn is_permutation(order: &[usize], n: usize) -> bool {
+    if order.len() != n {
+        return false;
+    }
+    let mut seen = vec![false; n];
+    for &i in order {
+        if i >= n || seen[i] {
+            return false;
+        }
+        seen[i] = true;
+    }
+    true
+}
+
 /// Drives a plan into a sink: enumerate, drop units the sink already
 /// recorded, run the rest (in parallel when there is more than one — the
 /// collect is order-preserving, so the sink feed and therefore every
 /// rendered byte is identical to a serial run), then feed outputs to the
 /// sink in unit order.
+///
+/// When the plan provides a [`RunPlan::schedule`], units *execute* in the
+/// scheduled order (so cache-friendly neighbours run adjacently) while
+/// outputs are scattered back and fed to the sink in unit order — the
+/// schedule is invisible in the output bytes.
 ///
 /// # Errors
 ///
@@ -147,14 +178,29 @@ pub fn execute(plan: &dyn RunPlan, sink: &mut dyn UnitSink) -> Result<ExecSummar
             pending.push(unit);
         }
     }
-    let outputs: Vec<Result<UnitOutput, ExpError>> = if pending.len() > 1 {
-        pending.par_iter().map(|u| plan.run_unit(u)).collect()
-    } else {
-        pending.iter().map(|u| plan.run_unit(u)).collect()
+    let order: Vec<usize> = match plan.schedule(&pending) {
+        Some(o) if is_permutation(&o, pending.len()) => o,
+        _ => (0..pending.len()).collect(),
     };
+    let mut outputs: Vec<Option<Result<UnitOutput, ExpError>>> =
+        (0..pending.len()).map(|_| None).collect();
+    let executed: Vec<(usize, Result<UnitOutput, ExpError>)> = if pending.len() > 1 {
+        order
+            .par_iter()
+            .map(|&i| (i, plan.run_unit(pending[i])))
+            .collect()
+    } else {
+        order
+            .iter()
+            .map(|&i| (i, plan.run_unit(pending[i])))
+            .collect()
+    };
+    for (i, out) in executed {
+        outputs[i] = Some(out);
+    }
     let ran = pending.len();
     for (unit, output) in pending.into_iter().zip(outputs) {
-        sink.write_unit(unit, output?)?;
+        sink.write_unit(unit, output.expect("every pending slot filled")?)?;
     }
     Ok(ExecSummary { ran, skipped })
 }
@@ -515,6 +561,97 @@ mod tests {
             }
             self.written.push(unit.key.clone());
             Ok(())
+        }
+    }
+
+    /// A plan with a custom execution schedule (reverse order, or a
+    /// deliberately malformed one) that records what `schedule` was
+    /// offered.
+    struct Scheduled {
+        inner: Toy,
+        order: Vec<usize>,
+        offered: std::sync::Mutex<Vec<String>>,
+    }
+
+    impl RunPlan for Scheduled {
+        fn name(&self) -> &str {
+            "scheduled"
+        }
+
+        fn units(&self) -> Result<Vec<WorkUnit>, ExpError> {
+            self.inner.units()
+        }
+
+        fn run_unit(&self, unit: &WorkUnit) -> Result<UnitOutput, ExpError> {
+            self.inner.run_unit(unit)
+        }
+
+        fn schedule(&self, pending: &[&WorkUnit]) -> Option<Vec<usize>> {
+            *self.offered.lock().expect("lock") = pending.iter().map(|u| u.key.clone()).collect();
+            Some(self.order.clone())
+        }
+    }
+
+    #[test]
+    fn schedule_sees_only_pending_units_and_never_changes_sink_order() {
+        // u1/u3 are already recorded; the schedule is offered the other
+        // three and reverses their execution order — the sink feed must
+        // come out in unit order regardless.
+        let plan = Scheduled {
+            inner: Toy { n: 5, master: 9 },
+            order: vec![2, 1, 0],
+            offered: std::sync::Mutex::new(Vec::new()),
+        };
+        let mut sink = Skipping {
+            have: vec!["u1".into(), "u3".into()],
+            inner: TableSink::default(),
+        };
+        let summary = execute(&plan, &mut sink).expect("runs");
+        assert_eq!(summary, ExecSummary { ran: 3, skipped: 2 });
+        assert_eq!(
+            *plan.offered.lock().expect("lock"),
+            ["u0", "u2", "u4"],
+            "schedule is offered exactly the pending units"
+        );
+        let keys: Vec<&str> = sink
+            .inner
+            .tables
+            .iter()
+            .map(|t| t.lines()[0].split_whitespace().next().expect("key"))
+            .collect();
+        assert_eq!(keys, ["u0", "u2", "u4"], "sink order is unit order");
+    }
+
+    #[test]
+    fn scheduled_and_unscheduled_runs_render_identically() {
+        let plain = Toy { n: 8, master: 21 };
+        let mut a = TableSink::default();
+        execute(&plain, &mut a).expect("plain");
+        let scheduled = Scheduled {
+            inner: Toy { n: 8, master: 21 },
+            order: (0..8).rev().collect(),
+            offered: std::sync::Mutex::new(Vec::new()),
+        };
+        let mut b = TableSink::default();
+        execute(&scheduled, &mut b).expect("scheduled");
+        let render = |s: &TableSink| -> Vec<String> {
+            s.tables.iter().map(|t| t.lines()[0].clone()).collect()
+        };
+        assert_eq!(render(&a), render(&b), "a schedule may not change bytes");
+    }
+
+    #[test]
+    fn malformed_schedules_fall_back_to_enumeration_order() {
+        for bad in [vec![0, 0, 2], vec![0, 1], vec![0, 1, 7]] {
+            let plan = Scheduled {
+                inner: Toy { n: 3, master: 1 },
+                order: bad,
+                offered: std::sync::Mutex::new(Vec::new()),
+            };
+            let mut sink = TableSink::default();
+            let summary = execute(&plan, &mut sink).expect("runs");
+            assert_eq!(summary, ExecSummary { ran: 3, skipped: 0 });
+            assert_eq!(sink.tables.len(), 3, "all units still ran");
         }
     }
 

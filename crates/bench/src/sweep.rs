@@ -43,6 +43,47 @@ const OUTPUT_BUF_CHOICES: [usize; 3] = [2048, 4096, 8192];
 /// Candidate `sample_channels` fidelity settings.
 const SAMPLE_CH_CHOICES: [usize; 3] = [4, 8, 16];
 
+/// How the sweep draws design points from the declared ranges
+/// (`--sampler`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Sampler {
+    /// Independent pseudo-random draws per sample (the original sampler;
+    /// streams and frontiers are byte-identical to earlier releases).
+    #[default]
+    Uniform,
+    /// Low-discrepancy Halton draws: sample `i` takes dimension `d` from
+    /// the radical inverse of `i` in the `d`-th prime base, so small grids
+    /// cover the design space far more evenly than independent draws
+    /// (uniform sampling leaves clusters and holes at a few hundred
+    /// points). The master seed offsets the sequence start.
+    Halton,
+}
+
+impl Sampler {
+    /// Parses a `--sampler` value.
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message for anything but `uniform` / `halton`.
+    pub fn parse(s: &str) -> Result<Sampler, String> {
+        match s {
+            "uniform" => Ok(Sampler::Uniform),
+            "halton" => Ok(Sampler::Halton),
+            other => Err(format!("unknown sampler {other:?} (uniform, halton)")),
+        }
+    }
+}
+
+/// What to do with a frontier golden file (`--check` / `--update`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GoldenMode {
+    /// Compare the rendered frontier tables against the file; any drift
+    /// is an error (the CI path).
+    Check,
+    /// Rewrite the file with the rendered frontier tables.
+    Update,
+}
+
 /// What `escalate sweep` was asked to do.
 #[derive(Debug, Clone)]
 pub struct SweepOptions {
@@ -64,6 +105,10 @@ pub struct SweepOptions {
     /// Inclusive range of PE counts (`--pe A..B`); only powers of two in
     /// the range are sampled.
     pub pe_range: (usize, usize),
+    /// Design-point sampler (`--sampler`).
+    pub sampler: Sampler,
+    /// Frontier golden file to check or update, if any.
+    pub golden: Option<(PathBuf, GoldenMode)>,
 }
 
 impl Default for SweepOptions {
@@ -77,6 +122,8 @@ impl Default for SweepOptions {
             out: PathBuf::from("sweep.jsonl"),
             m_range: (4, 8),
             pe_range: (8, 64),
+            sampler: Sampler::Uniform,
+            golden: None,
         }
     }
 }
@@ -152,6 +199,55 @@ fn sample_point(seed: u64, opts: &SweepOptions, pes: &[usize]) -> DesignPoint {
         psum_buf_bytes: rng.pick(&PSUM_BUF_CHOICES),
         output_buf_bytes: rng.pick(&OUTPUT_BUF_CHOICES),
         sample_channels: rng.pick(&SAMPLE_CH_CHOICES),
+    }
+}
+
+/// Prime bases of the eight Halton dimensions (one per design knob, in
+/// draw order).
+const HALTON_PRIMES: [u64; 8] = [2, 3, 5, 7, 11, 13, 17, 19];
+
+/// The radical inverse of `i` in `base`: reflect `i`'s base-`base` digits
+/// across the radix point. Uniform in `[0, 1)` and low-discrepancy over
+/// consecutive `i`.
+fn radical_inverse(base: u64, mut i: u64) -> f64 {
+    let mut inv = 0.0;
+    let mut denom = 1.0;
+    while i > 0 {
+        denom *= base as f64;
+        inv += (i % base) as f64 / denom;
+        i /= base;
+    }
+    inv
+}
+
+/// Maps a `[0, 1)` fraction onto one of `options` (equal-width bins).
+fn frac_pick(v: f64, options: &[usize]) -> usize {
+    options[((v * options.len() as f64) as usize).min(options.len() - 1)]
+}
+
+/// Maps a `[0, 1)` fraction into an inclusive range (equal-width bins).
+fn frac_in_range(v: f64, (lo, hi): (usize, usize)) -> usize {
+    lo + ((v * (hi - lo + 1) as f64) as usize).min(hi - lo)
+}
+
+/// Draws sample `i`'s design point from the Halton sequence. The master
+/// seed picks where in the (infinite) sequence the sweep starts, so
+/// different seeds still explore different grids; like [`sample_point`]
+/// the draw depends only on `(sample, master seed, ranges)`.
+fn halton_point(sample: usize, opts: &SweepOptions, pes: &[usize]) -> DesignPoint {
+    // Offset past the degenerate i=0 prefix; bounded so the radical
+    // inverse stays cheap.
+    let i = sample as u64 + 1 + opts.master_seed % 8191;
+    let dim = |d: usize| radical_inverse(HALTON_PRIMES[d], i);
+    DesignPoint {
+        m: frac_in_range(dim(0), opts.m_range),
+        n_pe: frac_pick(dim(1), pes),
+        input_bus_bytes: frac_pick(dim(2), &BUS_CHOICES),
+        input_buf_bytes: frac_pick(dim(3), &INPUT_BUF_CHOICES),
+        coef_buf_bytes: frac_pick(dim(4), &COEF_BUF_CHOICES),
+        psum_buf_bytes: frac_pick(dim(5), &PSUM_BUF_CHOICES),
+        output_buf_bytes: frac_pick(dim(6), &OUTPUT_BUF_CHOICES),
+        sample_channels: frac_pick(dim(7), &SAMPLE_CH_CHOICES),
     }
 }
 
@@ -257,11 +353,26 @@ impl SweepPlan {
         // The key pins everything that changes the record's bytes:
         // network, sample index, the derived seed (covers master seed and
         // ranges only through the draw — the seed alone already
-        // distinguishes master seeds), and the input-seed count.
+        // distinguishes master seeds), and the input-seed count. The
+        // Halton sampler marks its keys `h` instead of `s`, so a resumed
+        // stream can never splice records from the other sampler's grid.
+        let marker = match self.opts.sampler {
+            Sampler::Uniform => 's',
+            Sampler::Halton => 'h',
+        };
         format!(
-            "{network}/s{sample:03}-{seed:016x}-n{}",
+            "{network}/{marker}{sample:03}-{seed:016x}-n{}",
             self.opts.input_seeds
         )
+    }
+
+    /// Draws the design point for `(sample, seed)` under the configured
+    /// sampler.
+    fn point_for(&self, sample: usize, seed: u64, pes: &[usize]) -> DesignPoint {
+        match self.opts.sampler {
+            Sampler::Uniform => sample_point(seed, &self.opts, pes),
+            Sampler::Halton => halton_point(sample, &self.opts, pes),
+        }
     }
 }
 
@@ -305,17 +416,24 @@ impl RunPlan for SweepPlan {
         let profile = ModelProfile::for_model(network)
             .ok_or_else(|| ExpError::Msg(format!("unknown network {network:?}")))?;
         let pes = pe_choices(self.opts.pe_range);
-        let point = sample_point(unit.seed, &self.opts, &pes);
+        let point = self.point_for(sample, unit.seed, &pes);
         let mut cfg = point.to_config();
         cfg.threads = self.opts.threads;
-        let artifacts = crate::compress_cached(
+        // The sweep's whole point is thousands of design points over a few
+        // `(network, M)` pairs: share every hardware-invariant derived
+        // artifact — compression, the workload, activation masks, compiled
+        // position plans — across points. Results are bit-identical to a
+        // cold run (the caches replay/verify, never approximate).
+        cfg.share_derived = true;
+        let workload = crate::workload_cached(
             &profile,
             &CompressionConfig {
                 m: cfg.m,
+                reuse_units: true,
                 ..CompressionConfig::default()
             },
         )?;
-        let run = crate::run_escalate(&profile, &artifacts, &cfg, self.opts.input_seeds);
+        let run = crate::run_escalate_workload(&workload, &cfg, self.opts.input_seeds);
         let record = SweepRecord {
             key: unit.key.clone(),
             network: network.clone(),
@@ -342,18 +460,118 @@ impl RunPlan for SweepPlan {
             jsonl: vec![record.to_json_line()],
         })
     }
+
+    fn schedule(&self, pending: &[&WorkUnit]) -> Option<Vec<usize>> {
+        // Execute points grouped by their shared derived state: first by
+        // network, then by `M` (the compression/workload cache key), then
+        // by the fidelity knob (the plan-cache key includes the channel
+        // sample). Adjacent units hit the caches while their entries are
+        // hot, so small capacities stop thrashing on large grids. The
+        // stable sort keeps enumeration order inside each group, and the
+        // sink feed is unit-ordered regardless — the schedule cannot
+        // change output bytes.
+        let pes = pe_choices(self.opts.pe_range);
+        if pes.is_empty() {
+            return None;
+        }
+        let mut order: Vec<usize> = (0..pending.len()).collect();
+        order.sort_by_key(|&i| {
+            let unit = pending[i];
+            let sample = unit.index % self.opts.samples;
+            let point = self.point_for(sample, unit.seed, &pes);
+            (
+                unit.index / self.opts.samples,
+                point.m,
+                point.sample_channels,
+            )
+        });
+        Some(order)
+    }
+}
+
+/// Whether `a` strictly dominates `b` when minimizing every coordinate:
+/// no worse on all three, strictly better on at least one.
+fn dominates(a: &(f64, f64, f64), b: &(f64, f64, f64)) -> bool {
+    a.0 <= b.0 && a.1 <= b.1 && a.2 <= b.2 && (a.0 < b.0 || a.1 < b.1 || a.2 < b.2)
 }
 
 /// Indices of the Pareto-optimal points when minimizing every coordinate
 /// of `(cycles, energy, area)`: a point survives unless some other point
 /// is no worse on all three and strictly better on at least one.
+///
+/// The batch reference implementation — O(n²) over the whole set every
+/// call. Streaming consumers use [`ParetoFrontier`], which maintains the
+/// identical set online; this stays as the differential oracle.
 pub fn pareto_indices(points: &[(f64, f64, f64)]) -> Vec<usize> {
-    let dominates = |a: &(f64, f64, f64), b: &(f64, f64, f64)| {
-        a.0 <= b.0 && a.1 <= b.1 && a.2 <= b.2 && (a.0 < b.0 || a.1 < b.1 || a.2 < b.2)
-    };
     (0..points.len())
         .filter(|&i| !points.iter().any(|p| dominates(p, &points[i])))
         .collect()
+}
+
+/// An online Pareto frontier over `(cycles, energy, area)`: points stream
+/// in one at a time and the structure keeps exactly the undominated ones.
+///
+/// Each insert compares the candidate against current *members only*
+/// (frontiers are tiny next to the streams that feed them), discarding it
+/// if any member strictly dominates it — by transitivity nothing the
+/// member already beat needs re-checking — and otherwise evicting the
+/// members it strictly dominates. Equal points never dominate each other,
+/// so duplicates coexist, exactly as in [`pareto_indices`]; the final
+/// member set is identical to the batch recompute for every input order.
+#[derive(Debug, Default)]
+pub struct ParetoFrontier {
+    /// Undominated `(insertion index, metrics)` pairs, in insertion order.
+    members: Vec<(usize, (f64, f64, f64))>,
+    /// Dominance comparisons performed so far (the frontier-update cost a
+    /// sweep reports as `sweep.frontier_comparisons`).
+    comparisons: u64,
+}
+
+impl ParetoFrontier {
+    /// An empty frontier.
+    pub fn new() -> ParetoFrontier {
+        ParetoFrontier::default()
+    }
+
+    /// Offers one point; keeps the frontier exactly Pareto-optimal.
+    pub fn insert(&mut self, index: usize, point: (f64, f64, f64)) {
+        for (_, member) in &self.members {
+            self.comparisons += 1;
+            if dominates(member, &point) {
+                return;
+            }
+        }
+        let mut evictions = 0u64;
+        self.members.retain(|(_, member)| {
+            evictions += 1;
+            !dominates(&point, member)
+        });
+        self.comparisons += evictions;
+        self.members.push((index, point));
+    }
+
+    /// Indices of the surviving points, ascending — the same order
+    /// [`pareto_indices`] returns.
+    pub fn indices(&self) -> Vec<usize> {
+        let mut idx: Vec<usize> = self.members.iter().map(|&(i, _)| i).collect();
+        idx.sort_unstable();
+        idx
+    }
+
+    /// Frontier size.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether no point survived (or none was offered).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Total dominance comparisons across all inserts.
+    pub fn comparisons(&self) -> u64 {
+        self.comparisons
+    }
 }
 
 /// Renders one network's Pareto frontier table (rows sorted by cycles).
@@ -362,11 +580,12 @@ fn render_frontier(
     network: &str,
     records: &[SweepRecord],
 ) -> std::io::Result<()> {
-    let metrics: Vec<(f64, f64, f64)> = records
-        .iter()
-        .map(|r| (r.cycles, r.energy_mj, r.area_mm2))
-        .collect();
-    let mut frontier = pareto_indices(&metrics);
+    let mut front = ParetoFrontier::new();
+    for (i, r) in records.iter().enumerate() {
+        front.insert(i, (r.cycles, r.energy_mj, r.area_mm2));
+    }
+    escalate_obs::counter_add("sweep.frontier_comparisons", front.comparisons());
+    let mut frontier = front.indices();
     frontier.sort_by(|&a, &b| {
         records[a]
             .cycles
@@ -417,21 +636,60 @@ fn render_frontier(
     Ok(())
 }
 
+/// The stderr warning for a sweep whose distinct `(network, M)` artifact
+/// working set exceeds the artifact-cache capacity, or `None` when the
+/// cache held (unbounded cache, working set fits, or nothing was actually
+/// evicted — e.g. a fully resumed run never compressed at all).
+fn cache_thrash_warning(distinct: usize, capacity: usize, evictions: u64) -> Option<String> {
+    if capacity == 0 || distinct <= capacity || evictions == 0 {
+        return None;
+    }
+    Some(format!(
+        "warning: sweep visits {distinct} distinct (network, M) artifact(s) but the \
+         artifact cache holds {capacity} ({}); {evictions} eviction(s) forced recompression \
+         — raise {} to at least {distinct} to compress each pair once",
+        crate::CACHE_CAP_ENV,
+        crate::CACHE_CAP_ENV,
+    ))
+}
+
 /// Runs (or resumes) a sweep: executes the grid through the shared plan
-/// layer with the JSONL sink, then renders each network's Pareto
-/// frontier from the full parsed stream — so a resumed run prints
-/// exactly what the uninterrupted run would have.
+/// layer with the JSONL sink — units scheduled by shared `(network, M)`
+/// state, each point simulating with the derived-state caches on — then
+/// renders each network's Pareto frontier from the full parsed stream, so
+/// a resumed run prints exactly what the uninterrupted run would have.
+/// With a golden configured, the frontier bytes are checked against (or
+/// rewritten to) the file.
 ///
 /// # Errors
 ///
-/// Returns an [`ExpError`] on invalid options, simulation failures, or
-/// stream I/O failures.
+/// Returns an [`ExpError`] on invalid options, simulation failures,
+/// stream I/O failures, or frontier drift from a checked golden.
 pub fn run_sweep(opts: &SweepOptions, out: &mut dyn Write) -> Result<(), ExpError> {
     escalate_core::par::configure_threads(opts.threads);
     let plan = SweepPlan::new(opts.clone());
     let units = plan.units()?; // validate before touching the stream
+    let evictions_before = crate::artifact_cache_evictions();
     let mut sink = JsonlSink::open(&opts.out)?;
     let summary = plan::execute(&plan, &mut sink)?;
+    // Warn (once, on stderr) when the grid's artifact working set cannot
+    // fit the cache: every revisit of an evicted (network, M) pair
+    // recompresses from scratch, usually the dominant cost of the run.
+    let pes = pe_choices(opts.pe_range);
+    let mut pairs: Vec<(usize, usize)> = units
+        .iter()
+        .map(|u| {
+            let point = plan.point_for(u.index % opts.samples, u.seed, &pes);
+            (u.index / opts.samples, point.m)
+        })
+        .collect();
+    pairs.sort_unstable();
+    pairs.dedup();
+    let evicted = crate::artifact_cache_evictions() - evictions_before;
+    if let Some(msg) = cache_thrash_warning(pairs.len(), crate::artifact_cache_capacity(), evicted)
+    {
+        eprintln!("{msg}");
+    }
     writeln!(
         out,
         "sweep: {} sample(s) ran, {} resumed -> {}",
@@ -439,6 +697,9 @@ pub fn run_sweep(opts: &SweepOptions, out: &mut dyn Write) -> Result<(), ExpErro
         summary.skipped,
         sink.path().display()
     )?;
+    // Frontiers render into a buffer first, so the same bytes can serve
+    // the terminal and the golden check/update.
+    let mut front_buf: Vec<u8> = Vec::new();
     for network in &opts.networks {
         let mut records = Vec::with_capacity(opts.samples);
         for unit in units
@@ -454,8 +715,28 @@ pub fn run_sweep(opts: &SweepOptions, out: &mut dyn Write) -> Result<(), ExpErro
                 })?);
             }
         }
-        writeln!(out)?;
-        render_frontier(out, network, &records)?;
+        writeln!(front_buf)?;
+        render_frontier(&mut front_buf, network, &records)?;
+    }
+    out.write_all(&front_buf)?;
+    match &opts.golden {
+        None => {}
+        Some((path, GoldenMode::Update)) => {
+            std::fs::write(path, &front_buf)
+                .map_err(|e| ExpError::Msg(format!("cannot write {}: {e}", path.display())))?;
+            writeln!(out, "frontier golden updated -> {}", path.display())?;
+        }
+        Some((path, GoldenMode::Check)) => {
+            let want = std::fs::read(path)
+                .map_err(|e| ExpError::Msg(format!("cannot read {}: {e}", path.display())))?;
+            if want != front_buf {
+                return Err(ExpError::Msg(format!(
+                    "frontier drift vs {} (rerun with --update to accept the new frontier)",
+                    path.display()
+                )));
+            }
+            writeln!(out, "frontier matches {}", path.display())?;
+        }
     }
     Ok(())
 }
@@ -558,6 +839,150 @@ mod tests {
         assert_eq!(SweepRecord::from_json_line("{\"key\": \"torn"), None);
         let wrong_schema = line.replace("escalate-sweep/v1", "escalate-other/v9");
         assert_eq!(SweepRecord::from_json_line(&wrong_schema), None);
+    }
+
+    #[test]
+    fn halton_sampling_is_deterministic_in_range_and_seed_sensitive() {
+        let opts = SweepOptions {
+            sampler: Sampler::Halton,
+            ..SweepOptions::default()
+        };
+        let pes = pe_choices(opts.pe_range);
+        for s in 0..64 {
+            let a = halton_point(s, &opts, &pes);
+            assert_eq!(a, halton_point(s, &opts, &pes), "same sample redraws");
+            assert!(a.m >= opts.m_range.0 && a.m <= opts.m_range.1);
+            assert!(pes.contains(&a.n_pe));
+            assert!(BUS_CHOICES.contains(&a.input_bus_bytes));
+            assert!(INPUT_BUF_CHOICES.contains(&a.input_buf_bytes));
+            assert!(COEF_BUF_CHOICES.contains(&a.coef_buf_bytes));
+            assert!(PSUM_BUF_CHOICES.contains(&a.psum_buf_bytes));
+            assert!(OUTPUT_BUF_CHOICES.contains(&a.output_buf_bytes));
+            assert!(SAMPLE_CH_CHOICES.contains(&a.sample_channels));
+        }
+        let pts: Vec<DesignPoint> = (0..16).map(|s| halton_point(s, &opts, &pes)).collect();
+        assert!(pts.iter().any(|p| p != &pts[0]), "sampler never varied");
+        let other = SweepOptions {
+            master_seed: 7,
+            ..opts.clone()
+        };
+        let moved: Vec<DesignPoint> = (0..16).map(|s| halton_point(s, &other, &pes)).collect();
+        assert_ne!(pts, moved, "master seed must move the sequence");
+    }
+
+    #[test]
+    fn halton_covers_the_m_range_evenly_at_small_sample_counts() {
+        // 16 consecutive base-2 radical inverses hit every one of the 5
+        // M bins — the whole point of a low-discrepancy draw.
+        let opts = SweepOptions {
+            sampler: Sampler::Halton,
+            ..SweepOptions::default()
+        };
+        let pes = pe_choices(opts.pe_range);
+        let mut seen: Vec<usize> = (0..16).map(|s| halton_point(s, &opts, &pes).m).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen, [4, 5, 6, 7, 8], "every M bin visited");
+    }
+
+    #[test]
+    fn sampler_parses_and_marks_keys_distinctly() {
+        assert_eq!(Sampler::parse("uniform"), Ok(Sampler::Uniform));
+        assert_eq!(Sampler::parse("halton"), Ok(Sampler::Halton));
+        assert!(Sampler::parse("sobol").is_err());
+        let uniform = SweepPlan::new(SweepOptions {
+            networks: vec!["MobileNet".into()],
+            samples: 1,
+            ..SweepOptions::default()
+        });
+        let halton = SweepPlan::new(SweepOptions {
+            networks: vec!["MobileNet".into()],
+            samples: 1,
+            sampler: Sampler::Halton,
+            ..SweepOptions::default()
+        });
+        let uk = &uniform.units().expect("units")[0].key;
+        let hk = &halton.units().expect("units")[0].key;
+        assert!(uk.starts_with("MobileNet/s000"), "{uk}");
+        assert!(hk.starts_with("MobileNet/h000"), "{hk}");
+        assert_ne!(uk, hk, "the two samplers may never share resume keys");
+    }
+
+    #[test]
+    fn schedule_groups_pending_units_by_network_then_m() {
+        let opts = SweepOptions {
+            networks: vec!["MobileNet".into(), "VGG16".into()],
+            samples: 16,
+            ..SweepOptions::default()
+        };
+        let plan = SweepPlan::new(opts.clone());
+        let units = plan.units().expect("units");
+        let pending: Vec<&WorkUnit> = units.iter().collect();
+        let order = plan.schedule(&pending).expect("sweep schedules");
+        // Valid permutation.
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..pending.len()).collect::<Vec<_>>());
+        // (network, M) never interleaves: each pair appears as one run.
+        let pes = pe_choices(opts.pe_range);
+        let keys: Vec<(usize, usize)> = order
+            .iter()
+            .map(|&i| {
+                let u = pending[i];
+                let p = plan.point_for(u.index % opts.samples, u.seed, &pes);
+                (u.index / opts.samples, p.m)
+            })
+            .collect();
+        let mut seen: Vec<(usize, usize)> = Vec::new();
+        for k in keys {
+            if seen.last() != Some(&k) {
+                assert!(!seen.contains(&k), "group {k:?} appeared twice");
+                seen.push(k);
+            }
+        }
+    }
+
+    #[test]
+    fn online_frontier_matches_the_batch_oracle() {
+        // Pseudo-random points (LCG; no external entropy) in several
+        // orders — the online structure must agree with the O(n²) oracle
+        // on every prefix-independent final set.
+        let mut state = 0x2545_f491_4f6c_dd1du64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) % 1000) as f64
+        };
+        let pts: Vec<(f64, f64, f64)> = (0..200).map(|_| (next(), next(), next())).collect();
+        let mut front = ParetoFrontier::new();
+        for (i, p) in pts.iter().enumerate() {
+            front.insert(i, *p);
+        }
+        assert_eq!(front.indices(), pareto_indices(&pts));
+        assert!(front.comparisons() > 0);
+        // Duplicates of a frontier point coexist, as in the oracle.
+        let dup = [(1.0, 2.0, 3.0), (1.0, 2.0, 3.0), (2.0, 3.0, 4.0)];
+        let mut f = ParetoFrontier::new();
+        for (i, p) in dup.iter().enumerate() {
+            f.insert(i, *p);
+        }
+        assert_eq!(f.indices(), pareto_indices(&dup));
+        assert_eq!(f.len(), 2);
+        assert!(!f.is_empty());
+        assert!(ParetoFrontier::new().is_empty());
+    }
+
+    #[test]
+    fn thrash_warning_fires_only_for_undersized_caches() {
+        assert_eq!(cache_thrash_warning(4, 0, 9), None, "unbounded cache");
+        assert_eq!(cache_thrash_warning(4, 4, 9), None, "working set fits");
+        assert_eq!(cache_thrash_warning(4, 8, 9), None, "cache larger");
+        assert_eq!(cache_thrash_warning(4, 2, 0), None, "nothing evicted");
+        let msg = cache_thrash_warning(4, 2, 9).expect("undersized cache warns");
+        assert!(msg.contains("4 distinct"), "{msg}");
+        assert!(msg.contains("9 eviction(s)"), "{msg}");
+        assert!(msg.contains(crate::CACHE_CAP_ENV), "{msg}");
     }
 
     #[test]

@@ -81,6 +81,12 @@ COMMANDS:
         --pe <A..B>    PE-count range; powers of two sampled (default 8..64)
         --out <FILE>   JSONL stream (default sweep.jsonl); re-running the
                        same sweep resumes it — recorded points are skipped
+        --sampler <S>  design-point sampler: uniform (default) or halton
+                       (low-discrepancy; covers small grids evenly)
+        --check <FILE>   fail on any frontier drift vs a golden file
+        --update <FILE>  rewrite the frontier golden file
+        --metrics <FILE> write a JSON counter snapshot after the run
+                       (derived-cache hits, plan reuses, frontier cost)
         --threads <N>  host threads (as for simulate)
                        (the fixed-MAC-budget M sweep is `report fig12`)
     characterize <MODEL>           compute/traffic structure per layer
@@ -319,8 +325,11 @@ fn cmd_simulate(args: &ParsedArgs) -> Result<String, CliError> {
 }
 
 fn cmd_sweep(args: &ParsedArgs) -> Result<String, CliError> {
-    use escalate_bench::sweep::{parse_range, run_sweep, SweepOptions};
-    args.ensure_known(&["samples", "seed", "seeds", "m", "pe", "out", "threads"])?;
+    use escalate_bench::sweep::{parse_range, run_sweep, GoldenMode, Sampler, SweepOptions};
+    args.ensure_known(&[
+        "samples", "seed", "seeds", "m", "pe", "out", "threads", "sampler", "check", "update",
+        "metrics",
+    ])?;
     let mut opts = SweepOptions::default();
     if !args.positional.is_empty() {
         opts.networks = args.positional.clone();
@@ -359,8 +368,53 @@ fn cmd_sweep(args: &ParsedArgs) -> Result<String, CliError> {
         }
         opts.out = std::path::PathBuf::from(path);
     }
+    if let Some(v) = args.options.get("sampler") {
+        opts.sampler = Sampler::parse(v).map_err(|msg| {
+            CliError::Args(ArgError::BadValue {
+                option: "sampler".into(),
+                value: msg,
+                expected: "uniform or halton",
+            })
+        })?;
+    }
+    // `--check`/`--update` take the golden path as their value; the bare
+    // flag sentinel "true" is refused like `--out`'s.
+    for (name, mode) in [("check", GoldenMode::Check), ("update", GoldenMode::Update)] {
+        let Some(path) = args.options.get(name) else {
+            continue;
+        };
+        if path == "true" {
+            return Err(CliError::Args(ArgError::BadValue {
+                option: name.into(),
+                value: "true".into(),
+                expected: "a frontier golden file path",
+            }));
+        }
+        if opts.golden.is_some() {
+            return Err(CliError::Args(ArgError::BadValue {
+                option: name.into(),
+                value: path.clone(),
+                expected: "only one of --check/--update",
+            }));
+        }
+        opts.golden = Some((std::path::PathBuf::from(path), mode));
+    }
+    let metrics_path = args.options.get("metrics").cloned();
+    let registry = metrics_path.as_ref().map(|_| {
+        let r = std::sync::Arc::new(escalate_obs::Registry::new());
+        escalate_obs::install(std::sync::Arc::clone(&r));
+        r
+    });
     let mut buf = Vec::new();
-    run_sweep(&opts, &mut buf).map_err(|e| CliError::Pipeline(e.to_string()))?;
+    let run = run_sweep(&opts, &mut buf);
+    if registry.is_some() {
+        escalate_obs::uninstall();
+    }
+    run.map_err(|e| CliError::Pipeline(e.to_string()))?;
+    if let (Some(path), Some(reg)) = (&metrics_path, &registry) {
+        std::fs::write(path, reg.to_json())
+            .map_err(|e| CliError::Pipeline(format!("cannot write {path}: {e}")))?;
+    }
     String::from_utf8(buf)
         .map_err(|e| CliError::Pipeline(format!("sweep produced non-UTF-8 output: {e}")))
 }

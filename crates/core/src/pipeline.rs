@@ -18,8 +18,10 @@ use crate::qat::{retrain_coeffs, QatConfig};
 use crate::quant::{threshold_for_sparsity, HybridQuantized, QuantizedBasis, TernaryCoeffs};
 use escalate_models::{synth, LayerKind, LayerShape, ModelProfile};
 use escalate_sparse::TwoLevelSparseMap;
-use escalate_tensor::Tensor;
+use escalate_tensor::{Matrix, Tensor};
 use rayon::prelude::*;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Configuration of the compression pipeline.
 #[derive(Debug, Clone, Copy)]
@@ -36,6 +38,14 @@ pub struct CompressionConfig {
     pub qat_epochs: usize,
     /// Base RNG seed.
     pub seed: u64,
+    /// Share `M`-invariant intermediates across repeated compressions of
+    /// the same model (synthetic weights; whole pointwise/dense units,
+    /// which never consult `M`) through bounded process-global caches.
+    /// Purely a time/memory trade — every cached value is a deterministic
+    /// function of its key, so results are bit-identical either way.
+    /// Design-space sweeps opt in; one-shot compressions should leave it
+    /// off and skip the resident cache footprint.
+    pub reuse_units: bool,
 }
 
 impl Default for CompressionConfig {
@@ -47,6 +57,7 @@ impl Default for CompressionConfig {
             weight_noise: 0.05,
             qat_epochs: 0,
             seed: 42,
+            reuse_units: false,
         }
     }
 }
@@ -207,10 +218,13 @@ pub fn compress_layer_artifact(
     target_sparsity: f64,
     seed: u64,
 ) -> Result<CompressedLayer, EscalateError> {
-    let w = {
-        let _t = escalate_obs::span("pipeline.synth");
-        synth::weights(layer, cfg.weight_rank, cfg.weight_noise, seed)
-    };
+    let w = synth_weights(
+        layer,
+        cfg.weight_rank,
+        cfg.weight_noise,
+        seed,
+        cfg.reuse_units,
+    );
     let rs = layer.r * layer.s;
     let m = cfg.m.min(rs);
     let d = {
@@ -255,13 +269,18 @@ fn compress_decomposed(
     let hybrid = HybridQuantized { basis, coeffs };
 
     let _t = escalate_obs::span("pipeline.reconstruct");
-    let recon = hybrid.to_decomposed().reconstruct();
-    let weight_error = if original.shape() == recon.shape() {
-        original.relative_error(&recon)
+    let dec = hybrid.to_decomposed();
+    // `reconstruct()` always produces a `[K, C, R, S]` tensor, so which
+    // branch runs is known from the geometry alone — the DSC fold (whose
+    // "original" is the flattened (dw, pw) pair) never materializes the
+    // reconstruction it would immediately discard.
+    let recon_shape = [dec.k(), dec.c(), dec.r(), dec.s()];
+    let weight_error = if original.shape() == &recon_shape[..] {
+        original.relative_error(&dec.reconstruct())
     } else {
-        // DSC fold: the original is the (dw, pw) pair; error is measured
-        // against the decomposed-then-reconstructed coefficients instead.
-        d.coeffs.relative_error(&hybrid.to_decomposed().coeffs)
+        // DSC fold: error is measured against the decomposed-then-
+        // reconstructed coefficients instead.
+        d.coeffs.relative_error(&dec.coeffs)
     };
 
     let original_params = original.len();
@@ -287,11 +306,12 @@ fn compress_decomposed(
 /// basis).
 fn compress_pointwise(
     layer: &LayerShape,
-    _cfg: &CompressionConfig,
+    cfg: &CompressionConfig,
     target_sparsity: f64,
     seed: u64,
 ) -> Result<(LayerCompression, HybridQuantized), EscalateError> {
-    let w = synth::weights(layer, 1, 1.0, seed); // rank is irrelevant at RS=1
+    // Rank is irrelevant at RS=1.
+    let w = synth_weights(layer, 1, 1.0, seed, cfg.reuse_units);
     let coeffs3 = w.reshape(&[layer.k, layer.c, 1]);
     let t = threshold_for_sparsity(&coeffs3, target_sparsity);
     let coeffs = {
@@ -323,7 +343,7 @@ fn compress_dense(
     cfg: &CompressionConfig,
     seed: u64,
 ) -> Result<LayerCompression, EscalateError> {
-    let w = synth::weights(layer, layer.r * layer.s, 0.3, seed);
+    let w = synth_weights(layer, layer.r * layer.s, 0.3, seed, cfg.reuse_units);
     let (deq, bits) = crate::quant::quantize_linear(&w, cfg.basis_bits)?;
     Ok(LayerCompression {
         name: layer.name.clone(),
@@ -511,8 +531,192 @@ fn plan_units(profile: &ModelProfile, cfg: &CompressionConfig) -> Vec<UnitPlan> 
     plan
 }
 
-/// Compresses one planned unit (pure function of the plan and config).
+/// Default bound of each [`CompressionConfig::reuse_units`] cache
+/// (entries). Sized for a sweep alternating between a couple of
+/// MobileNet-class networks (≈30 units each); eviction is LRU, so even a
+/// larger zoo just loses cross-network reuse, never correctness.
+const DEFAULT_REUSE_CAP: usize = 128;
+
+/// A minimal bounded map with LRU eviction by access stamp (the same
+/// shape as the simulator's derived-state cache). Eviction scans for the
+/// stalest entry, which is fine because it only runs when full.
+struct ReuseCache<V> {
+    entries: HashMap<String, (V, u64)>,
+    stamp: u64,
+    capacity: usize,
+}
+
+impl<V: Clone> ReuseCache<V> {
+    fn new(capacity: usize) -> Self {
+        ReuseCache {
+            entries: HashMap::new(),
+            stamp: 0,
+            capacity,
+        }
+    }
+
+    fn get(&mut self, key: &str) -> Option<V> {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        self.entries.get_mut(key).map(|(v, s)| {
+            *s = stamp;
+            v.clone()
+        })
+    }
+
+    fn insert(&mut self, key: String, value: V) {
+        self.stamp += 1;
+        if !self.entries.contains_key(&key) {
+            while self.entries.len() >= self.capacity {
+                let stalest = self
+                    .entries
+                    .iter()
+                    .min_by_key(|(_, (_, s))| *s)
+                    .map(|(k, _)| k.clone())
+                    .expect("non-empty map");
+                self.entries.remove(&stalest);
+            }
+        }
+        self.entries.insert(key, (value, self.stamp));
+    }
+}
+
+/// The three opt-in reuse caches: synthetic weight tensors and pointwise
+/// weight matrices (`M`-invariant for every unit kind), and finished
+/// `M`-invariant units (pointwise/dense, which never consult `M`).
+struct ReuseCaches {
+    weights: Mutex<ReuseCache<Arc<Tensor>>>,
+    pointwise: Mutex<ReuseCache<Arc<Matrix>>>,
+    units: Mutex<ReuseCache<Arc<CompressedLayer>>>,
+}
+
+fn reuse_caches() -> &'static ReuseCaches {
+    static CACHES: OnceLock<ReuseCaches> = OnceLock::new();
+    CACHES.get_or_init(|| ReuseCaches {
+        weights: Mutex::new(ReuseCache::new(DEFAULT_REUSE_CAP)),
+        pointwise: Mutex::new(ReuseCache::new(DEFAULT_REUSE_CAP)),
+        units: Mutex::new(ReuseCache::new(DEFAULT_REUSE_CAP)),
+    })
+}
+
+/// [`synth::weights`], shared across design points when `reuse` is set.
+/// The key carries everything the synthesis reads (the full layer shape,
+/// rank, noise bits, seed), so a hit is the bit-identical tensor the
+/// miss path would have built. Concurrent misses may both synthesize —
+/// the result is deterministic, so last-write-wins is harmless.
+fn synth_weights(
+    layer: &LayerShape,
+    rank: usize,
+    noise: f32,
+    seed: u64,
+    reuse: bool,
+) -> Arc<Tensor> {
+    let _t = escalate_obs::span("pipeline.synth");
+    if !reuse {
+        return Arc::new(synth::weights(layer, rank, noise, seed));
+    }
+    let key = format!("{layer:?}|r{rank}|n{:08x}|s{seed}", noise.to_bits());
+    if let Some(hit) = reuse_caches()
+        .weights
+        .lock()
+        .expect("weight reuse cache poisoned")
+        .get(&key)
+    {
+        escalate_obs::counter_add("pipeline.synth_hits", 1);
+        return hit;
+    }
+    let w = Arc::new(synth::weights(layer, rank, noise, seed));
+    escalate_obs::counter_add("pipeline.synth_misses", 1);
+    reuse_caches()
+        .weights
+        .lock()
+        .expect("weight reuse cache poisoned")
+        .insert(key, Arc::clone(&w));
+    w
+}
+
+/// [`synth::pointwise_weights`] with the same opt-in sharing as
+/// [`synth_weights`].
+fn synth_pointwise(c: usize, k: usize, seed: u64, reuse: bool) -> Arc<Matrix> {
+    let _t = escalate_obs::span("pipeline.synth");
+    if !reuse {
+        return Arc::new(synth::pointwise_weights(c, k, seed));
+    }
+    let key = format!("pw|c{c}|k{k}|s{seed}");
+    if let Some(hit) = reuse_caches()
+        .pointwise
+        .lock()
+        .expect("pointwise reuse cache poisoned")
+        .get(&key)
+    {
+        escalate_obs::counter_add("pipeline.synth_hits", 1);
+        return hit;
+    }
+    let w = Arc::new(synth::pointwise_weights(c, k, seed));
+    escalate_obs::counter_add("pipeline.synth_misses", 1);
+    reuse_caches()
+        .pointwise
+        .lock()
+        .expect("pointwise reuse cache poisoned")
+        .insert(key, Arc::clone(&w));
+    w
+}
+
+/// The unit-cache key for units whose artifact never consults `M` —
+/// sweeping `M` over such a unit re-derives the identical artifact, so
+/// design points that differ only in `M` share it. `None` for unit kinds
+/// with any `M`-dependence (their reuse is the coarser per-`(model, M)`
+/// artifact cache in the bench layer). The `UnitPlan` debug form embeds
+/// the full layer shape, derived seeds, and the sparsity target; f64
+/// formatting round-trips, so distinct targets never alias.
+fn m_invariant_unit_key(unit: &UnitPlan, cfg: &CompressionConfig) -> Option<String> {
+    match unit {
+        UnitPlan::Dense { .. } | UnitPlan::Pointwise { .. } => {
+            Some(format!("{unit:?}|bb{}", cfg.basis_bits))
+        }
+        UnitPlan::Dsc { .. } | UnitPlan::DwOnly { .. } | UnitPlan::Conv { .. } => None,
+    }
+}
+
+/// Compresses one planned unit (pure function of the plan and config),
+/// sharing `M`-invariant units across calls when
+/// [`CompressionConfig::reuse_units`] is set.
 fn compress_unit(
+    unit: &UnitPlan,
+    cfg: &CompressionConfig,
+) -> Result<CompressedLayer, EscalateError> {
+    let cache_key = if cfg.reuse_units {
+        if let Some(key) = m_invariant_unit_key(unit, cfg) {
+            if let Some(hit) = reuse_caches()
+                .units
+                .lock()
+                .expect("unit reuse cache poisoned")
+                .get(&key)
+            {
+                escalate_obs::counter_add("pipeline.unit_hits", 1);
+                return Ok((*hit).clone());
+            }
+            Some(key)
+        } else {
+            None
+        }
+    } else {
+        None
+    };
+    let out = compress_unit_fresh(unit, cfg)?;
+    if let Some(key) = cache_key {
+        escalate_obs::counter_add("pipeline.unit_misses", 1);
+        reuse_caches()
+            .units
+            .lock()
+            .expect("unit reuse cache poisoned")
+            .insert(key, Arc::new(out.clone()));
+    }
+    Ok(out)
+}
+
+/// The uncached body of [`compress_unit`].
+fn compress_unit_fresh(
     unit: &UnitPlan,
     cfg: &CompressionConfig,
 ) -> Result<CompressedLayer, EscalateError> {
@@ -530,8 +734,14 @@ fn compress_unit(
             pw_seed,
             target,
         } => {
-            let dw_w = synth::weights(dw, cfg.weight_rank, cfg.weight_noise, *seed);
-            let pw_w = synth::pointwise_weights(pw.c, pw.k, *pw_seed);
+            let dw_w = synth_weights(
+                dw,
+                cfg.weight_rank,
+                cfg.weight_noise,
+                *seed,
+                cfg.reuse_units,
+            );
+            let pw_w = synth_pointwise(pw.c, pw.k, *pw_seed, cfg.reuse_units);
             let m = cfg.m.min(dw.r * dw.s);
             let d = {
                 let _t = escalate_obs::span("pipeline.decompose");
@@ -558,7 +768,13 @@ fn compress_unit(
             seed,
             target,
         } => {
-            let dw_w = synth::weights(layer, cfg.weight_rank, cfg.weight_noise, *seed);
+            let dw_w = synth_weights(
+                layer,
+                cfg.weight_rank,
+                cfg.weight_noise,
+                *seed,
+                cfg.reuse_units,
+            );
             let m = cfg.m.min(layer.r * layer.s);
             let (ce, basis) = {
                 let _t = escalate_obs::span("pipeline.decompose");
@@ -605,6 +821,57 @@ mod tests {
 
     fn small_layer() -> LayerShape {
         LayerShape::conv("test", 16, 32, 16, 16, 3, 1, 1)
+    }
+
+    #[test]
+    fn synth_reuse_returns_the_identical_tensor() {
+        let layer = small_layer();
+        let a = synth_weights(&layer, 3, 0.1, 0xfeed_2001, true);
+        let b = synth_weights(&layer, 3, 0.1, 0xfeed_2001, true);
+        assert!(Arc::ptr_eq(&a, &b), "repeat lookup must share the tensor");
+        // The cached tensor is the one the uncached path would build.
+        let fresh = synth_weights(&layer, 3, 0.1, 0xfeed_2001, false);
+        assert_eq!(a.as_slice(), fresh.as_slice());
+        // Any key component change misses.
+        let c = synth_weights(&layer, 4, 0.1, 0xfeed_2001, true);
+        assert!(!Arc::ptr_eq(&a, &c));
+        let d = synth_weights(&layer, 3, 0.1, 0xfeed_2002, true);
+        assert!(!Arc::ptr_eq(&a, &d));
+    }
+
+    #[test]
+    fn m_invariant_units_are_shared_across_m_bit_identically() {
+        let layer = LayerShape::conv("pw-reuse-test", 24, 32, 8, 8, 1, 1, 0);
+        let unit = UnitPlan::Pointwise {
+            layer,
+            seed: 0xfeed_2100,
+            target: 0.8,
+        };
+        let at = |m: usize, reuse: bool| CompressionConfig {
+            m,
+            reuse_units: reuse,
+            ..CompressionConfig::default()
+        };
+        // A pointwise unit never consults M, so design points that differ
+        // only in M share one artifact — and it matches a cold build
+        // field-for-field (f32/f64 debug formatting round-trips, so equal
+        // strings mean equal bits).
+        let cold = compress_unit(&unit, &at(4, true)).unwrap();
+        let warm = compress_unit(&unit, &at(7, true)).unwrap();
+        let fresh = compress_unit(&unit, &at(7, false)).unwrap();
+        assert_eq!(format!("{cold:?}"), format!("{warm:?}"));
+        assert_eq!(format!("{warm:?}"), format!("{fresh:?}"));
+        // A conv unit is M-dependent: never unit-cached (the bench
+        // layer's per-(model, M) artifact cache covers exact repeats).
+        let conv = UnitPlan::Conv {
+            layer: small_layer(),
+            seed: 0xfeed_2101,
+            target: 0.8,
+        };
+        assert!(m_invariant_unit_key(&conv, &at(4, true)).is_none());
+        let m4 = compress_unit(&conv, &at(4, true)).unwrap();
+        let m6 = compress_unit(&conv, &at(6, true)).unwrap();
+        assert_ne!(m4.stats.compressed_bits, m6.stats.compressed_bits);
     }
 
     #[test]

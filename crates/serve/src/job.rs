@@ -84,6 +84,20 @@ impl CompiledJob {
         }
     }
 
+    /// The coalescing identity: two submissions with equal keys request
+    /// bit-identical work (every config field participates, floats by
+    /// their `Debug` form, which prints f64s losslessly enough to never
+    /// merge distinct configs — serve only ever sets whole-valued
+    /// knobs). The queue uses this to fan one execution out to every
+    /// client waiting on the same work.
+    pub fn coalesce_key(&self) -> String {
+        match self {
+            CompiledJob::Simulate(p) => format!("simulate|{}|{:?}|{}", p.model, p.cfg, p.seeds),
+            CompiledJob::Compress(p) => format!("compress|{}|{:?}|{}", p.model, p.cfg, p.layers),
+            CompiledJob::Report(p) => format!("report|{}", p.experiment),
+        }
+    }
+
     /// The verb label jobs are counted/timed under.
     pub fn verb(&self) -> &'static str {
         match self {

@@ -4,7 +4,10 @@
 //! One thread per connection parses frames and answers control verbs
 //! inline; job verbs compile ([`CompiledJob::compile`]) and enqueue.
 //! The queue is bounded — a full queue answers `rejected` with a
-//! `retry_after_ms` hint instead of buffering unboundedly. `shutdown`
+//! `retry_after_ms` hint instead of buffering unboundedly. Identical
+//! submissions still waiting in the queue coalesce: the work executes
+//! once and its frame stream fans out to every waiting client under
+//! each client's own job id (`serve.jobs_coalesced` counts the riders). `shutdown`
 //! stops the accept loop, drains every queued job, then confirms to the
 //! requester. A long-running daemon refuses to start on malformed
 //! tuning env vars (`ESCALATE_THREADS`/`ESCALATE_SEEDS`/
@@ -80,19 +83,41 @@ fn audit_env() -> Result<(), String> {
     Ok(())
 }
 
-/// One accepted job waiting for (or on) a worker.
-struct QueuedJob {
+/// One client waiting on a queued job: its own job id plus the
+/// submitting connection. The mutex serializes frame writes with the
+/// connection thread (the `accepted` frame is written under this lock
+/// *before* the job becomes poppable, so no unit frame can precede it).
+struct Client {
     id: u64,
-    job: CompiledJob,
-    /// The submitting connection; the worker streams frames to it. The
-    /// mutex serializes frame writes with the connection thread (the
-    /// `accepted` frame is written under this lock *before* the job is
-    /// enqueued, so no unit frame can precede it).
     stream: Arc<Mutex<TcpStream>>,
 }
 
+/// One accepted job waiting for (or on) a worker. Identical submissions
+/// that arrive while it is still queued attach as extra clients
+/// (coalescing): the work executes once and every frame fans out to all
+/// of them, each under its own job id.
+struct QueuedJob {
+    job: CompiledJob,
+    /// [`CompiledJob::coalesce_key`], precomputed at submission.
+    key: String,
+    clients: Vec<Client>,
+}
+
+/// How [`JobQueue::try_push`] disposed of a submission.
+enum Push {
+    /// A new queue entry, at this depth.
+    Queued(usize),
+    /// Attached to an identical entry still in the queue (depth of the
+    /// queue it joined); the work will run once for both.
+    Coalesced(usize),
+    /// Queue full or closed — the submitter retries later.
+    Rejected,
+}
+
 /// A bounded MPMC queue: `try_push` fails fast when full (backpressure),
-/// `pop` blocks until a job or close.
+/// `pop` blocks until a job or close. A popped job is sealed: later
+/// identical submissions start a fresh entry rather than racing the
+/// in-flight execution's frame stream.
 struct JobQueue {
     inner: Mutex<(VecDeque<QueuedJob>, bool)>,
     ready: Condvar,
@@ -108,20 +133,29 @@ impl JobQueue {
         }
     }
 
-    /// Enqueues; a full (or closed) queue consumes the job and returns
-    /// `None` — the caller answers `rejected` and the submitter retries
-    /// with a fresh submission. On success returns the queue depth
-    /// *including* the new job.
-    fn try_push(&self, job: QueuedJob) -> Option<usize> {
+    /// Enqueues or coalesces; a full (or closed) queue consumes the job
+    /// and returns [`Push::Rejected`] — the caller answers `rejected`
+    /// and the submitter retries with a fresh submission. Coalesced
+    /// submissions never consume a queue slot (their work is already
+    /// queued), so identical clients cannot be rejected behind their own
+    /// job.
+    fn try_push(&self, mut candidate: QueuedJob) -> Push {
         let mut inner = lock_recover(&self.inner);
-        if inner.1 || inner.0.len() >= self.cap {
-            return None;
+        if inner.1 {
+            return Push::Rejected;
         }
-        inner.0.push_back(job);
+        if let Some(entry) = inner.0.iter_mut().find(|j| j.key == candidate.key) {
+            entry.clients.append(&mut candidate.clients);
+            return Push::Coalesced(inner.0.len());
+        }
+        if inner.0.len() >= self.cap {
+            return Push::Rejected;
+        }
+        inner.0.push_back(candidate);
         let depth = inner.0.len();
         drop(inner);
         self.ready.notify_one();
-        Some(depth)
+        Push::Queued(depth)
     }
 
     /// Blocks for the next job; `None` once closed *and* drained.
@@ -148,20 +182,58 @@ impl JobQueue {
     }
 }
 
-/// Streams one `unit` frame per record down the submitting connection.
-/// A write failure (client gone) surfaces as [`ExpError::Io`], aborting
-/// the job early in `execute_streaming` — the daemon itself survives.
+/// Streams one `unit` frame per record down every waiting connection,
+/// each under that client's own job id. A client whose write fails
+/// (client gone) is dropped from the fan-out and counted as failed; only
+/// once *every* client is gone does the failure surface as
+/// [`ExpError::Io`], aborting the job early in `execute_streaming` — the
+/// daemon itself survives either way.
 struct SocketSink {
-    stream: Arc<Mutex<TcpStream>>,
-    job: u64,
+    clients: Vec<Client>,
+    /// Parallel to `clients`: set once a write to that client failed.
+    dead: Vec<bool>,
     units: u64,
+}
+
+impl SocketSink {
+    fn new(clients: Vec<Client>) -> SocketSink {
+        let dead = vec![false; clients.len()];
+        SocketSink {
+            clients,
+            dead,
+            units: 0,
+        }
+    }
+
+    /// Writes one frame to every live client, rendered per client id.
+    /// `Err` only when no live client remains.
+    fn broadcast(&mut self, render: impl Fn(&Client) -> String) -> Result<(), ExpError> {
+        let mut last_err = None;
+        for (client, dead) in self.clients.iter().zip(self.dead.iter_mut()) {
+            if *dead {
+                continue;
+            }
+            let mut s = lock_recover(&client.stream);
+            if let Err(e) = write_frame(&mut *s, &render(client)) {
+                *dead = true;
+                last_err = Some(e);
+            }
+        }
+        match last_err {
+            Some(e) if self.dead.iter().all(|d| *d) => Err(ExpError::Io(e)),
+            _ => Ok(()),
+        }
+    }
+
+    fn live_count(&self) -> u64 {
+        self.dead.iter().filter(|d| !**d).count() as u64
+    }
 }
 
 impl UnitSink for SocketSink {
     fn write_unit(&mut self, _unit: &WorkUnit, out: UnitOutput) -> Result<(), ExpError> {
-        let mut s = lock_recover(&self.stream);
         for record in &out.jsonl {
-            write_frame(&mut *s, &frame_unit(self.job, record)).map_err(ExpError::Io)?;
+            self.broadcast(|client| frame_unit(client.id, record))?;
         }
         self.units += 1;
         Ok(())
@@ -408,37 +480,47 @@ fn submit_job(req: &Request, stream: &Arc<Mutex<TcpStream>>, shared: &Shared) {
         }
     };
     let id = shared.next_job.fetch_add(1, Ordering::SeqCst);
+    let key = job.coalesce_key();
     let queued = QueuedJob {
-        id,
         job,
-        stream: Arc::clone(stream),
+        key,
+        clients: vec![Client {
+            id,
+            stream: Arc::clone(stream),
+        }],
     };
     // Hold the stream lock across enqueue + accepted-frame write: the
     // worker's first unit frame needs this lock, so `accepted` always
-    // reaches the wire first even though the job is already visible.
+    // reaches the wire first even though the job is already visible
+    // (coalesced submissions included — a worker popping the shared
+    // entry blocks on this lock before it can fan a frame here).
     let mut s = lock_recover(stream);
     match shared.queue.try_push(queued) {
-        Some(depth) => {
+        Push::Queued(depth) => {
             escalate_obs::counter_add("serve.jobs_accepted", 1);
             let _ = write_frame(&mut *s, &frame_accepted(id, depth));
         }
-        None => {
+        Push::Coalesced(depth) => {
+            escalate_obs::counter_add("serve.jobs_accepted", 1);
+            escalate_obs::counter_add("serve.jobs_coalesced", 1);
+            let _ = write_frame(&mut *s, &frame_accepted(id, depth));
+        }
+        Push::Rejected => {
             escalate_obs::counter_add("serve.jobs_rejected", 1);
             let _ = write_frame(&mut *s, &frame_rejected("queue full", RETRY_AFTER_MS));
         }
     }
 }
 
-/// One worker: pop, run, stream, report — until the queue closes.
+/// One worker: pop (sealing the popped entry's client set), run once,
+/// fan the stream out, report per client — until the queue closes.
 fn worker_loop(shared: &Shared) {
     while let Some(queued) = shared.queue.pop() {
         let verb = queued.job.verb();
+        let submissions = queued.clients.len() as u64;
+        escalate_obs::counter_add("serve.jobs_executed", 1);
         let started = Instant::now();
-        let mut sink = SocketSink {
-            stream: Arc::clone(&queued.stream),
-            job: queued.id,
-            units: 0,
-        };
+        let mut sink = SocketSink::new(queued.clients);
         let result = {
             let _span = escalate_obs::span_labeled("serve.job", verb);
             queued.job.run(&mut sink)
@@ -446,16 +528,30 @@ fn worker_loop(shared: &Shared) {
         let ms = started.elapsed().as_secs_f64() * 1e3;
         match result {
             Ok(output) => {
-                shared.jobs_done.fetch_add(1, Ordering::SeqCst);
-                escalate_obs::counter_add("serve.jobs_done", 1);
-                let mut s = lock_recover(&queued.stream);
-                let _ = write_frame(&mut *s, &frame_done(queued.id, sink.units, ms, &output));
+                // Every client whose stream survived the unit frames
+                // gets its own complete `done`; ones that hung up
+                // mid-stream failed *their* submission without failing
+                // the shared work. Counted before the frames go out so a
+                // client that reads its `done` always sees it reflected
+                // in the metrics.
+                let done = sink.live_count();
+                if done > 0 {
+                    shared.jobs_done.fetch_add(done, Ordering::SeqCst);
+                    escalate_obs::counter_add("serve.jobs_done", done);
+                }
+                let failed = submissions - done;
+                if failed > 0 {
+                    shared.jobs_failed.fetch_add(failed, Ordering::SeqCst);
+                    escalate_obs::counter_add("serve.jobs_failed", failed);
+                }
+                let units = sink.units;
+                let _ = sink.broadcast(|client| frame_done(client.id, units, ms, &output));
             }
             Err(e) => {
-                shared.jobs_failed.fetch_add(1, Ordering::SeqCst);
-                escalate_obs::counter_add("serve.jobs_failed", 1);
-                let mut s = lock_recover(&queued.stream);
-                let _ = write_frame(&mut *s, &frame_error(Some(queued.id), &e.to_string()));
+                shared.jobs_failed.fetch_add(submissions, Ordering::SeqCst);
+                escalate_obs::counter_add("serve.jobs_failed", submissions);
+                let msg = e.to_string();
+                let _ = sink.broadcast(|client| frame_error(Some(client.id), &msg));
             }
         }
     }
@@ -465,30 +561,68 @@ fn worker_loop(shared: &Shared) {
 mod tests {
     use super::*;
 
+    fn test_stream() -> Arc<Mutex<TcpStream>> {
+        // A connected pair via a throwaway listener.
+        let l = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let c = TcpStream::connect(l.local_addr().unwrap()).unwrap();
+        let _ = l.accept().unwrap();
+        Arc::new(Mutex::new(c))
+    }
+
+    fn test_job(id: u64, experiment: &str) -> QueuedJob {
+        let job = CompiledJob::compile(&Request::Report {
+            experiment: experiment.into(),
+        })
+        .unwrap();
+        QueuedJob {
+            key: job.coalesce_key(),
+            job,
+            clients: vec![Client {
+                id,
+                stream: test_stream(),
+            }],
+        }
+    }
+
     #[test]
     fn the_queue_bounds_depth_and_drains_on_close() {
         let q = JobQueue::new(1);
-        let stream = || {
-            // A connected pair via a throwaway listener.
-            let l = TcpListener::bind(("127.0.0.1", 0)).unwrap();
-            let c = TcpStream::connect(l.local_addr().unwrap()).unwrap();
-            let _ = l.accept().unwrap();
-            Arc::new(Mutex::new(c))
-        };
-        let job = |id| QueuedJob {
-            id,
-            job: CompiledJob::compile(&Request::Report {
-                experiment: "table4".into(),
-            })
-            .unwrap(),
-            stream: stream(),
-        };
-        assert_eq!(q.try_push(job(1)), Some(1));
-        assert!(q.try_push(job(2)).is_none(), "cap 1 rejects the second");
+        // Distinct experiments: distinct coalesce keys, so the second
+        // push contends for a queue slot instead of attaching.
+        assert!(matches!(q.try_push(test_job(1, "table4")), Push::Queued(1)));
+        assert!(
+            matches!(q.try_push(test_job(2, "fig7")), Push::Rejected),
+            "cap 1 rejects the second distinct job"
+        );
         q.close();
-        assert!(q.try_push(job(3)).is_none(), "closed queue rejects");
-        assert_eq!(q.pop().map(|j| j.id), Some(1), "backlog drains");
+        assert!(
+            matches!(q.try_push(test_job(3, "fig7")), Push::Rejected),
+            "closed queue rejects"
+        );
+        let popped = q.pop().expect("backlog drains");
+        assert_eq!(popped.clients[0].id, 1);
         assert!(q.pop().is_none(), "then closed");
+    }
+
+    #[test]
+    fn identical_submissions_coalesce_until_popped() {
+        let q = JobQueue::new(1);
+        assert!(matches!(q.try_push(test_job(1, "table4")), Push::Queued(1)));
+        // An identical submission attaches instead of being rejected,
+        // even though the queue is at capacity.
+        assert!(matches!(
+            q.try_push(test_job(2, "table4")),
+            Push::Coalesced(1)
+        ));
+        let popped = q.pop().expect("one sealed entry");
+        assert_eq!(
+            popped.clients.iter().map(|c| c.id).collect::<Vec<_>>(),
+            [1, 2],
+            "both clients ride the one execution, submission order kept"
+        );
+        // The entry is sealed: the next identical submission starts a
+        // fresh one rather than racing the in-flight stream.
+        assert!(matches!(q.try_push(test_job(3, "table4")), Push::Queued(1)));
     }
 
     #[test]

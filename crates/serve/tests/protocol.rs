@@ -206,13 +206,118 @@ fn identical_in_flight_jobs_share_one_artifact_computation() {
     let metrics = frames.last().expect("metrics frame").clone();
     let misses = json_u64_field(&metrics, "bench.cache_misses").unwrap_or(0);
     let hits = json_u64_field(&metrics, "bench.cache_hits").unwrap_or(0);
+    let coalesced = json_u64_field(&metrics, "serve.jobs_coalesced").unwrap_or(0);
     assert_eq!(
         misses, 1,
         "one computation for two identical jobs: {metrics}"
     );
-    assert_eq!(hits, 1, "the second job rides the first's slot: {metrics}");
+    // Which dedupe layer fired depends on the race between the two
+    // submissions and the two workers: both queued together coalesce
+    // into one execution; otherwise the second execution rides the
+    // first's single-flight artifact slot.
+    assert_eq!(
+        hits + coalesced,
+        1,
+        "the second job rides the first's work: {metrics}"
+    );
 
     shutdown(port);
+    handle.join().expect("clean exit");
+}
+
+#[test]
+fn identical_queued_submissions_coalesce_into_one_execution() {
+    let _guard = lock();
+    let handle = start(ServeOptions {
+        workers: 1,
+        ..ServeOptions::default()
+    })
+    .expect("start");
+    let port = handle.port();
+
+    // Occupy the single worker with a distinct job (a cold compression
+    // config no other test warms) so the identical submissions below all
+    // sit in the queue together while it runs.
+    let mut occupier = Raw::connect(port);
+    occupier.send(
+        &Request::Compress {
+            model: "MobileNet".into(),
+            m: 7,
+            qat: 0,
+            seed: 42,
+            layers: false,
+        }
+        .to_line(),
+    );
+    assert_eq!(frame_type(&occupier.recv().expect("reply")), "accepted");
+    // Only submit the identical batch once the worker has provably
+    // sealed (popped) the occupier — otherwise the first identical job
+    // could be popped alone and the other two coalesce separately.
+    assert!(wait_for_counter(port, "serve.jobs_executed", 1) >= 1);
+
+    let req = Request::Simulate {
+        model: "MobileNet".into(),
+        m: 6,
+        seeds: 1,
+    };
+    let mut conns: Vec<Raw> = (0..3)
+        .map(|_| {
+            let mut conn = Raw::connect(port);
+            conn.send(&req.to_line());
+            conn
+        })
+        .collect();
+
+    // Every client gets a complete stream: accepted, one unit frame per
+    // accelerator design, and a done — all tagged with its own job id.
+    let mut job_ids = Vec::new();
+    let mut outputs = Vec::new();
+    for conn in &mut conns {
+        let accepted = conn.recv().expect("accepted");
+        assert_eq!(frame_type(&accepted), "accepted", "{accepted}");
+        let id = json_u64_field(&accepted, "job").expect("job id");
+        let mut units = 0;
+        loop {
+            let frame = conn.recv().expect("stream");
+            assert_eq!(json_u64_field(&frame, "job"), Some(id), "{frame}");
+            match frame_type(&frame).as_str() {
+                "unit" => units += 1,
+                "done" => {
+                    outputs.push(json_string_field(&frame, "output").expect("output"));
+                    break;
+                }
+                other => panic!("unexpected {other}: {frame}"),
+            }
+        }
+        assert_eq!(units, 4, "one unit frame per design for every client");
+        job_ids.push(id);
+    }
+    job_ids.dedup();
+    assert_eq!(job_ids.len(), 3, "three distinct job ids");
+    outputs.dedup();
+    assert_eq!(outputs.len(), 1, "one rendered output fanned to all");
+
+    // One execution served all three submissions (plus the occupier).
+    let frames = submit(port, &Request::Metrics).expect("metrics");
+    let metrics = frames.last().expect("metrics frame").clone();
+    assert_eq!(
+        json_u64_field(&metrics, "serve.jobs_executed"),
+        Some(2),
+        "occupier + one coalesced batch: {metrics}"
+    );
+    assert_eq!(
+        json_u64_field(&metrics, "serve.jobs_coalesced"),
+        Some(2),
+        "two riders on the batch: {metrics}"
+    );
+    assert_eq!(
+        json_u64_field(&metrics, "serve.jobs_done"),
+        Some(4),
+        "every submission completed: {metrics}"
+    );
+
+    let jobs_done = shutdown(port);
+    assert_eq!(jobs_done, 4);
     handle.join().expect("clean exit");
 }
 
@@ -229,15 +334,17 @@ fn a_full_queue_answers_rejected_with_a_retry_hint() {
 
     // Saturate: one job running, one queued, then the queue is full.
     // Submissions race the worker, so flood until a rejection shows up.
+    // Distinct seed counts keep the coalescer out of the way (identical
+    // queued submissions would attach without consuming a slot).
     let mut conns = Vec::new();
     let mut rejected = None;
-    for _ in 0..8 {
+    for i in 0..8 {
         let mut conn = Raw::connect(port);
         conn.send(
             &Request::Simulate {
                 model: "MobileNet".into(),
                 m: 6,
-                seeds: 1,
+                seeds: i + 1,
             }
             .to_line(),
         );

@@ -458,8 +458,9 @@ pub struct PositionKernel {
     nz_words: Vec<u32>,
     /// `m + 1` offsets into [`PositionKernel::nz_words`].
     nz_index: Vec<u32>,
-    /// Installed layer plan, if any.
-    plan: Option<LayerPlan>,
+    /// Installed layer plan, if any — shared when it came from the
+    /// derived-state cache ([`crate::shared`]).
+    plan: Option<std::sync::Arc<LayerPlan>>,
     /// Concentration drain model (bitmask rows for bus ≤ 64).
     conc: DrainBuf,
     /// Batch scratch: per-position activation popcount prefix sums,
@@ -503,6 +504,13 @@ impl PositionKernel {
     /// then binds its channels by index. Replaces any previous plan and
     /// invalidates the current bind.
     pub fn install_plan(&mut self, plan: LayerPlan) {
+        self.install_shared_plan(std::sync::Arc::new(plan));
+    }
+
+    /// [`PositionKernel::install_plan`] for a plan shared with other
+    /// kernels (the derived-state cache hands these out); binding only
+    /// reads the plan, so sharing cannot change results.
+    pub fn install_shared_plan(&mut self, plan: std::sync::Arc<LayerPlan>) {
         self.c = 0;
         self.words = 0;
         self.m = 0;
@@ -512,7 +520,7 @@ impl PositionKernel {
     /// The installed plan, if any — callers probe it with
     /// [`LayerPlan::matches`] to decide between reuse and recompile.
     pub fn plan(&self) -> Option<&LayerPlan> {
-        self.plan.as_ref()
+        self.plan.as_deref()
     }
 
     /// Binds channel `idx` of the installed plan: copies its precompiled

@@ -62,6 +62,16 @@ pub struct SimConfig {
     /// RNG seeding. This knob configures the host simulator, not the
     /// modeled hardware.
     pub threads: usize,
+    /// Opt-in to the process-wide derived-state cache ([`crate::shared`]):
+    /// hardware-invariant per-layer artifacts — materialized Bernoulli
+    /// activation masks and compiled [`crate::ca::LayerPlan`]s — are
+    /// shared across runs keyed by everything that determines them.
+    /// Results are bit-identical either way (cached masks replay the
+    /// exact RNG stream; cached plans are verified word-for-word before
+    /// reuse); sharing only changes speed. Design-space sweeps enable it;
+    /// the default is off. This knob configures the host simulator, not
+    /// the modeled hardware.
+    pub share_derived: bool,
 }
 
 impl Default for SimConfig {
@@ -83,6 +93,7 @@ impl Default for SimConfig {
             dram_bytes_per_cycle: 64.0,
             sample_channels: 8,
             threads: 0,
+            share_derived: false,
         }
     }
 }

@@ -214,6 +214,13 @@ pub struct PositionAggregate {
     /// Slowest per-block drain time seen (mean position cycles × the
     /// positions one slice owns).
     pub max_block_time: f64,
+    /// Largest per-channel mean position cycles seen — the
+    /// mapping-invariant factor of `max_block_time` (multiplying every
+    /// per-channel mean by the positive slice size is monotone, so
+    /// `max_block_time = max_mean_pos × positions_per_slice` bit-for-bit),
+    /// which is what lets the walk cache serve design points whose
+    /// mappings differ.
+    pub max_mean_pos: f64,
     /// Channels walked.
     pub sampled_channels: usize,
     /// Positions walked per channel.
@@ -290,6 +297,17 @@ pub fn run_positions_with(
         .is_some_and(|p| p.matches(ctx.c, ctx.m, sampled_k, mask))
     {
         agg.plan_reuses = 1;
+    } else if cfg.share_derived {
+        // The derived-state cache verifies a candidate word-for-word
+        // (same gate as the local reuse above) before handing it out, so
+        // a hit is a true reuse; a miss built and published a fresh plan.
+        let (plan, hit) = crate::shared::cached_plan(ctx.c, ctx.m, sampled_k, mask);
+        kernel.install_shared_plan(plan);
+        if hit {
+            agg.plan_reuses = 1;
+        } else {
+            agg.plan_compiles = 1;
+        }
     } else {
         kernel.install_plan(LayerPlan::build(ctx.c, ctx.m, sampled_k, mask));
         agg.plan_compiles = 1;
@@ -330,6 +348,7 @@ pub fn run_positions_with(
         }
         let mean_pos = k_pos_cycles / sp as f64;
         agg.sum_pos_cycles += mean_pos;
+        agg.max_mean_pos = agg.max_mean_pos.max(mean_pos);
         let block_time = mean_pos * ctx.positions_per_slice() as f64;
         agg.max_block_time = agg.max_block_time.max(block_time);
     }

@@ -13,7 +13,8 @@
 use crate::accel::{Accelerator, Escalate};
 use crate::config::SimConfig;
 use crate::context::{
-    assemble_stats, run_positions, LayerContext, NoopObserver, SimObserver, TrafficInputs,
+    assemble_stats, run_positions, LayerContext, NoopObserver, PositionAggregate, SimObserver,
+    TrafficInputs,
 };
 use crate::fallback::simulate_dense;
 use crate::masks::{layer_seed, MaskSource};
@@ -56,9 +57,13 @@ pub fn simulate_layer_observed(
             let keep_prob = 1.0 - lw.act_sparsity;
             let sampled_k = ctx.sample_channels(cfg);
             let sp = lw.positions().clamp(1, SAMPLE_POSITIONS);
-            let mut source =
-                MaskSource::bernoulli(layer_seed(seed, &lw.name), ctx.c, keep_prob, sp);
-            let agg = run_positions(&ctx, cfg, &sampled_k, &mut source, obs);
+            let agg = if cfg.share_derived {
+                shared_walk(&ctx, lw, cfg, seed, keep_prob, sp, &sampled_k, obs)
+            } else {
+                let mut source =
+                    MaskSource::bernoulli(layer_seed(seed, &lw.name), ctx.c, keep_prob, sp);
+                run_positions(&ctx, cfg, &sampled_k, &mut source, obs)
+            };
 
             // Traffic estimated from the profiled sparsity: nonzero
             // payload plus the SparseMap bit mask.
@@ -77,6 +82,67 @@ pub fn simulate_layer_observed(
     };
     obs.on_layer(&stats);
     stats
+}
+
+/// The [`SimConfig::share_derived`] walk: serve the folded sums from the
+/// cross-point walk cache when an earlier design point already performed
+/// this exact walk, otherwise run it against cached masks and publish
+/// the sums.
+///
+/// A hit reassembles the [`PositionAggregate`] bit-for-bit: the cached
+/// per-channel sums are the walk's own f64 folds, and the one
+/// mapping-dependent output (`max_block_time`) is `max_mean_pos ×
+/// positions_per_slice` — multiplying every per-channel mean by the same
+/// positive slice size is monotone, so the max of the products is the
+/// product of the max. The walk counts as a plan reuse (the cached sums
+/// embody a previously compiled plan's output).
+#[allow(clippy::too_many_arguments)]
+fn shared_walk(
+    ctx: &LayerContext,
+    lw: &LayerWorkload,
+    cfg: &SimConfig,
+    seed: u64,
+    keep_prob: f64,
+    sp: usize,
+    sampled_k: &[usize],
+    obs: &mut dyn SimObserver,
+) -> PositionAggregate {
+    let ls = layer_seed(seed, &lw.name);
+    let key = crate::shared::walk_key(
+        ctx.c,
+        ctx.m,
+        sampled_k,
+        |k, mi| ctx.masks.mask(k, mi),
+        ls,
+        keep_prob,
+        sp,
+        lw.shape.r * lw.shape.s,
+        cfg,
+    );
+    if let Some(sums) = crate::shared::cached_walk(&key) {
+        let agg = PositionAggregate {
+            sum_pos_cycles: sums.sum_pos_cycles,
+            sum_matched: sums.sum_matched,
+            sum_gather: sums.sum_gather,
+            sum_idle: sums.sum_idle,
+            max_mean_pos: sums.max_mean_pos,
+            max_block_time: sums.max_mean_pos * ctx.positions_per_slice() as f64,
+            sampled_channels: sampled_k.len(),
+            positions_per_channel: sp,
+            plan_compiles: 0,
+            plan_reuses: 1,
+        };
+        obs.on_walk(&agg);
+        return agg;
+    }
+    // Hardware-invariant across design points: the walk consumes exactly
+    // `sampled_k.len() × sp` masks of the layer's Bernoulli stream, so
+    // the materialized block is bit-identical to the live draw.
+    let (words, _hit) = crate::shared::cached_masks(ls, ctx.c, keep_prob, sp, sampled_k.len());
+    let mut source = MaskSource::materialized(words, ctx.c, sp);
+    let agg = run_positions(ctx, cfg, sampled_k, &mut source, obs);
+    crate::shared::store_walk(key, &agg);
+    agg
 }
 
 /// Simulates a whole model: ESCALATE as an [`Accelerator`], folded through
@@ -222,6 +288,86 @@ mod tests {
         assert_eq!(a.mac_ops, b.mac_ops);
         let ratio = a.cycles as f64 / b.cycles as f64;
         assert!((0.7..1.4).contains(&ratio), "cycle ratio {ratio}");
+    }
+
+    #[test]
+    fn shared_derived_state_is_bit_identical() {
+        let lw = workload(128, 32, 16, 0.8, 0.5);
+        let cold = SimConfig::default();
+        let shared = SimConfig {
+            share_derived: true,
+            ..SimConfig::default()
+        };
+        for seed in [0, 7] {
+            assert_eq!(
+                simulate_layer(&lw, &cold, seed),
+                simulate_layer(&lw, &shared, seed),
+                "seed {seed}"
+            );
+        }
+        // Warm-cache repeat: the second shared run hits both caches.
+        assert_eq!(
+            simulate_layer(&lw, &shared, 3),
+            simulate_layer(&lw, &shared, 3)
+        );
+        // A different hardware point still shares masks and plans (both
+        // are hardware-invariant) without changing its own results.
+        let wide = SimConfig {
+            input_bus_bytes: 64,
+            n_pe: 8,
+            ..cold
+        };
+        let wide_shared = SimConfig {
+            share_derived: true,
+            ..wide
+        };
+        assert_eq!(
+            simulate_layer(&lw, &wide, 5),
+            simulate_layer(&lw, &wide_shared, 5)
+        );
+    }
+
+    #[test]
+    fn walk_cache_serves_other_mappings_bit_identically() {
+        // The walk sums are CA-invariant: points differing only in PE
+        // count (different block/slice mapping, hence different
+        // max_block_time) reuse the cached walk yet must match their own
+        // cold runs exactly.
+        let lw = workload(96, 48, 16, 0.85, 0.4);
+        let warmup = SimConfig {
+            share_derived: true,
+            ..SimConfig::default()
+        };
+        let _ = simulate_layer(&lw, &warmup, 11);
+        for n_pe in [8, 16, 64] {
+            let cold = SimConfig {
+                n_pe,
+                ..SimConfig::default()
+            };
+            let shared = SimConfig {
+                share_derived: true,
+                ..cold
+            };
+            assert_eq!(
+                simulate_layer(&lw, &cold, 11),
+                simulate_layer(&lw, &shared, 11),
+                "n_pe {n_pe}"
+            );
+        }
+        // A different bus width is a different CA cost model: its walk is
+        // keyed separately and still matches the cold run.
+        let wide_cold = SimConfig {
+            input_bus_bytes: 64,
+            ..SimConfig::default()
+        };
+        let wide_shared = SimConfig {
+            share_derived: true,
+            ..wide_cold
+        };
+        assert_eq!(
+            simulate_layer(&lw, &wide_cold, 11),
+            simulate_layer(&lw, &wide_shared, 11)
+        );
     }
 
     #[test]

@@ -93,6 +93,7 @@ pub mod mac;
 pub mod masks;
 pub mod observe;
 pub mod psum;
+pub mod shared;
 #[cfg(feature = "simd")]
 pub mod simd;
 pub mod slice;

@@ -11,6 +11,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 
 /// Extracts the per-position activation nonzero masks from a `C×X×Y`
 /// feature map: element `[x*Y + y]` holds one bit per channel.
@@ -70,6 +71,22 @@ pub enum MaskSource<'a> {
         /// One mask per input position (`X·Y` entries).
         masks: &'a [Vec<u64>],
     },
+    /// A pre-drawn Bernoulli stream shared across design points (the
+    /// derived-state cache of [`crate::shared`]): the masks the
+    /// [`MaskSource::Bernoulli`] walk would draw, materialized
+    /// back-to-back in stream order and replayed through a cursor. Like
+    /// the live stream, the requested position index is ignored — each
+    /// call returns the next mask.
+    Materialized {
+        /// The mask block, `channels × positions × words` words flat.
+        words: Arc<Vec<u64>>,
+        /// Words per mask (`⌈C/64⌉`).
+        words_per_mask: usize,
+        /// Next mask index in the stream.
+        cursor: usize,
+        /// Positions walked per channel.
+        positions: usize,
+    },
 }
 
 impl<'a> MaskSource<'a> {
@@ -94,11 +111,24 @@ impl<'a> MaskSource<'a> {
         MaskSource::Trace { masks }
     }
 
+    /// A source replaying a materialized mask block from its start:
+    /// `words` must hold whole masks of `⌈c/64⌉` words, at least as many
+    /// as the walk will consume.
+    pub fn materialized(words: Arc<Vec<u64>>, c: usize, positions: usize) -> MaskSource<'static> {
+        MaskSource::Materialized {
+            words,
+            words_per_mask: c.div_ceil(64),
+            cursor: 0,
+            positions,
+        }
+    }
+
     /// Positions walked per sampled channel.
     pub fn positions(&self) -> usize {
         match self {
             MaskSource::Bernoulli { positions, .. } => *positions,
             MaskSource::Trace { masks } => masks.len(),
+            MaskSource::Materialized { positions, .. } => *positions,
         }
     }
 
@@ -118,6 +148,16 @@ impl<'a> MaskSource<'a> {
                 buf
             }
             MaskSource::Trace { masks } => &masks[pos],
+            MaskSource::Materialized {
+                words,
+                words_per_mask,
+                cursor,
+                ..
+            } => {
+                let at = *cursor * *words_per_mask;
+                *cursor += 1;
+                &words[at..at + *words_per_mask]
+            }
         }
     }
 
@@ -136,6 +176,16 @@ impl<'a> MaskSource<'a> {
                 rng, c, keep_prob, ..
             } => draw_act_mask_into(rng, *c, *keep_prob, buf),
             MaskSource::Trace { masks } => buf.copy_from_slice(&masks[pos]),
+            MaskSource::Materialized {
+                words,
+                words_per_mask,
+                cursor,
+                ..
+            } => {
+                let at = *cursor * *words_per_mask;
+                *cursor += 1;
+                buf.copy_from_slice(&words[at..at + *words_per_mask]);
+            }
         }
     }
 }
@@ -193,6 +243,28 @@ mod tests {
         let mut buf = vec![u64::MAX]; // must be ignored
         for (p, m) in masks.iter().enumerate() {
             assert_eq!(source.mask(p, &mut buf), &m[..]);
+        }
+    }
+
+    #[test]
+    fn materialized_source_replays_the_bernoulli_stream() {
+        let (c, sp, ch) = (70usize, 4, 3);
+        let words = c.div_ceil(64);
+        let mut block = vec![0u64; ch * sp * words];
+        let mut rng = StdRng::seed_from_u64(7);
+        for m in block.chunks_mut(words) {
+            draw_act_mask_into(&mut rng, c, 0.5, m);
+        }
+        let mut mat = MaskSource::materialized(Arc::new(block), c, sp);
+        let mut bern = MaskSource::bernoulli(7, c, 0.5, sp);
+        assert_eq!(mat.positions(), sp);
+        let (mut b1, mut b2) = (vec![0u64; words], vec![0u64; words]);
+        for i in 0..ch * sp {
+            // Both sources ignore the position index and advance their
+            // stream — the walk passes `i % sp` per channel.
+            mat.mask_into(i % sp, &mut b1);
+            bern.mask_into(i % sp, &mut b2);
+            assert_eq!(b1, b2, "mask {i}");
         }
     }
 

@@ -36,21 +36,29 @@ cargo bench --offline -p escalate-bench --bench position_kernel \
 # (~75 s in release on a single core; the per-experiment dev-profile
 # round-trips live in crates/bench/tests/report.rs).
 ./target/release/report --all --check
-# Resumable design-space sweep smoke: run a tiny grid, "interrupt" it by
-# keeping only the first record, resume from the stream, and require the
-# resumed stream to be byte-identical to the cold run — with an identical
-# Pareto summary (it is recomputed from the parsed stream either way).
+# Resumable design-space sweep smoke on the frontier-golden grid: run
+# the 64-point cold grid (the exact grid committed as
+# results/sweep_frontier.txt, so frontier drift fails here), "interrupt"
+# it by keeping only the first 20 records, resume from the stream, and
+# require the resumed stream to be byte-identical to the cold run — with
+# an identical Pareto summary (it is recomputed from the parsed stream
+# either way). The cold run records metrics so the cross-point
+# work-sharing layer is provably engaged (derived-state cache hits).
 SWEEP_DIR="$(mktemp -d)"
 SERVE_DIR="$(mktemp -d)"
 trap 'rm -rf "$SWEEP_DIR" "$SERVE_DIR"; kill "${SERVE_PID:-}" 2>/dev/null || true' EXIT
-./target/release/escalate sweep MobileNet --samples 3 --seeds 1 \
-  --out "$SWEEP_DIR/cold.jsonl" > "$SWEEP_DIR/cold.txt"
-head -n 1 "$SWEEP_DIR/cold.jsonl" > "$SWEEP_DIR/resumed.jsonl"
-./target/release/escalate sweep MobileNet --samples 3 --seeds 1 \
+./target/release/escalate sweep MobileNet MobileNetV2 --samples 32 --seeds 1 \
+  --out "$SWEEP_DIR/cold.jsonl" --metrics "$SWEEP_DIR/cold.metrics.json" \
+  --check results/sweep_frontier.txt > "$SWEEP_DIR/cold.txt"
+grep -o '"sweep.derived_hits": [0-9]*' "$SWEEP_DIR/cold.metrics.json" \
+  | grep -qv ': 0$'
+head -n 20 "$SWEEP_DIR/cold.jsonl" > "$SWEEP_DIR/resumed.jsonl"
+./target/release/escalate sweep MobileNet MobileNetV2 --samples 32 --seeds 1 \
   --out "$SWEEP_DIR/resumed.jsonl" > "$SWEEP_DIR/resumed.txt"
 cmp "$SWEEP_DIR/cold.jsonl" "$SWEEP_DIR/resumed.jsonl"
-grep -q "2 sample(s) ran, 1 resumed" "$SWEEP_DIR/resumed.txt"
-diff <(tail -n +2 "$SWEEP_DIR/cold.txt") <(tail -n +2 "$SWEEP_DIR/resumed.txt")
+grep -q "44 sample(s) ran, 20 resumed" "$SWEEP_DIR/resumed.txt"
+diff <(tail -n +2 "$SWEEP_DIR/cold.txt" | grep -v '^frontier matches') \
+     <(tail -n +2 "$SWEEP_DIR/resumed.txt")
 # Serve smoke: an ephemerally-bound daemon (port discovered via
 # --port-file), one job per verb through `escalate submit`, well-formed
 # escalate-run-manifest/v1 unit records, non-empty metrics, and a

@@ -5,12 +5,37 @@ use escalate::algo::quant::{threshold_for_sparsity, TernaryCoeffs};
 use escalate::algo::reorg::{forward_eq2, forward_eq3};
 use escalate::models::{synth, LayerShape};
 use escalate::sim::workload::CoefMasks;
-use escalate::sim::{simulate_layer, LayerWorkload, SimConfig, WorkloadMode};
+use escalate::sim::{simulate_layer, LayerWorkload, SimConfig, Workload, WorkloadMode};
+use escalate_bench::run_escalate_workload;
 use proptest::prelude::*;
 
 fn small_layer() -> impl Strategy<Value = LayerShape> {
     (2usize..10, 2usize..12, 5usize..9, 1usize..3)
         .prop_map(|(c, k, x, stride)| LayerShape::conv("prop", c, k, x, x, 3, stride, 1))
+}
+
+/// A deterministic synthetic decomposed layer (the engine-test recipe).
+fn synthetic_layer(name: &str, c: usize, k: usize, x: usize, act_sparsity: f64) -> LayerWorkload {
+    let coeffs = escalate::tensor::Tensor::from_fn(&[k, c, 6], |i| {
+        let h = (i[0] * 7919 + i[1] * 104_729 + i[2] * 1_299_709) % 1000;
+        if h < 850 {
+            0.0
+        } else if h % 2 == 0 {
+            1.0
+        } else {
+            -1.0
+        }
+    });
+    let t = TernaryCoeffs::ternarize(&coeffs, 0.0).expect("valid threshold");
+    LayerWorkload {
+        name: name.to_string(),
+        shape: LayerShape::conv(name, c, k, x, x, 3, 1, 1),
+        out_channels: k,
+        mode: WorkloadMode::Decomposed(CoefMasks::from_ternary(&t)),
+        act_sparsity,
+        out_sparsity: act_sparsity,
+        weight_bytes: 1000,
+    }
 }
 
 proptest! {
@@ -69,6 +94,51 @@ proptest! {
         prop_assert!(dense.ca_adds >= sparse.ca_adds);
     }
 
+    /// Opting into the cross-point derived-state cache
+    /// (`SimConfig::share_derived`) can never change results: for
+    /// randomized shapes, hardware points, batch sizes (input seeds
+    /// averaged) and thread counts, every averaged f64 of the shared run
+    /// matches the cold run bit-for-bit, and the per-layer trace is
+    /// equal component-for-component. The process-global cache is warm
+    /// or cold arbitrarily across cases — irrelevant by design, which is
+    /// exactly the property under test.
+    #[test]
+    fn derived_sharing_is_bit_identical(
+        c in 16usize..96,
+        k in 8usize..40,
+        x in 6usize..14,
+        n_pe_i in 0usize..4,
+        bus_i in 0usize..4,
+        threads in 1usize..5,
+        seeds in 1u64..4,
+    ) {
+        let n_pe = [8usize, 16, 32, 64][n_pe_i];
+        let bus = [8usize, 16, 32, 64][bus_i];
+        let w = Workload {
+            model_name: "prop-shared".into(),
+            layers: vec![
+                synthetic_layer("shared-a", c, k, x, 0.5),
+                synthetic_layer("shared-b", k.max(2), c, x, 0.3),
+            ],
+        };
+        let cold_cfg = SimConfig {
+            n_pe,
+            input_bus_bytes: bus,
+            threads,
+            ..SimConfig::default()
+        };
+        let shared_cfg = SimConfig {
+            share_derived: true,
+            ..cold_cfg
+        };
+        let cold = run_escalate_workload(&w, &cold_cfg, seeds);
+        let shared = run_escalate_workload(&w, &shared_cfg, seeds);
+        prop_assert_eq!(cold.cycles.to_bits(), shared.cycles.to_bits());
+        prop_assert_eq!(cold.dram_bytes.to_bits(), shared.dram_bytes.to_bits());
+        prop_assert_eq!(cold.energy_pj.to_bits(), shared.energy_pj.to_bits());
+        prop_assert_eq!(cold.first_seed_stats, shared.first_seed_stats);
+    }
+
     /// Compression accounting is internally consistent for any layer and
     /// sparsity target.
     #[test]
@@ -87,4 +157,41 @@ proptest! {
         prop_assert!(lc.weight_error.is_finite());
         prop_assert!((0.0..=1.0).contains(&lc.coeff_sparsity()));
     }
+}
+
+/// A derived-state cache far too small for the working set evicts
+/// constantly — and the results still match cold runs exactly, because
+/// sharing is an opportunistic fast path, never a correctness dependency.
+#[test]
+fn derived_eviction_pressure_keeps_results_identical() {
+    use escalate::sim::shared::{
+        derived_cache_evictions, set_derived_cache_capacity, DEFAULT_DERIVED_CAP,
+    };
+    let before = derived_cache_evictions();
+    set_derived_cache_capacity(2);
+    // Distinct layers × seeds: far more than 2 derived entries.
+    for (i, (c, k)) in [(24usize, 16usize), (40, 12), (56, 20), (32, 24)]
+        .into_iter()
+        .enumerate()
+    {
+        let lw = synthetic_layer(&format!("evict-{i}"), c, k, 8, 0.4);
+        let cold = SimConfig::default();
+        let shared = SimConfig {
+            share_derived: true,
+            ..cold
+        };
+        for seed in [3u64, 9] {
+            assert_eq!(
+                simulate_layer(&lw, &cold, seed),
+                simulate_layer(&lw, &shared, seed),
+                "layer {i} seed {seed}"
+            );
+        }
+    }
+    let evicted = derived_cache_evictions() - before;
+    set_derived_cache_capacity(DEFAULT_DERIVED_CAP);
+    // 4 layers × 2 seeds of masks+plans+walks through a 2-entry cache:
+    // eviction pressure must actually have occurred (other tests share
+    // the process-global cache, so assert a floor, not an exact count).
+    assert!(evicted >= 8, "expected sustained evictions, saw {evicted}");
 }
