@@ -31,7 +31,7 @@ impl Experiment for Fig11 {
         let profile = ModelProfile::for_model(name)
             .ok_or_else(|| ExpError::Msg(format!("unknown model {name}")))?;
         let artifacts = compress_cached(&profile, &CompressionConfig::default())?;
-        let workload = Workload::from_artifacts(profile.name, &artifacts, &profile);
+        let workload = Workload::from_artifacts(&profile.name, &artifacts, &profile);
         let esc = simulate_model(&workload, cfg, 0);
 
         let bw = BaselineWorkload::for_profile(&profile);

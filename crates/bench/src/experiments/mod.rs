@@ -29,6 +29,7 @@ mod fig9;
 mod psum_ablation;
 mod reorg_ablation;
 mod rs_mapping;
+mod schedule;
 mod sensitivity;
 mod table1;
 mod table4;
@@ -126,6 +127,7 @@ pub fn registry() -> &'static [&'static dyn Experiment] {
         &psum_ablation::PsumAblation,
         &reorg_ablation::ReorgAblation,
         &rs_mapping::RsMapping,
+        &schedule::ScheduleCompare,
         &bench_sim::BenchSim,
     ]
 }
@@ -167,7 +169,7 @@ mod tests {
         dedup.sort_unstable();
         dedup.dedup();
         assert_eq!(dedup.len(), names.len(), "duplicate registry names");
-        assert_eq!(names.len(), 20, "all 20 experiments must be registered");
+        assert_eq!(names.len(), 21, "all 21 experiments must be registered");
         for required in ["table1", "table4", "fig8", "bench_sim"] {
             assert!(names.contains(&required), "{required} missing");
         }

@@ -144,13 +144,16 @@ pub fn compress(
     compress_model_artifacts(profile, cfg)
 }
 
-/// Cache key for [`compress_cached`]: the model name plus every
+/// Cache key for [`compress_cached`]: the model name, the profile
+/// fingerprint (so two *different* networks that share a name — e.g. two
+/// `@file` descriptions both called "custom" — never collide), plus every
 /// [`CompressionConfig`] field (floats by bit pattern).
-type CacheKey = (String, usize, u32, usize, u32, usize, u64);
+type CacheKey = (String, u64, usize, u32, usize, u32, usize, u64);
 
-fn cache_key(model: &str, cfg: &CompressionConfig) -> CacheKey {
+fn cache_key(profile: &ModelProfile, cfg: &CompressionConfig) -> CacheKey {
     (
-        model.to_string(),
+        profile.name.clone(),
+        profile.fingerprint(),
         cfg.m,
         cfg.basis_bits,
         cfg.weight_rank,
@@ -238,7 +241,7 @@ pub fn compress_cached(
     profile: &ModelProfile,
     cfg: &CompressionConfig,
 ) -> Result<Arc<Vec<CompressedLayer>>, EscalateError> {
-    let key = cache_key(profile.name, cfg);
+    let key = cache_key(profile, cfg);
     let look = artifact_cache()
         .get_or_compute(key, || compress_model_artifacts(profile, cfg).map(Arc::new))?;
     escalate_obs::counter_add(
@@ -269,7 +272,9 @@ fn average_runs(name: String, per_seed: Vec<(ModelStats, EnergyBreakdown)>) -> A
     let mut energy = 0.0;
     let mut bd = EnergyBreakdown::default();
     for (stats, e) in &per_seed {
-        cycles += stats.total_cycles() as f64;
+        // `schedule_cycles` is the serial layer sum unless a pipelined
+        // schedule ran, so serial results are bit-identical to before.
+        cycles += stats.schedule_cycles() as f64;
         dram += stats.total_dram().total() as f64;
         energy += e.total_pj();
         bd.dram_pj += e.dram_pj;
@@ -347,7 +352,7 @@ pub fn run_escalate(
     sim_cfg: &SimConfig,
     seeds: u64,
 ) -> AccelRun {
-    let workload = Workload::from_artifacts(profile.name, artifacts, profile);
+    let workload = Workload::from_artifacts(&profile.name, artifacts, profile);
     run_escalate_workload(&workload, sim_cfg, seeds)
 }
 
@@ -395,10 +400,10 @@ pub fn workload_cached(
     cfg: &CompressionConfig,
 ) -> Result<Arc<Workload>, EscalateError> {
     let artifacts = compress_cached(profile, cfg)?;
-    let key = cache_key(profile.name, cfg);
+    let key = cache_key(profile, cfg);
     let look = workload_cache().get_or_compute(key, || {
         Ok::<_, EscalateError>(Arc::new(Workload::from_artifacts(
-            profile.name,
+            &profile.name,
             &artifacts,
             profile,
         )))
@@ -428,7 +433,7 @@ pub fn run_model(
     sim_cfg: &SimConfig,
     seeds: u64,
 ) -> Result<ModelRun, EscalateError> {
-    let _t = escalate_obs::span_labeled("bench.model", profile.name);
+    let _t = escalate_obs::span_labeled("bench.model", &profile.name);
     escalate_core::par::configure_threads(sim_cfg.threads);
     let artifacts = compress_cached(
         profile,
@@ -596,6 +601,7 @@ mod tests {
                 cycles,
                 ..LayerStats::default()
             }],
+            pipeline: None,
         };
         let energy = |mac_pj: f64| EnergyBreakdown {
             mac_pj,

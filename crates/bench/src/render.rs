@@ -29,6 +29,21 @@ pub fn render_simulate(run: &ModelRun, cfg: &SimConfig) -> String {
             run.speedup_over_eyeriss(r),
         ));
     }
+    // The pipeline section appears only when a pipelined schedule actually
+    // ran — a serial run's bytes stay exactly what they were before the
+    // schedule abstraction existed (the goldens pin this).
+    if let Some(p) = &run.escalate.first_seed_stats.pipeline {
+        out.push_str(&format!(
+            "\npipeline: {} stage(s), interval {} cycles, latency {} cycles, \
+             stall {} cycles, {} spilled boundary(ies), peak handoff {} B\n",
+            p.stages,
+            p.interval_cycles,
+            p.latency_cycles,
+            p.stall_cycles,
+            p.spilled_boundaries,
+            p.peak_buffer_bytes
+        ));
+    }
     out
 }
 
@@ -102,9 +117,9 @@ mod tests {
             model_name: profile.name.to_string(),
             layers: artifacts.iter().map(|a| a.stats.clone()).collect(),
         };
-        let brief = render_compress(profile.name, profile.baseline_top1, cfg.m, &result, false);
+        let brief = render_compress(&profile.name, profile.baseline_top1, cfg.m, &result, false);
         assert!(brief.starts_with("MobileNet (M=6):"), "{brief}");
-        let detailed = render_compress(profile.name, profile.baseline_top1, cfg.m, &result, true);
+        let detailed = render_compress(&profile.name, profile.baseline_top1, cfg.m, &result, true);
         assert!(detailed.contains("layer"), "{detailed}");
         assert!(detailed.ends_with(&brief), "the summary line is shared");
     }

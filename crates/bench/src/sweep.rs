@@ -22,7 +22,7 @@ use crate::plan::{self, JsonlSink, RunPlan, UnitOutput, WorkUnit};
 use escalate_core::pipeline::CompressionConfig;
 use escalate_models::ModelProfile;
 use escalate_obs::{json_f64_field, json_string_field, json_u64_field, JsonWriter};
-use escalate_sim::DesignPoint;
+use escalate_sim::{DesignPoint, ScheduleKind};
 use std::io::Write;
 use std::path::PathBuf;
 
@@ -87,8 +87,10 @@ pub enum GoldenMode {
 /// What `escalate sweep` was asked to do.
 #[derive(Debug, Clone)]
 pub struct SweepOptions {
-    /// Zoo networks to evaluate every sampled point on (sweep positional
-    /// arguments; default: the full evaluated zoo).
+    /// Network specs to evaluate every sampled point on (sweep positional
+    /// arguments; default: the full evaluated zoo). Each spec goes through
+    /// [`escalate_models::resolve`], so `@FILE` descriptions and
+    /// `gen:NAME` generators work alongside zoo names.
     pub networks: Vec<String>,
     /// Design points sampled per network (`--samples`).
     pub samples: usize,
@@ -109,12 +111,14 @@ pub struct SweepOptions {
     pub sampler: Sampler,
     /// Frontier golden file to check or update, if any.
     pub golden: Option<(PathBuf, GoldenMode)>,
+    /// Layer schedule every sampled point simulates under (`--schedule`).
+    pub schedule: ScheduleKind,
 }
 
 impl Default for SweepOptions {
     fn default() -> Self {
         SweepOptions {
-            networks: ModelProfile::all().iter().map(|p| p.name.into()).collect(),
+            networks: ModelProfile::all().iter().map(|p| p.name.clone()).collect(),
             samples: 8,
             master_seed: 42,
             input_seeds: 2,
@@ -124,6 +128,7 @@ impl Default for SweepOptions {
             pe_range: (8, 64),
             sampler: Sampler::Uniform,
             golden: None,
+            schedule: ScheduleKind::default(),
         }
     }
 }
@@ -360,8 +365,16 @@ impl SweepPlan {
             Sampler::Uniform => 's',
             Sampler::Halton => 'h',
         };
+        // A pipelined sweep reports different cycle numbers, so its keys
+        // carry a suffix — a resumed stream can never splice serial
+        // records into a pipelined run (serial keys stay unchanged, which
+        // keeps every pre-existing stream resumable).
+        let schedule = match self.opts.schedule {
+            ScheduleKind::LayerSerial => "",
+            ScheduleKind::Pipelined => "-pipelined",
+        };
         format!(
-            "{network}/{marker}{sample:03}-{seed:016x}-n{}",
+            "{network}/{marker}{sample:03}-{seed:016x}-n{}{schedule}",
             self.opts.input_seeds
         )
     }
@@ -393,10 +406,8 @@ impl RunPlan for SweepPlan {
         }
         let mut units = Vec::with_capacity(self.opts.networks.len() * self.opts.samples);
         for (ni, network) in self.opts.networks.iter().enumerate() {
-            if ModelProfile::for_model(network).is_none() {
-                return Err(ExpError::Msg(format!(
-                    "unknown network {network:?} (see escalate models)"
-                )));
+            if let Err(e) = escalate_models::resolve(network) {
+                return Err(ExpError::Msg(e.to_string()));
             }
             for s in 0..self.opts.samples {
                 let seed = plan::unit_seed(self.opts.master_seed, s as u64);
@@ -413,12 +424,13 @@ impl RunPlan for SweepPlan {
     fn run_unit(&self, unit: &WorkUnit) -> Result<UnitOutput, ExpError> {
         let sample = unit.index % self.opts.samples;
         let network = &self.opts.networks[unit.index / self.opts.samples];
-        let profile = ModelProfile::for_model(network)
-            .ok_or_else(|| ExpError::Msg(format!("unknown network {network:?}")))?;
+        let profile =
+            escalate_models::resolve(network).map_err(|e| ExpError::Msg(e.to_string()))?;
         let pes = pe_choices(self.opts.pe_range);
         let point = self.point_for(sample, unit.seed, &pes);
         let mut cfg = point.to_config();
         cfg.threads = self.opts.threads;
+        cfg.schedule = self.opts.schedule;
         // The sweep's whole point is thousands of design points over a few
         // `(network, M)` pairs: share every hardware-invariant derived
         // artifact — compression, the workload, activation masks, compiled

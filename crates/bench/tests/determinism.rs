@@ -21,7 +21,7 @@ fn parallel_simulate_model_is_bit_identical() {
     wide_pool();
     let profile = ModelProfile::for_model("MobileNet").expect("known model");
     let artifacts = compress_cached(&profile, &CompressionConfig::default()).expect("compression");
-    let workload = Workload::from_artifacts(profile.name, &artifacts, &profile);
+    let workload = Workload::from_artifacts(&profile.name, &artifacts, &profile);
     let sequential = SimConfig {
         threads: 1,
         ..SimConfig::default()
@@ -75,7 +75,7 @@ fn generic_runner_is_bit_identical_across_thread_counts() {
     wide_pool();
     let profile = ModelProfile::for_model("MobileNet").expect("known model");
     let artifacts = compress_cached(&profile, &CompressionConfig::default()).expect("compression");
-    let workload = Workload::from_artifacts(profile.name, &artifacts, &profile);
+    let workload = Workload::from_artifacts(&profile.name, &artifacts, &profile);
     let cfg = SimConfig::default();
     let caps = BufferCaps::from_config(&cfg);
     let escalate = Escalate::new(&workload, &cfg);

@@ -6,14 +6,15 @@ use escalate_core::artifact::{read_artifacts, write_artifacts, LayerArtifact};
 use escalate_core::pipeline::CompressionConfig;
 use escalate_core::ModelCompression;
 use escalate_models::ModelProfile;
-use escalate_sim::SimConfig;
+use escalate_sim::{ScheduleKind, SimConfig};
 
 /// CLI-level error: argument problems or pipeline failures.
 #[derive(Debug)]
 pub enum CliError {
     /// Argument parsing/validation failed.
     Args(ArgError),
-    /// An unknown model name was given.
+    /// A model spec did not resolve (unknown name, unreadable network
+    /// file, or a bad generator spec); the payload is the full message.
     UnknownModel(String),
     /// The compression/simulation pipeline failed.
     Pipeline(String),
@@ -26,12 +27,7 @@ impl std::fmt::Display for CliError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CliError::Args(e) => write!(f, "{e}"),
-            CliError::UnknownModel(m) => {
-                write!(
-                    f,
-                    "unknown model {m:?} (run `escalate models` for the list)"
-                )
-            }
+            CliError::UnknownModel(m) => write!(f, "{m}"),
             CliError::Pipeline(e) => write!(f, "pipeline failure: {e}"),
             CliError::Drift(report) => write!(f, "golden drift detected:\n{report}"),
         }
@@ -55,6 +51,9 @@ USAGE:
 
 COMMANDS:
     models                         list the evaluated models and their profiles
+    network <SPEC>                 print (or save) a model as an editable
+                                   escalate-network/v1 description file
+        --out <FILE>   write the description instead of printing it
     compress <MODEL>               run the compression pipeline (Table 1 row)
         --m <N>        basis kernels (default 6)
         --qat <N>      QAT epochs per layer (default 0)
@@ -62,6 +61,13 @@ COMMANDS:
         --layers       print per-layer detail
         --out <FILE>   save the compressed artifacts (.esca)
     simulate <MODEL>               compare all four accelerators
+        --network <FILE|SPEC>  simulate a custom network instead of a zoo
+                       model: an escalate-network/v1 file (@FILE or a bare
+                       path) or a generator spec (gen:NAME:key=value,...)
+        --schedule <S> layer schedule: serial (default; the paper's
+                       layer-at-a-time fold) or pipelined (layers split
+                       into PE-partitioned stages; adds a pipeline
+                       stage/interval/stall section to the table)
         --m <N>        basis kernels (default 6)
         --seeds <N>    input samples to average
                        (default $ESCALATE_SEEDS or 10)
@@ -74,6 +80,9 @@ COMMANDS:
                                    JSONL record per point, then print the
                                    energy x cycles x area Pareto frontier
                                    per network (default: all six models)
+                                   MODEL may be any network spec
+                                   (zoo name, @FILE, or gen:NAME)
+        --schedule <S> serial (default) or pipelined, as for simulate
         --samples <N>  design points per network (default 8)
         --seed <N>     master sample seed (default 42)
         --seeds <N>    input samples averaged per point (default 2)
@@ -115,7 +124,8 @@ COMMANDS:
                                    simulate|compress|report (ARG = model
                                    or experiment) or metrics|ping|shutdown
         --port <N>     daemon port, or --port-file <FILE> to read it
-        --m/--seeds/--qat/--seed/--layers  as for the one-shot verbs
+        --m/--seeds/--qat/--seed/--layers/--schedule
+                       as for the one-shot verbs
     loadgen                        drive an in-process daemon with a
                                    seeded request mix and report latency
         --jobs <N>     requests to send (default 24)
@@ -130,22 +140,56 @@ COMMANDS:
     help                           show this text
 
 MODELS: VGG16, ResNet18, ResNet152, MobileNetV2 (CIFAR-10);
-        ResNet50, MobileNet (ImageNet)";
+        ResNet50, MobileNet (ImageNet)
+        Anywhere a MODEL is expected, @FILE loads an escalate-network/v1
+        description and gen:NAME[:key=value,...] generates one
+        (generators: grouped, dilated, bottleneck, vit)";
 
-fn profile(name: &str) -> Result<ModelProfile, CliError> {
-    ModelProfile::for_model(name).ok_or_else(|| CliError::UnknownModel(name.to_string()))
+/// Resolves one model spec — a zoo name, an `@FILE` network description,
+/// or a `gen:NAME[:key=value,...]` generator — through the shared
+/// [`escalate_models::resolve`] entry every harness uses.
+fn profile(spec: &str) -> Result<ModelProfile, CliError> {
+    escalate_models::resolve(spec).map_err(|e| CliError::UnknownModel(e.to_string()))
 }
 
+/// The model spec of a command: `--network SPEC` when given (a network
+/// description file reads most naturally as `--network @FILE`, but the
+/// `@` is optional there — a bare path works too), else the first
+/// positional argument.
 fn model_arg(args: &ParsedArgs) -> Result<ModelProfile, CliError> {
+    if let Some(spec) = args.options.get("network") {
+        let spec = spec.clone();
+        // `--network model.network` means the file, not a zoo name.
+        let spec = if spec.starts_with('@') || spec.starts_with("gen:") || profile(&spec).is_ok() {
+            spec
+        } else {
+            format!("@{spec}")
+        };
+        return profile(&spec);
+    }
     let name = args
         .positional
         .first()
         .ok_or(CliError::Args(ArgError::BadValue {
             option: "MODEL".into(),
             value: "<missing>".into(),
-            expected: "a model name",
+            expected: "a model name, @FILE, or gen:NAME spec",
         }))?;
     profile(name)
+}
+
+/// Parses a `--schedule` option into a [`ScheduleKind`] (default serial).
+fn schedule_arg(args: &ParsedArgs) -> Result<ScheduleKind, CliError> {
+    match args.options.get("schedule") {
+        None => Ok(ScheduleKind::default()),
+        Some(v) => ScheduleKind::parse(v).map_err(|msg| {
+            CliError::Args(ArgError::BadValue {
+                option: "schedule".into(),
+                value: msg,
+                expected: "serial or pipelined",
+            })
+        }),
+    }
 }
 
 /// Dispatches a parsed command line; returns the text to print.
@@ -157,6 +201,7 @@ pub fn dispatch(args: &ParsedArgs) -> Result<String, CliError> {
     match args.command.as_str() {
         "help" | "--help" => Ok(USAGE.to_string()),
         "models" => cmd_models(args),
+        "network" => cmd_network(args),
         "compress" => cmd_compress(args),
         "simulate" => cmd_simulate(args),
         "sweep" => cmd_sweep(args),
@@ -238,6 +283,35 @@ fn cmd_models(args: &ParsedArgs) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// `escalate network SPEC [--out FILE]`: resolve any model spec and emit
+/// its canonical `escalate-network/v1` description — how a generated or
+/// zoo network becomes an editable `.network` file.
+fn cmd_network(args: &ParsedArgs) -> Result<String, CliError> {
+    args.ensure_known(&["out"])?;
+    let p = model_arg(args)?;
+    let model = p.model();
+    let text = model
+        .to_description()
+        .map_err(|e| CliError::Pipeline(e.to_string()))?;
+    match args.options.get("out") {
+        Some(path) if path != "true" => {
+            std::fs::write(path, &text)
+                .map_err(|e| CliError::Pipeline(format!("cannot write {path}: {e}")))?;
+            Ok(format!(
+                "{}: {} layer(s) -> {path}\n",
+                p.name,
+                model.layers().len()
+            ))
+        }
+        Some(_) => Err(CliError::Args(ArgError::BadValue {
+            option: "out".into(),
+            value: "true".into(),
+            expected: "a file path (use ./true for a file literally named true)",
+        })),
+        None => Ok(text),
+    }
+}
+
 fn cmd_compress(args: &ParsedArgs) -> Result<String, CliError> {
     args.ensure_known(&["m", "qat", "seed", "layers", "out"])?;
     let p = model_arg(args)?;
@@ -266,7 +340,7 @@ fn cmd_compress(args: &ParsedArgs) -> Result<String, CliError> {
             .map_err(|e| CliError::Pipeline(e.to_string()))?;
     }
     Ok(escalate_bench::render::render_compress(
-        p.name,
+        &p.name,
         p.baseline_top1,
         cfg.m,
         &result,
@@ -275,8 +349,9 @@ fn cmd_compress(args: &ParsedArgs) -> Result<String, CliError> {
 }
 
 fn cmd_simulate(args: &ParsedArgs) -> Result<String, CliError> {
-    args.ensure_known(&["m", "seeds", "threads", "metrics"])?;
+    args.ensure_known(&["m", "seeds", "threads", "metrics", "network", "schedule"])?;
     let p = model_arg(args)?;
+    let schedule = schedule_arg(args)?;
     let m = args.get_or("m", 6usize)?;
     let seeds = args.get_or("seeds", input_seeds())?;
     let threads = args.get_or("threads", 0usize)?;
@@ -296,6 +371,7 @@ fn cmd_simulate(args: &ParsedArgs) -> Result<String, CliError> {
         SimConfig::default().with_m(m)
     };
     cfg.threads = threads;
+    cfg.schedule = schedule;
 
     // With --metrics, install a recorder for the duration of the run;
     // without it the simulators take their zero-cost no-op path.
@@ -312,7 +388,7 @@ fn cmd_simulate(args: &ParsedArgs) -> Result<String, CliError> {
     if let (Some(path), Some(reg)) = (&metrics_path, &registry) {
         let json = crate::manifest::render_manifest(
             "simulate",
-            p.name,
+            &p.name,
             &cfg,
             seeds,
             &run,
@@ -328,12 +404,13 @@ fn cmd_sweep(args: &ParsedArgs) -> Result<String, CliError> {
     use escalate_bench::sweep::{parse_range, run_sweep, GoldenMode, Sampler, SweepOptions};
     args.ensure_known(&[
         "samples", "seed", "seeds", "m", "pe", "out", "threads", "sampler", "check", "update",
-        "metrics",
+        "metrics", "schedule",
     ])?;
     let mut opts = SweepOptions::default();
     if !args.positional.is_empty() {
         opts.networks = args.positional.clone();
     }
+    opts.schedule = schedule_arg(args)?;
     opts.samples = args.get_or("samples", opts.samples)?;
     opts.master_seed = args.get_or("seed", opts.master_seed)?;
     opts.input_seeds = args.get_or("seeds", opts.input_seeds)?;
@@ -472,7 +549,7 @@ fn cmd_validate(args: &ParsedArgs) -> Result<String, CliError> {
     let p = model_arg(args)?;
     let artifacts = compress(&p, &CompressionConfig::default())
         .map_err(|e| CliError::Pipeline(e.to_string()))?;
-    let workload = Workload::from_artifacts(p.name, &artifacts, &p);
+    let workload = Workload::from_artifacts(&p.name, &artifacts, &p);
 
     // Pick the requested layer, or the widest decomposed layer small
     // enough for the detailed mode.
@@ -604,7 +681,16 @@ fn submit_port(args: &ParsedArgs) -> Result<u16, CliError> {
 }
 
 fn cmd_submit(args: &ParsedArgs) -> Result<String, CliError> {
-    args.ensure_known(&["port", "port-file", "m", "seeds", "qat", "seed", "layers"])?;
+    args.ensure_known(&[
+        "port",
+        "port-file",
+        "m",
+        "seeds",
+        "qat",
+        "seed",
+        "layers",
+        "schedule",
+    ])?;
     let verb = args
         .positional
         .first()
@@ -625,9 +711,12 @@ fn cmd_submit(args: &ParsedArgs) -> Result<String, CliError> {
     };
     let req = match verb.as_str() {
         "simulate" => escalate_serve::Request::Simulate {
-            model: arg("a model name")?,
+            model: arg("a model name, @FILE, or gen:NAME spec")?,
             m: args.get_or("m", 6usize)?,
             seeds: args.get_or("seeds", 1u64)?,
+            // Validate locally so a typo fails here, not as a daemon-side
+            // error frame; the wire carries the canonical spelling.
+            schedule: schedule_arg(args)?.as_str().to_string(),
         },
         "compress" => escalate_serve::Request::Compress {
             model: arg("a model name")?,

@@ -105,6 +105,7 @@ mod tests {
                     ca_adds: 30,
                     ..LayerStats::default()
                 }],
+                pipeline: None,
             },
             energy: Default::default(),
         }

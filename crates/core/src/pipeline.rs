@@ -422,7 +422,7 @@ pub fn compress_model_artifacts(
     profile: &ModelProfile,
     cfg: &CompressionConfig,
 ) -> Result<Vec<CompressedLayer>, EscalateError> {
-    let _t = escalate_obs::span_labeled("pipeline.compress_model", profile.name);
+    let _t = escalate_obs::span_labeled("pipeline.compress_model", &profile.name);
     let plan = plan_units(profile, cfg);
     escalate_obs::counter_add("pipeline.units", plan.len() as u64);
     // Units are independent and deterministic (each derives its own seed),
@@ -507,7 +507,9 @@ fn plan_units(profile: &ModelProfile, cfg: &CompressionConfig) -> Vec<UnitPlan> 
                     i += 1;
                 }
             }
-            LayerKind::PwConv | LayerKind::Conv if layer.r * layer.s == 1 => {
+            LayerKind::PwConv | LayerKind::Conv | LayerKind::DilatedConv { .. }
+                if layer.r * layer.s == 1 =>
+            {
                 plan.push(UnitPlan::Pointwise {
                     layer: layer.clone(),
                     seed,
@@ -515,11 +517,23 @@ fn plan_units(profile: &ModelProfile, cfg: &CompressionConfig) -> Vec<UnitPlan> 
                 });
                 i += 1;
             }
-            LayerKind::Conv => {
+            // Dilation changes where a tap lands, not how many taps there
+            // are, so the decomposition is the regular-conv one.
+            LayerKind::Conv | LayerKind::DilatedConv { .. } => {
                 plan.push(UnitPlan::Conv {
                     layer: layer.clone(),
                     seed,
                     target,
+                });
+                i += 1;
+            }
+            // Grouped convolutions keep full-channel basis sharing off the
+            // table, so they stay dense (`LayerShape::is_decomposable` is
+            // false for them) and run on the fallback datapath.
+            LayerKind::GroupedConv { .. } => {
+                plan.push(UnitPlan::Dense {
+                    layer: layer.clone(),
+                    seed,
                 });
                 i += 1;
             }

@@ -274,6 +274,7 @@ mod tests {
         let m = ModelStats {
             model_name: "x".into(),
             layers: vec![stats(false), stats(false)],
+            pipeline: None,
         };
         let one = layer_energy(&stats(false), &BufferCaps::default(), &UnitEnergy::table3());
         let all = model_energy(&m, &BufferCaps::default(), &UnitEnergy::table3());

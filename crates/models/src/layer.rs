@@ -16,6 +16,22 @@ pub enum LayerKind {
     PwConv,
     /// Fully connected layer, treated as a 1×1 convolution on a 1×1 map.
     Fc,
+    /// Grouped convolution: channels split into `groups` independent
+    /// convolutions (`C/groups` inputs reduce into `K/groups` outputs per
+    /// group). ESCALATE's kernel decomposition shares basis kernels across
+    /// the *full* channel dimension, so grouped layers are not decomposed —
+    /// they run on the dense fallback path.
+    GroupedConv {
+        /// Number of channel groups (divides both `C` and `K`).
+        groups: usize,
+    },
+    /// Dilated convolution: `R×S` taps spread `dilation` positions apart.
+    /// Dilation changes only the output geometry — the kernel still has
+    /// `R·S` taps, so kernel decomposition applies unchanged.
+    DilatedConv {
+        /// Spacing between kernel taps (1 = a regular convolution).
+        dilation: usize,
+    },
 }
 
 impl std::fmt::Display for LayerKind {
@@ -25,6 +41,8 @@ impl std::fmt::Display for LayerKind {
             LayerKind::DwConv => "dwconv",
             LayerKind::PwConv => "pwconv",
             LayerKind::Fc => "fc",
+            LayerKind::GroupedConv { .. } => "gconv",
+            LayerKind::DilatedConv { .. } => "dconv",
         };
         f.write_str(s)
     }
@@ -148,20 +166,102 @@ impl LayerShape {
         }
     }
 
+    /// A grouped convolution layer (`groups` must divide `C` and `K`).
+    #[allow(clippy::too_many_arguments)]
+    pub fn grouped_conv(
+        name: &str,
+        c: usize,
+        k: usize,
+        x: usize,
+        y: usize,
+        rs: usize,
+        stride: usize,
+        pad: usize,
+        groups: usize,
+    ) -> Self {
+        LayerShape {
+            name: name.to_string(),
+            kind: LayerKind::GroupedConv { groups },
+            c,
+            k,
+            x,
+            y,
+            r: rs,
+            s: rs,
+            stride,
+            pad,
+        }
+    }
+
+    /// A dilated convolution layer with square kernels and inputs.
+    #[allow(clippy::too_many_arguments)]
+    pub fn dilated_conv(
+        name: &str,
+        c: usize,
+        k: usize,
+        x: usize,
+        y: usize,
+        rs: usize,
+        stride: usize,
+        pad: usize,
+        dilation: usize,
+    ) -> Self {
+        LayerShape {
+            name: name.to_string(),
+            kind: LayerKind::DilatedConv { dilation },
+            c,
+            k,
+            x,
+            y,
+            r: rs,
+            s: rs,
+            stride,
+            pad,
+        }
+    }
+
+    /// Channel groups (1 for every kind but [`LayerKind::GroupedConv`]).
+    pub fn groups(&self) -> usize {
+        match self.kind {
+            LayerKind::GroupedConv { groups } => groups.max(1),
+            _ => 1,
+        }
+    }
+
+    /// Kernel tap spacing (1 for every kind but
+    /// [`LayerKind::DilatedConv`]).
+    pub fn dilation(&self) -> usize {
+        match self.kind {
+            LayerKind::DilatedConv { dilation } => dilation.max(1),
+            _ => 1,
+        }
+    }
+
+    /// Effective kernel rows after dilation: `dilation·(R−1)+1`.
+    pub fn effective_r(&self) -> usize {
+        self.dilation() * self.r.saturating_sub(1) + 1
+    }
+
+    /// Effective kernel columns after dilation: `dilation·(S−1)+1`.
+    pub fn effective_s(&self) -> usize {
+        self.dilation() * self.s.saturating_sub(1) + 1
+    }
+
     /// Output rows `X'`.
     pub fn out_x(&self) -> usize {
-        escalate_tensor::conv::conv_out_size(self.x, self.r, self.stride, self.pad)
+        escalate_tensor::conv::conv_out_size(self.x, self.effective_r(), self.stride, self.pad)
     }
 
     /// Output columns `Y'`.
     pub fn out_y(&self) -> usize {
-        escalate_tensor::conv::conv_out_size(self.y, self.s, self.stride, self.pad)
+        escalate_tensor::conv::conv_out_size(self.y, self.effective_s(), self.stride, self.pad)
     }
 
     /// Number of weight parameters.
     pub fn weight_params(&self) -> usize {
         match self.kind {
             LayerKind::DwConv => self.c * self.r * self.s,
+            LayerKind::GroupedConv { .. } => self.k * (self.c / self.groups()) * self.r * self.s,
             _ => self.k * self.c * self.r * self.s,
         }
     }
@@ -169,10 +269,7 @@ impl LayerShape {
     /// Number of multiply-accumulate operations for one inference.
     pub fn macs(&self) -> usize {
         let spatial = self.out_x() * self.out_y();
-        match self.kind {
-            LayerKind::DwConv => self.c * self.r * self.s * spatial,
-            _ => self.k * self.c * self.r * self.s * spatial,
-        }
+        self.weight_params() * spatial
     }
 
     /// Number of input activations.
@@ -191,6 +288,10 @@ impl LayerShape {
     pub fn is_decomposable(&self) -> bool {
         match self.kind {
             LayerKind::Fc => false,
+            // Basis kernels are shared across the full channel dimension;
+            // a grouped layer's per-group reduction breaks that sharing,
+            // so grouped convolutions stay on the dense fallback.
+            LayerKind::GroupedConv { .. } => false,
             // A 1x1 kernel has RS = 1, so decomposition cannot shrink it;
             // pointwise layers instead fold into the coefficients (Eq. 5).
             _ => self.r * self.s > 1,
@@ -250,6 +351,39 @@ mod tests {
         let l = LayerShape::pwconv("pw", 32, 64, 112, 112);
         assert!(!l.is_decomposable());
         assert_eq!(l.weight_params(), 32 * 64);
+    }
+
+    #[test]
+    fn grouped_conv_arithmetic() {
+        let l = LayerShape::grouped_conv("g", 64, 128, 56, 56, 3, 1, 1, 4);
+        assert_eq!(l.groups(), 4);
+        assert_eq!(l.dilation(), 1);
+        assert_eq!(l.out_x(), 56);
+        // Each filter only reduces C/groups input channels.
+        assert_eq!(l.weight_params(), 128 * (64 / 4) * 9);
+        assert_eq!(l.macs(), 128 * 16 * 9 * 56 * 56);
+        assert!(!l.is_decomposable());
+    }
+
+    #[test]
+    fn dilated_conv_arithmetic() {
+        let l = LayerShape::dilated_conv("d", 64, 64, 56, 56, 3, 1, 2, 2);
+        assert_eq!(l.dilation(), 2);
+        assert_eq!(l.groups(), 1);
+        // Effective extent 2*(3-1)+1 = 5, so with pad 2 the map is preserved.
+        assert_eq!(l.effective_r(), 5);
+        assert_eq!(l.out_x(), 56);
+        // Parameter count is unchanged by dilation.
+        assert_eq!(l.weight_params(), 64 * 64 * 9);
+        assert!(l.is_decomposable());
+    }
+
+    #[test]
+    fn dilated_conv_without_extra_pad_shrinks_output() {
+        let plain = LayerShape::conv("p", 8, 8, 32, 32, 3, 1, 1);
+        let dilated = LayerShape::dilated_conv("d", 8, 8, 32, 32, 3, 1, 1, 2);
+        assert_eq!(plain.out_x(), 32);
+        assert_eq!(dilated.out_x(), 30);
     }
 
     #[test]

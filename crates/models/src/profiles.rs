@@ -27,10 +27,14 @@ impl std::fmt::Display for Dataset {
 }
 
 /// Calibration targets and paper-reference numbers for one model.
+///
+/// Zoo profiles carry Table 1 transcriptions; profiles for user-supplied
+/// networks (see [`ModelProfile::synthetic`]) carry neutral defaults and
+/// the layer table itself in [`ModelProfile::custom`].
 #[derive(Debug, Clone)]
 pub struct ModelProfile {
     /// Model name (matches [`Model::name`]).
-    pub name: &'static str,
+    pub name: String,
     /// Evaluation dataset.
     pub dataset: Dataset,
     /// Paper Table 1: baseline top-1 accuracy (%).
@@ -50,6 +54,10 @@ pub struct ModelProfile {
     pub baseline_weight_sparsity: f64,
     /// Mean ReLU activation sparsity used for the synthetic inputs.
     pub mean_activation_sparsity: f64,
+    /// Layer table for non-zoo networks (loaded from a description file or
+    /// generated); `None` for the six paper models, which are built from
+    /// the zoo constructors by name.
+    pub custom: Option<Model>,
 }
 
 impl ModelProfile {
@@ -57,7 +65,7 @@ impl ModelProfile {
     pub fn all() -> Vec<ModelProfile> {
         vec![
             ModelProfile {
-                name: "VGG16",
+                name: "VGG16".to_string(),
                 dataset: Dataset::Cifar10,
                 baseline_top1: 93.49,
                 escalate_top1: 92.74,
@@ -66,9 +74,10 @@ impl ModelProfile {
                 pruning_ratio: 0.961,
                 baseline_weight_sparsity: 0.983,
                 mean_activation_sparsity: 0.55,
+                custom: None,
             },
             ModelProfile {
-                name: "ResNet18",
+                name: "ResNet18".to_string(),
                 dataset: Dataset::Cifar10,
                 baseline_top1: 93.79,
                 escalate_top1: 93.63,
@@ -77,9 +86,10 @@ impl ModelProfile {
                 pruning_ratio: 0.9821,
                 baseline_weight_sparsity: 0.986,
                 mean_activation_sparsity: 0.50,
+                custom: None,
             },
             ModelProfile {
-                name: "ResNet152",
+                name: "ResNet152".to_string(),
                 dataset: Dataset::Cifar10,
                 baseline_top1: 95.36,
                 escalate_top1: 93.86,
@@ -88,9 +98,10 @@ impl ModelProfile {
                 pruning_ratio: 0.994,
                 baseline_weight_sparsity: 0.9249,
                 mean_activation_sparsity: 0.50,
+                custom: None,
             },
             ModelProfile {
-                name: "MobileNetV2",
+                name: "MobileNetV2".to_string(),
                 dataset: Dataset::Cifar10,
                 baseline_top1: 94.09,
                 escalate_top1: 93.32,
@@ -99,9 +110,10 @@ impl ModelProfile {
                 pruning_ratio: 0.9186,
                 baseline_weight_sparsity: 0.836,
                 mean_activation_sparsity: 0.45,
+                custom: None,
             },
             ModelProfile {
-                name: "ResNet50",
+                name: "ResNet50".to_string(),
                 dataset: Dataset::ImageNet,
                 baseline_top1: 76.25,
                 escalate_top1: 73.89,
@@ -110,9 +122,10 @@ impl ModelProfile {
                 pruning_ratio: 0.9216,
                 baseline_weight_sparsity: 0.9023,
                 mean_activation_sparsity: 0.45,
+                custom: None,
             },
             ModelProfile {
-                name: "MobileNet",
+                name: "MobileNet".to_string(),
                 dataset: Dataset::ImageNet,
                 baseline_top1: 70.10,
                 escalate_top1: 67.89,
@@ -121,6 +134,7 @@ impl ModelProfile {
                 pruning_ratio: 0.639,
                 baseline_weight_sparsity: 0.7528,
                 mean_activation_sparsity: 0.40,
+                custom: None,
             },
         ]
     }
@@ -130,9 +144,37 @@ impl ModelProfile {
         ModelProfile::all().into_iter().find(|p| p.name == name)
     }
 
-    /// Instantiates the matching [`Model`] layer table.
+    /// Wraps a user-supplied network (loaded or generated) in a profile
+    /// with neutral calibration defaults: 90% coefficient sparsity and 90%
+    /// baseline weight sparsity (mid-range for Table 1), 50% mean
+    /// activation sparsity, and zeroed paper-reference columns. The
+    /// dataset is inferred from the stem's spatial size.
+    pub fn synthetic(model: Model) -> ModelProfile {
+        let dataset = match model.layers().first() {
+            Some(l) if l.x >= 128 => Dataset::ImageNet,
+            _ => Dataset::Cifar10,
+        };
+        ModelProfile {
+            name: model.name().to_string(),
+            dataset,
+            baseline_top1: 0.0,
+            escalate_top1: 0.0,
+            paper_compression: 0.0,
+            coeff_sparsity: 0.90,
+            pruning_ratio: 0.0,
+            baseline_weight_sparsity: 0.90,
+            mean_activation_sparsity: 0.50,
+            custom: Some(model),
+        }
+    }
+
+    /// Instantiates the [`Model`] layer table: the stored table for custom
+    /// profiles, the matching zoo constructor otherwise.
     pub fn model(&self) -> Model {
-        match self.name {
+        if let Some(m) = &self.custom {
+            return m.clone();
+        }
+        match self.name.as_str() {
             "VGG16" => Model::vgg16_cifar(),
             "ResNet18" => Model::resnet18_cifar(),
             "ResNet152" => Model::resnet152_cifar(),
@@ -141,6 +183,33 @@ impl ModelProfile {
             "MobileNet" => Model::mobilenet_imagenet(),
             other => unreachable!("unknown profile model {other}"),
         }
+    }
+
+    /// A stable 64-bit fingerprint over everything that shapes the
+    /// simulated workload: the name, the full layer table, and the
+    /// sparsity calibration targets. Two profiles that share a name but
+    /// describe different networks (a zoo model vs a custom file, say)
+    /// fingerprint differently, so caches keyed on it never conflate them.
+    pub fn fingerprint(&self) -> u64 {
+        fn eat(mut h: u64, bytes: &[u8]) -> u64 {
+            for &b in bytes {
+                h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            h
+        }
+        let mut h = 0xCBF2_9CE4_8422_2325u64; // FNV-1a offset basis
+        h = eat(h, self.name.as_bytes());
+        for l in self.model().layers() {
+            h = eat(h, format!("{l:?}").as_bytes());
+        }
+        for v in [
+            self.coeff_sparsity,
+            self.baseline_weight_sparsity,
+            self.mean_activation_sparsity,
+        ] {
+            h = eat(h, &v.to_bits().to_le_bytes());
+        }
+        h
     }
 
     /// Per-layer activation sparsity for layer `i` of `n`.
@@ -193,7 +262,7 @@ mod tests {
         for p in ModelProfile::all() {
             let m = p.model();
             assert_eq!(m.name(), p.name);
-            assert!(ModelProfile::for_model(p.name).is_some());
+            assert!(ModelProfile::for_model(&p.name).is_some());
         }
         assert!(ModelProfile::for_model("LeNet").is_none());
     }
@@ -226,6 +295,41 @@ mod tests {
         for i in 0..60 {
             assert!(p.layer_coeff_sparsity(i, 60) < 1.0);
         }
+    }
+
+    #[test]
+    fn synthetic_profiles_carry_their_model() {
+        let m = Model::new(
+            "tiny",
+            vec![crate::layer::LayerShape::conv("c1", 3, 8, 16, 16, 3, 1, 1)],
+        );
+        let p = ModelProfile::synthetic(m.clone());
+        assert_eq!(p.name, "tiny");
+        assert_eq!(p.dataset, Dataset::Cifar10);
+        assert_eq!(p.model(), m);
+        let big = Model::new(
+            "big",
+            vec![crate::layer::LayerShape::conv(
+                "c1", 3, 8, 224, 224, 3, 1, 1,
+            )],
+        );
+        assert_eq!(ModelProfile::synthetic(big).dataset, Dataset::ImageNet);
+    }
+
+    #[test]
+    fn fingerprints_separate_same_named_networks() {
+        let zoo = ModelProfile::for_model("VGG16").unwrap();
+        assert_eq!(zoo.fingerprint(), zoo.fingerprint());
+        // A custom network that borrows a zoo name must not collide.
+        let fake = ModelProfile::synthetic(Model::new(
+            "VGG16",
+            vec![crate::layer::LayerShape::conv("c1", 3, 8, 16, 16, 3, 1, 1)],
+        ));
+        assert_ne!(zoo.fingerprint(), fake.fingerprint());
+        // The zoo profile and an identical-table synthetic differ too
+        // (calibration targets differ).
+        let same_table = ModelProfile::synthetic(zoo.model());
+        assert_ne!(zoo.fingerprint(), same_table.fingerprint());
     }
 
     #[test]

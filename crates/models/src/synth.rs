@@ -52,6 +52,8 @@ pub fn weights(layer: &LayerShape, rank: usize, noise: f32, seed: u64) -> Tensor
     let rank = rank.clamp(1, rs);
     let (k, c) = match layer.kind {
         LayerKind::DwConv => (1, layer.c),
+        // Grouped filters only see their group's slice of the input.
+        LayerKind::GroupedConv { .. } => (layer.k, layer.c / layer.groups()),
         _ => (layer.k, layer.c),
     };
 
@@ -91,6 +93,9 @@ pub fn weights(layer: &LayerShape, rank: usize, noise: f32, seed: u64) -> Tensor
 
     match layer.kind {
         LayerKind::DwConv => Tensor::from_vec(&[layer.c, layer.r, layer.s], data),
+        LayerKind::GroupedConv { .. } => {
+            Tensor::from_vec(&[layer.k, layer.c / layer.groups(), layer.r, layer.s], data)
+        }
         _ => Tensor::from_vec(&[layer.k, layer.c, layer.r, layer.s], data),
     }
 }
@@ -186,6 +191,8 @@ mod tests {
         assert_eq!(weights(&l, 3, 0.1, 1).shape(), &[8, 4, 3, 3]);
         let d = LayerShape::dwconv("d", 16, 8, 8, 3, 1, 1);
         assert_eq!(weights(&d, 3, 0.1, 1).shape(), &[16, 3, 3]);
+        let g = LayerShape::grouped_conv("g", 16, 8, 8, 8, 3, 1, 1, 4);
+        assert_eq!(weights(&g, 3, 0.1, 1).shape(), &[8, 4, 3, 3]);
     }
 
     #[test]

@@ -19,7 +19,7 @@ use crate::layer::{LayerKind, LayerShape};
 /// assert_eq!(m.name(), "ResNet18");
 /// assert!(m.conv_layers().count() > 15);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Model {
     name: String,
     layers: Vec<LayerShape>,
@@ -44,8 +44,11 @@ impl Model {
         &self.layers
     }
 
-    /// Only the convolutional layers (regular, depthwise, pointwise) — the
-    /// layers the paper's evaluation covers.
+    /// Only the convolutional layers (regular, depthwise, pointwise,
+    /// grouped, dilated) — everything except the FC head. Grouped convs
+    /// flow through here too: the compression planner routes them to the
+    /// dense fallback, and the decomposed datapath rejects them with a
+    /// typed `SimError::UnsupportedLayer`.
     pub fn conv_layers(&self) -> impl Iterator<Item = &LayerShape> {
         self.layers.iter().filter(|l| l.kind != LayerKind::Fc)
     }
@@ -230,6 +233,22 @@ impl Model {
                     l.name, l.k, l.c
                 ));
             }
+            if let LayerKind::GroupedConv { groups } = l.kind {
+                if groups == 0 {
+                    return Err(format!("{}: groups must be positive", l.name));
+                }
+                if l.c % groups != 0 || l.k % groups != 0 {
+                    return Err(format!(
+                        "{}: groups={} must divide C={} and K={}",
+                        l.name, groups, l.c, l.k
+                    ));
+                }
+            }
+            if let LayerKind::DilatedConv { dilation } = l.kind {
+                if dilation == 0 {
+                    return Err(format!("{}: dilation must be positive", l.name));
+                }
+            }
             let is_shortcut = l.name.contains("downsample");
             if !is_shortcut {
                 let feeds = prev_out == Some(l.c) || produced.contains(&l.c) || produced.is_empty();
@@ -317,7 +336,7 @@ fn basic_stage(
 
 /// Appends a stage of ResNet Bottleneck blocks (1×1 → 3×3 → 1×1, ×4
 /// expansion).
-fn bottleneck_stage(
+pub(crate) fn bottleneck_stage(
     layers: &mut Vec<LayerShape>,
     name: &str,
     cin: usize,

@@ -15,7 +15,7 @@ use escalate_core::pipeline::CompressionConfig;
 use escalate_core::ModelCompression;
 use escalate_models::ModelProfile;
 use escalate_obs::JsonWriter;
-use escalate_sim::SimConfig;
+use escalate_sim::{ScheduleKind, SimConfig};
 use std::sync::Mutex;
 
 /// A validated, ready-to-run job.
@@ -36,18 +36,26 @@ impl CompiledJob {
     ///
     /// Returns the user-facing message for the `error` frame.
     pub fn compile(req: &Request) -> Result<CompiledJob, String> {
-        let known_model = |name: &str| {
-            ModelProfile::for_model(name)
-                .map(|_| name.to_string())
-                .ok_or_else(|| format!("unknown model {name:?}"))
-        };
+        // One resolver for every model spec the daemon accepts — the same
+        // zoo-name / `@FILE` / `gen:` grammar as the CLI. The profile is
+        // resolved once at compile time (a network file is read here, not
+        // re-read per work unit).
+        let resolve = |spec: &str| escalate_models::resolve(spec).map_err(|e| e.to_string());
         match req {
-            Request::Simulate { model, m, seeds } => Ok(CompiledJob::Simulate(SimulatePlan {
-                model: known_model(model)?,
-                cfg: if *m == 6 {
-                    SimConfig::default()
-                } else {
-                    SimConfig::default().with_m(*m)
+            Request::Simulate {
+                model,
+                m,
+                seeds,
+                schedule,
+            } => Ok(CompiledJob::Simulate(SimulatePlan {
+                profile: resolve(model)?,
+                cfg: SimConfig {
+                    schedule: ScheduleKind::parse(schedule)?,
+                    ..if *m == 6 {
+                        SimConfig::default()
+                    } else {
+                        SimConfig::default().with_m(*m)
+                    }
                 },
                 seeds: *seeds,
                 results: Mutex::new((0..ACCELERATOR_NAMES.len()).map(|_| None).collect()),
@@ -59,7 +67,7 @@ impl CompiledJob {
                 seed,
                 layers,
             } => Ok(CompiledJob::Compress(CompressPlan {
-                model: known_model(model)?,
+                profile: resolve(model)?,
                 cfg: CompressionConfig {
                     m: *m,
                     qat_epochs: *qat,
@@ -91,9 +99,25 @@ impl CompiledJob {
     /// knobs). The queue uses this to fan one execution out to every
     /// client waiting on the same work.
     pub fn coalesce_key(&self) -> String {
+        // Custom networks make the model *name* an insufficient identity —
+        // two `@FILE` submissions can share a name but describe different
+        // layers — so the profile fingerprint joins the key. The `{:?}` of
+        // the config covers every knob, the schedule included.
         match self {
-            CompiledJob::Simulate(p) => format!("simulate|{}|{:?}|{}", p.model, p.cfg, p.seeds),
-            CompiledJob::Compress(p) => format!("compress|{}|{:?}|{}", p.model, p.cfg, p.layers),
+            CompiledJob::Simulate(p) => format!(
+                "simulate|{}#{:016x}|{:?}|{}",
+                p.profile.name,
+                p.profile.fingerprint(),
+                p.cfg,
+                p.seeds
+            ),
+            CompiledJob::Compress(p) => format!(
+                "compress|{}#{:016x}|{:?}|{}",
+                p.profile.name,
+                p.profile.fingerprint(),
+                p.cfg,
+                p.layers
+            ),
             CompiledJob::Report(p) => format!("report|{}", p.experiment),
         }
     }
@@ -136,14 +160,10 @@ fn lock_recover<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
-fn profile(model: &str) -> Result<ModelProfile, ExpError> {
-    ModelProfile::for_model(model).ok_or_else(|| ExpError::Msg(format!("unknown model {model:?}")))
-}
-
 /// One unit per accelerator design; units stream a manifest-style record
 /// each, and the typed results assemble into the comparison table.
 pub struct SimulatePlan {
-    model: String,
+    profile: ModelProfile,
     cfg: SimConfig,
     seeds: u64,
     /// One slot per design, filled by `run_unit` (units run on worker
@@ -161,7 +181,7 @@ impl SimulatePlan {
                 .ok_or_else(|| ExpError::Msg("simulate unit produced no result".into()))
         };
         let run = ModelRun {
-            model: self.model.clone(),
+            model: self.profile.name.clone(),
             eyeriss: take(0)?,
             scnn: take(1)?,
             sparten: take(2)?,
@@ -181,7 +201,7 @@ impl RunPlan for SimulatePlan {
             .iter()
             .enumerate()
             .map(|(i, accel)| WorkUnit {
-                key: format!("simulate/{}/{accel}", self.model),
+                key: format!("simulate/{}/{accel}", self.profile.name),
                 seed: unit_seed(self.seeds, i as u64),
                 index: i,
             })
@@ -190,7 +210,7 @@ impl RunPlan for SimulatePlan {
 
     fn run_unit(&self, unit: &WorkUnit) -> Result<UnitOutput, ExpError> {
         let accel = ACCELERATOR_NAMES[unit.index];
-        let run = run_accelerator_by_name(accel, &profile(&self.model)?, &self.cfg, self.seeds)
+        let run = run_accelerator_by_name(accel, &self.profile, &self.cfg, self.seeds)
             .map_err(ExpError::Pipeline)?;
         let mut w = JsonWriter::new();
         w.begin_object();
@@ -214,7 +234,7 @@ impl RunPlan for SimulatePlan {
 /// cache (identical configs in flight dedupe via its single-flight
 /// slots).
 pub struct CompressPlan {
-    model: String,
+    profile: ModelProfile,
     cfg: CompressionConfig,
     layers: bool,
     output: Mutex<Option<String>>,
@@ -235,31 +255,31 @@ impl RunPlan for CompressPlan {
 
     fn units(&self) -> Result<Vec<WorkUnit>, ExpError> {
         Ok(vec![WorkUnit {
-            key: format!("compress/{}/m{}", self.model, self.cfg.m),
+            key: format!("compress/{}/m{}", self.profile.name, self.cfg.m),
             seed: self.cfg.seed,
             index: 0,
         }])
     }
 
     fn run_unit(&self, unit: &WorkUnit) -> Result<UnitOutput, ExpError> {
-        let p = profile(&self.model)?;
-        let artifacts = compress_cached(&p, &self.cfg).map_err(ExpError::Pipeline)?;
+        let p = &self.profile;
+        let artifacts = compress_cached(p, &self.cfg).map_err(ExpError::Pipeline)?;
         let result = ModelCompression {
-            model_name: p.name.to_string(),
+            model_name: p.name.clone(),
             layers: artifacts.iter().map(|a| a.stats.clone()).collect(),
         };
         let mut w = JsonWriter::new();
         w.begin_object();
         w.field_str("key", &unit.key);
         w.field_str("schema", MANIFEST_SCHEMA);
-        w.field_str("model", p.name);
+        w.field_str("model", &p.name);
         w.field_f64("compression_ratio", result.compression_ratio());
         w.field_f64("compressed_mb", result.compressed_size_mb());
         w.field_f64("coeff_sparsity", result.coeff_sparsity());
         w.end_object();
         let record = w.finish();
         let text =
-            render::render_compress(p.name, p.baseline_top1, self.cfg.m, &result, self.layers);
+            render::render_compress(&p.name, p.baseline_top1, self.cfg.m, &result, self.layers);
         *lock_recover(&self.output) = Some(text);
         Ok(UnitOutput {
             table: Table::default(),
@@ -340,11 +360,22 @@ mod tests {
             model: "LeNet".into(),
             m: 6,
             seeds: 1,
+            schedule: "serial".into(),
         };
         let Err(e) = CompiledJob::compile(&bad) else {
             panic!("unknown model must not compile")
         };
         assert!(e.contains("LeNet"), "{e}");
+        let bad = Request::Simulate {
+            model: "MobileNet".into(),
+            m: 6,
+            seeds: 1,
+            schedule: "warp-speed".into(),
+        };
+        let Err(e) = CompiledJob::compile(&bad) else {
+            panic!("unknown schedule must not compile")
+        };
+        assert!(e.contains("warp-speed"), "{e}");
         let bad = Request::Report {
             experiment: "fig99".into(),
         };
@@ -361,6 +392,7 @@ mod tests {
             model: "MobileNet".into(),
             m: 6,
             seeds: 1,
+            schedule: "serial".into(),
         })
         .unwrap();
         let mut sink = MemSink::default();
@@ -379,6 +411,28 @@ mod tests {
         }
         assert!(out.contains("vs Eyeriss"), "{out}");
         assert!(out.contains("ESCALATE"), "{out}");
+    }
+
+    #[test]
+    fn generator_specs_compile_and_schedules_separate_coalesce_keys() {
+        let req = |schedule: &str| Request::Simulate {
+            model: "gen:grouped:blocks=1,c=16,x=8".into(),
+            m: 6,
+            seeds: 1,
+            schedule: schedule.into(),
+        };
+        let serial = CompiledJob::compile(&req("serial")).unwrap();
+        let pipelined = CompiledJob::compile(&req("pipelined")).unwrap();
+        assert_ne!(
+            serial.coalesce_key(),
+            pipelined.coalesce_key(),
+            "a pipelined run is different work; it must not coalesce with a serial one"
+        );
+        // Same spec twice is the same work.
+        assert_eq!(
+            serial.coalesce_key(),
+            CompiledJob::compile(&req("serial")).unwrap().coalesce_key()
+        );
     }
 
     #[test]

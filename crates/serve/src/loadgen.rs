@@ -8,7 +8,6 @@
 use crate::client::submit;
 use crate::proto::{Request, RETRY_AFTER_MS};
 use crate::server::{start, ServeOptions};
-use escalate_models::ModelProfile;
 use escalate_obs::{json_string_field, JsonWriter};
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
@@ -125,7 +124,7 @@ struct Slot {
 /// ~30% `compress`, round-robin-ish over the model zoo, inter-arrival
 /// draws uniform in 0..120 ms.
 fn schedule(jobs: usize, seed: u64) -> Vec<Slot> {
-    let zoo: Vec<&'static str> = ModelProfile::all().iter().map(|p| p.name).collect();
+    let zoo: Vec<String> = escalate_models::zoo_names();
     let mut rng = seed;
     let mut at = Duration::ZERO;
     (0..jobs)
@@ -137,6 +136,7 @@ fn schedule(jobs: usize, seed: u64) -> Vec<Slot> {
                     model,
                     m: 6,
                     seeds: 1,
+                    schedule: "serial".into(),
                 }
             } else {
                 Request::Compress {

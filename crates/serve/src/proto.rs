@@ -36,12 +36,16 @@ pub const RETRY_AFTER_MS: u64 = 250;
 pub enum Request {
     /// Four-accelerator comparison (the `escalate simulate` table).
     Simulate {
-        /// Model name (one of the six zoo networks).
+        /// Model spec: a zoo name, `@FILE` network description, or
+        /// `gen:NAME[:key=value,...]` generator (see `escalate_models::resolve`).
         model: String,
         /// Basis kernels M.
         m: usize,
         /// Input seeds averaged.
         seeds: u64,
+        /// Schedule spelling (`"serial"` or `"pipelined"`); the wire
+        /// default is `"serial"`, which keeps old clients byte-identical.
+        schedule: String,
     },
     /// Compression pipeline (the `escalate compress` report).
     Compress {
@@ -97,10 +101,16 @@ impl Request {
         w.begin_object();
         w.field_str("verb", self.verb());
         match self {
-            Request::Simulate { model, m, seeds } => {
+            Request::Simulate {
+                model,
+                m,
+                seeds,
+                schedule,
+            } => {
                 w.field_str("model", model);
                 w.field_u64("m", *m as u64);
                 w.field_u64("seeds", *seeds);
+                w.field_str("schedule", schedule);
             }
             Request::Compress {
                 model,
@@ -157,6 +167,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             model: model(line)?,
             m: json_u64_field(line, "m").unwrap_or(6) as usize,
             seeds: json_u64_field(line, "seeds").unwrap_or(1),
+            schedule: json_string_field(line, "schedule").unwrap_or_else(|| "serial".to_string()),
         }),
         "compress" => Ok(Request::Compress {
             model: model(line)?,
@@ -305,6 +316,7 @@ mod tests {
                 model: "MobileNet".into(),
                 m: 6,
                 seeds: 2,
+                schedule: "pipelined".into(),
             },
             Request::Compress {
                 model: "VGG16".into(),
@@ -334,7 +346,8 @@ mod tests {
             Request::Simulate {
                 model: "MobileNet".into(),
                 m: 6,
-                seeds: 1
+                seeds: 1,
+                schedule: "serial".into(),
             }
         );
     }

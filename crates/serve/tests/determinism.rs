@@ -29,6 +29,7 @@ fn served_simulate_is_bit_identical_to_the_one_shot_cli() {
             model: model.into(),
             m: 6,
             seeds,
+            schedule: "serial".into(),
         },
     )
     .expect("submit");

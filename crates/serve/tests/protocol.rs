@@ -148,6 +148,7 @@ fn a_mid_stream_disconnect_aborts_the_job_but_not_the_daemon() {
             model: "MobileNet".into(),
             m: 6,
             seeds: 1,
+            schedule: "serial".into(),
         }
         .to_line(),
     );
@@ -259,6 +260,7 @@ fn identical_queued_submissions_coalesce_into_one_execution() {
         model: "MobileNet".into(),
         m: 6,
         seeds: 1,
+        schedule: "serial".into(),
     };
     let mut conns: Vec<Raw> = (0..3)
         .map(|_| {
@@ -345,6 +347,7 @@ fn a_full_queue_answers_rejected_with_a_retry_hint() {
                 model: "MobileNet".into(),
                 m: 6,
                 seeds: i + 1,
+                schedule: "serial".into(),
             }
             .to_line(),
         );

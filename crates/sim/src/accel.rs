@@ -12,9 +12,9 @@
 //! accelerator lists and fan input seeds out across threads against a
 //! shared instance.
 
-use crate::config::SimConfig;
+use crate::config::{ScheduleKind, SimConfig};
 use crate::engine::simulate_layer;
-use crate::stats::{LayerStats, ModelStats};
+use crate::stats::{LayerStats, ModelStats, PipelineStats};
 use crate::workload::Workload;
 use rayon::prelude::*;
 
@@ -40,22 +40,224 @@ pub trait Accelerator: Sync {
     /// Simulates the whole model: the one fold from per-layer stats into
     /// [`ModelStats`]. Layers are independent, so with `threads != 1` they
     /// fan out over the global pool and reassemble in execution order —
-    /// bit-identical to the sequential walk.
+    /// bit-identical to the sequential walk. The default is the
+    /// layer-serial schedule; ESCALATE overrides this to dispatch on
+    /// [`SimConfig::schedule`].
     fn simulate(&self, seed: u64, threads: usize) -> ModelStats {
-        let layers = if threads == 1 {
-            (0..self.num_layers())
-                .map(|i| self.simulate_layer(i, seed))
-                .collect()
-        } else {
-            (0..self.num_layers())
-                .into_par_iter()
-                .map(|i| self.simulate_layer(i, seed))
-                .collect()
-        };
-        ModelStats {
-            model_name: self.model_name(),
-            layers,
+        serial_fold(self, seed, threads)
+    }
+}
+
+/// The one per-layer fold every schedule builds on: simulate each layer
+/// independently and reassemble in execution order (sequentially or over
+/// the global pool — bit-identical either way).
+fn serial_fold<A: Accelerator + ?Sized>(acc: &A, seed: u64, threads: usize) -> ModelStats {
+    let layers = if threads == 1 {
+        (0..acc.num_layers())
+            .map(|i| acc.simulate_layer(i, seed))
+            .collect()
+    } else {
+        (0..acc.num_layers())
+            .into_par_iter()
+            .map(|i| acc.simulate_layer(i, seed))
+            .collect()
+    };
+    ModelStats {
+        model_name: acc.model_name(),
+        layers,
+        pipeline: None,
+    }
+}
+
+/// A whole-network schedule: how per-layer simulation results compose
+/// into a model-level result. The layer-serial fold is the paper's
+/// evaluation schedule; the layer-pipelined schedule models all layers
+/// resident at once on a partitioned PE array.
+pub trait Schedule: Sync {
+    /// Canonical schedule name (matches [`ScheduleKind::as_str`]).
+    fn name(&self) -> &'static str;
+
+    /// Runs the accelerator's layers under this schedule.
+    fn run(&self, acc: &dyn Accelerator, cfg: &SimConfig, seed: u64, threads: usize) -> ModelStats;
+}
+
+/// The paper's schedule: layers run one after another, each using the
+/// full PE array; model cycles are the plain layer sum.
+pub struct LayerSerial;
+
+impl Schedule for LayerSerial {
+    fn name(&self) -> &'static str {
+        ScheduleKind::LayerSerial.as_str()
+    }
+
+    fn run(
+        &self,
+        acc: &dyn Accelerator,
+        _cfg: &SimConfig,
+        seed: u64,
+        threads: usize,
+    ) -> ModelStats {
+        serial_fold(acc, seed, threads)
+    }
+}
+
+/// HPIPE-style layer pipelining: consecutive layers are grouped into at
+/// most `N_PE` stages balanced by work, each stage gets a PE share
+/// proportional to its work, inter-stage feature maps hand off through
+/// on-chip buffers (spilling through DRAM when they exceed the configured
+/// SRAM), and steady state paces at the slowest stage.
+pub struct LayerPipelined;
+
+impl Schedule for LayerPipelined {
+    fn name(&self) -> &'static str {
+        ScheduleKind::Pipelined.as_str()
+    }
+
+    fn run(&self, acc: &dyn Accelerator, cfg: &SimConfig, seed: u64, threads: usize) -> ModelStats {
+        let mut stats = serial_fold(acc, seed, threads);
+        stats.pipeline = Some(pipeline_model(&stats, cfg));
+        stats
+    }
+}
+
+/// The schedule implementation for a [`ScheduleKind`].
+pub fn schedule_for(kind: ScheduleKind) -> &'static dyn Schedule {
+    match kind {
+        ScheduleKind::LayerSerial => &LayerSerial,
+        ScheduleKind::Pipelined => &LayerPipelined,
+    }
+}
+
+/// Analytic steady-state model of the layer-pipelined schedule, built on
+/// the per-layer results of the serial fold (whose cycles assume the full
+/// PE array):
+///
+/// 1. consecutive layers group into `min(layers, N_PE/2)` stages, closing
+///    a stage once it holds its proportional share of the remaining work
+///    (capping at half the array keeps the one-PE-minimum grants from
+///    consuming every PE, which would strand a dominant layer on a
+///    single PE);
+/// 2. each stage is allocated PEs proportionally to its work
+///    (water-filling, at least one PE each, summing to `N_PE`), and its
+///    time scales by `N_PE / allocated` — work-proportional slowdown;
+/// 3. each stage boundary hands its producer's compressed OFM to the
+///    consumer; when it exceeds the on-chip handoff capacity (the
+///    distributed input buffers plus the output buffer) the boundary
+///    spills through DRAM and the producer pays the write + re-read;
+/// 4. the initiation interval is the slowest stage; fill latency is the
+///    stage sum; stall cycles are the slack the interval leaves in every
+///    other stage.
+///
+/// Emits `sim.pipeline_stalls` and a `sim.stage_occupancy_bytes`
+/// histogram through `escalate-obs`.
+fn pipeline_model(stats: &ModelStats, cfg: &SimConfig) -> PipelineStats {
+    let n = stats.layers.len();
+    if n == 0 {
+        return PipelineStats::default();
+    }
+    let cycles: Vec<u64> = stats.layers.iter().map(|l| l.cycles).collect();
+    let total: u64 = cycles.iter().sum();
+    let stage_count = n.min((cfg.n_pe / 2).max(1));
+
+    // 1. Group consecutive layers into work-balanced stages.
+    let mut groups: Vec<std::ops::Range<usize>> = Vec::with_capacity(stage_count);
+    let mut start = 0usize;
+    let mut acc = 0u64;
+    let mut done = 0u64;
+    for (i, &layer_cycles) in cycles.iter().enumerate() {
+        acc += layer_cycles;
+        let groups_left = stage_count - groups.len();
+        if groups_left <= 1 {
+            continue;
         }
+        // Close when this stage reached its share of the remaining work,
+        // or when every remaining stage needs one of the remaining layers.
+        let target = (total - done).div_ceil(groups_left as u64);
+        let must_close = n - i - 1 == groups_left - 1;
+        if acc >= target || must_close {
+            groups.push(start..i + 1);
+            start = i + 1;
+            done += acc;
+            acc = 0;
+        }
+    }
+    groups.push(start..n);
+    let works: Vec<u64> = groups
+        .iter()
+        .map(|g| cycles[g.clone()].iter().sum::<u64>().max(1))
+        .collect();
+    let total_work: u64 = works.iter().sum();
+
+    // 2. Water-filling PE allocation proportional to stage work.
+    let n_pe = cfg.n_pe.max(groups.len()) as u64;
+    let mut alloc: Vec<u64> = works
+        .iter()
+        .map(|&w| ((n_pe as u128 * w as u128) / total_work as u128).max(1) as u64)
+        .collect();
+    let most_starved = |alloc: &[u64]| {
+        // Largest work-per-PE; ties break on the earliest stage.
+        (0..alloc.len())
+            .max_by(|&a, &b| {
+                (works[a] as u128 * alloc[b] as u128)
+                    .cmp(&(works[b] as u128 * alloc[a] as u128))
+                    .then(b.cmp(&a))
+            })
+            .expect("at least one stage")
+    };
+    while alloc.iter().sum::<u64>() > n_pe {
+        // Reclaim from the most over-provisioned stage that can spare one.
+        let i = (0..alloc.len())
+            .filter(|&i| alloc[i] > 1)
+            .min_by(|&a, &b| {
+                (works[a] as u128 * alloc[b] as u128)
+                    .cmp(&(works[b] as u128 * alloc[a] as u128))
+                    .then(a.cmp(&b))
+            })
+            .expect("allocations exceed stage count");
+        alloc[i] -= 1;
+    }
+    while alloc.iter().sum::<u64>() < n_pe {
+        let i = most_starved(&alloc);
+        alloc[i] += 1;
+    }
+
+    // 3. Stage times under the allocation, plus DRAM spills at
+    // over-capacity boundaries.
+    let mut times: Vec<u64> = works
+        .iter()
+        .zip(&alloc)
+        .map(|(&w, &a)| ((w as u128 * n_pe as u128).div_ceil(a as u128)) as u64)
+        .collect();
+    let handoff_capacity = (cfg.total_input_buf_bytes() + cfg.output_buf_bytes) as u64;
+    let mut spilled = 0u64;
+    let mut spilled_bytes = 0u64;
+    let mut peak = 0u64;
+    for (i, g) in groups.iter().enumerate().take(groups.len() - 1) {
+        let bytes = stats.layers[g.end - 1].dram.ofm;
+        escalate_obs::observe("sim.stage_occupancy_bytes", bytes);
+        peak = peak.max(bytes);
+        if bytes > handoff_capacity {
+            spilled += 1;
+            spilled_bytes += bytes;
+            let penalty = (2.0 * bytes as f64 / cfg.dram_bytes_per_cycle.max(1e-9)).ceil() as u64;
+            times[i] += penalty;
+        }
+    }
+
+    // 4. Interval, latency, and stage-balance stalls.
+    let interval = *times.iter().max().expect("at least one stage");
+    let latency: u64 = times.iter().sum();
+    let stall: u64 = times.iter().map(|&t| interval - t).sum();
+    escalate_obs::counter_add("sim.pipeline_stalls", stall);
+
+    PipelineStats {
+        stages: groups.len(),
+        interval_cycles: interval,
+        latency_cycles: latency,
+        stall_cycles: stall,
+        spilled_boundaries: spilled,
+        spilled_bytes,
+        peak_buffer_bytes: peak,
     }
 }
 
@@ -88,6 +290,13 @@ impl Accelerator for Escalate<'_> {
 
     fn simulate_layer(&self, index: usize, seed: u64) -> LayerStats {
         simulate_layer(&self.workload.layers[index], self.cfg, seed)
+    }
+
+    /// ESCALATE dispatches on [`SimConfig::schedule`]; the baselines keep
+    /// the default layer-serial fold (they model the published designs,
+    /// which have no pipelined mode).
+    fn simulate(&self, seed: u64, threads: usize) -> ModelStats {
+        schedule_for(self.cfg.schedule).run(self, self.cfg, seed, threads)
     }
 }
 
@@ -147,6 +356,122 @@ mod tests {
         for (i, l) in whole.layers.iter().enumerate() {
             assert_eq!(*l, acc.simulate_layer(i, 5), "layer {i}");
         }
+    }
+
+    #[test]
+    fn serial_schedule_is_byte_identical_to_the_plain_fold() {
+        let w = toy_workload();
+        let cfg = SimConfig::default();
+        let acc = Escalate::new(&w, &cfg);
+        let via_schedule = schedule_for(ScheduleKind::LayerSerial).run(&acc, &cfg, 3, 1);
+        let direct = serial_fold(&acc, 3, 1);
+        assert_eq!(via_schedule, direct);
+        assert_eq!(via_schedule.pipeline, None);
+        assert_eq!(acc.simulate(3, 1), direct, "default config is serial");
+    }
+
+    #[test]
+    fn pipelined_schedule_attaches_consistent_pipeline_stats() {
+        let w = toy_workload();
+        let cfg = SimConfig {
+            schedule: ScheduleKind::Pipelined,
+            ..SimConfig::default()
+        };
+        let acc = Escalate::new(&w, &cfg);
+        let stats = acc.simulate(3, 1);
+        let p = stats.pipeline.as_ref().expect("pipelined run");
+        // Per-layer results are untouched by the schedule.
+        let serial_cfg = SimConfig::default();
+        let serial = Escalate::new(&w, &serial_cfg).simulate(3, 1);
+        assert_eq!(stats.layers, serial.layers);
+        // Three layers on 32 PEs: one stage per layer.
+        assert_eq!(p.stages, 3);
+        assert!(p.interval_cycles <= p.latency_cycles);
+        assert!(p.interval_cycles >= p.latency_cycles.div_ceil(p.stages as u64));
+        // Slack accounting: Σ(interval − tᵢ) = stages·interval − latency.
+        assert_eq!(
+            p.stall_cycles,
+            p.stages as u64 * p.interval_cycles - p.latency_cycles
+        );
+        // Work conservation: with Σalloc = N_PE and stage time scaling by
+        // N_PE/alloc, the slowest stage can never undercut the serial sum
+        // — partitioning trades cycles for pinned weights, not speed.
+        assert!(p.interval_cycles >= serial.total_cycles());
+        assert!(p.latency_cycles >= serial.total_cycles());
+        // Rounding and integer PE grants cost at most a small factor on a
+        // balanced three-stage toy.
+        assert!(p.interval_cycles < 2 * serial.total_cycles(), "{p:?}");
+        assert_eq!(stats.schedule_cycles(), p.latency_cycles);
+    }
+
+    #[test]
+    fn pipeline_model_accounts_spilled_boundaries() {
+        use crate::stats::DramTraffic;
+        // Two equal stages on a four-PE array; the boundary OFM exceeds
+        // the on-chip handoff capacity, so the producer pays the DRAM
+        // round trip.
+        let cfg = SimConfig {
+            n_pe: 4,
+            ..SimConfig::default()
+        };
+        let capacity = (cfg.total_input_buf_bytes() + cfg.output_buf_bytes) as u64;
+        let layer = |name: &str, ofm| LayerStats {
+            name: name.into(),
+            cycles: 1000,
+            dram: DramTraffic {
+                weights: 0,
+                ifm: 0,
+                ofm,
+            },
+            ..LayerStats::default()
+        };
+        let fits = ModelStats {
+            model_name: "fits".into(),
+            layers: vec![layer("a", capacity), layer("b", 0)],
+            pipeline: None,
+        };
+        let p = pipeline_model(&fits, &cfg);
+        assert_eq!(p.stages, 2);
+        assert_eq!(p.spilled_boundaries, 0);
+        assert_eq!(p.peak_buffer_bytes, capacity);
+        // Equal work → two PEs each → both stages at 2× their serial time.
+        assert_eq!(p.interval_cycles, 2000);
+        assert_eq!(p.stall_cycles, 0);
+
+        let spills = ModelStats {
+            model_name: "spills".into(),
+            layers: vec![layer("a", capacity + 640), layer("b", 0)],
+            pipeline: None,
+        };
+        let p = pipeline_model(&spills, &cfg);
+        assert_eq!(p.spilled_boundaries, 1);
+        let penalty = (2.0 * (capacity + 640) as f64 / cfg.dram_bytes_per_cycle).ceil() as u64;
+        assert_eq!(p.interval_cycles, 2000 + penalty);
+        assert_eq!(p.stall_cycles, penalty);
+    }
+
+    #[test]
+    fn pipeline_stages_cap_at_half_the_pe_array() {
+        let layers: Vec<LayerStats> = (0..10)
+            .map(|i| LayerStats {
+                name: format!("l{i}"),
+                cycles: 100 + i,
+                ..LayerStats::default()
+            })
+            .collect();
+        let stats = ModelStats {
+            model_name: "m".into(),
+            layers,
+            pipeline: None,
+        };
+        let cfg = SimConfig {
+            n_pe: 4,
+            ..SimConfig::default()
+        };
+        let p = pipeline_model(&stats, &cfg);
+        assert_eq!(p.stages, 2, "stages cap at half the PE array");
+        let wide = SimConfig::default();
+        assert_eq!(pipeline_model(&stats, &wide).stages, 10);
     }
 
     #[test]

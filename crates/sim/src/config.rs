@@ -1,5 +1,51 @@
 //! Accelerator configuration (paper Table 2).
 
+/// Whole-network schedule mode: how per-layer work shares the PE array.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum ScheduleKind {
+    /// Layers run one after another, each using the full PE array — the
+    /// paper's evaluation schedule and the default.
+    #[default]
+    LayerSerial,
+    /// All layers are resident at once: the PE array is partitioned
+    /// across pipeline stages proportionally to their work, inter-layer
+    /// feature maps hand off through on-chip buffers (spilling to DRAM
+    /// when they exceed the configured SRAM), and steady-state throughput
+    /// paces at the slowest stage (HPIPE-style layer pipelining).
+    Pipelined,
+}
+
+impl ScheduleKind {
+    /// Canonical CLI/wire spelling (`"serial"` / `"pipelined"`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ScheduleKind::LayerSerial => "serial",
+            ScheduleKind::Pipelined => "pipelined",
+        }
+    }
+
+    /// Parses the CLI/wire spelling.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message listing the accepted spellings.
+    pub fn parse(s: &str) -> Result<ScheduleKind, String> {
+        match s {
+            "serial" => Ok(ScheduleKind::LayerSerial),
+            "pipelined" => Ok(ScheduleKind::Pipelined),
+            other => Err(format!(
+                "unknown schedule {other:?} (expected \"serial\" or \"pipelined\")"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for ScheduleKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// Configuration of the ESCALATE accelerator.
 ///
 /// The default reproduces Table 2: `M = 6`, `N_PE = 32`, `l = 5`, a
@@ -72,6 +118,10 @@ pub struct SimConfig {
     /// the default is off. This knob configures the host simulator, not
     /// the modeled hardware.
     pub share_derived: bool,
+    /// Whole-network schedule mode (see [`ScheduleKind`]). The default
+    /// layer-serial mode reproduces the paper's evaluation and every
+    /// existing golden bit-for-bit.
+    pub schedule: ScheduleKind,
 }
 
 impl Default for SimConfig {
@@ -94,6 +144,7 @@ impl Default for SimConfig {
             sample_channels: 8,
             threads: 0,
             share_derived: false,
+            schedule: ScheduleKind::default(),
         }
     }
 }
@@ -240,6 +291,16 @@ mod tests {
     fn larger_m_means_smaller_l() {
         let base = SimConfig::default();
         assert!(base.with_m(8).l <= base.with_m(4).l);
+    }
+
+    #[test]
+    fn schedule_kind_round_trips_its_spelling() {
+        for kind in [ScheduleKind::LayerSerial, ScheduleKind::Pipelined] {
+            assert_eq!(ScheduleKind::parse(kind.as_str()), Ok(kind));
+        }
+        let e = ScheduleKind::parse("warp").unwrap_err();
+        assert!(e.contains("serial") && e.contains("pipelined"), "{e}");
+        assert_eq!(ScheduleKind::default(), ScheduleKind::LayerSerial);
     }
 
     #[test]

@@ -70,8 +70,18 @@ impl<'a> LayerContext<'a> {
     ///
     /// Returns [`SimError::NotDecomposed`] for dense-fallback workloads —
     /// they have no coefficient masks to simulate (the sampling engine
-    /// routes them to [`crate::fallback`] before building a context).
+    /// routes them to [`crate::fallback`] before building a context) —
+    /// and [`SimError::UnsupportedLayer`] for grouped convolutions, whose
+    /// per-group reduction the decomposed datapath cannot express (the
+    /// compression pipeline keeps them dense, so a decomposed grouped
+    /// workload is a caller bug this catches instead of mis-simulating).
     pub fn new(lw: &'a LayerWorkload, cfg: &SimConfig) -> Result<LayerContext<'a>, SimError> {
+        if let escalate_models::LayerKind::GroupedConv { .. } = lw.shape.kind {
+            return Err(SimError::UnsupportedLayer {
+                layer: lw.name.clone(),
+                kind: lw.shape.kind.to_string(),
+            });
+        }
         let WorkloadMode::Decomposed(masks) = &lw.mode else {
             return Err(SimError::NotDecomposed {
                 layer: lw.name.clone(),
@@ -514,6 +524,36 @@ mod tests {
             .err()
             .expect("must reject");
         assert!(matches!(err, SimError::NotDecomposed { .. }));
+    }
+
+    #[test]
+    fn context_rejects_grouped_layers_with_a_typed_error() {
+        // A grouped conv must never reach the decomposed datapath — the
+        // basis kernels assume a full cross-channel reduction.
+        let mut lw = workload(32, 8, 6, 8);
+        lw.shape = LayerShape::grouped_conv("g", 32, 8, 8, 8, 3, 1, 1, 4);
+        let err = LayerContext::new(&lw, &SimConfig::default())
+            .err()
+            .expect("must reject");
+        assert!(matches!(err, SimError::UnsupportedLayer { .. }), "{err}");
+        assert!(err.to_string().contains("gconv"), "{err}");
+        // Even a dense-mode grouped workload reports the kind, not a
+        // misleading NotDecomposed.
+        lw.mode = WorkloadMode::Dense;
+        let err = LayerContext::new(&lw, &SimConfig::default())
+            .err()
+            .expect("must reject");
+        assert!(matches!(err, SimError::UnsupportedLayer { .. }), "{err}");
+    }
+
+    #[test]
+    fn context_accepts_dilated_layers() {
+        // Dilation changes only output geometry; the decomposed datapath
+        // applies unchanged, so the context must build.
+        let mut lw = workload(32, 8, 6, 8);
+        lw.shape = LayerShape::dilated_conv("d", 32, 8, 8, 8, 3, 1, 2, 2);
+        let ctx = LayerContext::new(&lw, &SimConfig::default()).expect("dilated must simulate");
+        assert_eq!(ctx.rs, 9, "tap count is dilation-invariant");
     }
 
     #[test]

@@ -26,6 +26,13 @@ pub enum SimError {
         /// The tensor shape that was supplied.
         shape: Vec<usize>,
     },
+    /// The layer kind is not supported by the decomposed datapath.
+    UnsupportedLayer {
+        /// Name of the offending layer.
+        layer: String,
+        /// The layer kind that cannot be simulated here.
+        kind: String,
+    },
     /// The feature map's dimensions disagree with the workload's shape.
     ShapeMismatch {
         /// Name of the offending layer.
@@ -42,6 +49,13 @@ impl std::fmt::Display for SimError {
         match self {
             SimError::NotDecomposed { layer } => {
                 write!(f, "layer {layer} is not decomposed; only decomposed workloads have coefficient masks to simulate")
+            }
+            SimError::UnsupportedLayer { layer, kind } => {
+                write!(
+                    f,
+                    "layer {layer}: {kind} layers have no decomposed datapath; grouped \
+                     convolutions run on the dense fallback instead"
+                )
             }
             SimError::BadFeatureMap { layer, shape } => {
                 write!(

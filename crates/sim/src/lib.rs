@@ -101,13 +101,13 @@ pub mod stats;
 pub mod trace;
 pub mod workload;
 
-pub use accel::{Accelerator, Escalate};
+pub use accel::{schedule_for, Accelerator, Escalate, LayerPipelined, LayerSerial, Schedule};
 pub use ca::{LayerPlan, PositionCost, PositionKernel, MAX_BATCH};
-pub use config::{DesignPoint, SimConfig};
+pub use config::{DesignPoint, ScheduleKind, SimConfig};
 pub use context::{LayerContext, NoopObserver, SimObserver};
 pub use engine::{simulate_layer, simulate_model};
 pub use error::SimError;
 pub use masks::MaskSource;
 pub use observe::ObsObserver;
-pub use stats::{checked_ratio, LayerStats, ModelStats};
+pub use stats::{checked_ratio, LayerStats, ModelStats, PipelineStats};
 pub use workload::{LayerWorkload, Workload, WorkloadMode};

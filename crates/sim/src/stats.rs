@@ -96,6 +96,31 @@ impl LayerStats {
     }
 }
 
+/// Steady-state accounting of a layer-pipelined schedule (see
+/// [`crate::accel::LayerPipelined`]): stage partitioning, the pacing
+/// interval, fill latency, stall slack, and inter-stage buffer pressure.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Pipeline stages the layers were grouped into.
+    pub stages: usize,
+    /// Steady-state initiation interval: cycles between finished
+    /// inferences, set by the slowest stage.
+    pub interval_cycles: u64,
+    /// Fill latency of one inference through every stage.
+    pub latency_cycles: u64,
+    /// Σ over stages of `interval − stage_time`: PE-cycles idled by stage
+    /// imbalance.
+    pub stall_cycles: u64,
+    /// Stage boundaries whose inter-layer feature map exceeded on-chip
+    /// buffering and spilled through DRAM.
+    pub spilled_boundaries: u64,
+    /// Feature-map bytes crossing spilled boundaries (per inference,
+    /// before the write + re-read doubling).
+    pub spilled_bytes: u64,
+    /// Largest inter-stage feature-map handoff in bytes.
+    pub peak_buffer_bytes: u64,
+}
+
 /// Whole-model simulation result.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ModelStats {
@@ -103,6 +128,10 @@ pub struct ModelStats {
     pub model_name: String,
     /// Per-layer results in execution order.
     pub layers: Vec<LayerStats>,
+    /// Present when the run used a layer-pipelined schedule; `None` under
+    /// the default layer-serial fold (which keeps serial output — and all
+    /// of its goldens — byte-identical).
+    pub pipeline: Option<PipelineStats>,
 }
 
 impl ModelStats {
@@ -143,6 +172,17 @@ impl ModelStats {
     /// Total CA additions.
     pub fn total_ca_adds(&self) -> u64 {
         self.layers.iter().map(|l| l.ca_adds).sum()
+    }
+
+    /// Cycles under the schedule that produced these stats: the pipeline
+    /// fill latency when a pipelined schedule ran, the serial layer sum
+    /// otherwise. Harnesses that compare schedules should use this
+    /// instead of [`ModelStats::total_cycles`].
+    pub fn schedule_cycles(&self) -> u64 {
+        match &self.pipeline {
+            Some(p) => p.latency_cycles,
+            None => self.total_cycles(),
+        }
     }
 
     /// Inference latency in milliseconds at the given frequency.
@@ -199,6 +239,7 @@ mod tests {
     fn model_aggregation() {
         let mut m = ModelStats {
             model_name: "x".into(),
+            pipeline: None,
             layers: vec![],
         };
         for i in 1..=3u64 {
@@ -224,6 +265,7 @@ mod tests {
     fn latency_is_finite_for_degenerate_frequencies() {
         let m = ModelStats {
             model_name: "x".into(),
+            pipeline: None,
             layers: vec![LayerStats {
                 cycles: 1000,
                 ..LayerStats::default()
@@ -242,6 +284,7 @@ mod tests {
     fn pipelined_cycles_guards_degenerate_bandwidth() {
         let m = ModelStats {
             model_name: "x".into(),
+            pipeline: None,
             layers: vec![LayerStats {
                 cycles: 10,
                 dram: DramTraffic {
@@ -272,6 +315,7 @@ mod tests {
     fn pipelined_cycles_is_the_larger_of_compute_and_dram() {
         let m = ModelStats {
             model_name: "x".into(),
+            pipeline: None,
             layers: vec![
                 LayerStats {
                     cycles: 100,

@@ -89,6 +89,7 @@ proptest! {
         let mut model = ModelStats {
             model_name: "prop".into(),
             layers: Vec::new(),
+            pipeline: None,
         };
         {
             let mut obs = ObsObserver::new(Arc::clone(&reg));

@@ -18,7 +18,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 1. Compress the model (Table 1 pipeline) and build the workload.
     let artifacts = compress_model_artifacts(&profile, &CompressionConfig::default())?;
-    let workload = Workload::from_artifacts(profile.name, &artifacts, &profile);
+    let workload = Workload::from_artifacts(&profile.name, &artifacts, &profile);
 
     // 2. Simulate ESCALATE.
     let esc = simulate_model(&workload, &sim_cfg, 0);

@@ -31,7 +31,7 @@ cargo test -q --offline -p escalate-obs
 # measurement (with the simd dispatch compiled in).
 cargo bench --offline -p escalate-bench --bench position_kernel \
   --features escalate-sim/simd -- --test
-# Golden-diff regression check over the full corpus: all 18 golden
+# Golden-diff regression check over the full corpus: all 19 golden
 # experiments must stay byte-identical to the committed results/ files
 # (~75 s in release on a single core; the per-experiment dev-profile
 # round-trips live in crates/bench/tests/report.rs).
@@ -59,6 +59,19 @@ cmp "$SWEEP_DIR/cold.jsonl" "$SWEEP_DIR/resumed.jsonl"
 grep -q "44 sample(s) ran, 20 resumed" "$SWEEP_DIR/resumed.txt"
 diff <(tail -n +2 "$SWEEP_DIR/cold.txt" | grep -v '^frontier matches') \
      <(tail -n +2 "$SWEEP_DIR/resumed.txt")
+# Network-description + pipelined-schedule smoke: write a generated
+# network as an escalate-network/v1 file, require the file → Model →
+# file round trip to be byte-identical, and simulate it under the
+# pipelined schedule (the pipeline stage/interval/stall line only
+# renders when that schedule actually ran).
+./target/release/escalate network gen:dilated:blocks=2 \
+  --out "$SWEEP_DIR/gen.network"
+./target/release/escalate network "@$SWEEP_DIR/gen.network" \
+  --out "$SWEEP_DIR/gen2.network"
+cmp "$SWEEP_DIR/gen.network" "$SWEEP_DIR/gen2.network"
+./target/release/escalate simulate --network "$SWEEP_DIR/gen.network" \
+  --schedule pipelined --seeds 1 > "$SWEEP_DIR/pipelined.txt"
+grep -q '^pipeline: .* stage(s), interval ' "$SWEEP_DIR/pipelined.txt"
 # Serve smoke: an ephemerally-bound daemon (port discovered via
 # --port-file), one job per verb through `escalate submit`, well-formed
 # escalate-run-manifest/v1 unit records, non-empty metrics, and a
@@ -76,11 +89,17 @@ test "$(grep -c '"schema": "escalate-run-manifest/v1"' "$SERVE_DIR/simulate.txt"
 grep -q '"type": "done"' "$SERVE_DIR/simulate.txt"
 submit compress MobileNet | grep -q '"type": "done"'
 submit report table4 | grep -q '"type": "done"'
-submit metrics | grep -q '"serve.jobs_done": 3'
+# A served custom-network pipelined job: the daemon resolves the same
+# @FILE spec the CLI does and its done frame carries the pipeline line.
+submit simulate "@$SWEEP_DIR/gen.network" --seeds 1 --schedule pipelined \
+  > "$SERVE_DIR/network.txt"
+grep -q '"type": "done"' "$SERVE_DIR/network.txt"
+grep -q 'pipeline: ' "$SERVE_DIR/network.txt"
+submit metrics | grep -q '"serve.jobs_done": 4'
 submit shutdown | grep -q '"drained": true'
 for _ in $(seq 1 300); do kill -0 "$SERVE_PID" 2>/dev/null || break; sleep 0.1; done
 ! kill -0 "$SERVE_PID" 2>/dev/null
-grep -q "drained — 3 jobs done, 0 failed" "$SERVE_DIR/serve.txt"
+grep -q "drained — 4 jobs done, 0 failed" "$SERVE_DIR/serve.txt"
 cargo fmt --check
 cargo clippy --all-targets --offline --workspace -- -D warnings
 cargo clippy --all-targets --offline -p escalate-sim --features simd -- -D warnings

@@ -17,7 +17,7 @@ fn compression_bands_match_table1() {
     for profile in ModelProfile::all() {
         // MobileNet/ResNet-152 are exercised by the table1 binary; keep
         // the test suite fast with the three cheapest models.
-        if !["VGG16", "ResNet18", "MobileNet"].contains(&profile.name) {
+        if !["VGG16", "ResNet18", "MobileNet"].contains(&profile.name.as_str()) {
             continue;
         }
         let r =
